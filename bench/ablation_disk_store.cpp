@@ -1,0 +1,69 @@
+// Ablation (paper Section VII): "The hybrid method refreshes the states of
+// the secondary subjob copy directly in memory. Although this leads to
+// faster checkpointing, the state can be lost when both the secondary and
+// primary machines fail. If handling the failure of both is a goal, the
+// state has to be persisted to a permanent storage, i.e., a disk. Some
+// penalty in performance is expected."
+#include "bench_util.hpp"
+
+#include "cluster/load_generator.hpp"
+
+using namespace streamha;
+using namespace streamha::bench;
+
+int main() {
+  printFigureHeader(
+      "Ablation D", "In-memory vs disk-persisted standby state store",
+      "Persisting every checkpoint to disk survives the loss of both "
+      "machines but adds a durability delay to every checkpoint, which "
+      "postpones the acks that trim upstream queues.");
+
+  Table table({"store", "ckpt latency (ms)", "upstream retained (el)",
+               "recovery total (ms)"});
+  for (bool disk : {false, true}) {
+    Cluster cluster([&]{ Cluster::Params cp; cp.machineCount = 7; cp.seed = 7; return cp; }());
+    const JobSpec spec = JobBuilder::chain(8, 2, 300.0);
+    Runtime rt(cluster, spec);
+    Source::Params sp;
+    sp.ratePerSec = 1000;
+    sp.pattern = Source::Pattern::kPoisson;
+    rt.addSource(0, sp);
+    rt.addSink(4);
+    rt.deployPrimaries({0, 1, 2, 3});
+    HaParams ha;
+    ha.standbyMachine = 5;
+    ha.heartbeat.missThreshold = 3;
+    ha.store.persistToDisk = disk;
+    ha.store.diskBytesPerMicro = 5.0;  // ~5 MB/s effective checkpoint disk.
+    PassiveStandbyCoordinator ps(rt, 2, ha);
+    ps.setup();
+    rt.start();
+    cluster.sim().runUntil(2 * kSecond);
+
+    SpikeSpec spike;
+    spike.magnitude = 0.97;
+    LoadGenerator hog(cluster.sim(), cluster.machine(2), spike,
+                      cluster.forkRng(3));
+    hog.injectSpike(3 * kSecond);
+    cluster.sim().runUntil(4 * kSecond);
+    // Upstream retention right after detection reflects how far acks lag.
+    Subjob* upstream = rt.instanceOf(1, Replica::kPrimary);
+    const auto retained = upstream->lastPe().output(0).bufferedCount();
+    cluster.sim().runUntil(12 * kSecond);
+
+    for (auto& t : ps.mutableRecoveries()) {
+      t.failureStart = hog.spikes()[0].first;
+    }
+    RecoveryBreakdown agg;
+    agg.addAll(ps.recoveries());
+    table.addRow({disk ? "disk" : "memory",
+                  Table::num(ps.checkpointManager()
+                                 ? ps.checkpointManager()->stats().latencyMs.mean()
+                                 : 0.0,
+                             2),
+                  Table::integer(retained),
+                  Table::num(agg.totalMs.mean(), 0)});
+  }
+  streamha::bench::finishTable(table, "ablation_disk_store");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared helpers for the figure-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "exp/scenario.hpp"
+#include "metrics/report.hpp"
+
+namespace streamha::bench {
+
+/// Seeds used when a bench averages over repetitions.
+inline std::vector<std::uint64_t> defaultSeeds(int n = 3) {
+  std::vector<std::uint64_t> seeds;
+  for (int i = 0; i < n; ++i) seeds.push_back(1000 + 37 * i);
+  return seeds;
+}
+
+/// Runs one scenario configuration for each seed and averages the scalar
+/// extracted by `metric`.
+template <typename MetricFn>
+double averageOverSeeds(ScenarioParams params,
+                        const std::vector<std::uint64_t>& seeds,
+                        MetricFn metric) {
+  RunningStats stats;
+  for (std::uint64_t seed : seeds) {
+    params.seed = seed;
+    Scenario scenario(params);
+    const ScenarioResult result = scenario.runAll();
+    stats.add(metric(scenario, result));
+  }
+  return stats.mean();
+}
+
+/// Print the table and, when the STREAMHA_CSV_DIR environment variable is
+/// set, also write it to `<dir>/<name>.csv` for plotting scripts.
+inline void finishTable(const Table& table, const std::string& name) {
+  table.print();
+  const char* dir = std::getenv("STREAMHA_CSV_DIR");
+  if (dir != nullptr && table.writeCsvFile(dir, name)) {
+    std::printf("(csv written to %s/%s.csv)\n", dir, name.c_str());
+  }
+}
+
+inline void printSeedsNote(const std::vector<std::uint64_t>& seeds) {
+  std::printf("averaged over %zu seeded runs (seeds:", seeds.size());
+  for (auto s : seeds) std::printf(" %llu", static_cast<unsigned long long>(s));
+  std::printf(")\n\n");
+}
+
+}  // namespace streamha::bench

@@ -1,0 +1,29 @@
+// Figure 1: Impact of transient failures on processing time.
+#include "bench_util.hpp"
+#include "exp/measurement_study.hpp"
+
+using namespace streamha;
+
+int main() {
+  printFigureHeader(
+      "Figure 1", "Per-machine processing time of a parallel application",
+      "~0.58 s per task on unloaded machines 41-53; ~0.9 s (about +50%) on "
+      "machines 55-61 that share background load.");
+
+  ParallelAppParams params;
+  const auto rows = measureParallelApp(params);
+
+  Table table({"machine", "co-located load", "avg processing time (s)"});
+  RunningStats unloaded, loaded;
+  for (const auto& row : rows) {
+    table.addRow({std::to_string(row.machineLabel), row.loaded ? "yes" : "no",
+                  Table::num(row.avgSeconds, 3)});
+    (row.loaded ? loaded : unloaded).add(row.avgSeconds);
+  }
+  streamha::bench::finishTable(table, "fig01_processing_time");
+  std::printf(
+      "\nunloaded mean: %.3f s   loaded mean: %.3f s   inflation: +%.0f%%\n",
+      unloaded.mean(), loaded.mean(),
+      100.0 * (loaded.mean() / unloaded.mean() - 1.0));
+  return 0;
+}

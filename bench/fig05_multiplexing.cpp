@@ -1,0 +1,42 @@
+// Figure 5: E2E delay vs percentage of transient-failure time when three
+// primary machines share ONE secondary machine (Hybrid multiplexing).
+#include "bench_util.hpp"
+
+using namespace streamha;
+using namespace streamha::bench;
+
+int main() {
+  printFigureHeader(
+      "Figure 5", "E2E delay vs transient failure time percentage (3 primaries share 1 secondary)",
+      "Small increase over the dedicated-secondary line while failures are "
+      "rare; the gap becomes significant around 30% failure time, when "
+      "failures on different machines start to overlap on the shared "
+      "secondary.");
+
+  const auto seeds = defaultSeeds(3);
+  printSeedsNote(seeds);
+  Table table({"failure time %", "dedicated (ms)", "shared (ms)",
+               "increase %"});
+  for (double fraction : {0.05, 0.10, 0.15, 0.20, 0.25, 0.30}) {
+    double values[2] = {0, 0};
+    for (int shared = 0; shared <= 1; ++shared) {
+      ScenarioParams p;
+      p.mode = HaMode::kHybrid;
+      p.protectedSubjobs = {1, 2, 3};
+      p.sharedSecondary = shared == 1;
+      p.dataRatePerSec = 700;  // ~0.42 subjob utilization, like a node with
+                               // headroom for more than one active subjob.
+      p.failureFraction = fraction;
+      p.failureDuration = kSecond;
+      p.duration = 40 * kSecond;
+      values[shared] = averageOverSeeds(
+          p, seeds,
+          [](Scenario&, const ScenarioResult& r) { return r.avgDelayMs; });
+    }
+    table.addRow({Table::num(100 * fraction, 0), Table::num(values[0], 1),
+                  Table::num(values[1], 1),
+                  Table::num(100.0 * (values[1] / values[0] - 1.0), 0)});
+  }
+  streamha::bench::finishTable(table, "fig05_multiplexing");
+  return 0;
+}

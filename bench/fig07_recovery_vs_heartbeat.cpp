@@ -1,0 +1,77 @@
+// Figure 7: recovery-time decomposition vs heartbeat interval for PS and
+// Hybrid (checkpoint interval fixed at 50 ms).
+#include "bench_util.hpp"
+
+#include "cluster/load_generator.hpp"
+
+using namespace streamha;
+using namespace streamha::bench;
+
+namespace {
+
+RecoveryBreakdown measure(HaMode mode, SimDuration heartbeat,
+                          SimDuration checkpoint,
+                          const std::vector<std::uint64_t>& seeds) {
+  RecoveryBreakdown agg;
+  for (std::uint64_t seed : seeds) {
+    ScenarioParams p;
+    p.mode = mode;
+    p.heartbeatInterval = heartbeat;
+    p.checkpointInterval = checkpoint;
+    p.duration = 12 * kSecond;
+    p.seed = seed;
+    Scenario s(p);
+    s.build();
+    s.warmup();
+    SpikeSpec spec;
+    spec.magnitude = 0.97;
+    LoadGenerator gen(s.cluster().sim(),
+                      s.cluster().machine(s.primaryMachineOf(2)), spec,
+                      s.cluster().forkRng(seed * 131));
+    gen.injectSpike(4 * kSecond);
+    s.run(p.duration);
+    auto* c = s.coordinatorFor(2);
+    for (auto& t : c->mutableRecoveries()) {
+      t.failureStart = gen.spikes()[0].first;
+    }
+    agg.addAll(c->recoveries());
+  }
+  return agg;
+}
+
+}  // namespace
+
+int main() {
+  printFigureHeader(
+      "Figure 7", "Recovery time decomposition vs heartbeat interval (checkpoint 50 ms)",
+      "Detection dominates and grows linearly with the heartbeat interval "
+      "(3 intervals for PS, 1 for Hybrid); redeployment (PS) and resume "
+      "(Hybrid) are constant, with resume about 75% cheaper; Hybrid's total "
+      "is about a third of PS's.");
+
+  const auto seeds = defaultSeeds(3);
+  printSeedsNote(seeds);
+  Table table({"hb (ms)", "mode", "detection (ms)", "redeploy/resume (ms)",
+               "retrans/reproc (ms)", "total (ms)"});
+  double ps100 = 0, hy100 = 0;
+  for (SimDuration hb : {100 * kMillisecond, 200 * kMillisecond,
+                         300 * kMillisecond, 400 * kMillisecond,
+                         500 * kMillisecond}) {
+    for (HaMode mode : {HaMode::kPassiveStandby, HaMode::kHybrid}) {
+      const auto agg = measure(mode, hb, 50 * kMillisecond, seeds);
+      table.addRow({std::to_string(hb / kMillisecond), toString(mode),
+                    Table::num(agg.detectionMs.mean(), 0),
+                    Table::num(agg.redeployMs.mean(), 0),
+                    Table::num(agg.retransmitMs.mean(), 0),
+                    Table::num(agg.totalMs.mean(), 0)});
+      if (hb == 100 * kMillisecond) {
+        (mode == HaMode::kPassiveStandby ? ps100 : hy100) =
+            agg.totalMs.mean();
+      }
+    }
+  }
+  streamha::bench::finishTable(table, "fig07_recovery_vs_heartbeat");
+  std::printf("\nHybrid total at 100 ms heartbeat = %.0f%% of PS (paper: ~1/3)\n",
+              100.0 * hy100 / ps100);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 10: Hybrid switchover + rollback message overhead vs data rate, for
+// 5 s and 10 s unavailability periods.
+#include "bench_util.hpp"
+
+#include "cluster/load_generator.hpp"
+#include "ha/hybrid.hpp"
+
+using namespace streamha;
+using namespace streamha::bench;
+
+int main() {
+  printFigureHeader(
+      "Figure 10", "Switchover/rollback message overhead vs data rate",
+      "Overhead grows linearly with the data rate and is roughly rate x "
+      "unavailability duration: it is dominated by the elements still being "
+      "shipped to the unresponsive primary; the state read back on rollback "
+      "is comparatively small.");
+
+  const auto seeds = defaultSeeds(3);
+  printSeedsNote(seeds);
+  Table table({"unavailability", "rate (el/s)", "to stalled primary (el)",
+               "state read (el)", "total (el)", "rate x duration"});
+  for (SimDuration dur : {5 * kSecond, 10 * kSecond}) {
+    for (double rate : {1000.0, 3000.0, 5000.0, 7000.0}) {
+      RunningStats toStalled, stateRead;
+      for (std::uint64_t seed : seeds) {
+        ScenarioParams p;
+        p.mode = HaMode::kHybrid;
+        p.dataRatePerSec = rate;
+        p.peWorkUs = 60.0;
+        p.failStopAfter = 30 * kSecond;
+        p.duration = dur + 15 * kSecond;
+        p.seed = seed;
+        Scenario s(p);
+        s.build();
+        s.warmup();
+        SpikeSpec spec;
+        spec.magnitude = 0.97;
+        LoadGenerator gen(s.cluster().sim(),
+                          s.cluster().machine(s.primaryMachineOf(2)), spec,
+                          s.cluster().forkRng(seed * 13));
+        gen.injectSpike(dur);
+        s.run(p.duration);
+        auto* c = dynamic_cast<HybridCoordinator*>(s.coordinatorFor(2));
+        toStalled.add(static_cast<double>(c->elementsToStalledPrimary()));
+        stateRead.add(static_cast<double>(c->stateReadElements()));
+      }
+      const double total = toStalled.mean() + stateRead.mean();
+      table.addRow({std::to_string(dur / kSecond) + " s", Table::num(rate, 0),
+                    Table::num(toStalled.mean(), 0),
+                    Table::num(stateRead.mean(), 0), Table::num(total, 0),
+                    Table::num(rate * toSeconds(dur), 0)});
+    }
+  }
+  streamha::bench::finishTable(table, "fig10_switch_rollback_overhead");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 11: Hybrid total checkpoint message overhead vs number of PEs per
+// machine.
+#include "bench_util.hpp"
+
+using namespace streamha;
+using namespace streamha::bench;
+
+int main() {
+  printFigureHeader(
+      "Figure 11", "Hybrid message overhead vs number of PEs per machine",
+      "Overhead grows about linearly with the number of PEs on each machine: "
+      "each additional PE contributes its own, roughly constant, "
+      "checkpointing traffic.");
+
+  Table table({"PEs per machine", "checkpoint elements", "checkpoint msgs",
+               "per-PE elements"});
+  for (int pes : {1, 2, 4, 6, 8}) {
+    ScenarioParams p;
+    p.mode = HaMode::kHybrid;
+    p.numPes = 4 * pes;
+    p.pesPerSubjob = pes;
+    p.protectedSubjobs = {0, 1, 2, 3};
+    p.peWorkUs = 600.0 / pes;  // Keep machine utilization constant.
+    p.duration = 20 * kSecond;
+    p.seed = 7;
+    Scenario s(p);
+    const auto r = s.runAll();
+    const auto ckptEl = r.traffic.elementsOf(MsgKind::kCheckpoint);
+    const auto ckptMsg = r.traffic.messagesOf(MsgKind::kCheckpoint);
+    table.addRow({std::to_string(pes), Table::integer(ckptEl),
+                  Table::integer(ckptMsg),
+                  Table::num(static_cast<double>(ckptEl) / (4.0 * pes), 0)});
+  }
+  streamha::bench::finishTable(table, "fig11_overhead_vs_pes");
+  std::printf("\n20 s window, whole job protected by Hybrid, sweeping "
+              "checkpointing at 50 ms\n");
+  return 0;
+}

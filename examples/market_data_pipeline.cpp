@@ -1,0 +1,181 @@
+// Market-data pipeline: the financial-analysis scenario that motivates the
+// paper's introduction. A bursty tick feed flows through custom PEs --
+// normalization, a VWAP (volume-weighted average price) window, and an
+// anomaly filter -- while the VWAP stage is protected by the Hybrid method.
+//
+// Demonstrates writing real PeLogic implementations with serializable state.
+#include <cstdio>
+#include <cstring>
+
+#include "cluster/cluster.hpp"
+#include "cluster/load_generator.hpp"
+#include "ha/hybrid.hpp"
+#include "stream/job.hpp"
+#include "stream/runtime.hpp"
+
+using namespace streamha;
+
+namespace {
+
+/// Synthesizes and decodes a tick from the feed's sequence id: a price that
+/// random-walks around $100 and a lot size. Emits the notional
+/// (price * size) per tick.
+class TickNormalizer : public PeLogic {
+ public:
+  void process(const Element& in, std::vector<Emit>& out) override {
+    const std::uint64_t mixed = in.value * 2654435761ULL;
+    const std::uint64_t price_cents = 10000 + mixed % 200;  // $100.00-101.99
+    const std::uint64_t size = 1 + (mixed >> 32) % 500;
+    ++ticks_;
+    Emit e;
+    e.value = price_cents * size;
+    out.push_back(e);
+  }
+  std::vector<std::uint8_t> serialize() const override {
+    std::vector<std::uint8_t> bytes(8);
+    std::memcpy(bytes.data(), &ticks_, 8);
+    return bytes;
+  }
+  void deserialize(const std::vector<std::uint8_t>& bytes) override {
+    std::memcpy(&ticks_, bytes.data(), 8);
+  }
+  void reset() override { ticks_ = 0; }
+
+ private:
+  std::uint64_t ticks_ = 0;
+};
+
+/// Maintains a running VWAP over a count-based window; emits the current
+/// VWAP (in cents, scaled) for every tick. This is the *stateful* stage
+/// whose internal state must survive failures.
+class VwapWindow : public PeLogic {
+ public:
+  void process(const Element& in, std::vector<Emit>& out) override {
+    notional_sum_ += in.value;
+    ++count_;
+    if (count_ > kWindow) {
+      // Approximate sliding window: decay instead of exact eviction.
+      notional_sum_ -= notional_sum_ / kWindow;
+    }
+    Emit e;
+    e.value = notional_sum_ / std::min<std::uint64_t>(count_, kWindow);
+    out.push_back(e);
+  }
+  std::vector<std::uint8_t> serialize() const override {
+    std::vector<std::uint8_t> bytes(16);
+    std::memcpy(bytes.data(), &notional_sum_, 8);
+    std::memcpy(bytes.data() + 8, &count_, 8);
+    return bytes;
+  }
+  void deserialize(const std::vector<std::uint8_t>& bytes) override {
+    std::memcpy(&notional_sum_, bytes.data(), 8);
+    std::memcpy(&count_, bytes.data() + 8, 8);
+  }
+  void reset() override {
+    notional_sum_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  static constexpr std::uint64_t kWindow = 256;
+  std::uint64_t notional_sum_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+/// Flags ticks whose notional deviates hard from the running VWAP
+/// (selectivity << 1: only anomalies pass).
+class AnomalyFilter : public PeLogic {
+ public:
+  void process(const Element& in, std::vector<Emit>& out) override {
+    const std::uint64_t vwap = in.value;
+    // Deterministic pseudo-anomaly: flag every value whose low bits look
+    // like a fat-finger jump relative to the running mean.
+    last_ = last_ * 31 + vwap;
+    if (last_ % 50 == 0) {
+      Emit e;
+      e.value = vwap;
+      out.push_back(e);
+    }
+  }
+  std::vector<std::uint8_t> serialize() const override {
+    std::vector<std::uint8_t> bytes(8);
+    std::memcpy(bytes.data(), &last_, 8);
+    return bytes;
+  }
+  void deserialize(const std::vector<std::uint8_t>& bytes) override {
+    std::memcpy(&last_, bytes.data(), 8);
+  }
+  void reset() override { last_ = 0; }
+
+ private:
+  std::uint64_t last_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  Cluster::Params clusterParams;
+  clusterParams.machineCount = 6;
+  clusterParams.seed = 2026;
+  Cluster cluster(clusterParams);
+
+  // normalize -> vwap -> filter, one subjob each.
+  JobBuilder builder;
+  const LogicalPeId normalize = builder.addPe("normalize", 120.0);
+  const LogicalPeId vwap = builder.addPe("vwap", 250.0);
+  const LogicalPeId filter = builder.addPe("anomaly-filter", 120.0);
+  builder.connectSource(normalize);
+  builder.connect(normalize, vwap);
+  builder.connect(vwap, filter);
+  builder.connectSink(filter);
+  builder.addSubjob({normalize});
+  builder.addSubjob({vwap});
+  builder.addSubjob({filter});
+  builder.setLogicFactory(normalize, [] { return std::make_unique<TickNormalizer>(); });
+  builder.setLogicFactory(vwap, [] { return std::make_unique<VwapWindow>(); });
+  builder.setLogicFactory(filter, [] { return std::make_unique<AnomalyFilter>(); });
+  const JobSpec spec = builder.build();
+
+  Runtime runtime(cluster, spec);
+  Source::Params feed;
+  feed.ratePerSec = 2000;              // A busy tick feed...
+  feed.pattern = Source::Pattern::kBursty;  // ...with market-open bursts.
+  runtime.addSource(0, feed);
+  runtime.addSink(3);
+  runtime.deployPrimaries({0, 1, 2});
+
+  // The VWAP stage carries the irreplaceable state: protect it.
+  HaParams ha;
+  ha.standbyMachine = 4;
+  ha.spareMachine = 5;
+  ha.heartbeat.missThreshold = 1;
+  HybridCoordinator hybrid(runtime, /*subjob=*/1, ha);
+  hybrid.setup();
+  runtime.start();
+
+  // A co-located batch job hammers the VWAP machine periodically.
+  SpikeSpec spike = SpikeSpec::fromTimeFraction(kSecond, 0.25, 0.97);
+  LoadGenerator hog(cluster.sim(), cluster.machine(1), spike,
+                    cluster.forkRng(99));
+  hog.start();
+
+  cluster.sim().runUntil(30 * kSecond);
+  hog.stop();
+  runtime.source()->stop();
+  cluster.sim().runUntil(35 * kSecond);
+
+  std::printf("market data pipeline, 30 s of bursty ticks with CPU-hog interference:\n");
+  std::printf("  ticks generated:        %llu\n",
+              static_cast<unsigned long long>(runtime.source()->generatedCount()));
+  std::printf("  anomalies flagged:      %llu\n",
+              static_cast<unsigned long long>(runtime.sink()->receivedCount()));
+  std::printf("  switchovers/rollbacks:  %llu / %llu\n",
+              static_cast<unsigned long long>(hybrid.switchovers()),
+              static_cast<unsigned long long>(hybrid.rollbacks()));
+  std::printf("  mean alert latency:     %.2f ms (p99 %.2f ms)\n",
+              runtime.sink()->delays().mean(),
+              runtime.sink()->delays().quantile(0.99));
+  std::printf("  sequence gaps observed: %llu (0 = no alert lost or reordered)\n",
+              static_cast<unsigned long long>(runtime.sink()->input().gapsObserved()));
+  return 0;
+}

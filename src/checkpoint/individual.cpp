@@ -1,0 +1,30 @@
+#include "checkpoint/manager.hpp"
+
+namespace streamha {
+
+// Individual checkpointing: "each PE has its own timer to drive its own
+// checkpointing procedure." Conventional content (includes input queues).
+// Timers are staggered so PEs of one subjob do not checkpoint in lockstep.
+
+void IndividualCheckpointManager::start() {
+  const std::size_t count = subjob_.peCount();
+  for (std::size_t i = 0; i < count; ++i) {
+    PeInstance* pe = &subjob_.pe(i);
+    auto timer = std::make_unique<PeriodicTimer>(
+        sim_, params_.interval,
+        [this, pe] { checkpointPe(*pe, nullptr); });
+    const SimDuration offset =
+        params_.interval +
+        static_cast<SimDuration>(i) * params_.interval /
+            static_cast<SimDuration>(count);
+    timer->startAfter(offset);
+    timers_.push_back(std::move(timer));
+  }
+}
+
+void IndividualCheckpointManager::stop() {
+  timers_.clear();
+  CheckpointManager::stop();
+}
+
+}  // namespace streamha

@@ -1,0 +1,230 @@
+#include "checkpoint/manager.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace streamha {
+
+CheckpointManager::CheckpointManager(Simulator& sim, Network& net,
+                                     Subjob& subjob, StateStore& store,
+                                     Params params)
+    : sim_(sim), net_(net), subjob_(subjob), store_(store), params_(params) {}
+
+CheckpointManager::~CheckpointManager() = default;
+
+void CheckpointManager::stop() {
+  stopped_ = true;
+  pause_waiters_.clear();
+  in_progress_.clear();
+}
+
+void CheckpointManager::ackPePause(PeInstance& pe) {
+  auto it = pause_waiters_.find(&pe);
+  if (it == pause_waiters_.end()) return;
+  auto fn = std::move(it->second);
+  pause_waiters_.erase(it);
+  fn();
+}
+
+void CheckpointManager::checkpointPe(PeInstance& pe,
+                                     std::function<void()> done) {
+  if (stopped_ || !subjob_.alive() || pe.terminated() ||
+      in_progress_.count(&pe) != 0 || pe.paused()) {
+    if (done) done();
+    return;
+  }
+  in_progress_.insert(&pe);
+  const SimTime started = sim_.now();
+  PeInstance* pePtr = &pe;
+  pause_waiters_[pePtr] = [this, pePtr, started, done = std::move(done)] {
+    PeState state = pePtr->checkpoint(true, includesInputQueues());
+    pePtr->resume();
+    stats_.pauseMs.add(toMillis(sim_.now() - started));
+    shipState(pePtr, std::move(state), started, done);
+  };
+  pe.pause(*this);
+}
+
+void CheckpointManager::shipState(PeInstance* pe, PeState state,
+                                  SimTime startedAt,
+                                  std::function<void()> done) {
+  const std::uint64_t bytes = state.sizeBytes();
+  const std::uint64_t elements = state.sizeElements(params_.bytesPerElement);
+  const double serializeWork =
+      params_.serializeWorkUsPerKb * static_cast<double>(bytes) / 1024.0;
+  Machine& machine = subjob_.machine();
+  const MachineId srcMachine = machine.id();
+  const MachineId storeMachine = store_.machine().id();
+  const SubjobId subjobId = subjob_.logicalId();
+  // Acks released once durable: sweeping acks the processed watermark;
+  // conventional variants may ack the received watermark (their checkpoint
+  // persisted the input backlog too).
+  const std::map<StreamId, ElementSeq> acks =
+      includesInputQueues() ? state.receivedWatermark
+                            : state.processedWatermark;
+  machine.submitData(serializeWork, [this, pe, state = std::move(state),
+                                     bytes, elements, srcMachine, storeMachine,
+                                     subjobId, acks, startedAt,
+                                     done = std::move(done)]() mutable {
+    net_.send(srcMachine, storeMachine, MsgKind::kCheckpoint, bytes, elements,
+              [this, pe, state = std::move(state), bytes, elements, srcMachine,
+               storeMachine, subjobId, acks, startedAt,
+               done = std::move(done)]() mutable {
+                store_.storePeState(
+                    subjobId, state,
+                    [this, pe, bytes, elements, srcMachine, storeMachine, acks,
+                     startedAt, done = std::move(done)] {
+                      // Durable: confirm back to the primary, then release
+                      // the accumulative acks upstream.
+                      net_.send(storeMachine, srcMachine, MsgKind::kControl,
+                                params_.confirmBytes, 0,
+                                [this, pe, bytes, elements, acks, startedAt,
+                                 done = std::move(done)] {
+                                  stats_.checkpoints += 1;
+                                  stats_.bytes += bytes;
+                                  stats_.elements += elements;
+                                  stats_.latencyMs.add(
+                                      toMillis(sim_.now() - startedAt));
+                                  in_progress_.erase(pe);
+                                  // A fenced (stopped) manager must not
+                                  // advance upstream trim points anymore.
+                                  if (!stopped_ && !pe->terminated()) {
+                                    pe->flushAcks(acks);
+                                  }
+                                  if (done) done();
+                                });
+                    });
+              });
+  });
+}
+
+void CheckpointManager::checkpointAllNow(std::function<void()> done) {
+  const std::size_t count = subjob_.peCount();
+  if (count == 0) {
+    if (done) done();
+    return;
+  }
+  auto remaining = std::make_shared<std::size_t>(count);
+  auto doneShared = std::make_shared<std::function<void()>>(std::move(done));
+  for (std::size_t i = 0; i < count; ++i) {
+    checkpointPe(subjob_.pe(i), [remaining, doneShared] {
+      if (--*remaining == 0 && *doneShared) (*doneShared)();
+    });
+  }
+}
+
+void CheckpointManager::checkpointSubjobGrouped(std::function<void()> done) {
+  if (stopped_ || !subjob_.alive()) {
+    if (done) done();
+    return;
+  }
+  const SimTime started = sim_.now();
+  auto awaiting = std::make_shared<std::size_t>(0);
+  auto proceed = std::make_shared<std::function<void()>>();
+  *proceed = [this, started, done = std::move(done)]() mutable {
+    // All PEs paused: capture one combined state, resume everything.
+    SubjobState state = subjob_.captureState(true, includesInputQueues());
+    for (std::size_t i = 0; i < subjob_.peCount(); ++i) {
+      subjob_.pe(i).resume();
+    }
+    stats_.pauseMs.add(toMillis(sim_.now() - started));
+    const std::uint64_t bytes = state.sizeBytes();
+    const std::uint64_t elements = state.sizeElements(params_.bytesPerElement);
+    const double serializeWork =
+        params_.serializeWorkUsPerKb * static_cast<double>(bytes) / 1024.0;
+    const MachineId srcMachine = subjob_.machine().id();
+    const MachineId storeMachine = store_.machine().id();
+    subjob_.machine().submitData(
+        serializeWork,
+        [this, state = std::move(state), bytes, elements, srcMachine,
+         storeMachine, started, done = std::move(done)]() mutable {
+          net_.send(
+              srcMachine, storeMachine, MsgKind::kCheckpoint, bytes, elements,
+              [this, state = std::move(state), bytes, elements, srcMachine,
+               storeMachine, started, done = std::move(done)]() mutable {
+                store_.storeSubjobState(
+                    state, [this, state, bytes, elements, srcMachine,
+                            storeMachine, started, done = std::move(done)] {
+                      net_.send(
+                          storeMachine, srcMachine, MsgKind::kControl,
+                          params_.confirmBytes, 0,
+                          [this, state, bytes, elements, started,
+                           done = std::move(done)] {
+                            stats_.checkpoints += 1;
+                            stats_.bytes += bytes;
+                            stats_.elements += elements;
+                            stats_.latencyMs.add(
+                                toMillis(sim_.now() - started));
+                            for (const auto& [peId, peState] : state.pes) {
+                              if (stopped_) break;
+                              PeInstance* pe = subjob_.peByLogicalId(peId);
+                              if (pe != nullptr && !pe->terminated()) {
+                                pe->flushAcks(includesInputQueues()
+                                                  ? peState.receivedWatermark
+                                                  : peState.processedWatermark);
+                              }
+                            }
+                            if (done) done();
+                          });
+                    });
+              });
+        });
+  };
+  // Pause every PE; the last ack triggers `proceed`.
+  *awaiting = subjob_.peCount();
+  for (std::size_t i = 0; i < subjob_.peCount(); ++i) {
+    PeInstance& pe = subjob_.pe(i);
+    if (pe.paused()) {
+      if (--*awaiting == 0) (*proceed)();
+      continue;
+    }
+    pause_waiters_[&pe] = [awaiting, proceed] {
+      if (--*awaiting == 0) (*proceed)();
+    };
+    pe.pause(*this);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SubjobQuiescer
+// ---------------------------------------------------------------------------
+
+void SubjobQuiescer::quiesce(Subjob& subjob, std::function<void()> done) {
+  assert(subjob_ == nullptr && "quiescer already active");
+  subjob_ = &subjob;
+  done_ = std::move(done);
+  awaiting_ = subjob.peCount();
+  if (awaiting_ == 0) {
+    auto fn = std::move(done_);
+    if (fn) fn();
+    return;
+  }
+  for (std::size_t i = 0; i < subjob.peCount(); ++i) {
+    PeInstance& pe = subjob.pe(i);
+    if (pe.paused()) {
+      ackPePause(pe);
+    } else {
+      pe.pause(*this);
+    }
+  }
+}
+
+void SubjobQuiescer::ackPePause(PeInstance&) {
+  if (awaiting_ == 0) return;
+  if (--awaiting_ == 0 && done_) {
+    auto fn = std::move(done_);
+    fn();
+  }
+}
+
+void SubjobQuiescer::release() {
+  if (subjob_ == nullptr) return;
+  for (std::size_t i = 0; i < subjob_->peCount(); ++i) {
+    subjob_->pe(i).resume();
+  }
+  subjob_ = nullptr;
+  awaiting_ = 0;
+  done_ = nullptr;
+}
+
+}  // namespace streamha

@@ -1,0 +1,164 @@
+// Checkpoint managers.
+//
+// A CheckpointManager drives the checkpointing of one (primary) subjob
+// instance following the paper's CM protocol: it calls a PE's
+// pause(controller) method; the PE calls back ackPePause() once quiesced; the
+// CM captures the PE state via checkpoint(), resumes the PE, pays the
+// serialization CPU cost, ships the state to the standby StateStore, and --
+// once the state is durable -- releases the PE's accumulative acks upstream
+// (which is what lets upstream output queues trim).
+//
+// Three variants (Section III of the paper):
+//  * SweepingCheckpointManager  -- checkpoint = internal state + output
+//    queues; triggered by output-queue trim events, rate-limited by the
+//    checkpoint interval. Acks carry the *processed* watermark.
+//  * SynchronousCheckpointManager -- one subjob-wide timer suspends all PEs
+//    together and ships one combined state including input queues. Acks
+//    carry the *received* watermark (the persisted backlog is covered).
+//  * IndividualCheckpointManager -- a timer per PE, conventional content.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "checkpoint/store.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "sim/timer.hpp"
+#include "stream/subjob.hpp"
+
+namespace streamha {
+
+class CheckpointManager : public CheckpointController {
+ public:
+  struct Params {
+    SimDuration interval = 50 * kMillisecond;
+    double serializeWorkUsPerKb = 5.0;
+    /// Divisor converting state bytes to the element-denominated overhead
+    /// the paper's figures use.
+    std::uint32_t bytesPerElement = 132;
+    std::size_t confirmBytes = 64;
+  };
+
+  struct Stats {
+    std::uint64_t checkpoints = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t elements = 0;
+    RunningStats latencyMs;  ///< pause -> durable (incl. network + store).
+    RunningStats pauseMs;    ///< How long PEs were held paused.
+  };
+
+  CheckpointManager(Simulator& sim, Network& net, Subjob& subjob,
+                    StateStore& store, Params params);
+  ~CheckpointManager() override;
+
+  virtual void start() = 0;
+  /// Fences the manager: pending pauses are abandoned and in-flight
+  /// checkpoint pipelines complete without releasing acks (a failover must
+  /// not let the abandoned primary keep advancing upstream trim points past
+  /// the state the standby restored).
+  virtual void stop();
+  bool stopped() const { return stopped_; }
+  virtual const char* name() const = 0;
+  /// Conventional variants persist input queues; sweeping does not.
+  virtual bool includesInputQueues() const = 0;
+
+  void ackPePause(PeInstance& pe) override;
+
+  /// Checkpoint every PE immediately (Hybrid rollback re-persists the state
+  /// adopted from the secondary). `done` runs when all are durable.
+  void checkpointAllNow(std::function<void()> done);
+
+  const Stats& stats() const { return stats_; }
+  Subjob& subjob() { return subjob_; }
+  const Params& params() const { return params_; }
+
+ protected:
+  /// Full checkpoint pipeline for one PE.
+  void checkpointPe(PeInstance& pe, std::function<void()> done);
+  /// Synchronous variant: suspend-all, one combined state message.
+  void checkpointSubjobGrouped(std::function<void()> done);
+
+  Simulator& sim_;
+  Network& net_;
+  Subjob& subjob_;
+  StateStore& store_;
+  Params params_;
+  Stats stats_;
+
+ private:
+  void shipState(PeInstance* pe, PeState state, SimTime startedAt,
+                 std::function<void()> done);
+
+  std::map<PeInstance*, std::function<void()>> pause_waiters_;
+  std::set<PeInstance*> in_progress_;
+  bool stopped_ = false;
+};
+
+/// Pauses every PE of a subjob (quiesce) and resumes them on release();
+/// used for consistent state reads outside a checkpoint manager (Hybrid
+/// rollback, AS replacement).
+class SubjobQuiescer : public CheckpointController {
+ public:
+  /// `done` runs once every PE has acknowledged its pause.
+  void quiesce(Subjob& subjob, std::function<void()> done);
+  void release();
+  void ackPePause(PeInstance& pe) override;
+
+ private:
+  Subjob* subjob_ = nullptr;
+  std::size_t awaiting_ = 0;
+  std::function<void()> done_;
+};
+
+class SweepingCheckpointManager : public CheckpointManager {
+ public:
+  using CheckpointManager::CheckpointManager;
+  void start() override;
+  void stop() override;
+  const char* name() const override { return "sweeping"; }
+  bool includesInputQueues() const override { return false; }
+
+ private:
+  void requestCheckpoint(PeInstance& pe);
+  void beginCheckpoint(PeInstance& pe);
+
+  struct PeSchedule {
+    SimTime lastStarted = -1;
+    bool pending = false;
+    EventHandle delayed;
+  };
+  std::map<PeInstance*, PeSchedule> schedule_;
+  std::unique_ptr<PeriodicTimer> fallback_;
+};
+
+class SynchronousCheckpointManager : public CheckpointManager {
+ public:
+  using CheckpointManager::CheckpointManager;
+  void start() override;
+  void stop() override;
+  const char* name() const override { return "synchronous"; }
+  bool includesInputQueues() const override { return true; }
+
+ private:
+  std::unique_ptr<PeriodicTimer> timer_;
+  bool in_progress_flag_ = false;
+};
+
+class IndividualCheckpointManager : public CheckpointManager {
+ public:
+  using CheckpointManager::CheckpointManager;
+  void start() override;
+  void stop() override;
+  const char* name() const override { return "individual"; }
+  bool includesInputQueues() const override { return true; }
+
+ private:
+  std::vector<std::unique_ptr<PeriodicTimer>> timers_;
+};
+
+}  // namespace streamha

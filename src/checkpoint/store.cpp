@@ -1,0 +1,77 @@
+#include "checkpoint/store.hpp"
+
+#include <cmath>
+
+namespace streamha {
+
+StateStore::StateStore(Simulator& sim, Machine& machine, Params params)
+    : sim_(sim), machine_(machine), params_(params) {}
+
+StateStore::StateStore(Simulator& sim, Machine& machine)
+    : StateStore(sim, machine, Params{}) {}
+
+void StateStore::completeWrite(std::uint64_t bytes,
+                               std::function<void()> onDurable) {
+  ++writes_;
+  bytes_written_ += bytes;
+  if (!params_.persistToDisk) {
+    if (onDurable) onDurable();
+    return;
+  }
+  const auto penalty = static_cast<SimDuration>(
+      std::ceil(static_cast<double>(bytes) / params_.diskBytesPerMicro));
+  sim_.schedule(std::max<SimDuration>(1, penalty), std::move(onDurable));
+}
+
+void StateStore::storePeState(SubjobId subjob, const PeState& state,
+                              std::function<void()> onDurable) {
+  if (!machine_.isUp()) return;  // Store lost with its machine.
+  SubjobState& slot = latest_[subjob];
+  slot.subjob = subjob;
+  ++slot.version;
+  slot.pes[state.pe] = state;
+  applyToReplica(subjob, state);
+  completeWrite(state.sizeBytes(), std::move(onDurable));
+}
+
+void StateStore::storeSubjobState(const SubjobState& state,
+                                  std::function<void()> onDurable) {
+  if (!machine_.isUp()) return;
+  SubjobState& slot = latest_[state.subjob];
+  slot.subjob = state.subjob;
+  ++slot.version;
+  for (const auto& [peId, peState] : state.pes) {
+    slot.pes[peId] = peState;
+    applyToReplica(state.subjob, peState);
+  }
+  completeWrite(state.sizeBytes(), std::move(onDurable));
+}
+
+SubjobState StateStore::latest(SubjobId subjob) const {
+  const auto it = latest_.find(subjob);
+  if (it == latest_.end()) {
+    SubjobState empty;
+    empty.subjob = subjob;
+    return empty;
+  }
+  return it->second;
+}
+
+void StateStore::attachReplica(SubjobId subjob, Subjob* replica) {
+  replicas_[subjob] = replica;
+}
+
+void StateStore::detachReplica(SubjobId subjob) { replicas_.erase(subjob); }
+
+void StateStore::applyToReplica(SubjobId subjob, const PeState& state) {
+  const auto it = replicas_.find(subjob);
+  if (it == replicas_.end() || it->second == nullptr) return;
+  Subjob* replica = it->second;
+  // Never clobber a replica that has been activated (switchover in
+  // progress); it will re-sync on rollback.
+  if (!replica->suspended() || replica->terminated()) return;
+  PeInstance* pe = replica->peByLogicalId(state.pe);
+  if (pe != nullptr) pe->storeJobState(state);
+}
+
+}  // namespace streamha

@@ -1,0 +1,74 @@
+// State store: the standby-side destination of checkpoint messages.
+//
+// For passive standby the store simply retains the latest state per subjob
+// (optionally paying a disk penalty). For the Hybrid method the store is
+// *attached* to the pre-deployed suspended secondary copy and refreshes its
+// PE memory directly on every checkpoint ("Instead of storing the checkpoint
+// states on disk, we keep them in memory. Whenever new states come we refresh
+// the PE memory directly.").
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "checkpoint/state.hpp"
+#include "cluster/machine.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+#include "stream/subjob.hpp"
+
+namespace streamha {
+
+class StateStore {
+ public:
+  struct Params {
+    /// When true, writes/reads pay a simulated disk penalty (conventional PS
+    /// that must survive loss of both machines); when false the store is
+    /// memory-only (the Hybrid default).
+    bool persistToDisk = false;
+    double diskBytesPerMicro = 100.0;  ///< ~100 MB/s sequential disk.
+  };
+
+  StateStore(Simulator& sim, Machine& machine, Params params);
+  StateStore(Simulator& sim, Machine& machine);
+  StateStore(const StateStore&) = delete;
+  StateStore& operator=(const StateStore&) = delete;
+
+  Machine& machine() { return machine_; }
+
+  /// Store an updated state for one PE of `subjob`; `onDurable` runs once the
+  /// write completes (immediately for memory, after the penalty for disk).
+  void storePeState(SubjobId subjob, const PeState& state,
+                    std::function<void()> onDurable);
+
+  /// Store a whole-subjob state (synchronous checkpointing sends one blob).
+  void storeSubjobState(const SubjobState& state,
+                        std::function<void()> onDurable);
+
+  /// Latest known state of `subjob` (merged per-PE versions); empty state if
+  /// nothing stored yet.
+  SubjobState latest(SubjobId subjob) const;
+
+  /// Attach a live suspended replica: every stored PE state is additionally
+  /// applied to the replica's PE memory while the replica stays suspended.
+  void attachReplica(SubjobId subjob, Subjob* replica);
+  void detachReplica(SubjobId subjob);
+
+  std::uint64_t writeCount() const { return writes_; }
+  std::uint64_t bytesWritten() const { return bytes_written_; }
+
+ private:
+  void applyToReplica(SubjobId subjob, const PeState& state);
+  void completeWrite(std::uint64_t bytes, std::function<void()> onDurable);
+
+  Simulator& sim_;
+  Machine& machine_;
+  Params params_;
+  std::map<SubjobId, SubjobState> latest_;
+  std::map<SubjobId, Subjob*> replicas_;
+  std::uint64_t writes_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace streamha

@@ -1,0 +1,73 @@
+#include "checkpoint/manager.hpp"
+
+namespace streamha {
+
+// Sweeping checkpointing: "For each PE, checkpoints happen immediately after
+// its output queue is trimmed." Trims arrive as the downstream's
+// post-checkpoint acks land, so the schedule sweeps upstream from the sink.
+// A per-PE cooldown equal to the checkpoint interval bounds the rate, and a
+// low-frequency fallback timer guarantees progress for PEs whose queues see
+// no trims (e.g. before the first ack cascade completes).
+
+void SweepingCheckpointManager::start() {
+  for (std::size_t i = 0; i < subjob_.peCount(); ++i) {
+    PeInstance& pe = subjob_.pe(i);
+    schedule_[&pe] = PeSchedule{};
+    for (std::size_t port = 0; port < pe.portCount(); ++port) {
+      pe.output(port).setTrimListener(
+          [this, pePtr = &pe](ElementSeq) { requestCheckpoint(*pePtr); });
+    }
+  }
+  fallback_ = std::make_unique<PeriodicTimer>(
+      sim_, 2 * params_.interval, [this] {
+        for (auto& [pePtr, sched] : schedule_) {
+          if (sched.lastStarted < 0 ||
+              sim_.now() - sched.lastStarted >= 2 * params_.interval) {
+            requestCheckpoint(*pePtr);
+          }
+        }
+      });
+  fallback_->start();
+}
+
+void SweepingCheckpointManager::stop() {
+  for (auto& [pePtr, sched] : schedule_) {
+    sched.delayed.cancel();
+    for (std::size_t port = 0; port < pePtr->portCount(); ++port) {
+      pePtr->output(port).setTrimListener(nullptr);
+    }
+  }
+  schedule_.clear();
+  fallback_.reset();
+  CheckpointManager::stop();
+}
+
+void SweepingCheckpointManager::requestCheckpoint(PeInstance& pe) {
+  auto it = schedule_.find(&pe);
+  if (it == schedule_.end()) return;
+  PeSchedule& sched = it->second;
+  const SimTime now = sim_.now();
+  if (sched.lastStarted >= 0 && now - sched.lastStarted < params_.interval) {
+    // Within the cooldown: coalesce into one delayed checkpoint.
+    if (!sched.pending) {
+      sched.pending = true;
+      const SimTime when = sched.lastStarted + params_.interval;
+      sched.delayed = sim_.scheduleAt(
+          std::max(when, now), [this, pePtr = &pe] { beginCheckpoint(*pePtr); });
+    }
+    return;
+  }
+  beginCheckpoint(pe);
+}
+
+void SweepingCheckpointManager::beginCheckpoint(PeInstance& pe) {
+  auto it = schedule_.find(&pe);
+  if (it == schedule_.end()) return;
+  PeSchedule& sched = it->second;
+  sched.pending = false;
+  sched.delayed.cancel();
+  sched.lastStarted = sim_.now();
+  checkpointPe(pe, nullptr);
+}
+
+}  // namespace streamha

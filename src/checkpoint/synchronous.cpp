@@ -1,0 +1,25 @@
+#include "checkpoint/manager.hpp"
+
+namespace streamha {
+
+// Synchronous checkpointing: one subjob-wide timer suspends every PE,
+// captures one combined state (internal state + input and output queues) and
+// ships it as a single message. "Because checkpointing happens after all PEs
+// are suspended, this method is usually relatively slow."
+
+void SynchronousCheckpointManager::start() {
+  timer_ = std::make_unique<PeriodicTimer>(sim_, params_.interval, [this] {
+    if (in_progress_flag_ || !subjob_.alive()) return;
+    in_progress_flag_ = true;
+    checkpointSubjobGrouped([this] { in_progress_flag_ = false; });
+  });
+  timer_->start();
+}
+
+void SynchronousCheckpointManager::stop() {
+  timer_.reset();
+  in_progress_flag_ = false;
+  CheckpointManager::stop();
+}
+
+}  // namespace streamha

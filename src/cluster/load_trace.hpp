@@ -1,0 +1,54 @@
+// CPU load sampling and spike extraction.
+//
+// Mirrors the paper's measurement methodology (Section II-B): "A sample of
+// CPU load was taken every 0.25 s and the measurement continued for 24 hours.
+// ... Using a threshold of 95% CPU utilization to delineate the start and end
+// of transient unavailability."
+#pragma once
+
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace streamha {
+
+/// Periodically samples a machine's instantaneous load.
+class LoadTraceSampler {
+ public:
+  LoadTraceSampler(Simulator& sim, Machine& machine,
+                   SimDuration interval = 250 * kMillisecond);
+  ~LoadTraceSampler();
+  LoadTraceSampler(const LoadTraceSampler&) = delete;
+  LoadTraceSampler& operator=(const LoadTraceSampler&) = delete;
+
+  void start();
+  void stop();
+
+  SimDuration interval() const { return interval_; }
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  Simulator& sim_;
+  Machine& machine_;
+  SimDuration interval_;
+  EventHandle next_;
+  bool running_ = false;
+  std::vector<double> samples_;
+};
+
+/// Per-machine spike statistics extracted from a load trace.
+struct SpikeTraceStats {
+  int spikeCount = 0;
+  double avgInterFailureSec = 0.0;  ///< Mean start-to-start gap; 0 if < 2 spikes.
+  double avgDurationSec = 0.0;      ///< Mean spike length; 0 if no spikes.
+};
+
+/// Delineate spikes in a sampled trace using `threshold` (default 0.95) and
+/// compute the statistics the paper's Figures 2 and 3 plot.
+SpikeTraceStats analyzeLoadTrace(const std::vector<double>& samples,
+                                 double sampleIntervalSec,
+                                 double threshold = 0.95);
+
+}  // namespace streamha

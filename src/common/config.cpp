@@ -1,0 +1,167 @@
+#include "common/config.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+namespace streamha {
+
+void Config::set(const std::string& key, double value) {
+  Value v;
+  v.kind = Value::Kind::kDouble;
+  v.d = value;
+  values_[key] = v;
+}
+
+void Config::set(const std::string& key, std::int64_t value) {
+  Value v;
+  v.kind = Value::Kind::kInt;
+  v.i = value;
+  values_[key] = v;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  Value v;
+  v.kind = Value::Kind::kString;
+  v.s = value;
+  values_[key] = v;
+}
+
+void Config::set(const std::string& key, bool value) {
+  Value v;
+  v.kind = Value::Kind::kBool;
+  v.b = value;
+  values_[key] = v;
+}
+
+bool Config::setFromString(const std::string& assignment) {
+  const auto eq = assignment.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  const std::string key = assignment.substr(0, eq);
+  const std::string raw = assignment.substr(eq + 1);
+  if (raw == "true" || raw == "false") {
+    set(key, raw == "true");
+    return true;
+  }
+  // Try integer, then double, else string.
+  {
+    errno = 0;
+    char* end = nullptr;
+    const long long i = std::strtoll(raw.c_str(), &end, 10);
+    if (errno == 0 && end != raw.c_str() && *end == '\0') {
+      set(key, static_cast<std::int64_t>(i));
+      return true;
+    }
+  }
+  {
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(raw.c_str(), &end);
+    if (errno == 0 && end != raw.c_str() && *end == '\0') {
+      set(key, d);
+      return true;
+    }
+  }
+  set(key, raw);
+  return true;
+}
+
+std::vector<std::string> Config::setFromArgs(int argc, const char* const* argv) {
+  std::vector<std::string> failed;
+  for (int i = 1; i < argc; ++i) {
+    if (!setFromString(argv[i])) failed.emplace_back(argv[i]);
+  }
+  return failed;
+}
+
+double Config::getDouble(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  switch (it->second.kind) {
+    case Value::Kind::kDouble:
+      return it->second.d;
+    case Value::Kind::kInt:
+      return static_cast<double>(it->second.i);
+    case Value::Kind::kBool:
+      return it->second.b ? 1.0 : 0.0;
+    case Value::Kind::kString:
+      return fallback;
+  }
+  return fallback;
+}
+
+std::int64_t Config::getInt(const std::string& key, std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  switch (it->second.kind) {
+    case Value::Kind::kInt:
+      return it->second.i;
+    case Value::Kind::kDouble:
+      return static_cast<std::int64_t>(it->second.d);
+    case Value::Kind::kBool:
+      return it->second.b ? 1 : 0;
+    case Value::Kind::kString:
+      return fallback;
+  }
+  return fallback;
+}
+
+std::string Config::getString(const std::string& key,
+                              const std::string& fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  switch (it->second.kind) {
+    case Value::Kind::kString:
+      return it->second.s;
+    case Value::Kind::kBool:
+      return it->second.b ? "true" : "false";
+    case Value::Kind::kInt:
+      return std::to_string(it->second.i);
+    case Value::Kind::kDouble: {
+      std::ostringstream out;
+      out << it->second.d;
+      return out.str();
+    }
+  }
+  return fallback;
+}
+
+bool Config::getBool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  switch (it->second.kind) {
+    case Value::Kind::kBool:
+      return it->second.b;
+    case Value::Kind::kInt:
+      return it->second.i != 0;
+    case Value::Kind::kDouble:
+      return it->second.d != 0.0;
+    case Value::Kind::kString:
+      return it->second.s == "true" || it->second.s == "1";
+  }
+  return fallback;
+}
+
+bool Config::contains(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+std::string Config::toString() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [k, v] : values_) {
+    if (!first) out << " ";
+    first = false;
+    out << k << "=" << getString(k, "");
+  }
+  return out.str();
+}
+
+}  // namespace streamha

@@ -1,0 +1,54 @@
+// A small typed key-value configuration registry.
+//
+// Experiments and examples use Config to override the documented defaults
+// (checkpoint interval, heartbeat interval, deployment costs, ...) without
+// threading dozens of constructor parameters through the stack.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace streamha {
+
+class Config {
+ public:
+  Config() = default;
+
+  void set(const std::string& key, double value);
+  void set(const std::string& key, std::int64_t value);
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, bool value);
+
+  /// Parse "key=value" (value inferred: bool / int / double / string).
+  /// Returns false on malformed input.
+  bool setFromString(const std::string& assignment);
+
+  /// Parse a list of "key=value" tokens, e.g. command-line arguments.
+  /// Returns the keys that failed to parse.
+  std::vector<std::string> setFromArgs(int argc, const char* const* argv);
+
+  double getDouble(const std::string& key, double fallback) const;
+  std::int64_t getInt(const std::string& key, std::int64_t fallback) const;
+  std::string getString(const std::string& key, const std::string& fallback) const;
+  bool getBool(const std::string& key, bool fallback) const;
+
+  bool contains(const std::string& key) const;
+  std::vector<std::string> keys() const;
+  std::string toString() const;
+
+ private:
+  struct Value {
+    enum class Kind { kBool, kInt, kDouble, kString } kind;
+    bool b = false;
+    std::int64_t i = 0;
+    double d = 0.0;
+    std::string s;
+  };
+
+  std::map<std::string, Value> values_;
+};
+
+}  // namespace streamha

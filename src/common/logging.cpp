@@ -1,0 +1,45 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace streamha {
+namespace {
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, SimTime simNow, const std::string& component,
+                   const std::string& message) {
+  if (!enabled(level)) return;
+  if (simNow >= 0) {
+    std::fprintf(stderr, "[%9.3fs] %-5s %-18s %s\n", toSeconds(simNow),
+                 levelName(level), component.c_str(), message.c_str());
+  } else {
+    std::fprintf(stderr, "[   ------] %-5s %-18s %s\n", levelName(level),
+                 component.c_str(), message.c_str());
+  }
+}
+
+}  // namespace streamha

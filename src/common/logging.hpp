@@ -1,0 +1,67 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded, so no synchronization is needed. Logging
+// is off by default (kWarn) so tests and benches stay quiet; examples turn on
+// kInfo to narrate what the HA machinery is doing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace streamha {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void setLevel(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// `simNow` < 0 means "no simulated timestamp".
+  void write(LogLevel level, SimTime simNow, const std::string& component,
+             const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+namespace log_detail {
+
+class LineBuilder {
+ public:
+  LineBuilder(LogLevel level, SimTime now, std::string component)
+      : level_(level), now_(now), component_(std::move(component)) {}
+  ~LineBuilder() {
+    Logger::instance().write(level_, now_, component_, stream_.str());
+  }
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  SimTime now_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_detail
+
+#define STREAMHA_LOG(level, now, component)                       \
+  if (::streamha::Logger::instance().enabled(level))              \
+  ::streamha::log_detail::LineBuilder(level, now, component)
+
+#define LOG_DEBUG(now, component) STREAMHA_LOG(::streamha::LogLevel::kDebug, now, component)
+#define LOG_INFO(now, component) STREAMHA_LOG(::streamha::LogLevel::kInfo, now, component)
+#define LOG_WARN(now, component) STREAMHA_LOG(::streamha::LogLevel::kWarn, now, component)
+#define LOG_ERROR(now, component) STREAMHA_LOG(::streamha::LogLevel::kError, now, component)
+
+}  // namespace streamha

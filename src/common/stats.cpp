@@ -1,0 +1,160 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace streamha {
+
+void RunningStats::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const { return count_ == 0 ? 0.0 : max_; }
+
+void SampleSet::add(double value) {
+  values_.push_back(value);
+  sorted_ = false;
+}
+
+void SampleSet::sort() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  if (values_.empty()) return 0.0;
+  double total = 0;
+  for (double v : values_) total += v;
+  return total / static_cast<double>(values_.size());
+}
+
+double SampleSet::min() const {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double SampleSet::max() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double SampleSet::quantile(double q) const {
+  if (values_.empty()) return 0.0;
+  sort();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+double SampleSet::cdfAt(double x) const {
+  if (values_.empty()) return 0.0;
+  sort();
+  const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) /
+         static_cast<double>(values_.size());
+}
+
+std::vector<std::pair<double, double>> SampleSet::cdfSeries(
+    std::size_t points) const {
+  std::vector<std::pair<double, double>> series;
+  if (values_.empty() || points < 2) return series;
+  sort();
+  const double lo = values_.front();
+  const double hi = values_.back();
+  series.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    series.emplace_back(x, cdfAt(x));
+  }
+  return series;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double value) {
+  const double span = hi_ - lo_;
+  double pos = (value - lo_) / span * static_cast<double>(counts_.size());
+  std::size_t bin;
+  if (pos < 0) {
+    bin = 0;
+  } else if (pos >= static_cast<double>(counts_.size())) {
+    bin = counts_.size() - 1;
+  } else {
+    bin = static_cast<std::size_t>(pos);
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+double Histogram::binLow(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::binHigh(std::size_t bin) const { return binLow(bin + 1); }
+
+std::string Histogram::toAscii(std::size_t width) const {
+  std::ostringstream out;
+  std::size_t peak = 0;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bars =
+        peak == 0 ? 0 : counts_[i] * width / peak;
+    out << "[" << binLow(i) << ", " << binHigh(i) << ") "
+        << std::string(bars, '#') << " " << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace streamha

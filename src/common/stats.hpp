@@ -1,0 +1,88 @@
+// Streaming and batch statistics helpers used by metrics and benches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace streamha {
+
+/// Streaming mean/variance/min/max accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double value);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double mean() const;
+  double variance() const;  ///< Population variance; 0 when count < 2.
+  double stddev() const;
+  double min() const;  ///< 0 when empty.
+  double max() const;  ///< 0 when empty.
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch sample set with exact quantiles. Intended for per-run metric
+/// collections (up to a few million samples).
+class SampleSet {
+ public:
+  void add(double value);
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Quantile q in [0, 1] with linear interpolation; 0 when empty.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  const std::vector<double>& values() const { return values_; }
+
+  /// Empirical CDF evaluated at `x`: fraction of samples <= x.
+  double cdfAt(double x) const;
+
+  /// Evenly spaced CDF points (x, F(x)) suitable for printing a CDF figure.
+  std::vector<std::pair<double, double>> cdfSeries(std::size_t points) const;
+
+ private:
+  void sort() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the edge
+/// bins. Used for delay distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  std::size_t totalCount() const { return total_; }
+  std::size_t binCount(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t bins() const { return counts_.size(); }
+  double binLow(std::size_t bin) const;
+  double binHigh(std::size_t bin) const;
+
+  std::string toAscii(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace streamha

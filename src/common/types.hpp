@@ -1,0 +1,65 @@
+// Core scalar types shared across the library.
+//
+// All simulated time is kept in integral microseconds (SimTime) so that event
+// ordering is exact and runs are bit-reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace streamha {
+
+/// Simulated time in microseconds since the start of the run.
+using SimTime = std::int64_t;
+
+/// Duration in simulated microseconds (same representation as SimTime).
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kMicrosecond = 1;
+inline constexpr SimDuration kMillisecond = 1'000;
+inline constexpr SimDuration kSecond = 1'000'000;
+
+/// A SimTime value meaning "never" / "not yet happened".
+inline constexpr SimTime kTimeNever = std::numeric_limits<SimTime>::max();
+
+constexpr double toSeconds(SimDuration d) { return static_cast<double>(d) / kSecond; }
+constexpr double toMillis(SimDuration d) { return static_cast<double>(d) / kMillisecond; }
+constexpr SimDuration fromSeconds(double s) { return static_cast<SimDuration>(s * kSecond); }
+constexpr SimDuration fromMillis(double ms) { return static_cast<SimDuration>(ms * kMillisecond); }
+
+/// Identifies a physical (simulated) machine in the cluster.
+using MachineId = std::int32_t;
+inline constexpr MachineId kNoMachine = -1;
+
+/// Identifies a logical processing element within a job specification.
+/// A logical PE may have several physical instances (primary / secondary copy).
+using LogicalPeId = std::int32_t;
+
+/// Identifies one physical PE instance deployed on some machine.
+using PeInstanceId = std::int32_t;
+
+/// Identifies a subjob (the subset of a job's PEs placed on one machine).
+using SubjobId = std::int32_t;
+
+/// Identifies a job (a user-submitted dataflow).
+using JobId = std::int32_t;
+
+/// Identifies a *logical* data stream: the output port of a logical PE or
+/// source. Primary and secondary copies of a PE share the logical stream id of
+/// each output port, which is what makes duplicate elimination by
+/// (stream, sequence) possible under active standby.
+using StreamId = std::int32_t;
+inline constexpr StreamId kNoStream = -1;
+
+/// Per-stream monotonically increasing sequence number, starting at 1.
+/// 0 means "nothing yet" for watermarks/acks.
+using ElementSeq = std::uint64_t;
+
+/// Which copy of a subjob a physical deployment represents.
+enum class Replica : std::uint8_t { kPrimary = 0, kSecondary = 1 };
+
+constexpr const char* toString(Replica r) {
+  return r == Replica::kPrimary ? "primary" : "secondary";
+}
+
+}  // namespace streamha

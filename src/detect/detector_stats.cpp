@@ -1,0 +1,55 @@
+#include "detect/detector_stats.hpp"
+
+namespace streamha {
+
+DetectionScore DetectorScorer::score(
+    const std::vector<std::pair<SimTime, SimTime>>& spikes, SimTime from,
+    SimTime to) const {
+  DetectionScore out;
+  std::vector<std::pair<SimTime, SimTime>> windows;
+  for (const auto& [start, end] : spikes) {
+    if (start >= from && start < to) windows.emplace_back(start, end);
+  }
+  out.spikesTotal = windows.size();
+
+  double delay_total_ms = 0.0;
+  std::size_t delay_count = 0;
+  std::vector<bool> detected(windows.size(), false);
+
+  for (SimTime when : declarations_) {
+    if (when < from || when >= to) continue;
+    ++out.declarations;
+    bool matched = false;
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      if (when >= windows[i].first && when < windows[i].second + grace_) {
+        matched = true;
+        if (!detected[i]) {
+          detected[i] = true;
+          delay_total_ms += toMillis(when - windows[i].first);
+          ++delay_count;
+        }
+        break;
+      }
+    }
+    if (!matched) ++out.falseAlarms;
+  }
+
+  for (bool d : detected) {
+    if (d) ++out.spikesDetected;
+  }
+  out.detectionRatio =
+      out.spikesTotal == 0
+          ? 0.0
+          : static_cast<double>(out.spikesDetected) /
+                static_cast<double>(out.spikesTotal);
+  out.falseAlarmRatio =
+      out.declarations == 0
+          ? 0.0
+          : static_cast<double>(out.falseAlarms) /
+                static_cast<double>(out.declarations);
+  out.avgDetectionDelayMs =
+      delay_count == 0 ? 0.0 : delay_total_ms / static_cast<double>(delay_count);
+  return out;
+}
+
+}  // namespace streamha

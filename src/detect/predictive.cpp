@@ -1,0 +1,163 @@
+#include "detect/predictive.hpp"
+
+#include <algorithm>
+
+namespace streamha {
+
+PredictiveDetector::PredictiveDetector(Simulator& sim, Network& net,
+                                       Machine& monitor, Machine& target,
+                                       Params params, Callbacks callbacks)
+    : sim_(sim),
+      net_(net),
+      monitor_(monitor),
+      target_(&target),
+      params_(params),
+      callbacks_(std::move(callbacks)),
+      timer_(sim, params.pollInterval, [this] { tick(); }) {}
+
+void PredictiveDetector::start() { timer_.start(); }
+
+void PredictiveDetector::stop() { timer_.stop(); }
+
+void PredictiveDetector::retarget(Machine& newTarget) {
+  target_ = &newTarget;
+  ++epoch_;
+  samples_.clear();
+  has_prev_integral_ = false;
+  outstanding_answered_ = true;
+  consecutive_misses_ = 0;
+  consecutive_healthy_ = 0;
+  failed_ = false;
+}
+
+double PredictiveDetector::predictedLoadAtHorizon() const {
+  if (samples_.size() < 2) {
+    return samples_.empty() ? 0.0 : samples_.back().second;
+  }
+  // Least-squares line over the sample window, evaluated `horizon` past the
+  // newest sample.
+  const std::size_t n = samples_.size();
+  const double t0 = static_cast<double>(samples_.front().first);
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (const auto& [when, load] : samples_) {
+    const double x = static_cast<double>(when) - t0;
+    sx += x;
+    sy += load;
+    sxx += x * x;
+    sxy += x * load;
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom <= 0) return samples_.back().second;
+  const double slope = (dn * sxy - sx * sy) / denom;
+  const double intercept = (sy - slope * sx) / dn;
+  const double x_future = static_cast<double>(samples_.back().first) - t0 +
+                          static_cast<double>(params_.predictionHorizon);
+  return std::clamp(intercept + slope * x_future, 0.0, 1.5);
+}
+
+void PredictiveDetector::declare(bool predicted) {
+  if (failed_) return;
+  failed_ = true;
+  consecutive_healthy_ = 0;
+  if (predicted) ++predicted_;
+  if (callbacks_.onFailure) callbacks_.onFailure(sim_.now());
+}
+
+void PredictiveDetector::tick() {
+  if (!monitor_.isUp()) return;
+
+  // Evaluate the previous poll: silence counts toward the stall fallback.
+  if (!outstanding_answered_) {
+    ++consecutive_misses_;
+    consecutive_healthy_ = 0;
+    if (consecutive_misses_ >= params_.missThreshold) declare(false);
+  }
+
+  // Send the next load query; the target reads its cumulative load integral
+  // (like scraping /proc/stat) and reports it back via the control path, so
+  // a saturated machine also answers late or not at all. The monitor turns
+  // consecutive integral readings into windowed utilization -- instantaneous
+  // samples of a single-server machine are useless (they read 0 or 1).
+  const std::uint64_t seq = next_seq_++;
+  const std::uint64_t epoch = epoch_;
+  outstanding_seq_ = seq;
+  outstanding_answered_ = false;
+  ++polls_sent_;
+  Machine* target = target_;
+  const MachineId monitorId = monitor_.id();
+  const MachineId targetId = target_->id();
+  net_.send(monitorId, targetId, MsgKind::kControl, params_.messageBytes, 0,
+            [this, seq, epoch, target, monitorId, targetId] {
+              const double integral = target->loadIntegral();
+              const SimTime sampledAt = sim_.now();
+              target->submitControl(
+                  params_.reportWorkUs,
+                  [this, seq, epoch, integral, sampledAt, monitorId,
+                   targetId] {
+                    net_.send(targetId, monitorId, MsgKind::kControl,
+                              params_.messageBytes, 0,
+                              [this, seq, epoch, integral, sampledAt] {
+                                if (epoch != epoch_) return;
+                                onIntegralReport(seq, integral, sampledAt);
+                              });
+                  });
+            });
+}
+
+void PredictiveDetector::onIntegralReport(std::uint64_t seq, double integral,
+                                          SimTime sampledAt) {
+  if (!has_prev_integral_) {
+    has_prev_integral_ = true;
+    prev_integral_ = integral;
+    prev_sampled_at_ = sampledAt;
+    if (seq == outstanding_seq_) {
+      outstanding_answered_ = true;
+      consecutive_misses_ = 0;
+    }
+    ++reports_received_;
+    return;
+  }
+  const double dt = static_cast<double>(sampledAt - prev_sampled_at_);
+  const double load =
+      dt <= 0 ? 0.0 : std::clamp((integral - prev_integral_) / dt, 0.0, 1.0);
+  prev_integral_ = integral;
+  prev_sampled_at_ = sampledAt;
+  onReport(seq, load, sampledAt);
+}
+
+void PredictiveDetector::onReport(std::uint64_t seq, double load,
+                                  SimTime sampledAt) {
+  ++reports_received_;
+  if (seq == outstanding_seq_) {
+    outstanding_answered_ = true;
+    consecutive_misses_ = 0;
+  }
+  samples_.emplace_back(sampledAt, load);
+  while (samples_.size() > static_cast<std::size_t>(params_.trendSamples)) {
+    samples_.pop_front();
+  }
+
+  const bool unhealthy_now = load >= params_.loadThreshold;
+  const bool unhealthy_soon =
+      predictedLoadAtHorizon() >= params_.loadThreshold;
+  if (unhealthy_now || unhealthy_soon) {
+    consecutive_healthy_ = 0;
+    ++consecutive_unhealthy_;
+    last_unhealthy_was_prediction_ = !unhealthy_now;
+    // Debounce: one saturated window on a single-server machine is routine
+    // queueing, not a failure.
+    if (consecutive_unhealthy_ >= params_.declareSamples) {
+      declare(last_unhealthy_was_prediction_);
+    }
+  } else {
+    consecutive_unhealthy_ = 0;
+    ++consecutive_healthy_;
+    if (failed_ && consecutive_healthy_ >= params_.recoverSamples) {
+      failed_ = false;
+      if (callbacks_.onRecovery) callbacks_.onRecovery(sim_.now());
+    }
+  }
+}
+
+}  // namespace streamha

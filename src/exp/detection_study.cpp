@@ -1,0 +1,135 @@
+#include "exp/detection_study.hpp"
+
+#include <memory>
+
+#include "cluster/cluster.hpp"
+#include "cluster/load_generator.hpp"
+#include "detect/benchmark_probe.hpp"
+#include "detect/heartbeat.hpp"
+
+namespace streamha {
+
+namespace {
+
+/// Feeds bursty application work into a machine's data server, emulating the
+/// PE processing that shares the node with the detectors.
+class BurstyAppLoad {
+ public:
+  BurstyAppLoad(Simulator& sim, Machine& machine,
+                const DetectionStudyParams& params, Rng rng)
+      : sim_(sim), machine_(machine), params_(params), rng_(rng) {}
+
+  void start() {
+    burst_on_ = true;
+    phase_until_ = sim_.now() + params_.burstOn;
+    scheduleNext();
+  }
+
+ private:
+  void scheduleNext() {
+    while (sim_.now() >= phase_until_) {
+      burst_on_ = !burst_on_;
+      const double mean = static_cast<double>(
+          burst_on_ ? params_.burstOn : params_.burstOff);
+      phase_until_ += std::max<SimDuration>(
+          1, static_cast<SimDuration>(rng_.exponential(mean)));
+    }
+    if (!burst_on_) {
+      sim_.scheduleAt(phase_until_, [this] { scheduleNext(); });
+      return;
+    }
+    const double duty = static_cast<double>(params_.burstOn) /
+                        static_cast<double>(params_.burstOn + params_.burstOff);
+    const double onRate = params_.appRatePerSec / duty;
+    const double gap = rng_.exponential(kSecond / onRate);
+    sim_.schedule(std::max<SimDuration>(1, static_cast<SimDuration>(gap)),
+                  [this] {
+                    machine_.submitData(params_.appElementWorkUs, nullptr);
+                    scheduleNext();
+                  });
+  }
+
+  Simulator& sim_;
+  Machine& machine_;
+  DetectionStudyParams params_;
+  Rng rng_;
+  bool burst_on_ = true;
+  SimTime phase_until_ = 0;
+};
+
+}  // namespace
+
+DetectionStudyResult runDetectionStudy(const DetectionStudyParams& params) {
+  Cluster::Params clusterParams;
+  clusterParams.machineCount = 2;  // 0: target, 1: monitor.
+  clusterParams.seed = params.seed;
+  Cluster cluster(clusterParams);
+  Machine& target = cluster.machine(0);
+  Machine& monitor = cluster.machine(1);
+
+  BurstyAppLoad app(cluster.sim(), target, params,
+                    cluster.forkRng(stableHash("app")));
+  app.start();
+
+  // Spike injector with ground truth.
+  // "periodically generate over 200 transient load increases": regular
+  // arrivals, like the paper's injector.
+  SpikeSpec spikeSpec;
+  spikeSpec.meanInterArrival = params.spikeDuration + params.spikeGap;
+  spikeSpec.meanDuration = params.spikeDuration;
+  spikeSpec.magnitude = params.spikeLoad;
+  spikeSpec.poisson = false;
+  LoadGenerator spikes(cluster.sim(), target, spikeSpec,
+                       cluster.forkRng(stableHash("spikes")));
+
+  DetectorScorer heartbeatScorer(params.grace);
+  DetectorScorer benchmarkScorer(params.grace);
+
+  HeartbeatDetector::Params hb;
+  hb.interval = params.heartbeatInterval;
+  hb.missThreshold = params.heartbeatMissThreshold;
+  hb.recoverThreshold = 1;
+  HeartbeatDetector::Callbacks hbCallbacks;
+  hbCallbacks.onFailure = [&](SimTime t) { heartbeatScorer.onDeclared(t); };
+  HeartbeatDetector heartbeat(cluster.sim(), cluster.network(), monitor,
+                              target, hb, std::move(hbCallbacks));
+
+  BenchmarkDetector::Params bm;
+  bm.loadThreshold = params.benchmarkLoadThreshold;
+  bm.ratioThreshold = params.benchmarkRatioThreshold;
+  bm.standardSetElements = params.benchmarkElements;
+  bm.workPerElementUs = params.benchmarkWorkPerElementUs;
+  BenchmarkDetector::Callbacks bmCallbacks;
+  bmCallbacks.onDetection = [&](SimTime t) { benchmarkScorer.onDeclared(t); };
+  BenchmarkDetector benchmark(cluster.sim(), target, bm,
+                              std::move(bmCallbacks));
+
+  heartbeat.start();
+  benchmark.start();
+
+  // Warm up without spikes so both detectors see the baseline, then run
+  // until the requested number of spikes has been generated.
+  cluster.sim().runUntil(5 * kSecond);
+  const SimTime measureFrom = cluster.sim().now();
+  spikes.start();
+  const SimTime horizon =
+      measureFrom + static_cast<SimTime>(params.spikeCount) *
+                        (params.spikeDuration + params.spikeGap) +
+      30 * kSecond;
+  while (cluster.sim().now() < horizon &&
+         spikes.spikes().size() < static_cast<std::size_t>(params.spikeCount)) {
+    cluster.sim().runUntil(cluster.sim().now() + kSecond);
+  }
+  spikes.stop();
+  cluster.sim().runUntil(cluster.sim().now() + 2 * kSecond);
+  const SimTime measureTo = cluster.sim().now();
+
+  DetectionStudyResult result;
+  result.heartbeat =
+      heartbeatScorer.score(spikes.spikes(), measureFrom, measureTo);
+  result.benchmark =
+      benchmarkScorer.score(spikes.spikes(), measureFrom, measureTo);
+  return result;
+}
+
+}  // namespace streamha

@@ -1,0 +1,51 @@
+// The detector comparison study behind Figures 12/13 (Section V-C).
+//
+// A target machine runs bursty application work while a load generator
+// injects ~200 spikes raising machine load to a configured level. A
+// heartbeat detector (on a monitor machine) and a benchmarking detector (on
+// the target) both run; their declarations are scored against the ground
+// truth to obtain detection ratio, false-alarm ratio and detection delay.
+#pragma once
+
+#include <cstdint>
+
+#include "detect/detector_stats.hpp"
+#include "common/types.hpp"
+
+namespace streamha {
+
+struct DetectionStudyParams {
+  /// Machine load level during injected spikes (the figures' x axis).
+  double spikeLoad = 0.9;
+  int spikeCount = 200;
+  SimDuration spikeDuration = 2 * kSecond;
+  SimDuration spikeGap = 8 * kSecond;  ///< Mean quiet gap between spikes.
+
+  /// Bursty application work on the target machine.
+  double appElementWorkUs = 2000.0;
+  double appRatePerSec = 120.0;   ///< Long-run average.
+  SimDuration burstOn = 200 * kMillisecond;
+  SimDuration burstOff = 300 * kMillisecond;
+
+  /// Heartbeat settings ("we set the heartbeat interval to 110 ms").
+  SimDuration heartbeatInterval = 110 * kMillisecond;
+  int heartbeatMissThreshold = 3;
+
+  /// Benchmarking settings.
+  double benchmarkLoadThreshold = 0.5;  ///< L_th.
+  double benchmarkRatioThreshold = 1.3; ///< P_th.
+  int benchmarkElements = 20;
+  double benchmarkWorkPerElementUs = 300.0;
+
+  SimDuration grace = 300 * kMillisecond;  ///< Post-spike credit window.
+  std::uint64_t seed = 17;
+};
+
+struct DetectionStudyResult {
+  DetectionScore heartbeat;
+  DetectionScore benchmark;
+};
+
+DetectionStudyResult runDetectionStudy(const DetectionStudyParams& params);
+
+}  // namespace streamha

@@ -1,0 +1,349 @@
+#include "exp/scenario.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "stream/job.hpp"
+
+namespace streamha {
+
+Scenario::Scenario(ScenarioParams params) : params_(std::move(params)) {}
+
+Scenario::~Scenario() {
+  // Coordinators reference the runtime/cluster; destroy them first.
+  coordinators_.clear();
+  load_generators_.clear();
+  runtime_.reset();
+  cluster_.reset();
+}
+
+MachineId Scenario::primaryMachineOf(SubjobId subjob) const {
+  return static_cast<MachineId>(subjob);
+}
+
+MachineId Scenario::standbyMachineOf(SubjobId subjob) const {
+  return subjob >= 0 && static_cast<std::size_t>(subjob) < standby_of_.size()
+             ? standby_of_[static_cast<std::size_t>(subjob)]
+             : kNoMachine;
+}
+
+MachineId Scenario::sinkMachine() const { return sink_machine_; }
+
+std::size_t Scenario::machineCount() const { return machine_count_; }
+
+void Scenario::build() {
+  const int numSubjobs =
+      (params_.numPes + params_.pesPerSubjob - 1) / params_.pesPerSubjob;
+  const std::size_t protectedCount = params_.protectedSubjobs.size();
+
+  standby_of_.assign(static_cast<std::size_t>(numSubjobs), kNoMachine);
+  spare_of_.assign(static_cast<std::size_t>(numSubjobs), kNoMachine);
+  sink_machine_ = static_cast<MachineId>(numSubjobs);
+  MachineId next = sink_machine_ + 1;
+  if (params_.mode != HaMode::kNone) {
+    if (params_.sharedSecondary) {
+      const MachineId shared = next++;
+      for (SubjobId sj : params_.protectedSubjobs) {
+        standby_of_[static_cast<std::size_t>(sj)] = shared;
+      }
+    } else {
+      for (SubjobId sj : params_.protectedSubjobs) {
+        standby_of_[static_cast<std::size_t>(sj)] = next++;
+      }
+    }
+    if (params_.provisionSpares) {
+      for (SubjobId sj : params_.protectedSubjobs) {
+        spare_of_[static_cast<std::size_t>(sj)] = next++;
+      }
+    }
+  }
+  machine_count_ = static_cast<std::size_t>(next);
+  (void)protectedCount;
+
+  Cluster::Params clusterParams;
+  clusterParams.machineCount = machine_count_;
+  clusterParams.seed = params_.seed;
+  clusterParams.machine = params_.machineParams;
+  cluster_ = std::make_unique<Cluster>(clusterParams);
+
+  const JobSpec spec = JobBuilder::chain(
+      params_.numPes, params_.pesPerSubjob, params_.peWorkUs,
+      params_.selectivity, params_.stateBytes, params_.payloadBytes);
+  runtime_ = std::make_unique<Runtime>(*cluster_, spec, params_.costs);
+
+  Source::Params sourceParams;
+  sourceParams.ratePerSec = params_.dataRatePerSec;
+  sourceParams.pattern = params_.sourcePattern;
+  sourceParams.payloadBytes = params_.payloadBytes;
+  sourceParams.shapeRatePerSec = params_.shapeRatePerSec;
+  runtime_->addSource(0, sourceParams);
+  runtime_->addSink(sink_machine_);
+
+  std::vector<MachineId> placement;
+  for (int i = 0; i < numSubjobs; ++i) {
+    placement.push_back(static_cast<MachineId>(i));
+  }
+  runtime_->deployPrimaries(placement);
+
+  createCoordinators();
+  createLoadGenerators();
+
+  // Applied after coordinators so pre-deployed standby copies shed too.
+  // (Copies a coordinator instantiates mid-run start unshedded.)
+  if (params_.shedThreshold != 0) {
+    for (const auto& inst : runtime_->allInstances()) {
+      for (std::size_t i = 0; i < inst->peCount(); ++i) {
+        inst->pe(i).input().setShedThreshold(params_.shedThreshold);
+      }
+    }
+  }
+
+  // Open a provisional measurement window so collect() works even when the
+  // caller skips warmup() (e.g. exactness tests that must see every element).
+  window_start_ = cluster_->sim().now();
+  traffic_baseline_ = cluster_->network().snapshot();
+  load_integral_baseline_.clear();
+  for (std::size_t m = 0; m < machine_count_; ++m) {
+    load_integral_baseline_.push_back(
+        cluster_->machine(static_cast<MachineId>(m)).loadIntegral());
+  }
+}
+
+void Scenario::createCoordinators() {
+  if (params_.mode == HaMode::kNone) return;
+  for (SubjobId sj : params_.protectedSubjobs) {
+    HaParams ha;
+    ha.standbyMachine = standbyMachineOf(sj);
+    ha.spareMachine = spare_of_[static_cast<std::size_t>(sj)];
+    ha.heartbeat.interval = params_.heartbeatInterval;
+    ha.heartbeat.recoverThreshold = params_.recoverThreshold;
+    ha.checkpoint.interval = params_.checkpointInterval;
+    ha.checkpointKind = params_.checkpointKind;
+    ha.failStopAfter = params_.failStopAfter;
+    ha.detectorFactory = params_.detectorFactory;
+    ha.store = params_.store;
+    ha.predeploySecondary = params_.predeploySecondary;
+    ha.earlyConnections = params_.earlyConnections;
+    ha.readStateOnRollback = params_.readStateOnRollback;
+    std::unique_ptr<HaCoordinator> coordinator;
+    switch (params_.mode) {
+      case HaMode::kActiveStandby:
+        ha.heartbeat.missThreshold = params_.psMissThreshold;
+        coordinator =
+            std::make_unique<ActiveStandbyCoordinator>(*runtime_, sj, ha);
+        break;
+      case HaMode::kPassiveStandby:
+        ha.heartbeat.missThreshold = params_.psMissThreshold;
+        coordinator =
+            std::make_unique<PassiveStandbyCoordinator>(*runtime_, sj, ha);
+        break;
+      case HaMode::kHybrid:
+        ha.heartbeat.missThreshold = params_.hybridMissThreshold;
+        coordinator = std::make_unique<HybridCoordinator>(*runtime_, sj, ha);
+        break;
+      case HaMode::kNone:
+        break;
+    }
+    if (coordinator != nullptr) {
+      coordinator->setup();
+      coordinators_.push_back(std::move(coordinator));
+    }
+  }
+}
+
+void Scenario::createLoadGenerators() {
+  if (params_.failureFraction <= 0.0) return;
+  loaded_machines_.clear();
+  const int numSubjobs =
+      (params_.numPes + params_.pesPerSubjob - 1) / params_.pesPerSubjob;
+  if (params_.failuresOnPrimaries) {
+    if (params_.failurePlacement ==
+        ScenarioParams::FailurePlacement::kAllButFirst) {
+      // "on all primary machines except the first one in the chain".
+      for (int i = 1; i < numSubjobs; ++i) {
+        loaded_machines_.push_back(static_cast<MachineId>(i));
+      }
+    } else {
+      for (SubjobId sj : params_.protectedSubjobs) {
+        const MachineId m = primaryMachineOf(sj);
+        if (m != 0) loaded_machines_.push_back(m);
+      }
+    }
+  }
+  if (params_.failuresOnStandbys) {
+    std::vector<MachineId> added;
+    for (SubjobId sj : params_.protectedSubjobs) {
+      const MachineId standby = standbyMachineOf(sj);
+      if (standby != kNoMachine &&
+          std::find(added.begin(), added.end(), standby) == added.end()) {
+        added.push_back(standby);
+        loaded_machines_.push_back(standby);
+      }
+    }
+  }
+  SpikeSpec spec = SpikeSpec::fromTimeFraction(
+      params_.failureDuration, params_.failureFraction,
+      params_.failureMagnitude, !params_.regularFailures);
+  spec.rampDuration = params_.failureRamp;
+  for (MachineId m : loaded_machines_) {
+    load_generators_.push_back(std::make_unique<LoadGenerator>(
+        cluster_->sim(), cluster_->machine(m), spec,
+        cluster_->forkRng(stableHash("loadgen") ^
+                          static_cast<std::uint64_t>(m))));
+  }
+}
+
+LoadGenerator* Scenario::loadGeneratorOn(MachineId machine) {
+  // loaded_machines_ and load_generators_ are parallel vectors.
+  for (std::size_t i = 0;
+       i < loaded_machines_.size() && i < load_generators_.size(); ++i) {
+    if (loaded_machines_[i] == machine) return load_generators_[i].get();
+  }
+  return nullptr;
+}
+
+std::vector<HaCoordinator*> Scenario::coordinators() {
+  std::vector<HaCoordinator*> out;
+  out.reserve(coordinators_.size());
+  for (auto& c : coordinators_) out.push_back(c.get());
+  return out;
+}
+
+HaCoordinator* Scenario::coordinatorFor(SubjobId subjob) {
+  for (auto& c : coordinators_) {
+    if (c->subjobId() == subjob) return c.get();
+  }
+  return nullptr;
+}
+
+void Scenario::start() {
+  if (started_) return;
+  started_ = true;
+  runtime_->start();
+}
+
+void Scenario::warmup() {
+  start();
+  cluster_->sim().runUntil(cluster_->sim().now() + params_.warmup);
+  sink().resetStats();
+  window_start_ = cluster_->sim().now();
+  traffic_baseline_ = cluster_->network().snapshot();
+  load_integral_baseline_.clear();
+  for (std::size_t m = 0; m < machine_count_; ++m) {
+    load_integral_baseline_.push_back(
+        cluster_->machine(static_cast<MachineId>(m)).loadIntegral());
+  }
+}
+
+void Scenario::startFailures() {
+  if (failures_running_) return;
+  failures_running_ = true;
+  for (auto& gen : load_generators_) gen->start();
+}
+
+void Scenario::stopFailures() {
+  failures_running_ = false;
+  for (auto& gen : load_generators_) gen->stop();
+}
+
+void Scenario::run(SimDuration duration) {
+  cluster_->sim().runUntil(cluster_->sim().now() + duration);
+}
+
+void Scenario::drain(SimDuration grace) {
+  source().stop();
+  stopFailures();
+  cluster_->sim().runUntil(cluster_->sim().now() + grace);
+}
+
+ScenarioResult Scenario::collect() {
+  ScenarioResult result;
+  const SimTime now = cluster_->sim().now();
+  result.measuredSeconds = toSeconds(now - window_start_);
+  result.avgDelayMs = sink().delays().mean();
+  result.p99DelayMs = sink().delays().quantile(0.99);
+  result.maxDelayMs = sink().delays().max();
+  result.sinkReceived = sink().receivedCount();
+  result.sourceGenerated = source().generatedCount();
+  result.traffic = cluster_->network().snapshot() - traffic_baseline_;
+
+  // Average CPU over the machines carrying failure load (or all primaries
+  // when no failures are injected).
+  std::vector<MachineId> loadSample = loaded_machines_;
+  if (loadSample.empty()) {
+    const int numSubjobs =
+        (params_.numPes + params_.pesPerSubjob - 1) / params_.pesPerSubjob;
+    for (int i = 1; i < numSubjobs; ++i) {
+      loadSample.push_back(static_cast<MachineId>(i));
+    }
+  }
+  double loadTotal = 0.0;
+  for (MachineId m : loadSample) {
+    const double integral =
+        cluster_->machine(m).loadIntegral() -
+        load_integral_baseline_[static_cast<std::size_t>(m)];
+    loadTotal += integral / static_cast<double>(now - window_start_);
+  }
+  result.avgCpuLoad =
+      loadSample.empty() ? 0.0
+                         : loadTotal / static_cast<double>(loadSample.size());
+
+  result.delaySplit =
+      splitDelaysByWindows(sink().series(), allFailureWindows(), window_start_);
+
+  attributeFailureStarts();
+  for (auto& c : coordinators_) {
+    result.recovery.addAll(c->recoveries());
+    result.switchovers += c->switchovers();
+    result.rollbacks += c->rollbacks();
+    result.promotions += c->promotions();
+    if (auto* hybrid = dynamic_cast<HybridCoordinator*>(c.get())) {
+      result.elementsToStalledPrimary += hybrid->elementsToStalledPrimary();
+      result.stateReadElements += hybrid->stateReadElements();
+    }
+  }
+
+  for (const auto& inst : runtime_->allInstances()) {
+    for (std::size_t i = 0; i < inst->peCount(); ++i) {
+      result.gapsObserved += inst->pe(i).input().gapsObserved();
+      result.duplicatesDropped += inst->pe(i).input().duplicatesDropped();
+      result.elementsShed += inst->pe(i).input().elementsShed();
+    }
+  }
+  result.gapsObserved += sink().input().gapsObserved();
+  result.duplicatesDropped += sink().input().duplicatesDropped();
+  return result;
+}
+
+ScenarioResult Scenario::runAll() {
+  build();
+  warmup();
+  if (params_.failureFraction > 0) startFailures();
+  run(params_.duration);
+  return collect();
+}
+
+std::vector<std::pair<SimTime, SimTime>> Scenario::allFailureWindows() const {
+  std::vector<std::vector<std::pair<SimTime, SimTime>>> lists;
+  for (const auto& gen : load_generators_) lists.push_back(gen->spikes());
+  return mergeWindows(std::move(lists));
+}
+
+void Scenario::attributeFailureStarts() {
+  const auto windows = allFailureWindows();
+  for (auto& c : coordinators_) {
+    for (auto& timeline : c->mutableRecoveries()) {
+      if (timeline.detectedAt == kTimeNever) continue;
+      SimTime best = kTimeNever;
+      for (const auto& [start, end] : windows) {
+        if (start <= timeline.detectedAt &&
+            (best == kTimeNever || start > best)) {
+          best = start;
+        }
+      }
+      if (best != kTimeNever) timeline.failureStart = best;
+    }
+  }
+}
+
+}  // namespace streamha

@@ -1,0 +1,209 @@
+// The canonical paper experiment (Section V-A):
+//
+//   "The stream processing job used in our experiments consists of 8 PEs
+//    connected in a chain topology. The entire job is then further divided
+//    into 4 subjobs, each consisting of 2 PEs. Each subjob is assigned to a
+//    separate primary machine. ... The PE selectivity is 1. ... We generate
+//    transient failures on all primary machines except the first one in the
+//    chain, since it is also where stream input is generated."
+//
+// Machine layout (for S subjobs, P protected):
+//   0 .. S-1      : primary machines (source co-located on machine 0)
+//   S             : sink machine
+//   S+1 ..        : standby machine(s) -- one shared machine when
+//                   `sharedSecondary`, else one per protected subjob
+//   then          : spare machines (fail-stop replacements), one per
+//                   protected subjob
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/load_generator.hpp"
+#include "common/types.hpp"
+#include "ha/active_standby.hpp"
+#include "ha/hybrid.hpp"
+#include "ha/passive_standby.hpp"
+#include "metrics/counters.hpp"
+#include "metrics/latency.hpp"
+#include "metrics/recovery.hpp"
+#include "stream/runtime.hpp"
+
+namespace streamha {
+
+struct ScenarioParams {
+  // -- Topology ---------------------------------------------------------------
+  int numPes = 8;
+  int pesPerSubjob = 2;
+  double peWorkUs = 300.0;
+  double selectivity = 1.0;
+  /// "The PE's internal state is set to have a size of 20 data elements."
+  std::size_t stateBytes = 20 * 132;
+  std::uint32_t payloadBytes = 100;
+
+  // -- Workload ---------------------------------------------------------------
+  double dataRatePerSec = 1000.0;
+  Source::Pattern sourcePattern = Source::Pattern::kPoisson;
+  /// When non-zero, every PE input queue sheds arrivals beyond this depth
+  /// (the load-shedding alternative the paper's introduction discusses:
+  /// bounded delay, at the price of data loss).
+  std::size_t shedThreshold = 0;
+  /// When > 0, the source is traffic-shaped to this rate (the paper's other
+  /// Section I alternative: smooths bursts, adds source-side delay, and does
+  /// nothing about failures).
+  double shapeRatePerSec = 0.0;
+
+  // -- HA ---------------------------------------------------------------------
+  HaMode mode = HaMode::kNone;
+  /// Subjobs protected by `mode` (others run unprotected).
+  std::vector<SubjobId> protectedSubjobs = {2};
+  /// All protected subjobs share ONE standby machine (Fig 5 multiplexing).
+  bool sharedSecondary = false;
+  SimDuration checkpointInterval = 50 * kMillisecond;
+  SimDuration heartbeatInterval = 100 * kMillisecond;
+  int psMissThreshold = 3;
+  int hybridMissThreshold = 1;
+  int recoverThreshold = 2;
+  SimDuration failStopAfter = 10 * kSecond;
+  CheckpointKind checkpointKind = CheckpointKind::kSweeping;
+  /// Optional custom failure detector for every coordinator (defaults to
+  /// heartbeat with the intervals/thresholds above).
+  DetectorFactory detectorFactory;
+  /// Standby state-store parameters (in-memory by default; enable
+  /// persistToDisk for the paper's both-machines-fail durability variant).
+  StateStore::Params store;
+  /// Spike ramp-up duration (0 = step spikes); prediction-style detectors
+  /// exploit the ramp.
+  SimDuration failureRamp = 0;
+  bool provisionSpares = false;  ///< Add spare machines for fail-stop drills.
+  // Hybrid optimization ablation toggles.
+  bool predeploySecondary = true;
+  bool earlyConnections = true;
+  bool readStateOnRollback = true;
+
+  // -- Transient failure load --------------------------------------------------
+  /// Fraction of time each loaded machine spends in spikes; 0 disables.
+  double failureFraction = 0.0;
+  SimDuration failureDuration = 2 * kSecond;
+  double failureMagnitude = 0.97;
+  /// Which primary machines carry failure load: every primary but the first
+  /// (the paper's general setup) or only the protected subjobs' primaries
+  /// (the Fig 4 / Fig 5 policy-comparison setup).
+  enum class FailurePlacement { kAllButFirst, kProtectedOnly };
+  FailurePlacement failurePlacement = FailurePlacement::kProtectedOnly;
+  bool failuresOnPrimaries = true;
+  bool failuresOnStandbys = false;   ///< Fig 4 loads the secondary too.
+  bool regularFailures = false;      ///< Regular vs Poisson arrivals.
+
+  // -- Run --------------------------------------------------------------------
+  SimDuration warmup = 2 * kSecond;
+  SimDuration duration = 30 * kSecond;
+  std::uint64_t seed = 1;
+  Runtime::Costs costs;
+  Machine::Params machineParams;
+};
+
+struct ScenarioResult {
+  double avgDelayMs = 0.0;
+  double p99DelayMs = 0.0;
+  double maxDelayMs = 0.0;
+  std::uint64_t sinkReceived = 0;
+  std::uint64_t sourceGenerated = 0;
+  /// Delay split by ground-truth failure windows ("8-fold during failure").
+  DelaySplit delaySplit;
+  /// Measured average CPU load over the loaded primary machines.
+  double avgCpuLoad = 0.0;
+  /// Traffic during the measurement window.
+  Network::Counters traffic{};
+  double measuredSeconds = 0.0;
+  /// Recovery decomposition merged over all coordinators.
+  RecoveryBreakdown recovery;
+  std::uint64_t switchovers = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t elementsToStalledPrimary = 0;
+  std::uint64_t stateReadElements = 0;
+  /// Sequence gaps seen anywhere (must be 0 in a correct run).
+  std::uint64_t gapsObserved = 0;
+  std::uint64_t duplicatesDropped = 0;
+  /// Elements dropped by load shedding (0 unless shedThreshold is set).
+  std::uint64_t elementsShed = 0;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioParams params);
+  ~Scenario();
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  /// Construct cluster, job, runtime, coordinators and load generators.
+  void build();
+
+  /// Start source, sink and ack timers (idempotent; warmup() calls it).
+  void start();
+
+  /// Run the warm-up period, then reset statistics and open the traffic
+  /// window (does not start failures).
+  void warmup();
+
+  void startFailures();
+  void stopFailures();
+
+  /// Advance simulated time.
+  void run(SimDuration duration);
+
+  /// Stop the source and drain in-flight elements (for exactness checks).
+  void drain(SimDuration grace = 5 * kSecond);
+
+  /// Close the measurement window and gather results.
+  ScenarioResult collect();
+
+  /// build + warmup + failures + run + collect, per the params.
+  ScenarioResult runAll();
+
+  // -- Accessors for tests and specialized benches ----------------------------
+  Cluster& cluster() { return *cluster_; }
+  Runtime& runtime() { return *runtime_; }
+  Source& source() { return *runtime_->source(); }
+  Sink& sink() { return *runtime_->sink(); }
+  const ScenarioParams& params() const { return params_; }
+  std::vector<HaCoordinator*> coordinators();
+  HaCoordinator* coordinatorFor(SubjobId subjob);
+  LoadGenerator* loadGeneratorOn(MachineId machine);
+  MachineId primaryMachineOf(SubjobId subjob) const;
+  MachineId standbyMachineOf(SubjobId subjob) const;
+  MachineId sinkMachine() const;
+  std::size_t machineCount() const;
+
+  /// Every ground-truth spike window across all load generators, merged.
+  std::vector<std::pair<SimTime, SimTime>> allFailureWindows() const;
+
+  /// Fill RecoveryTimeline::failureStart from the ground-truth windows.
+  void attributeFailureStarts();
+
+ private:
+  void createCoordinators();
+  void createLoadGenerators();
+
+  ScenarioParams params_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Runtime> runtime_;
+  std::vector<std::unique_ptr<HaCoordinator>> coordinators_;
+  std::vector<std::unique_ptr<LoadGenerator>> load_generators_;
+  std::vector<MachineId> loaded_machines_;
+  std::vector<MachineId> standby_of_;  ///< Indexed by subjob id; kNoMachine if none.
+  std::vector<MachineId> spare_of_;
+  MachineId sink_machine_ = kNoMachine;
+  std::size_t machine_count_ = 0;
+
+  // Measurement window.
+  SimTime window_start_ = 0;
+  Network::Counters traffic_baseline_{};
+  std::vector<double> load_integral_baseline_;
+  bool failures_running_ = false;
+  bool started_ = false;
+};
+
+}  // namespace streamha

@@ -1,0 +1,127 @@
+#include "ha/active_standby.hpp"
+
+#include <cassert>
+
+#include "common/logging.hpp"
+
+namespace streamha {
+
+void ActiveStandbyCoordinator::setup() {
+  primary_ = rt_.instanceOf(subjob_, Replica::kPrimary);
+  assert(primary_ != nullptr && "deploy primaries before HA setup");
+  assert(params_.standbyMachine != kNoMachine);
+
+  // Both copies process everything and ack as they process.
+  primary_->setAckPolicy(AckPolicy::kOnProcess);
+  secondary_ = &rt_.instantiate(subjob_, params_.standbyMachine,
+                                Replica::kSecondary);
+  secondary_->setAckPolicy(AckPolicy::kOnProcess);
+  // All channels active and gating: upstream queues retain data until BOTH
+  // copies have consumed it; downstream dedups whatever arrives second.
+  rt_.wireInstance(*secondary_, Runtime::WireOpts{true, true},
+                   Runtime::WireOpts{true, true});
+  secondary_->startAckTimer(rt_.costs().ackFlushInterval);
+  installDetectors();
+}
+
+void ActiveStandbyCoordinator::installDetectors() {
+  retire(std::move(detector_));
+  retire(std::move(detector2_));
+  {
+    FailureDetector::Callbacks callbacks;
+    callbacks.onFailure = [this](SimTime t) {
+      onCopyFailure(Replica::kPrimary, t);
+    };
+    detector_ = makeDetector(secondary_->machine(), primary_->machine(),
+                             std::move(callbacks));
+    detector_->start();
+  }
+  {
+    FailureDetector::Callbacks callbacks;
+    callbacks.onFailure = [this](SimTime t) {
+      onCopyFailure(Replica::kSecondary, t);
+    };
+    detector2_ = makeDetector(primary_->machine(), secondary_->machine(),
+                              std::move(callbacks));
+    detector2_->start();
+  }
+}
+
+void ActiveStandbyCoordinator::onCopyFailure(Replica which,
+                                             SimTime detectedAt) {
+  if (replacing_) return;
+  // AS deliberately does nothing about transient unavailability -- the other
+  // copy carries the traffic. Only sustained silence becomes a replacement.
+  LOG_INFO(sim().now(), "as") << "copy " << toString(which) << " of subjob "
+                              << subjob_ << " unresponsive at "
+                              << toMillis(detectedAt) << "ms";
+  if (params_.spareMachine == kNoMachine) return;
+  if (failstop_timer_.pending()) return;
+  failstop_timer_ = sim().schedule(params_.failStopAfter, [this, which] {
+    FailureDetector* det =
+        which == Replica::kPrimary ? detector_.get() : detector2_.get();
+    if (det != nullptr && det->failed() && !replacing_) replaceCopy(which);
+  });
+}
+
+void ActiveStandbyCoordinator::replaceCopy(Replica which) {
+  replacing_ = true;
+  Subjob* dead = which == Replica::kPrimary ? primary_ : secondary_;
+  Subjob* survivor = which == Replica::kPrimary ? secondary_ : primary_;
+  const MachineId spare = params_.spareMachine;
+  LOG_INFO(sim().now(), "as") << "replacing " << toString(which)
+                              << " copy of subjob " << subjob_
+                              << " on spare machine " << spare;
+
+  RecoveryTimeline timeline;
+  timeline.detectedAt = sim().now();
+  recoveries_.push_back(timeline);
+  const std::size_t idx = recoveries_.size() - 1;
+
+  isolateInstance(*dead);
+  dead->terminateAll();
+  rt_.removeWiresOf(*dead);
+
+  cluster().machine(spare).submitData(
+      rt_.costs().deployWorkUs, [this, which, survivor, spare, idx] {
+        Subjob& copy = rt_.instantiate(subjob_, spare, which);
+        copy.setAckPolicy(AckPolicy::kOnProcess);
+        recoveries_[idx].redeployDoneAt = sim().now();
+        if (which == Replica::kPrimary) {
+          primary_ = &copy;
+        } else {
+          secondary_ = &copy;
+        }
+        params_.spareMachine = kNoMachine;  // Spare consumed.
+        // AS has no checkpoints: read a consistent state (including pending
+        // input) from the surviving copy.
+        quiescer_.quiesce(*survivor, [this, &copy, survivor, spare, idx] {
+          SubjobState state = survivor->captureState(true, true);
+          const MachineId from = survivor->machine().id();
+          net().send(
+              from, spare, MsgKind::kStateRead, state.sizeBytes(),
+              state.sizeElements(params_.checkpoint.bytesPerElement),
+              [this, &copy, survivor, state, idx] {
+                quiescer_.release();
+                const ElementSeq baseline =
+                    survivor->lastPe().output(0).nextSeq();
+                copy.applyState(state);
+                watchFirstOutput(copy, idx, baseline);
+                rt_.wireInstanceWithCost(
+                    copy, Runtime::WireOpts{false, false},
+                    Runtime::WireOpts{false, false},
+                    [this, &copy, state, idx] {
+                      recoveries_[idx].connectionsReadyAt = sim().now();
+                      activateRestoredInstance(copy, state,
+                                               /*gateInbound=*/true);
+                      copy.startAckTimer(rt_.costs().ackFlushInterval);
+                      installDetectors();
+                      replacing_ = false;
+                    });
+                (void)survivor;
+              });
+        });
+      });
+}
+
+}  // namespace streamha

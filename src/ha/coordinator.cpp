@@ -1,0 +1,142 @@
+#include "ha/coordinator.hpp"
+
+#include "common/logging.hpp"
+
+namespace streamha {
+
+HaCoordinator::HaCoordinator(Runtime& rt, SubjobId subjob, HaParams params)
+    : rt_(rt), subjob_(subjob), params_(params) {}
+
+HaCoordinator::~HaCoordinator() {
+  if (detector_ != nullptr) detector_->stop();
+  if (cm_ != nullptr) cm_->stop();
+}
+
+Simulator& HaCoordinator::sim() { return rt_.cluster().sim(); }
+
+Network& HaCoordinator::net() { return rt_.cluster().network(); }
+
+std::unique_ptr<FailureDetector> HaCoordinator::makeDetector(
+    Machine& monitor, Machine& target, FailureDetector::Callbacks callbacks) {
+  if (params_.detectorFactory) {
+    return params_.detectorFactory(sim(), net(), monitor, target,
+                                   std::move(callbacks));
+  }
+  return std::make_unique<HeartbeatDetector>(
+      sim(), net(), monitor, target, params_.heartbeat, std::move(callbacks));
+}
+
+std::unique_ptr<CheckpointManager> HaCoordinator::makeCheckpointManager(
+    Subjob& subjob, StateStore& store) {
+  switch (params_.checkpointKind) {
+    case CheckpointKind::kSweeping:
+      return std::make_unique<SweepingCheckpointManager>(
+          sim(), net(), subjob, store, params_.checkpoint);
+    case CheckpointKind::kSynchronous:
+      return std::make_unique<SynchronousCheckpointManager>(
+          sim(), net(), subjob, store, params_.checkpoint);
+    case CheckpointKind::kIndividual:
+      return std::make_unique<IndividualCheckpointManager>(
+          sim(), net(), subjob, store, params_.checkpoint);
+  }
+  return nullptr;
+}
+
+ElementSeq HaCoordinator::stateWatermark(const SubjobState& state,
+                                         const PeInstance& consumerPe,
+                                         StreamId stream) {
+  const auto peIt = state.pes.find(consumerPe.logicalId());
+  if (peIt == state.pes.end()) return 0;
+  // Conventional checkpoints persisted the received backlog, so resumption
+  // starts after everything *received*; sweeping resumes after everything
+  // *processed*.
+  const auto recvIt = peIt->second.receivedWatermark.find(stream);
+  if (recvIt != peIt->second.receivedWatermark.end()) return recvIt->second;
+  const auto procIt = peIt->second.processedWatermark.find(stream);
+  return procIt == peIt->second.processedWatermark.end() ? 0 : procIt->second;
+}
+
+bool HaCoordinator::stateAdvances(const SubjobState& state, Subjob& instance) {
+  for (std::size_t i = 0; i < instance.peCount(); ++i) {
+    PeInstance& pe = instance.pe(i);
+    const auto peIt = state.pes.find(pe.logicalId());
+    if (peIt == state.pes.end()) return false;
+    for (const auto& [stream, current] : pe.watermarks()) {
+      const auto it = peIt->second.processedWatermark.find(stream);
+      const ElementSeq candidate =
+          it == peIt->second.processedWatermark.end() ? 0 : it->second;
+      if (candidate < current) return false;
+    }
+  }
+  return true;
+}
+
+void HaCoordinator::activateRestoredInstance(Subjob& copy,
+                                             const SubjobState& state,
+                                             bool gateInbound) {
+  for (Runtime::Wire* wire : rt_.wiresInto(copy)) {
+    const ElementSeq wm =
+        wire->consumerPe == nullptr
+            ? 0
+            : stateWatermark(state, *wire->consumerPe, wire->stream);
+    // Position the cursor while inactive (no send), then activate (pushes
+    // from the cursor) and optionally start gating upstream trimming.
+    rt_.retransmitWire(*wire, wm + 1);
+    rt_.setWireActive(*wire, true);
+    if (gateInbound) wire->oq->setConnectionGating(wire->connId, true);
+  }
+  for (Runtime::Wire* wire : rt_.wiresOutOf(copy)) {
+    rt_.setWireActive(*wire, true);
+    wire->oq->setConnectionGating(wire->connId, true);
+  }
+}
+
+void HaCoordinator::deactivateInstanceWires(Subjob& copy) {
+  for (Runtime::Wire* wire : rt_.wiresInto(copy)) {
+    rt_.setWireActive(*wire, false);
+    wire->oq->setConnectionGating(wire->connId, false);
+  }
+  for (Runtime::Wire* wire : rt_.wiresOutOf(copy)) {
+    rt_.setWireActive(*wire, false);
+  }
+}
+
+void HaCoordinator::isolateInstance(Subjob& copy) {
+  for (Runtime::Wire* wire : rt_.wiresInto(copy)) {
+    rt_.releaseTrimGate(*wire);
+    rt_.setWireActive(*wire, false);
+  }
+}
+
+void HaCoordinator::watchFirstOutput(Subjob& copy, std::size_t timelineIdx,
+                                     ElementSeq baseline) {
+  OutputQueue& out = copy.lastPe().output(0);
+  baseline = std::max(baseline, out.nextSeq());
+  out.setProduceListener([this, &out, baseline, timelineIdx](ElementSeq seq) {
+    if (seq < baseline) return;
+    if (timelineIdx < recoveries_.size() &&
+        recoveries_[timelineIdx].firstOutputAt == kTimeNever) {
+      recoveries_[timelineIdx].firstOutputAt = sim().now();
+    }
+    out.setProduceListener(nullptr);
+  });
+}
+
+void HaCoordinator::retire(std::unique_ptr<CheckpointManager> cm) {
+  if (cm == nullptr) return;
+  cm->stop();
+  retired_cms_.push_back(std::move(cm));
+}
+
+void HaCoordinator::retire(std::unique_ptr<FailureDetector> detector) {
+  if (detector == nullptr) return;
+  detector->stop();
+  retired_detectors_.push_back(std::move(detector));
+}
+
+void HaCoordinator::retire(std::unique_ptr<StateStore> store) {
+  if (store == nullptr) return;
+  retired_stores_.push_back(std::move(store));
+}
+
+}  // namespace streamha

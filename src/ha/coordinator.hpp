@@ -1,0 +1,164 @@
+// High-availability coordinators.
+//
+// One coordinator protects one subjob and owns its standby machinery:
+// standby copies, state store, checkpoint manager and failure detector. Four
+// modes (paper Section V-A):
+//
+//   NONE    -- single copy, no action on failure (no coordinator object).
+//   AS      -- ActiveStandbyCoordinator: two always-active copies, duplicate
+//              elimination downstream, 4x traffic.
+//   PS      -- PassiveStandbyCoordinator: checkpoint to a standby store;
+//              on 3 heartbeat misses deploy + restore + reconnect on the
+//              standby machine (migration; no rollback).
+//   Hybrid  -- HybridCoordinator: pre-deployed suspended copy, early
+//              connections, in-memory state refresh, switchover on the first
+//              heartbeat miss, rollback with read-state when the primary
+//              recovers, promotion on fail-stop, secondary multiplexing.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "checkpoint/manager.hpp"
+#include "checkpoint/store.hpp"
+#include "detect/detector.hpp"
+#include "detect/heartbeat.hpp"
+#include "detect/predictive.hpp"
+#include "metrics/recovery.hpp"
+#include "stream/runtime.hpp"
+
+namespace streamha {
+
+enum class HaMode : std::uint8_t { kNone, kActiveStandby, kPassiveStandby, kHybrid };
+
+constexpr const char* toString(HaMode mode) {
+  switch (mode) {
+    case HaMode::kNone: return "NONE";
+    case HaMode::kActiveStandby: return "AS";
+    case HaMode::kPassiveStandby: return "PS";
+    case HaMode::kHybrid: return "Hybrid";
+  }
+  return "?";
+}
+
+enum class CheckpointKind : std::uint8_t { kSweeping, kSynchronous, kIndividual };
+
+struct HaParams {
+  MachineId standbyMachine = kNoMachine;
+  /// Replacement standby used after a fail-stop promotion/replacement.
+  MachineId spareMachine = kNoMachine;
+  HeartbeatDetector::Params heartbeat;
+  /// Optional custom detector (e.g. PredictiveDetector); when unset the
+  /// coordinator builds a HeartbeatDetector from `heartbeat`. The Hybrid
+  /// method works with any mechanism that declares failure and recovery.
+  DetectorFactory detectorFactory;
+  CheckpointManager::Params checkpoint;
+  StateStore::Params store;
+  CheckpointKind checkpointKind = CheckpointKind::kSweeping;
+  /// Continued unresponsiveness after which a failure is treated as
+  /// fail-stop (Hybrid promotes its secondary; AS replaces the dead copy).
+  SimDuration failStopAfter = 10 * kSecond;
+  // -- Hybrid optimization toggles (for the ablation bench) -----------------
+  bool predeploySecondary = true;   ///< Off: deploy on demand at switchover.
+  bool earlyConnections = true;     ///< Off: establish connections on demand.
+  bool readStateOnRollback = true;  ///< Off: primary grinds through backlog.
+};
+
+class HaCoordinator {
+ public:
+  HaCoordinator(Runtime& rt, SubjobId subjob, HaParams params);
+  virtual ~HaCoordinator();
+  HaCoordinator(const HaCoordinator&) = delete;
+  HaCoordinator& operator=(const HaCoordinator&) = delete;
+
+  /// Deploy standby machinery. Call after Runtime::deployPrimaries() and
+  /// before Runtime::start().
+  virtual void setup() = 0;
+  virtual HaMode mode() const = 0;
+
+  SubjobId subjobId() const { return subjob_; }
+  Subjob* primary() { return primary_; }
+  Subjob* secondary() { return secondary_; }
+  CheckpointManager* checkpointManager() { return cm_.get(); }
+  FailureDetector* detector() { return detector_.get(); }
+  StateStore* store() { return store_.get(); }
+
+  const std::vector<RecoveryTimeline>& recoveries() const { return recoveries_; }
+  std::vector<RecoveryTimeline>& mutableRecoveries() { return recoveries_; }
+
+  std::uint64_t switchovers() const { return switchovers_; }
+  std::uint64_t rollbacks() const { return rollbacks_; }
+  std::uint64_t promotions() const { return promotions_; }
+
+ protected:
+  Simulator& sim();
+  Network& net();
+  Cluster& cluster() { return rt_.cluster(); }
+
+  std::unique_ptr<CheckpointManager> makeCheckpointManager(Subjob& subjob,
+                                                           StateStore& store);
+
+  /// Builds the configured failure detector (custom factory or heartbeat).
+  std::unique_ptr<FailureDetector> makeDetector(
+      Machine& monitor, Machine& target, FailureDetector::Callbacks callbacks);
+
+  /// Position every inbound wire of `copy` at the state's watermark, then
+  /// activate it (and optionally make it gate trimming); activate + gate all
+  /// outbound wires. Restored output-queue contents flow downstream on
+  /// activation.
+  void activateRestoredInstance(Subjob& copy, const SubjobState& state,
+                                bool gateInbound);
+
+  /// Deactivate the wires of a standby going back to suspension.
+  void deactivateInstanceWires(Subjob& copy);
+
+  /// Cut a dead/demoted copy loose: stop its connections from gating
+  /// upstream trimming and deactivate them.
+  void isolateInstance(Subjob& copy);
+
+  /// Record firstOutputAt on recoveries_[timelineIdx] when `copy` produces
+  /// its first genuinely *new* element: one with sequence number at or past
+  /// `baseline` (the stream position the failed copy had reached when the
+  /// failure was detected). Elements below the baseline are reprocessing of
+  /// already-produced data -- the paper counts that time as part of the
+  /// retransmission/reprocessing phase.
+  void watchFirstOutput(Subjob& copy, std::size_t timelineIdx,
+                        ElementSeq baseline);
+
+  /// Watermark the state holds for (consumer PE, stream); 0 if unknown.
+  static ElementSeq stateWatermark(const SubjobState& state,
+                                   const PeInstance& consumerPe,
+                                   StreamId stream);
+
+  /// True when `state` is at or ahead of `instance` on every PE/stream --
+  /// the safety condition for read-state-on-rollback.
+  static bool stateAdvances(const SubjobState& state, Subjob& instance);
+
+  /// Park a stopped component; objects are retired, never destroyed
+  /// mid-run, because in-flight network closures may still reference them.
+  void retire(std::unique_ptr<CheckpointManager> cm);
+  void retire(std::unique_ptr<FailureDetector> detector);
+  void retire(std::unique_ptr<StateStore> store);
+
+  Runtime& rt_;
+  SubjobId subjob_;
+  HaParams params_;
+
+  Subjob* primary_ = nullptr;
+  Subjob* secondary_ = nullptr;
+  std::unique_ptr<StateStore> store_;
+  std::unique_ptr<CheckpointManager> cm_;
+  std::unique_ptr<FailureDetector> detector_;
+
+  std::vector<RecoveryTimeline> recoveries_;
+  std::uint64_t switchovers_ = 0;
+  std::uint64_t rollbacks_ = 0;
+  std::uint64_t promotions_ = 0;
+
+ private:
+  std::vector<std::unique_ptr<CheckpointManager>> retired_cms_;
+  std::vector<std::unique_ptr<FailureDetector>> retired_detectors_;
+  std::vector<std::unique_ptr<StateStore>> retired_stores_;
+};
+
+}  // namespace streamha

@@ -1,0 +1,275 @@
+#include "ha/hybrid.hpp"
+
+#include <cassert>
+
+#include "common/logging.hpp"
+
+namespace streamha {
+
+void HybridCoordinator::setup() {
+  primary_ = rt_.instanceOf(subjob_, Replica::kPrimary);
+  assert(primary_ != nullptr && "deploy primaries before HA setup");
+  assert(params_.standbyMachine != kNoMachine);
+
+  primary_->setAckPolicy(AckPolicy::kOnCheckpoint);
+  store_ = std::make_unique<StateStore>(
+      sim(), cluster().machine(params_.standbyMachine), params_.store);
+  if (params_.predeploySecondary) {
+    predeploySecondary(params_.standbyMachine);
+  }
+  cm_ = makeCheckpointManager(*primary_, *store_);
+  cm_->start();
+  installDetector(params_.standbyMachine, primary_->machine());
+}
+
+void HybridCoordinator::predeploySecondary(MachineId machine) {
+  secondary_ = &rt_.instantiate(subjob_, machine, Replica::kSecondary);
+  secondary_->setAckPolicy(AckPolicy::kOnCheckpoint);
+  // "To avoid consuming CPU cycles, we suspend this job immediately after
+  // its deployment."
+  secondary_->suspendAll();
+  if (params_.earlyConnections) {
+    // Early connection: channels exist with isActive=false; switchover only
+    // flips the flag.
+    rt_.wireInstance(*secondary_, Runtime::WireOpts{false, false},
+                     Runtime::WireOpts{false, false});
+  }
+  // Checkpoints refresh the suspended copy's PE memory directly.
+  store_->attachReplica(subjob_, secondary_);
+}
+
+void HybridCoordinator::installDetector(MachineId monitor, Machine& target) {
+  retire(std::move(detector_));
+  FailureDetector::Callbacks callbacks;
+  callbacks.onFailure = [this](SimTime t) { onFailure(t); };
+  callbacks.onRecovery = [this](SimTime t) { onRecovery(t); };
+  detector_ = makeDetector(cluster().machine(monitor), target,
+                           std::move(callbacks));
+  detector_->start();
+}
+
+void HybridCoordinator::onFailure(SimTime detectedAt) {
+  if (switched_ || promoting_ || resume_in_flight_) return;
+  switched_ = true;
+  ++switchovers_;
+  RecoveryTimeline timeline;
+  timeline.detectedAt = detectedAt;
+  recoveries_.push_back(timeline);
+  current_timeline_ = recoveries_.size() - 1;
+  switchover_started_ = detectedAt;
+  switchover_baseline_ = primary_->lastPe().output(0).nextSeq();
+  cursor_sum_at_switchover_ = 0;
+  for (Runtime::Wire* wire : rt_.wiresInto(*primary_)) {
+    cursor_sum_at_switchover_ += wire->oq->connectionCursor(wire->connId);
+  }
+  LOG_INFO(sim().now(), "hybrid")
+      << "switchover for subjob " << subjob_ << " (miss on machine "
+      << primary_->machine().id() << ")";
+
+  // Promote to a permanent failure if the primary stays silent.
+  failstop_timer_ = sim().schedule(params_.failStopAfter, [this] {
+    if (switched_ && !promoting_) promote();
+  });
+
+  const std::size_t idx = current_timeline_;
+  resume_in_flight_ = true;
+  if (secondary_ != nullptr) {
+    // Resume the pre-deployed suspended copy: a flag flip plus a small
+    // amount of control work on the standby machine.
+    secondary_->machine().submitData(rt_.costs().resumeWorkUs, [this, idx] {
+      resume_in_flight_ = false;
+      if (!switched_ || promoting_) return;  // Rolled back before resume.
+      secondary_->unsuspendAll();
+      // While switched over the system runs in active-standby mode: the
+      // secondary acks as it processes (keeping its own queues trimmed).
+      // Safety is unaffected -- its upstream connections never gate trim.
+      secondary_->setAckPolicy(AckPolicy::kOnProcess);
+      secondary_->startAckTimer(rt_.costs().ackFlushInterval);
+      recoveries_[idx].redeployDoneAt = sim().now();
+      if (params_.earlyConnections) {
+        completeSwitchover(idx);
+      } else {
+        rt_.wireInstanceWithCost(
+            *secondary_, Runtime::WireOpts{false, false},
+            Runtime::WireOpts{false, false}, [this, idx] {
+              if (switched_ && !promoting_) completeSwitchover(idx);
+            });
+      }
+    });
+  } else {
+    // Ablation: no pre-deployment -- pay the full deployment cost now.
+    Machine& standby = cluster().machine(params_.standbyMachine);
+    standby.submitData(rt_.costs().deployWorkUs, [this, idx] {
+      resume_in_flight_ = false;
+      if (!switched_ || promoting_) return;
+      secondary_ = &rt_.instantiate(subjob_, params_.standbyMachine,
+                                    Replica::kSecondary);
+      secondary_->setAckPolicy(AckPolicy::kOnProcess);
+      secondary_->startAckTimer(rt_.costs().ackFlushInterval);
+      store_->attachReplica(subjob_, secondary_);
+      recoveries_[idx].redeployDoneAt = sim().now();
+      rt_.wireInstanceWithCost(
+          *secondary_, Runtime::WireOpts{false, false},
+          Runtime::WireOpts{false, false}, [this, idx] {
+            if (switched_ && !promoting_) completeSwitchover(idx);
+          });
+    });
+  }
+}
+
+void HybridCoordinator::completeSwitchover(std::size_t timelineIdx) {
+  const SubjobState state = store_->latest(subjob_);
+  secondary_->applyState(state);
+  watchFirstOutput(*secondary_, timelineIdx, switchover_baseline_);
+  recoveries_[timelineIdx].connectionsReadyAt = sim().now();
+  // Trim gating stays anchored to the primary's checkpointed acks: the
+  // activated secondary never gates upstream queues, so a secondary failure
+  // during switchover cannot lose data.
+  activateRestoredInstance(*secondary_, state, /*gateInbound=*/false);
+}
+
+void HybridCoordinator::onRecovery(SimTime recoveredAt) {
+  if (!switched_ || promoting_) return;
+  // The primary came back before the secondary even finished resuming (or,
+  // without pre-deployment, before it was deployed): nothing to roll back --
+  // abort the speculative switchover. The pending resume/deploy callback
+  // sees switched_ == false and stands down.
+  if (resume_in_flight_ || secondary_ == nullptr) {
+    failstop_timer_.cancel();
+    if (current_timeline_ < recoveries_.size()) {
+      recoveries_[current_timeline_].rollbackStartAt = recoveredAt;
+      recoveries_[current_timeline_].rollbackDoneAt = recoveredAt;
+    }
+    switched_ = false;
+    return;
+  }
+  ++rollbacks_;
+  failstop_timer_.cancel();
+  if (current_timeline_ < recoveries_.size()) {
+    recoveries_[current_timeline_].rollbackStartAt = recoveredAt;
+  }
+  LOG_INFO(sim().now(), "hybrid")
+      << "primary responsive again; rolling back subjob " << subjob_;
+
+  // Account the elements that were shipped to the stalled primary while we
+  // were switched over (Fig 10's dominant overhead term).
+  std::uint64_t cursor_sum_now = 0;
+  for (Runtime::Wire* wire : rt_.wiresInto(*primary_)) {
+    cursor_sum_now += wire->oq->connectionCursor(wire->connId);
+  }
+  if (cursor_sum_now > cursor_sum_at_switchover_) {
+    elements_to_stalled_primary_ += cursor_sum_now - cursor_sum_at_switchover_;
+  }
+
+  quiescer_.quiesce(*secondary_, [this] {
+    SubjobState state = secondary_->captureState(true, false);
+    const bool useState =
+        params_.readStateOnRollback && stateAdvances(state, *primary_);
+    auto finishRollback = [this] {
+      secondary_->suspendAll();
+      secondary_->stopAckTimer();
+      secondary_->setAckPolicy(AckPolicy::kOnCheckpoint);
+      quiescer_.release();
+      deactivateInstanceWires(*secondary_);
+      if (current_timeline_ < recoveries_.size()) {
+        recoveries_[current_timeline_].rollbackDoneAt = sim().now();
+      }
+      switched_ = false;
+    };
+    if (useState) {
+      // Read State on Rollback: the primary adopts the secondary's more
+      // advanced state instead of grinding through its backlog.
+      const std::uint64_t elements =
+          state.sizeElements(params_.checkpoint.bytesPerElement);
+      state_read_elements_ += elements;
+      const MachineId standbyM = secondary_->machine().id();
+      const MachineId primaryM = primary_->machine().id();
+      net().send(standbyM, primaryM, MsgKind::kStateRead, state.sizeBytes(),
+                 elements, [this, state, finishRollback] {
+                   // Re-check at application time: the recovered primary has
+                   // been processing during the transfer and may have moved
+                   // past the captured state -- applying it then would roll
+                   // the primary backwards and skew its output numbering.
+                   if (stateAdvances(state, *primary_)) {
+                     primary_->applyState(state);
+                     for (Runtime::Wire* wire : rt_.wiresInto(*primary_)) {
+                       if (wire->consumerPe == nullptr) continue;
+                       const ElementSeq wm = stateWatermark(
+                           state, *wire->consumerPe, wire->stream);
+                       rt_.retransmitWire(*wire, wm + 1);
+                     }
+                     // Re-persist the adopted state so upstream acks (and
+                     // trimming) resume from it.
+                     cm_->checkpointAllNow(nullptr);
+                   }
+                   finishRollback();
+                 });
+    } else {
+      finishRollback();
+    }
+  });
+}
+
+void HybridCoordinator::promote() {
+  if (!switched_ || secondary_ == nullptr) return;
+  // Never promote a dead copy; if the standby died too, the only option is
+  // to keep waiting for the primary (or an operator) to come back.
+  if (!secondary_->alive()) return;
+  promoting_ = true;
+  ++promotions_;
+  LOG_INFO(sim().now(), "hybrid")
+      << "fail-stop: promoting secondary of subjob " << subjob_
+      << " on machine " << secondary_->machine().id();
+
+  Subjob* old = primary_;
+  isolateInstance(*old);
+  old->terminateAll();
+  rt_.removeWiresOf(*old);
+
+  primary_ = secondary_;
+  secondary_ = nullptr;
+  store_->detachReplica(subjob_);
+  // The promoted copy checkpoints like a primary from here on.
+  primary_->stopAckTimer();
+  primary_->setAckPolicy(AckPolicy::kOnCheckpoint);
+
+  // The promoted copy's connections now carry primary semantics: its acks
+  // gate upstream trimming.
+  for (Runtime::Wire* wire : rt_.wiresInto(*primary_)) {
+    wire->oq->setConnectionGating(wire->connId, true);
+  }
+
+  retire(std::move(cm_));
+  const MachineId spare = params_.spareMachine;
+  if (spare != kNoMachine) {
+    // Stand up a fresh standby on the spare machine (full deployment cost),
+    // then resume checkpointing against it.
+    cluster().machine(spare).submitData(rt_.costs().deployWorkUs, [this,
+                                                                   spare] {
+      retire(std::move(store_));
+      store_ = std::make_unique<StateStore>(sim(), cluster().machine(spare),
+                                            params_.store);
+      params_.standbyMachine = spare;
+      params_.spareMachine = kNoMachine;
+      predeploySecondary(spare);
+      cm_ = makeCheckpointManager(*primary_, *store_);
+      cm_->start();
+      installDetector(spare, primary_->machine());
+      promoting_ = false;
+      switched_ = false;
+    });
+  } else {
+    // Degraded mode: no spare available; checkpoint locally so the job keeps
+    // running, without standby protection.
+    retire(std::move(store_));
+    store_ = std::make_unique<StateStore>(sim(), primary_->machine(),
+                                          params_.store);
+    cm_ = makeCheckpointManager(*primary_, *store_);
+    cm_->start();
+    retire(std::move(detector_));
+    promoting_ = false;
+    switched_ = false;
+  }
+}
+
+}  // namespace streamha

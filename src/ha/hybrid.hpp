@@ -1,0 +1,67 @@
+// The Hybrid HA method (the paper's contribution, Section IV).
+//
+// Normal operation is passive standby with sweeping checkpointing, plus:
+//   * a pre-deployed, suspended secondary copy on the standby machine;
+//   * early connections (`isActive=false`) from upstream into the secondary
+//     and from the secondary into downstream;
+//   * checkpoints refresh the secondary's PE memory directly (StateStore
+//     attached replica) -- no disk I/O;
+//   * detection acts on the FIRST heartbeat miss (false alarms are cheap
+//     because rollback is cheap).
+//
+// On switchover the system becomes active standby: the secondary resumes
+// (flag flip + small resume cost), its connections are activated and
+// repositioned at the checkpoint watermarks, and it processes alongside the
+// (stalled) primary. Upstream trimming stays anchored to the *primary's*
+// checkpointed acks, so no data can be lost even if the secondary fails too.
+//
+// When the primary answers heartbeats again the coordinator rolls back:
+// quiesce the secondary, read its (more advanced) state into the primary
+// (Read State on Rollback -- skips the backlog), re-persist it, suspend the
+// secondary and deactivate its connections. If the primary stays silent past
+// `failStopAfter`, the secondary is promoted to primary and a fresh
+// secondary is pre-deployed on the spare machine.
+#pragma once
+
+#include "ha/coordinator.hpp"
+
+namespace streamha {
+
+class HybridCoordinator : public HaCoordinator {
+ public:
+  using HaCoordinator::HaCoordinator;
+
+  void setup() override;
+  HaMode mode() const override { return HaMode::kHybrid; }
+
+  bool switchedOver() const { return switched_; }
+
+  /// Message overhead of switchover/rollback episodes: elements delivered to
+  /// the unresponsive primary while switched over, plus state read back.
+  std::uint64_t elementsToStalledPrimary() const {
+    return elements_to_stalled_primary_;
+  }
+  std::uint64_t stateReadElements() const { return state_read_elements_; }
+
+ private:
+  void predeploySecondary(MachineId machine);
+  void installDetector(MachineId monitor, Machine& target);
+  void onFailure(SimTime detectedAt);
+  void completeSwitchover(std::size_t timelineIdx);
+  void onRecovery(SimTime recoveredAt);
+  void promote();
+
+  bool switched_ = false;
+  bool promoting_ = false;
+  bool resume_in_flight_ = false;
+  EventHandle failstop_timer_;
+  SubjobQuiescer quiescer_;
+  std::size_t current_timeline_ = 0;
+  SimTime switchover_started_ = kTimeNever;
+  ElementSeq switchover_baseline_ = 0;  ///< Primary's position at detection.
+  std::uint64_t cursor_sum_at_switchover_ = 0;
+  std::uint64_t elements_to_stalled_primary_ = 0;
+  std::uint64_t state_read_elements_ = 0;
+};
+
+}  // namespace streamha

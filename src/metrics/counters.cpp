@@ -1,0 +1,20 @@
+#include "metrics/counters.hpp"
+
+#include <sstream>
+
+namespace streamha {
+
+std::string TrafficWindow::summary() const {
+  std::ostringstream out;
+  out << "elements: total=" << totalElements();
+  for (std::size_t i = 0; i < kMsgKindCount; ++i) {
+    const auto kind = static_cast<MsgKind>(i);
+    if (delta_.elementsOf(kind) > 0 || delta_.messagesOf(kind) > 0) {
+      out << " " << toString(kind) << "=" << delta_.elementsOf(kind) << "el/"
+          << delta_.messagesOf(kind) << "msg";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace streamha

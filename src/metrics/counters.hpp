@@ -1,0 +1,53 @@
+// Traffic accounting helpers on top of Network counters.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "net/network.hpp"
+
+namespace streamha {
+
+/// Traffic observed between two instants.
+class TrafficWindow {
+ public:
+  TrafficWindow(const Network& net, SimTime start)
+      : baseline_(net.snapshot()), start_(start) {}
+
+  /// Finalize against the current counters.
+  void close(const Network& net, SimTime end) {
+    delta_ = net.snapshot() - baseline_;
+    end_ = end;
+    closed_ = true;
+  }
+
+  const Network::Counters& delta() const { return delta_; }
+  double seconds() const { return toSeconds(end_ - start_); }
+  bool closed() const { return closed_; }
+
+  std::uint64_t dataElements() const {
+    return delta_.elementsOf(MsgKind::kData);
+  }
+  std::uint64_t checkpointElements() const {
+    return delta_.elementsOf(MsgKind::kCheckpoint);
+  }
+  std::uint64_t totalElements() const { return delta_.totalElements(); }
+  std::uint64_t totalMessages() const { return delta_.totalMessages(); }
+  std::uint64_t totalBytes() const { return delta_.totalBytes(); }
+
+  double elementsPerSecond() const {
+    const double s = seconds();
+    return s <= 0 ? 0.0 : static_cast<double>(totalElements()) / s;
+  }
+
+  std::string summary() const;
+
+ private:
+  Network::Counters baseline_;
+  Network::Counters delta_{};
+  SimTime start_;
+  SimTime end_ = kTimeNever;
+  bool closed_ = false;
+};
+
+}  // namespace streamha

@@ -1,0 +1,49 @@
+#include "metrics/latency.hpp"
+
+#include <algorithm>
+
+namespace streamha {
+
+DelaySplit splitDelaysByWindows(
+    const std::vector<std::pair<SimTime, double>>& series,
+    const std::vector<std::pair<SimTime, SimTime>>& windows, SimTime from,
+    SimTime to) {
+  DelaySplit out;
+  for (const auto& [when, delay] : series) {
+    if (when < from || when >= to) continue;
+    out.overall.add(delay);
+    bool inside = false;
+    for (const auto& [start, end] : windows) {
+      if (when >= start && when < end) {
+        inside = true;
+        break;
+      }
+    }
+    if (inside) {
+      out.duringFailure.add(delay);
+    } else {
+      out.outsideFailure.add(delay);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<SimTime, SimTime>> mergeWindows(
+    std::vector<std::vector<std::pair<SimTime, SimTime>>> lists) {
+  std::vector<std::pair<SimTime, SimTime>> all;
+  for (auto& list : lists) {
+    all.insert(all.end(), list.begin(), list.end());
+  }
+  std::sort(all.begin(), all.end());
+  std::vector<std::pair<SimTime, SimTime>> merged;
+  for (const auto& window : all) {
+    if (!merged.empty() && window.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, window.second);
+    } else {
+      merged.push_back(window);
+    }
+  }
+  return merged;
+}
+
+}  // namespace streamha

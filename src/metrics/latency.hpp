@@ -1,0 +1,36 @@
+// Delay-series analysis helpers.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace streamha {
+
+/// Splits a (arrival time, delay ms) series into samples that arrived during
+/// ground-truth failure windows vs outside them -- used for the paper's
+/// "8-fold increase during periods of unavailability" observation.
+struct DelaySplit {
+  RunningStats overall;
+  RunningStats duringFailure;
+  RunningStats outsideFailure;
+
+  double failureInflation() const {
+    return outsideFailure.mean() <= 0
+               ? 0.0
+               : duringFailure.mean() / outsideFailure.mean();
+  }
+};
+
+DelaySplit splitDelaysByWindows(
+    const std::vector<std::pair<SimTime, double>>& series,
+    const std::vector<std::pair<SimTime, SimTime>>& windows,
+    SimTime from = 0, SimTime to = kTimeNever);
+
+/// Merge several windows lists (failures on multiple machines) into one.
+std::vector<std::pair<SimTime, SimTime>> mergeWindows(
+    std::vector<std::vector<std::pair<SimTime, SimTime>>> lists);
+
+}  // namespace streamha

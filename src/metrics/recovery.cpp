@@ -1,0 +1,4 @@
+#include "metrics/recovery.hpp"
+
+// Header-only logic; this translation unit exists so the target has a home
+// for future out-of-line additions.

@@ -1,0 +1,86 @@
+// Recovery-time decomposition.
+//
+// The paper decomposes recovery into: failure detection, job redeployment
+// (PS) or job resume (Hybrid), and data retransmission/reprocessing (time to
+// the first new output after the switch). Coordinators fill these in; the
+// experiment harness supplies the ground-truth failure start from the load
+// generator.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace streamha {
+
+struct RecoveryTimeline {
+  SimTime failureStart = kTimeNever;   ///< Ground truth (filled by harness).
+  SimTime detectedAt = kTimeNever;
+  SimTime redeployDoneAt = kTimeNever; ///< Deploy+restore (PS) or resume (Hybrid) complete.
+  SimTime connectionsReadyAt = kTimeNever;
+  SimTime firstOutputAt = kTimeNever;  ///< First new element out of the recovered copy.
+  SimTime rollbackStartAt = kTimeNever;  ///< Hybrid only.
+  SimTime rollbackDoneAt = kTimeNever;   ///< Hybrid only.
+
+  bool complete() const {
+    return detectedAt != kTimeNever && redeployDoneAt != kTimeNever &&
+           firstOutputAt != kTimeNever;
+  }
+
+  double detectionMs() const {
+    return (failureStart == kTimeNever || detectedAt == kTimeNever)
+               ? 0.0
+               : toMillis(detectedAt - failureStart);
+  }
+  double redeployMs() const {
+    return (detectedAt == kTimeNever || redeployDoneAt == kTimeNever)
+               ? 0.0
+               : toMillis(redeployDoneAt - detectedAt);
+  }
+  double retransmitMs() const {
+    return (redeployDoneAt == kTimeNever || firstOutputAt == kTimeNever)
+               ? 0.0
+               : toMillis(firstOutputAt - redeployDoneAt);
+  }
+  double totalMs() const {
+    return (failureStart == kTimeNever || firstOutputAt == kTimeNever)
+               ? 0.0
+               : toMillis(firstOutputAt - failureStart);
+  }
+  double rollbackMs() const {
+    return (rollbackStartAt == kTimeNever || rollbackDoneAt == kTimeNever)
+               ? 0.0
+               : toMillis(rollbackDoneAt - rollbackStartAt);
+  }
+  /// Switchover time: detection to first new output (excludes detection when
+  /// failureStart is unknown).
+  double switchoverMs() const {
+    return (detectedAt == kTimeNever || firstOutputAt == kTimeNever)
+               ? 0.0
+               : toMillis(firstOutputAt - detectedAt);
+  }
+};
+
+/// Average decomposition over a set of completed recoveries.
+struct RecoveryBreakdown {
+  RunningStats detectionMs;
+  RunningStats redeployMs;
+  RunningStats retransmitMs;
+  RunningStats totalMs;
+  std::size_t count = 0;
+
+  void add(const RecoveryTimeline& t) {
+    if (!t.complete()) return;
+    detectionMs.add(t.detectionMs());
+    redeployMs.add(t.redeployMs());
+    retransmitMs.add(t.retransmitMs());
+    totalMs.add(t.totalMs());
+    ++count;
+  }
+  void addAll(const std::vector<RecoveryTimeline>& timelines) {
+    for (const auto& t : timelines) add(t);
+  }
+};
+
+}  // namespace streamha

@@ -1,0 +1,91 @@
+#include "metrics/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace streamha {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::addRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string Table::integer(std::uint64_t value) { return std::to_string(value); }
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto printRow = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+          << cells[c];
+    }
+    out << "\n";
+  };
+  printRow(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) printRow(row);
+}
+
+namespace {
+
+void writeCsvCell(std::ostream& out, const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    out << cell;
+    return;
+  }
+  out << '"';
+  for (char c : cell) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void Table::writeCsv(std::ostream& out) const {
+  auto writeRow = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << ',';
+      writeCsvCell(out, cells[c]);
+    }
+    out << '\n';
+  };
+  writeRow(headers_);
+  for (const auto& row : rows_) writeRow(row);
+}
+
+bool Table::writeCsvFile(const std::string& dir, const std::string& name) const {
+  if (dir.empty()) return false;
+  std::ofstream file(dir + "/" + name + ".csv");
+  if (!file) return false;
+  writeCsv(file);
+  return static_cast<bool>(file);
+}
+
+void printFigureHeader(const std::string& figureId, const std::string& caption,
+                       const std::string& paperClaim, std::ostream& out) {
+  out << "\n==== " << figureId << ": " << caption << " ====\n";
+  if (!paperClaim.empty()) out << "paper: " << paperClaim << "\n";
+  out << "\n";
+}
+
+}  // namespace streamha

@@ -1,0 +1,42 @@
+// Aligned-table printing used by the bench binaries to present each figure's
+// series in the same rows/columns the paper reports.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace streamha {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; values are pre-formatted strings.
+  void addRow(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with `precision` decimals.
+  static std::string num(double value, int precision = 2);
+  static std::string integer(std::uint64_t value);
+
+  void print(std::ostream& out = std::cout) const;
+
+  /// Write the table as CSV (headers + rows, RFC-4180 quoting).
+  void writeCsv(std::ostream& out) const;
+
+  /// Write the table to `<dir>/<name>.csv` when `dir` is non-empty; returns
+  /// whether a file was written. Bench binaries call this with the
+  /// STREAMHA_CSV_DIR environment variable so plots can be scripted.
+  bool writeCsvFile(const std::string& dir, const std::string& name) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a figure banner: id, caption, and the paper's qualitative claim.
+void printFigureHeader(const std::string& figureId, const std::string& caption,
+                       const std::string& paperClaim,
+                       std::ostream& out = std::cout);
+
+}  // namespace streamha

@@ -1,0 +1,77 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace streamha {
+
+std::uint64_t Network::Counters::totalMessages() const {
+  std::uint64_t total = 0;
+  for (auto v : messages) total += v;
+  return total;
+}
+
+std::uint64_t Network::Counters::totalBytes() const {
+  std::uint64_t total = 0;
+  for (auto v : bytes) total += v;
+  return total;
+}
+
+std::uint64_t Network::Counters::totalElements() const {
+  std::uint64_t total = 0;
+  for (auto v : elements) total += v;
+  return total;
+}
+
+Network::Counters Network::Counters::operator-(const Counters& other) const {
+  Counters out;
+  for (std::size_t i = 0; i < kMsgKindCount; ++i) {
+    out.messages[i] = messages[i] - other.messages[i];
+    out.bytes[i] = bytes[i] - other.bytes[i];
+    out.elements[i] = elements[i] - other.elements[i];
+  }
+  return out;
+}
+
+Network::Network(Simulator& sim, Params params,
+                 std::function<bool(MachineId)> machineUp)
+    : sim_(sim), params_(params), machine_up_(std::move(machineUp)) {}
+
+void Network::send(MachineId src, MachineId dst, MsgKind kind,
+                   std::size_t bytes, std::uint64_t elements,
+                   std::function<void()> deliver) {
+  const auto idx = static_cast<std::size_t>(kind);
+  assert(idx < kMsgKindCount);
+
+  // A crashed machine sends nothing.
+  if (machine_up_ && !machine_up_(src)) return;
+
+  if (src == dst) {
+    // Loopback: no network traffic is generated or counted.
+    sim_.schedule(params_.localDelay, [this, dst, deliver = std::move(deliver)] {
+      if (!machine_up_ || machine_up_(dst)) deliver();
+    });
+    return;
+  }
+
+  ++counters_.messages[idx];
+  counters_.bytes[idx] += bytes;
+  counters_.elements[idx] += elements;
+
+  const std::uint64_t link_key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+      static_cast<std::uint32_t>(dst);
+  SimTime& free_at = link_free_at_[link_key];
+  const SimTime start = std::max(sim_.now(), free_at);
+  const auto transmit = static_cast<SimDuration>(
+      std::ceil(static_cast<double>(bytes) / params_.bytesPerMicro));
+  free_at = start + transmit;
+  const SimTime arrival = free_at + params_.latency;
+
+  sim_.scheduleAt(arrival, [this, dst, deliver = std::move(deliver)] {
+    if (!machine_up_ || machine_up_(dst)) deliver();
+  });
+}
+
+}  // namespace streamha

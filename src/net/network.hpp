@@ -1,0 +1,101 @@
+// Simulated cluster interconnect.
+//
+// Full mesh of point-to-point links; each ordered (src, dst) pair is a FIFO
+// link with fixed propagation latency and bandwidth serialization. Message
+// and element counts are tracked per message kind -- these counters are what
+// the traffic/overhead figures (Fig 6, 10, 11) report.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace streamha {
+
+/// Classification of every message the protocols exchange.
+enum class MsgKind : std::uint8_t {
+  kData = 0,        ///< Stream elements between subjobs.
+  kAck,             ///< Accumulative acknowledgments (queue trimming).
+  kCheckpoint,      ///< Checkpoint state transfers to the standby store.
+  kHeartbeatPing,   ///< Detector ping.
+  kHeartbeatReply,  ///< Detector reply.
+  kControl,         ///< Deploy / activate / suspend control messages.
+  kStateRead,       ///< Read-state-on-rollback transfers.
+  kCount
+};
+
+constexpr const char* toString(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kData: return "data";
+    case MsgKind::kAck: return "ack";
+    case MsgKind::kCheckpoint: return "checkpoint";
+    case MsgKind::kHeartbeatPing: return "hb-ping";
+    case MsgKind::kHeartbeatReply: return "hb-reply";
+    case MsgKind::kControl: return "control";
+    case MsgKind::kStateRead: return "state-read";
+    case MsgKind::kCount: break;
+  }
+  return "?";
+}
+
+inline constexpr std::size_t kMsgKindCount =
+    static_cast<std::size_t>(MsgKind::kCount);
+
+class Network {
+ public:
+  struct Params {
+    SimDuration latency = 100;            ///< One-way propagation, microseconds.
+    double bytesPerMicro = 125.0;         ///< 1 Gbps = 125 bytes / microsecond.
+    SimDuration localDelay = 10;          ///< Same-machine delivery delay.
+  };
+
+  /// Per-kind traffic counters.
+  struct Counters {
+    std::array<std::uint64_t, kMsgKindCount> messages{};
+    std::array<std::uint64_t, kMsgKindCount> bytes{};
+    std::array<std::uint64_t, kMsgKindCount> elements{};
+
+    std::uint64_t totalMessages() const;
+    std::uint64_t totalBytes() const;
+    std::uint64_t totalElements() const;
+    std::uint64_t messagesOf(MsgKind k) const {
+      return messages[static_cast<std::size_t>(k)];
+    }
+    std::uint64_t bytesOf(MsgKind k) const {
+      return bytes[static_cast<std::size_t>(k)];
+    }
+    std::uint64_t elementsOf(MsgKind k) const {
+      return elements[static_cast<std::size_t>(k)];
+    }
+    Counters operator-(const Counters& other) const;
+  };
+
+  Network(Simulator& sim, Params params,
+          std::function<bool(MachineId)> machineUp);
+
+  /// Send a message. `elements` is the number of stream data elements the
+  /// message carries (0 for pure control traffic); it feeds the
+  /// element-denominated overhead counters the paper reports. `deliver` runs
+  /// at the destination unless that machine is down at delivery time.
+  void send(MachineId src, MachineId dst, MsgKind kind, std::size_t bytes,
+            std::uint64_t elements, std::function<void()> deliver);
+
+  const Counters& counters() const { return counters_; }
+  Counters snapshot() const { return counters_; }
+
+  const Params& params() const { return params_; }
+
+ private:
+  Simulator& sim_;
+  Params params_;
+  std::function<bool(MachineId)> machine_up_;
+  Counters counters_;
+  /// Time each ordered link becomes free (bandwidth serialization).
+  std::unordered_map<std::uint64_t, SimTime> link_free_at_;
+};
+
+}  // namespace streamha

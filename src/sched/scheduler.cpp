@@ -1,0 +1,221 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.hpp"
+
+namespace streamha {
+
+std::vector<double> estimateSubjobDemand(const JobSpec& spec,
+                                         double sourceRatePerSec) {
+  // Stream rates: the source stream carries the source rate; each PE's
+  // output rate is its total input rate times its selectivity. JobBuilder
+  // assigns ids in creation order, which is topological for its dataflows.
+  std::map<StreamId, double> streamRate;
+  streamRate[spec.sourceStream] = sourceRatePerSec;
+  std::vector<double> demand(spec.subjobCount(), 0.0);
+  for (const LogicalPeSpec& pe : spec.pes) {
+    double in = 0.0;
+    for (StreamId s : pe.inputStreams) {
+      const auto it = streamRate.find(s);
+      if (it != streamRate.end()) in += it->second;
+    }
+    for (StreamId s : pe.outputStreams) {
+      streamRate[s] = in * pe.selectivity;
+    }
+    const SubjobId sj = spec.subjobOf(pe.id);
+    if (sj >= 0) {
+      demand[static_cast<std::size_t>(sj)] += pe.workUs * in / 1e6;
+    }
+  }
+  return demand;
+}
+
+std::vector<MachineId> planPlacement(const JobSpec& spec,
+                                     double sourceRatePerSec,
+                                     const std::vector<MachineId>& machines,
+                                     double targetUtilization) {
+  assert(!machines.empty());
+  const std::vector<double> demand =
+      estimateSubjobDemand(spec, sourceRatePerSec);
+  std::vector<std::size_t> order(demand.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return demand[a] > demand[b];
+  });
+
+  std::vector<double> packed(machines.size(), 0.0);
+  std::vector<MachineId> placement(demand.size(), machines[0]);
+  for (std::size_t sj : order) {
+    std::size_t chosen = machines.size();
+    for (std::size_t m = 0; m < machines.size(); ++m) {
+      if (packed[m] + demand[sj] <= targetUtilization) {
+        chosen = m;
+        break;
+      }
+    }
+    if (chosen == machines.size()) {
+      // Nothing fits under the target: overflow onto the least-loaded.
+      chosen = static_cast<std::size_t>(
+          std::min_element(packed.begin(), packed.end()) - packed.begin());
+    }
+    packed[chosen] += demand[sj];
+    placement[sj] = machines[chosen];
+  }
+  return placement;
+}
+
+// ---------------------------------------------------------------------------
+// LoadBalancer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+ElementSeq migrationWatermark(const SubjobState& state,
+                              const PeInstance& consumerPe, StreamId stream) {
+  const auto peIt = state.pes.find(consumerPe.logicalId());
+  if (peIt == state.pes.end()) return 0;
+  // The migration state carried the input backlog, so resumption starts
+  // after everything *received*.
+  const auto recvIt = peIt->second.receivedWatermark.find(stream);
+  if (recvIt != peIt->second.receivedWatermark.end()) return recvIt->second;
+  const auto procIt = peIt->second.processedWatermark.find(stream);
+  return procIt == peIt->second.processedWatermark.end() ? 0 : procIt->second;
+}
+
+}  // namespace
+
+LoadBalancer::LoadBalancer(Runtime& runtime,
+                           std::vector<MachineId> spareMachines, Params params)
+    : rt_(runtime),
+      spares_(std::move(spareMachines)),
+      params_(params),
+      timer_(runtime.cluster().sim(), params.monitorInterval,
+             [this] { poll(); }) {}
+
+LoadBalancer::~LoadBalancer() { stop(); }
+
+void LoadBalancer::start() { timer_.start(); }
+
+void LoadBalancer::stop() { timer_.stop(); }
+
+double LoadBalancer::windowedLoad(MachineId machine) {
+  Machine& m = rt_.cluster().machine(machine);
+  const double integral = m.loadIntegral();
+  const SimTime now = rt_.cluster().sim().now();
+  double load = 0.0;
+  const auto it = last_sample_at_.find(machine);
+  if (it != last_sample_at_.end() && now > it->second) {
+    load = (integral - last_integral_[machine]) /
+           static_cast<double>(now - it->second);
+  }
+  last_integral_[machine] = integral;
+  last_sample_at_[machine] = now;
+  return load;
+}
+
+MachineId LoadBalancer::coolestSpare() const {
+  MachineId best = kNoMachine;
+  double best_load = 2.0;
+  for (MachineId spare : spares_) {
+    const Machine& m =
+        const_cast<Runtime&>(rt_).cluster().machine(spare);
+    if (!m.isUp()) continue;
+    const double load = m.instantaneousLoad();
+    if (load < best_load) {
+      best_load = load;
+      best = spare;
+    }
+  }
+  return best;
+}
+
+void LoadBalancer::poll() {
+  if (migrating_) return;
+  const SimTime now = rt_.cluster().sim().now();
+  for (const auto& inst : rt_.allInstances()) {
+    if (!inst->alive() || inst->suspended()) continue;
+    const MachineId machine = inst->machine().id();
+    const double load = windowedLoad(machine);
+    if (load >= params_.overloadThreshold) {
+      ++hot_streak_[machine];
+    } else {
+      hot_streak_[machine] = 0;
+    }
+    const auto coolIt = cooldown_until_.find(machine);
+    const bool cooled =
+        coolIt == cooldown_until_.end() || now >= coolIt->second;
+    if (hot_streak_[machine] >= params_.sustainedSamples && cooled) {
+      const MachineId target = coolestSpare();
+      if (target == kNoMachine || target == machine) continue;
+      hot_streak_[machine] = 0;
+      cooldown_until_[machine] = now + params_.cooldown;
+      LOG_INFO(now, "sched") << "sustained overload on machine " << machine
+                             << "; migrating subjob " << inst->logicalId()
+                             << " to machine " << target;
+      migrateSubjob(*inst, target, nullptr);
+      return;  // One migration at a time.
+    }
+  }
+}
+
+void LoadBalancer::migrateSubjob(Subjob& instance, MachineId target,
+                                 std::function<void()> done) {
+  assert(!migrating_ && "one migration at a time");
+  migrating_ = true;
+  Machine& targetMachine = rt_.cluster().machine(target);
+  Subjob* inst = &instance;
+  auto doneShared = std::make_shared<std::function<void()>>(std::move(done));
+
+  // 1. Deploy the new copy's process on the target (full deployment cost).
+  targetMachine.submitData(rt_.costs().deployWorkUs, [this, inst, target,
+                                                      doneShared] {
+    // 2. Stop-and-copy: quiesce, capture everything (incl. input queues).
+    quiescer_.quiesce(*inst, [this, inst, target, doneShared] {
+      SubjobState state = inst->captureState(true, true);
+      const MachineId from = inst->machine().id();
+      Network& net = rt_.cluster().network();
+      const std::uint64_t elements = state.sizeElements(132);
+      net.send(from, target, MsgKind::kStateRead, state.sizeBytes(), elements,
+               [this, inst, target, state, doneShared] {
+                 // 3. Instantiate and restore on the target.
+                 Subjob& copy = rt_.instantiate(inst->logicalId(), target,
+                                                Replica::kPrimary);
+                 copy.applyState(state);
+                 // 4. Connect (paying establishment costs), then cut over.
+                 rt_.wireInstanceWithCost(
+                     copy, Runtime::WireOpts{false, false},
+                     Runtime::WireOpts{false, false},
+                     [this, inst, &copy, state, doneShared] {
+                       for (Runtime::Wire* wire : rt_.wiresInto(copy)) {
+                         const ElementSeq wm =
+                             wire->consumerPe == nullptr
+                                 ? 0
+                                 : migrationWatermark(state, *wire->consumerPe,
+                                                      wire->stream);
+                         rt_.retransmitWire(*wire, wm + 1);
+                         rt_.setWireActive(*wire, true);
+                         wire->oq->setConnectionGating(wire->connId, true);
+                       }
+                       for (Runtime::Wire* wire : rt_.wiresOutOf(copy)) {
+                         rt_.setWireActive(*wire, true);
+                         wire->oq->setConnectionGating(wire->connId, true);
+                       }
+                       for (Runtime::Wire* wire : rt_.wiresInto(*inst)) {
+                         rt_.releaseTrimGate(*wire);
+                       }
+                       quiescer_.release();
+                       inst->terminateAll();
+                       rt_.removeWiresOf(*inst);
+                       copy.startAckTimer(rt_.costs().ackFlushInterval);
+                       ++migrations_;
+                       migrating_ = false;
+                       if (*doneShared) (*doneShared)();
+                     });
+               });
+    });
+  });
+}
+
+}  // namespace streamha

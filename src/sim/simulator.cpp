@@ -1,0 +1,53 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace streamha {
+
+bool EventHandle::pending() const {
+  return cancelled_ != nullptr && !*cancelled_;
+}
+
+void EventHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+EventHandle Simulator::schedule(SimDuration delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  return scheduleAt(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::scheduleAt(SimTime when, std::function<void()> fn) {
+  assert(when >= now_);
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+void Simulator::runUntil(SimTime until) {
+  while (!queue_.empty() && queue_.top().when <= until) {
+    step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::runAll() {
+  while (step()) {
+  }
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    now_ = ev.when;
+    *ev.cancelled = true;  // Mark fired so handles report !pending().
+    ++fired_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace streamha

@@ -1,0 +1,84 @@
+// Deterministic discrete-event simulator.
+//
+// Every substrate (machines, network, detectors, checkpoint managers) drives
+// itself by scheduling events here. Events with equal timestamps fire in
+// insertion order, which makes whole-cluster runs bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace streamha {
+
+/// Handle to a scheduled event; allows cancellation. Default-constructed
+/// handles are inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the event is still pending (not fired, not cancelled).
+  bool pending() const;
+
+  /// Cancel the event if still pending. Safe to call repeatedly.
+  void cancel();
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` microseconds from now (delay >= 0).
+  EventHandle schedule(SimDuration delay, std::function<void()> fn);
+
+  /// Schedule `fn` at absolute time `when` (>= now()).
+  EventHandle scheduleAt(SimTime when, std::function<void()> fn);
+
+  /// Run events until the queue is empty or simulated time would exceed
+  /// `until`. Time is advanced to `until` on return.
+  void runUntil(SimTime until);
+
+  /// Run all pending events (use with care: periodic timers never drain).
+  void runAll();
+
+  /// Execute a single event if one is pending; returns false otherwise.
+  bool step();
+
+  std::size_t pendingEvents() const { return queue_.size(); }
+  std::uint64_t firedEvents() const { return fired_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace streamha

@@ -1,0 +1,11 @@
+#include "stream/element.hpp"
+
+namespace streamha {
+
+std::uint64_t wireBytes(const std::vector<Element>& batch) {
+  std::uint64_t total = 0;
+  for (const auto& e : batch) total += wireBytes(e);
+  return total;
+}
+
+}  // namespace streamha

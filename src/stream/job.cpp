@@ -1,0 +1,182 @@
+#include "stream/job.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+namespace streamha {
+
+std::unique_ptr<PeLogic> LogicalPeSpec::makeLogic() const {
+  if (logicFactory) return logicFactory();
+  return std::make_unique<SyntheticLogic>(selectivity, stateBytes);
+}
+
+const LogicalPeSpec& JobSpec::pe(LogicalPeId id) const {
+  assert(id >= 0 && static_cast<std::size_t>(id) < pes.size());
+  return pes[static_cast<std::size_t>(id)];
+}
+
+const SubjobSpec& JobSpec::subjob(SubjobId id) const {
+  assert(id >= 0 && static_cast<std::size_t>(id) < subjobs.size());
+  return subjobs[static_cast<std::size_t>(id)];
+}
+
+SubjobId JobSpec::subjobOf(LogicalPeId id) const {
+  for (const auto& sj : subjobs) {
+    if (std::find(sj.pes.begin(), sj.pes.end(), id) != sj.pes.end()) {
+      return sj.id;
+    }
+  }
+  return -1;
+}
+
+LogicalPeId JobSpec::producerOf(StreamId stream) const {
+  if (stream == sourceStream) return -1;
+  for (const auto& pe : pes) {
+    for (StreamId s : pe.outputStreams) {
+      if (s == stream) return pe.id;
+    }
+  }
+  return -1;
+}
+
+std::vector<LogicalPeId> JobSpec::consumersOf(StreamId stream) const {
+  std::vector<LogicalPeId> out;
+  for (const auto& pe : pes) {
+    for (StreamId s : pe.inputStreams) {
+      if (s == stream) {
+        out.push_back(pe.id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string JobSpec::validate() const {
+  std::ostringstream err;
+  for (std::size_t i = 0; i < pes.size(); ++i) {
+    if (pes[i].id != static_cast<LogicalPeId>(i)) {
+      err << "PE at index " << i << " has id " << pes[i].id << "; ";
+    }
+    if (pes[i].outputStreams.empty()) {
+      err << "PE " << i << " has no output port; ";
+    }
+  }
+  std::set<LogicalPeId> covered;
+  for (const auto& sj : subjobs) {
+    for (LogicalPeId pe : sj.pes) {
+      if (pe < 0 || static_cast<std::size_t>(pe) >= pes.size()) {
+        err << "subjob " << sj.id << " references unknown PE " << pe << "; ";
+      } else if (!covered.insert(pe).second) {
+        err << "PE " << pe << " assigned to more than one subjob; ";
+      }
+    }
+  }
+  if (covered.size() != pes.size()) {
+    err << "some PEs are not assigned to a subjob; ";
+  }
+  for (const auto& pe : pes) {
+    for (StreamId s : pe.inputStreams) {
+      if (s != sourceStream && producerOf(s) < 0) {
+        err << "PE " << pe.id << " consumes unknown stream " << s << "; ";
+      }
+    }
+  }
+  for (StreamId s : sinkStreams) {
+    if (producerOf(s) < 0) {
+      err << "sink consumes unknown stream " << s << "; ";
+    }
+  }
+  return err.str();
+}
+
+JobBuilder::JobBuilder(JobId id) {
+  spec_.id = id;
+  next_stream_ = static_cast<StreamId>(1000 * id);
+  spec_.sourceStream = next_stream_++;
+}
+
+LogicalPeId JobBuilder::addPe(std::string name, double workUs,
+                              double selectivity, std::size_t stateBytes,
+                              std::uint32_t payloadBytes) {
+  LogicalPeSpec pe;
+  pe.id = static_cast<LogicalPeId>(spec_.pes.size());
+  pe.name = std::move(name);
+  pe.workUs = workUs;
+  pe.selectivity = selectivity;
+  pe.stateBytes = stateBytes;
+  pe.payloadBytes = payloadBytes;
+  pe.outputStreams.push_back(next_stream_++);
+  spec_.pes.push_back(std::move(pe));
+  return spec_.pes.back().id;
+}
+
+StreamId JobBuilder::addOutputPort(LogicalPeId pe) {
+  auto& spec = spec_.pes.at(static_cast<std::size_t>(pe));
+  spec.outputStreams.push_back(next_stream_++);
+  return spec.outputStreams.back();
+}
+
+void JobBuilder::connect(LogicalPeId from, LogicalPeId to) {
+  connectStream(spec_.pes.at(static_cast<std::size_t>(from)).outputStreams[0],
+                to);
+}
+
+void JobBuilder::connectStream(StreamId stream, LogicalPeId to) {
+  spec_.pes.at(static_cast<std::size_t>(to)).inputStreams.push_back(stream);
+}
+
+void JobBuilder::connectSource(LogicalPeId to) {
+  spec_.pes.at(static_cast<std::size_t>(to))
+      .inputStreams.push_back(spec_.sourceStream);
+}
+
+void JobBuilder::connectSink(LogicalPeId from) {
+  spec_.sinkStreams.push_back(
+      spec_.pes.at(static_cast<std::size_t>(from)).outputStreams[0]);
+}
+
+SubjobId JobBuilder::addSubjob(std::vector<LogicalPeId> pes) {
+  SubjobSpec sj;
+  sj.id = static_cast<SubjobId>(spec_.subjobs.size());
+  sj.pes = std::move(pes);
+  spec_.subjobs.push_back(std::move(sj));
+  return spec_.subjobs.back().id;
+}
+
+void JobBuilder::setLogicFactory(
+    LogicalPeId pe, std::function<std::unique_ptr<PeLogic>()> factory) {
+  spec_.pes.at(static_cast<std::size_t>(pe)).logicFactory = std::move(factory);
+}
+
+JobSpec JobBuilder::build() {
+  assert(spec_.validate().empty());
+  return spec_;
+}
+
+JobSpec JobBuilder::chain(int numPes, int pesPerSubjob, double workUs,
+                          double selectivity, std::size_t stateBytes,
+                          std::uint32_t payloadBytes, JobId id) {
+  assert(numPes > 0 && pesPerSubjob > 0);
+  JobBuilder builder(id);
+  std::vector<LogicalPeId> ids;
+  for (int i = 0; i < numPes; ++i) {
+    ids.push_back(builder.addPe("pe" + std::to_string(i), workUs, selectivity,
+                                stateBytes, payloadBytes));
+  }
+  builder.connectSource(ids.front());
+  for (int i = 0; i + 1 < numPes; ++i) builder.connect(ids[i], ids[i + 1]);
+  builder.connectSink(ids.back());
+  for (int i = 0; i < numPes; i += pesPerSubjob) {
+    std::vector<LogicalPeId> group;
+    for (int j = i; j < std::min(numPes, i + pesPerSubjob); ++j) {
+      group.push_back(ids[static_cast<std::size_t>(j)]);
+    }
+    builder.addSubjob(std::move(group));
+  }
+  return builder.build();
+}
+
+}  // namespace streamha

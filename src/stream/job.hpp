@@ -1,0 +1,109 @@
+// Logical job specifications.
+//
+// A job is a dataflow of logical PEs partitioned into subjobs; the runtime
+// instantiates physical copies of subjobs on machines. Logical PEs carry the
+// logical stream id of each output port; physical copies share those ids,
+// which is the basis of duplicate elimination and recovery.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "stream/pe.hpp"
+
+namespace streamha {
+
+struct LogicalPeSpec {
+  LogicalPeId id = -1;
+  std::string name;
+  double workUs = 300.0;
+  double selectivity = 1.0;
+  std::size_t stateBytes = 2000;
+  std::uint32_t payloadBytes = 100;
+  /// Logical output streams, one per port (port 0 is the default).
+  std::vector<StreamId> outputStreams;
+  /// Logical streams this PE consumes (from upstream PEs or the source).
+  std::vector<StreamId> inputStreams;
+  /// Factory for the PE's logic; defaults to SyntheticLogic.
+  std::function<std::unique_ptr<PeLogic>()> logicFactory;
+
+  std::unique_ptr<PeLogic> makeLogic() const;
+};
+
+struct SubjobSpec {
+  SubjobId id = -1;
+  std::vector<LogicalPeId> pes;  ///< Upstream-to-downstream order for chains.
+};
+
+struct JobSpec {
+  JobId id = 0;
+  std::vector<LogicalPeSpec> pes;      ///< Indexed by LogicalPeId.
+  std::vector<SubjobSpec> subjobs;     ///< Topological order.
+  StreamId sourceStream = kNoStream;   ///< Stream produced by the job's source.
+  /// Logical streams delivered to the job's sink (usually the last PE's
+  /// output).
+  std::vector<StreamId> sinkStreams;
+
+  const LogicalPeSpec& pe(LogicalPeId id) const;
+  const SubjobSpec& subjob(SubjobId id) const;
+  SubjobId subjobOf(LogicalPeId id) const;
+  std::size_t subjobCount() const { return subjobs.size(); }
+
+  /// Logical PE producing `stream`, or -1 if produced by the source.
+  LogicalPeId producerOf(StreamId stream) const;
+  /// Logical PEs consuming `stream`.
+  std::vector<LogicalPeId> consumersOf(StreamId stream) const;
+
+  /// Validate internal consistency (ids, stream wiring, subjob coverage).
+  /// Returns an empty string when valid, else a description of the problem.
+  std::string validate() const;
+};
+
+/// Incremental builder supporting chains, trees and general DAGs.
+class JobBuilder {
+ public:
+  explicit JobBuilder(JobId id = 0);
+
+  /// Add a PE; returns its logical id. One output port is created with an
+  /// automatically assigned logical stream id.
+  LogicalPeId addPe(std::string name, double workUs = 300.0,
+                    double selectivity = 1.0, std::size_t stateBytes = 2000,
+                    std::uint32_t payloadBytes = 100);
+
+  /// Add an extra output port to `pe`; returns the port's stream id.
+  StreamId addOutputPort(LogicalPeId pe);
+
+  /// Route `from`'s port-0 output into `to`'s input.
+  void connect(LogicalPeId from, LogicalPeId to);
+  /// Route a specific output port (by stream id) into `to`'s input.
+  void connectStream(StreamId stream, LogicalPeId to);
+  /// Feed `to` from the job's source.
+  void connectSource(LogicalPeId to);
+  /// Deliver `from`'s port-0 output to the job's sink.
+  void connectSink(LogicalPeId from);
+
+  /// Assign PEs to a subjob (call in topological order).
+  SubjobId addSubjob(std::vector<LogicalPeId> pes);
+
+  /// Override the logic factory of a PE (defaults to SyntheticLogic with the
+  /// PE's selectivity / state size).
+  void setLogicFactory(LogicalPeId pe,
+                       std::function<std::unique_ptr<PeLogic>()> factory);
+
+  JobSpec build();
+
+  /// The canonical experiment job from the paper's evaluation: `numPes` PEs
+  /// in a chain, split into subjobs of `pesPerSubjob`, selectivity 1.
+  static JobSpec chain(int numPes, int pesPerSubjob, double workUs,
+                       double selectivity = 1.0, std::size_t stateBytes = 2000,
+                       std::uint32_t payloadBytes = 100, JobId id = 0);
+
+ private:
+  JobSpec spec_;
+  StreamId next_stream_;
+};
+
+}  // namespace streamha

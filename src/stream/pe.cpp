@@ -1,0 +1,238 @@
+#include "stream/pe.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace streamha {
+
+// ---------------------------------------------------------------------------
+// SyntheticLogic
+// ---------------------------------------------------------------------------
+
+SyntheticLogic::SyntheticLogic(double selectivity, std::size_t stateBytes)
+    : selectivity_(selectivity), state_bytes_(stateBytes) {}
+
+void SyntheticLogic::process(const Element& in, std::vector<Emit>& out) {
+  ++count_;
+  // Deterministic mixing so replicas produce identical derived values.
+  checksum_ = checksum_ * 1099511628211ULL + in.value + in.seq;
+  carry_ += selectivity_;
+  while (carry_ >= 1.0) {
+    carry_ -= 1.0;
+    Emit e;
+    e.port = 0;
+    e.value = checksum_;
+    out.push_back(e);
+  }
+}
+
+std::vector<std::uint8_t> SyntheticLogic::serialize() const {
+  // Header: count, checksum, carry; body: `state_bytes_` of synthetic state
+  // (this is what gives the checkpoint message its configured size).
+  std::vector<std::uint8_t> bytes(24 + state_bytes_, 0);
+  std::memcpy(bytes.data(), &count_, 8);
+  std::memcpy(bytes.data() + 8, &checksum_, 8);
+  std::memcpy(bytes.data() + 16, &carry_, 8);
+  for (std::size_t i = 0; i < state_bytes_; ++i) {
+    bytes[24 + i] = static_cast<std::uint8_t>((checksum_ >> (8 * (i % 8))) & 0xFF);
+  }
+  return bytes;
+}
+
+void SyntheticLogic::deserialize(const std::vector<std::uint8_t>& bytes) {
+  assert(bytes.size() >= 24);
+  std::memcpy(&count_, bytes.data(), 8);
+  std::memcpy(&checksum_, bytes.data() + 8, 8);
+  std::memcpy(&carry_, bytes.data() + 16, 8);
+}
+
+void SyntheticLogic::reset() {
+  count_ = 0;
+  checksum_ = 0;
+  carry_ = 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// PeInstance
+// ---------------------------------------------------------------------------
+
+PeInstance::PeInstance(Simulator& sim, Machine& machine, Network& net,
+                       PeParams params, std::unique_ptr<PeLogic> logic)
+    : sim_(sim),
+      machine_(machine),
+      params_(std::move(params)),
+      logic_(std::move(logic)) {
+  assert(logic_ != nullptr);
+  outputs_.reserve(params_.outputStreams.size());
+  for (StreamId stream : params_.outputStreams) {
+    outputs_.push_back(
+        std::make_unique<OutputQueue>(net, stream, machine_.id()));
+  }
+  input_.setArrivalListener([this] { maybeSchedule(); });
+}
+
+void PeInstance::maybeSchedule() {
+  if (terminated_ || suspended_ || paused_ || in_flight_ || !machine_.isUp()) {
+    return;
+  }
+  if (pause_requested_) {
+    enterPaused();
+    return;
+  }
+  if (input_.empty()) return;
+  in_flight_ = true;
+  const std::uint64_t epoch = epoch_;
+  machine_.submitData(params_.workPerElementUs,
+                      [this, epoch] { onProcessed(epoch); });
+}
+
+void PeInstance::onProcessed(std::uint64_t epoch) {
+  if (epoch != epoch_) return;  // Superseded by a restore; drop silently.
+  in_flight_ = false;
+  if (terminated_) return;
+  if (!input_.empty()) {
+    const Element e = input_.front();
+    input_.pop();
+#ifdef STREAMHA_DEBUG_SEQ
+    if (!outputs_.empty() && outputs_[0]->nextSeq() != e.seq) {
+      std::fprintf(stderr,
+                   "[seq-misalign] t=%lld pe=%d machine=%d in=%llu out=%llu\n",
+                   (long long)sim_.now(), params_.logicalId, machine_.id(),
+                   (unsigned long long)e.seq,
+                   (unsigned long long)outputs_[0]->nextSeq());
+    }
+#endif
+    scratch_emits_.clear();
+    logic_->process(e, scratch_emits_);
+    watermarks_[e.stream] = e.seq;
+    ++processed_count_;
+    for (const auto& em : scratch_emits_) {
+      const auto port = static_cast<std::size_t>(em.port);
+      assert(port < outputs_.size());
+      outputs_[port]->produce(
+          e.sourceTs, em.value,
+          em.payloadBytes != 0 ? em.payloadBytes : params_.outputPayloadBytes);
+    }
+  }
+  if (pause_requested_) {
+    enterPaused();
+    return;
+  }
+  maybeSchedule();
+}
+
+void PeInstance::pause(CheckpointController& controller) {
+  assert(!pause_requested_ && !paused_);
+  pause_requested_ = true;
+  pause_controller_ = &controller;
+  if (!in_flight_) enterPaused();
+}
+
+void PeInstance::enterPaused() {
+  pause_requested_ = false;
+  paused_ = true;
+  CheckpointController* controller = pause_controller_;
+  pause_controller_ = nullptr;
+  if (controller != nullptr) controller->ackPePause(*this);
+}
+
+void PeInstance::resume() {
+  if (!paused_) return;
+  paused_ = false;
+  maybeSchedule();
+}
+
+PeState PeInstance::checkpoint(bool includeOutputQueues,
+                               bool includeInputQueue) const {
+  PeState state;
+  state.pe = params_.logicalId;
+  state.version = ++const_cast<PeInstance*>(this)->checkpoint_version_;
+  state.internal = logic_->serialize();
+  state.processedWatermark = watermarks_;
+  if (includeOutputQueues) {
+    for (const auto& out : outputs_) {
+      PeState::PortState port;
+      port.stream = out->stream();
+      port.nextSeq = out->nextSeq();
+      port.buffered = out->snapshotBuffered();
+      state.ports.push_back(std::move(port));
+    }
+  }
+  if (includeInputQueue) {
+    // Conventional checkpointing persists the received-but-unprocessed
+    // backlog so the upstream may trim everything *received* so far.
+    state.inputBacklog = input_.snapshotPending();
+    state.receivedWatermark.clear();
+    for (StreamId stream : input_.streams()) {
+      state.receivedWatermark[stream] = input_.expected(stream) - 1;
+    }
+  }
+  return state;
+}
+
+void PeInstance::storeJobState(const PeState& state) {
+  assert(state.pe == params_.logicalId);
+#ifdef STREAMHA_DEBUG_SEQ
+  {
+    ElementSeq wm = 0;
+    for (const auto& [stream, w] : state.processedWatermark) wm = w;
+    ElementSeq n = 0;
+    for (const auto& port : state.ports) n = port.nextSeq;
+    if (n != 0 && n != wm + 1) {
+      std::fprintf(stderr,
+                   "[state-inconsistent] t=%lld pe=%d machine=%d wm=%llu "
+                   "nextSeq=%llu\n",
+                   (long long)sim_.now(), params_.logicalId, machine_.id(),
+                   (unsigned long long)wm, (unsigned long long)n);
+    }
+  }
+#endif
+  ++epoch_;  // Invalidate any in-flight processing completion.
+  in_flight_ = false;
+  logic_->deserialize(state.internal);
+  watermarks_ = state.processedWatermark;
+  for (const auto& port : state.ports) {
+    for (auto& out : outputs_) {
+      if (out->stream() == port.stream) {
+        out->restore(port.nextSeq, port.buffered);
+      }
+    }
+  }
+  for (const auto& [stream, wm] : watermarks_) {
+    input_.fastForward(stream, wm);
+  }
+  if (!state.inputBacklog.empty()) {
+    input_.loadPending(state.inputBacklog);
+  }
+  maybeSchedule();
+}
+
+void PeInstance::suspend() {
+  suspended_ = true;
+}
+
+void PeInstance::unsuspend() {
+  if (!suspended_) return;
+  suspended_ = false;
+  maybeSchedule();
+}
+
+void PeInstance::terminate() {
+  terminated_ = true;
+  ++epoch_;
+  in_flight_ = false;
+}
+
+void PeInstance::flushAcks(const std::map<StreamId, ElementSeq>& watermarks) {
+  std::map<StreamId, ElementSeq> advanced;
+  for (const auto& [stream, seq] : watermarks) {
+    auto it = last_ack_sent_.find(stream);
+    if (it == last_ack_sent_.end() || it->second < seq) {
+      advanced[stream] = seq;
+      last_ack_sent_[stream] = seq;
+    }
+  }
+  if (!advanced.empty()) input_.sendAcks(advanced);
+}
+
+}  // namespace streamha

@@ -1,0 +1,208 @@
+// Processing elements.
+//
+// A PeInstance is one physical deployment of a logical PE on a machine. It
+// pulls elements from its InputQueue, runs its PeLogic on the machine's data
+// server (consuming simulated CPU), and emits derived elements into its
+// OutputQueues.
+//
+// The instance exposes the exact control interfaces the paper requires of
+// PEs: pause(controller) / ackPePause / checkpoint() / resume() for the
+// checkpoint managers, storeJobState(jobState) for in-memory state refresh on
+// a Hybrid secondary, and a suspension flag that stops the processing loop
+// ("The PE's processing loop is stopped when a flag is set to indicate
+// suspension. When we switch over to active standby, we only need to reset
+// the flag to resume the processing loop.").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "checkpoint/state.hpp"
+#include "cluster/machine.hpp"
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "stream/queues.hpp"
+
+namespace streamha {
+
+class PeInstance;
+
+/// User-provided processing logic. Implementations must be deterministic for
+/// the exactly-once guarantees to extend to results (non-deterministic logic
+/// still loses no data, but replicas may produce different values).
+class PeLogic {
+ public:
+  struct Emit {
+    int port = 0;
+    std::uint64_t value = 0;
+    std::uint32_t payloadBytes = 0;  ///< 0: use the PE's default payload size.
+  };
+
+  virtual ~PeLogic() = default;
+
+  /// Process one element, appending any derived elements to `out`.
+  virtual void process(const Element& in, std::vector<Emit>& out) = 0;
+
+  /// Serialize the internal state ("variables that affect the output", not
+  /// the memory image).
+  virtual std::vector<std::uint8_t> serialize() const = 0;
+  virtual void deserialize(const std::vector<std::uint8_t>& bytes) = 0;
+
+  /// Reset to the initial (empty) state.
+  virtual void reset() = 0;
+};
+
+/// Built-in logic with tunable selectivity and state size; used by the
+/// paper-reproduction experiments ("Inside the processing loop of each PE,
+/// there is code that performs some synthesized computation. The PE
+/// selectivity is 1.").
+class SyntheticLogic : public PeLogic {
+ public:
+  explicit SyntheticLogic(double selectivity = 1.0,
+                          std::size_t stateBytes = 2000);
+
+  void process(const Element& in, std::vector<Emit>& out) override;
+  std::vector<std::uint8_t> serialize() const override;
+  void deserialize(const std::vector<std::uint8_t>& bytes) override;
+  void reset() override;
+
+  std::uint64_t processedCount() const { return count_; }
+  std::uint64_t checksum() const { return checksum_; }
+
+ private:
+  double selectivity_;
+  std::size_t state_bytes_;
+  std::uint64_t count_ = 0;
+  std::uint64_t checksum_ = 0;
+  double carry_ = 0.0;  ///< Fractional-selectivity accumulator.
+};
+
+/// Callback interface handed to PeInstance::pause(); the paper's Checkpoint
+/// Manager implements it ("When the PE has suspended, it calls the
+/// ackPePause() method of the CM.").
+class CheckpointController {
+ public:
+  virtual ~CheckpointController() = default;
+  virtual void ackPePause(PeInstance& pe) = 0;
+};
+
+struct PeParams {
+  LogicalPeId logicalId = -1;
+  std::string name;
+  double workPerElementUs = 300.0;
+  std::vector<StreamId> outputStreams;  ///< One logical stream per port.
+  std::uint32_t outputPayloadBytes = 100;
+};
+
+/// How a PE acknowledges its upstream output queues.
+enum class AckPolicy : std::uint8_t {
+  /// Ack as soon as an element is processed (NONE / active standby: there is
+  /// no checkpoint to wait for). Flushed by the subjob's ack timer.
+  kOnProcess,
+  /// Acks are sent by the checkpoint manager only after the state reflecting
+  /// the processing has been checkpointed (passive standby / hybrid).
+  kOnCheckpoint,
+};
+
+class PeInstance {
+ public:
+  PeInstance(Simulator& sim, Machine& machine, Network& net, PeParams params,
+             std::unique_ptr<PeLogic> logic);
+  PeInstance(const PeInstance&) = delete;
+  PeInstance& operator=(const PeInstance&) = delete;
+
+  LogicalPeId logicalId() const { return params_.logicalId; }
+  const std::string& name() const { return params_.name; }
+  Machine& machine() { return machine_; }
+  const PeParams& params() const { return params_; }
+
+  InputQueue& input() { return input_; }
+  OutputQueue& output(std::size_t port = 0) { return *outputs_.at(port); }
+  std::size_t portCount() const { return outputs_.size(); }
+  PeLogic& logic() { return *logic_; }
+
+  // -- Paper control interfaces ---------------------------------------------
+
+  /// Request quiescence at an element boundary; `controller.ackPePause(*this)`
+  /// fires once the in-flight element (if any) completes.
+  void pause(CheckpointController& controller);
+
+  /// Resume after a pause() (checkpoint finished).
+  void resume();
+  bool paused() const { return paused_; }
+
+  /// Capture checkpoint state. Output/input queue inclusion depends on the
+  /// checkpointing variant (sweeping excludes input queues).
+  PeState checkpoint(bool includeOutputQueues, bool includeInputQueue) const;
+
+  /// Overwrite state from a checkpoint or state-read ("Our PE implementation
+  /// has an interface named storeJobState(jobState) to overwrite the old
+  /// state with the new one."). Fast-forwards queue watermarks and restores
+  /// output queues; stale pending input at or below the watermark is dropped.
+  void storeJobState(const PeState& state);
+
+  // -- Standby suspension -----------------------------------------------------
+
+  void suspend();
+  void unsuspend();
+  bool suspended() const { return suspended_; }
+
+  /// Permanently stop (old primary shut down after a PS migration).
+  void terminate();
+  bool terminated() const { return terminated_; }
+
+  // -- Acknowledgments --------------------------------------------------------
+
+  void setAckPolicy(AckPolicy policy) { ack_policy_ = policy; }
+  AckPolicy ackPolicy() const { return ack_policy_; }
+
+  /// Send accumulative acks for the given watermarks upstream, skipping
+  /// streams whose watermark has not advanced since the last flush.
+  void flushAcks(const std::map<StreamId, ElementSeq>& watermarks);
+
+  /// Flush acks at the current processed watermarks (kOnProcess policy).
+  void flushProcessedAcks() { flushAcks(watermarks_); }
+
+  // -- Introspection ----------------------------------------------------------
+
+  std::uint64_t processedCount() const { return processed_count_; }
+  const std::map<StreamId, ElementSeq>& watermarks() const { return watermarks_; }
+  std::uint64_t checkpointVersion() const { return checkpoint_version_; }
+  bool inFlight() const { return in_flight_; }
+
+  /// Poke the processing loop (wired as the input queue arrival listener).
+  void maybeSchedule();
+
+ private:
+  void onProcessed(std::uint64_t epoch);
+  void enterPaused();
+
+  Simulator& sim_;
+  Machine& machine_;
+  PeParams params_;
+  std::unique_ptr<PeLogic> logic_;
+  InputQueue input_;
+  std::vector<std::unique_ptr<OutputQueue>> outputs_;
+
+  bool suspended_ = false;
+  bool paused_ = false;
+  bool pause_requested_ = false;
+  CheckpointController* pause_controller_ = nullptr;
+  bool terminated_ = false;
+  bool in_flight_ = false;
+  std::uint64_t epoch_ = 0;
+
+  AckPolicy ack_policy_ = AckPolicy::kOnProcess;
+  std::map<StreamId, ElementSeq> watermarks_;      ///< Processed, per stream.
+  std::map<StreamId, ElementSeq> last_ack_sent_;
+  std::uint64_t processed_count_ = 0;
+  std::uint64_t checkpoint_version_ = 0;
+  std::vector<PeLogic::Emit> scratch_emits_;
+};
+
+}  // namespace streamha

@@ -1,0 +1,255 @@
+#include "stream/queues.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace streamha {
+
+OutputQueue::OutputQueue(Network& net, StreamId stream, MachineId srcMachine)
+    : net_(net), stream_(stream), src_machine_(srcMachine) {}
+
+ElementSeq OutputQueue::produce(SimTime sourceTs, std::uint64_t value,
+                                std::uint32_t payloadBytes) {
+  Element e;
+  e.stream = stream_;
+  e.seq = next_seq_++;
+  e.sourceTs = sourceTs;
+  e.value = value;
+  e.payloadBytes = payloadBytes;
+  buffer_.push_back(e);
+  for (auto& conn : connections_) {
+    if (!conn.active) continue;
+    if (conn.nextToSend == e.seq) {
+      // Fast path: the connection is caught up; ship just this element.
+      conn.nextToSend = e.seq + 1;
+      std::vector<Element> batch{e};
+      net_.send(src_machine_, conn.dst, MsgKind::kData, wireBytes(batch), 1,
+                [deliver = conn.deliver, batch] { deliver(batch); });
+    } else if (conn.nextToSend < e.seq) {
+      // The connection fell behind (e.g. its queue was just restored from a
+      // checkpoint): ship the retained backlog up to and including `e`.
+      push(conn);
+    }
+  }
+  if (produce_listener_) produce_listener_(e.seq);
+  return e.seq;
+}
+
+int OutputQueue::addConnection(MachineId dstMachine, bool active,
+                               bool gatesTrim, DeliverFn deliver) {
+  Connection conn;
+  conn.id = next_conn_id_++;
+  conn.dst = dstMachine;
+  conn.deliver = std::move(deliver);
+  conn.active = active;
+  conn.gatesTrim = gatesTrim;
+  conn.nextToSend = trimmed_up_to_ + 1;
+  conn.ackedUpTo = trimmed_up_to_;
+  connections_.push_back(std::move(conn));
+  if (active) push(connections_.back());
+  return connections_.back().id;
+}
+
+void OutputQueue::removeConnection(int connId) {
+  connections_.erase(
+      std::remove_if(connections_.begin(), connections_.end(),
+                     [connId](const Connection& c) { return c.id == connId; }),
+      connections_.end());
+  maybeTrim();
+}
+
+OutputQueue::Connection* OutputQueue::find(int connId) {
+  for (auto& conn : connections_) {
+    if (conn.id == connId) return &conn;
+  }
+  return nullptr;
+}
+
+const OutputQueue::Connection* OutputQueue::find(int connId) const {
+  for (const auto& conn : connections_) {
+    if (conn.id == connId) return &conn;
+  }
+  return nullptr;
+}
+
+void OutputQueue::setConnectionActive(int connId, bool active) {
+  Connection* conn = find(connId);
+  if (conn == nullptr || conn->active == active) return;
+  conn->active = active;
+  if (active) push(*conn);
+}
+
+bool OutputQueue::connectionActive(int connId) const {
+  const Connection* conn = find(connId);
+  return conn != nullptr && conn->active;
+}
+
+ElementSeq OutputQueue::connectionCursor(int connId) const {
+  const Connection* conn = find(connId);
+  return conn == nullptr ? 0 : conn->nextToSend;
+}
+
+void OutputQueue::setConnectionGating(int connId, bool gatesTrim) {
+  Connection* conn = find(connId);
+  if (conn == nullptr || conn->gatesTrim == gatesTrim) return;
+  conn->gatesTrim = gatesTrim;
+  maybeTrim();
+}
+
+void OutputQueue::retransmitFrom(int connId, ElementSeq fromSeq) {
+  Connection* conn = find(connId);
+  if (conn == nullptr) return;
+  conn->nextToSend = std::max<ElementSeq>(fromSeq, trimmed_up_to_ + 1);
+  if (conn->active) push(*conn);
+}
+
+void OutputQueue::push(Connection& conn) {
+  if (buffer_.empty()) {
+    conn.nextToSend = std::max(conn.nextToSend, next_seq_);
+    return;
+  }
+  const ElementSeq first_buffered = buffer_.front().seq;
+  ElementSeq from = std::max(conn.nextToSend, first_buffered);
+  while (from < next_seq_) {
+    std::vector<Element> batch;
+    batch.reserve(kMaxBatch);
+    const std::size_t start =
+        static_cast<std::size_t>(from - first_buffered);
+    for (std::size_t i = start; i < buffer_.size() && batch.size() < kMaxBatch;
+         ++i) {
+      batch.push_back(buffer_[i]);
+    }
+    if (batch.empty()) break;
+    from = batch.back().seq + 1;
+    net_.send(src_machine_, conn.dst, MsgKind::kData, wireBytes(batch),
+              batch.size(),
+              [deliver = conn.deliver, batch] { deliver(batch); });
+  }
+  conn.nextToSend = std::max(conn.nextToSend, from);
+}
+
+void OutputQueue::onAck(int connId, ElementSeq upTo) {
+  Connection* conn = find(connId);
+  if (conn == nullptr) return;
+  conn->ackedUpTo = std::max(conn->ackedUpTo, upTo);
+  maybeTrim();
+}
+
+void OutputQueue::maybeTrim() {
+  ElementSeq new_trim = next_seq_ - 1;  // Everything produced so far...
+  bool any_gating = false;
+  for (const auto& conn : connections_) {
+    if (!conn.gatesTrim) continue;
+    any_gating = true;
+    new_trim = std::min(new_trim, conn.ackedUpTo);
+  }
+  if (!any_gating) return;  // Nobody consumes yet: retain everything.
+  if (new_trim <= trimmed_up_to_) return;
+  while (!buffer_.empty() && buffer_.front().seq <= new_trim) {
+    buffer_.pop_front();
+  }
+  trimmed_up_to_ = new_trim;
+  if (trim_listener_) trim_listener_(trimmed_up_to_);
+}
+
+std::vector<Element> OutputQueue::snapshotBuffered() const {
+  return std::vector<Element>(buffer_.begin(), buffer_.end());
+}
+
+void OutputQueue::restore(ElementSeq nextSeq, std::vector<Element> buffered) {
+  next_seq_ = nextSeq;
+  buffer_.assign(buffered.begin(), buffered.end());
+  trimmed_up_to_ =
+      buffer_.empty() ? (next_seq_ > 0 ? next_seq_ - 1 : 0)
+                      : buffer_.front().seq - 1;
+  for (auto& conn : connections_) {
+    conn.nextToSend = std::clamp<ElementSeq>(conn.nextToSend,
+                                             trimmed_up_to_ + 1, next_seq_);
+    conn.ackedUpTo = std::min(conn.ackedUpTo, next_seq_ - 1);
+  }
+}
+
+void InputQueue::subscribe(StreamId stream, ElementSeq expected) {
+  expected_[stream] = expected;
+}
+
+bool InputQueue::subscribed(StreamId stream) const {
+  return expected_.count(stream) != 0;
+}
+
+void InputQueue::addUpstream(StreamId stream, AckFn ack) {
+  upstreams_.emplace(stream, std::move(ack));
+}
+
+void InputQueue::receive(const std::vector<Element>& batch) {
+  bool delivered = false;
+  for (const Element& e : batch) {
+    auto it = expected_.find(e.stream);
+    if (it == expected_.end()) continue;  // Not subscribed: ignore.
+    if (e.seq < it->second) {
+      ++duplicates_dropped_;
+      continue;
+    }
+    if (e.seq > it->second) ++gaps_observed_;
+    it->second = e.seq + 1;
+    if (shed_threshold_ != 0 && pending_.size() >= shed_threshold_) {
+      // Shed: the watermark advanced, so the element is gone for good (a
+      // retransmission would be treated as a duplicate).
+      ++elements_shed_;
+      continue;
+    }
+    pending_.push_back(e);
+    delivered = true;
+  }
+  if (delivered && on_arrival_) on_arrival_();
+}
+
+void InputQueue::sendAcks(const std::map<StreamId, ElementSeq>& watermarks) {
+  for (const auto& [stream, seq] : watermarks) {
+    if (seq == 0) continue;
+    auto [lo, hi] = upstreams_.equal_range(stream);
+    for (auto it = lo; it != hi; ++it) it->second(stream, seq);
+  }
+}
+
+ElementSeq InputQueue::expected(StreamId stream) const {
+  const auto it = expected_.find(stream);
+  return it == expected_.end() ? 1 : it->second;
+}
+
+void InputQueue::fastForward(StreamId stream, ElementSeq watermark) {
+  auto it = expected_.find(stream);
+  if (it == expected_.end()) return;
+  it->second = std::max(it->second, watermark + 1);
+  pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                [&](const Element& e) {
+                                  return e.stream == stream &&
+                                         e.seq <= watermark;
+                                }),
+                 pending_.end());
+}
+
+void InputQueue::loadPending(const std::vector<Element>& elements) {
+  bool loaded = false;
+  for (const Element& e : elements) {
+    auto it = expected_.find(e.stream);
+    if (it == expected_.end()) continue;
+    // Idempotent like receive(): repeated restores of overlapping backlogs
+    // (a standby refreshed by successive conventional checkpoints) must not
+    // duplicate pending elements.
+    if (e.seq < it->second) continue;
+    it->second = e.seq + 1;
+    pending_.push_back(e);
+    loaded = true;
+  }
+  if (loaded && on_arrival_) on_arrival_();
+}
+
+std::vector<StreamId> InputQueue::streams() const {
+  std::vector<StreamId> out;
+  out.reserve(expected_.size());
+  for (const auto& [stream, seq] : expected_) out.push_back(stream);
+  return out;
+}
+
+}  // namespace streamha

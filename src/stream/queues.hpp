@@ -1,0 +1,221 @@
+// Output and input queues: the replication-aware data plane.
+//
+// OutputQueue implements the paper's queue-trimming protocol: it retains every
+// produced element until an *accumulative acknowledgment* from each
+// trim-gating downstream consumer covers it (an ack is sent only after the
+// downstream PE has processed the data AND -- under checkpointed HA modes --
+// checkpointed the resulting state). Trimming fires a listener, which is what
+// drives sweeping checkpointing ("checkpoints happen immediately after its
+// output queue is trimmed").
+//
+// Connections carry the paper's `isActive` field: a pre-deployed Hybrid
+// secondary is connected early but inactive, so no data flows (and no CPU is
+// burned) until switchover flips the flag.
+//
+// InputQueue merges one or more logical streams arriving from one or more
+// physical upstream copies, eliminating duplicates by (stream, seq) watermark
+// -- the dedup active standby requires.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "stream/element.hpp"
+
+namespace streamha {
+
+/// Maximum elements per data message (retransmission batches).
+inline constexpr std::size_t kMaxBatch = 128;
+
+class OutputQueue {
+ public:
+  using DeliverFn = std::function<void(std::vector<Element>)>;
+  using TrimListener = std::function<void(ElementSeq /*trimmedUpTo*/)>;
+
+  OutputQueue(Network& net, StreamId stream, MachineId srcMachine);
+
+  StreamId stream() const { return stream_; }
+  MachineId srcMachine() const { return src_machine_; }
+
+  // -- Producing ------------------------------------------------------------
+
+  /// Append a new element (seq assigned internally) and forward it to every
+  /// active connection. Returns the assigned sequence number.
+  ElementSeq produce(SimTime sourceTs, std::uint64_t value,
+                     std::uint32_t payloadBytes);
+
+  /// Sequence number the next produced element will get.
+  ElementSeq nextSeq() const { return next_seq_; }
+
+  /// Highest sequence number removed from the queue (0 if none).
+  ElementSeq trimmedUpTo() const { return trimmed_up_to_; }
+
+  std::size_t bufferedCount() const { return buffer_.size(); }
+
+  // -- Connections ------------------------------------------------------------
+
+  /// Attach a downstream consumer. `deliver` runs on the destination machine
+  /// after the simulated network delay. `gatesTrim` marks connections whose
+  /// acknowledgments gate queue trimming (primary paths and live AS copies);
+  /// a Hybrid standby connection never gates. Returns a connection id.
+  int addConnection(MachineId dstMachine, bool active, bool gatesTrim,
+                    DeliverFn deliver);
+
+  void removeConnection(int connId);
+
+  /// Flip the paper's isActive flag. Activating pushes all retained elements
+  /// the connection has not yet been sent, starting from its cursor.
+  void setConnectionActive(int connId, bool active);
+  bool connectionActive(int connId) const;
+
+  /// Change whether a connection's acks gate trimming (used when a consumer
+  /// copy dies or is demoted and should no longer hold back the queue).
+  void setConnectionGating(int connId, bool gatesTrim);
+
+  /// Reposition a connection's send cursor and (if active) retransmit every
+  /// retained element with seq >= fromSeq. Used on recovery: the restored
+  /// consumer asks for everything after its checkpoint watermark.
+  void retransmitFrom(int connId, ElementSeq fromSeq);
+
+  /// Record an accumulative ack from a connection; may advance the trim point.
+  void onAck(int connId, ElementSeq upTo);
+
+  /// Sequence number of the next element this connection will be sent
+  /// (cursor). Used for traffic accounting; 0 for unknown connections.
+  ElementSeq connectionCursor(int connId) const;
+
+  void setTrimListener(TrimListener listener) { trim_listener_ = std::move(listener); }
+
+  /// Listener invoked with the sequence number of every newly produced
+  /// element (used by recovery timing: "first new output after the switch").
+  using ProduceListener = std::function<void(ElementSeq)>;
+  void setProduceListener(ProduceListener listener) {
+    produce_listener_ = std::move(listener);
+  }
+
+  // -- Checkpoint support -----------------------------------------------------
+
+  /// The retained (un-trimmed) elements, oldest first.
+  std::vector<Element> snapshotBuffered() const;
+
+  /// Replace queue contents from a checkpoint/state-read: future elements
+  /// will be numbered from `nextSeq`; `buffered` are the retained elements.
+  /// Send cursors clamp into the new range; nothing is sent by this call.
+  void restore(ElementSeq nextSeq, std::vector<Element> buffered);
+
+  int connectionCount() const { return static_cast<int>(connections_.size()); }
+
+ private:
+  struct Connection {
+    int id;
+    MachineId dst;
+    DeliverFn deliver;
+    bool active;
+    bool gatesTrim;
+    ElementSeq nextToSend;  ///< Seq of the next element this connection gets.
+    ElementSeq ackedUpTo = 0;
+  };
+
+  Connection* find(int connId);
+  const Connection* find(int connId) const;
+  void push(Connection& conn);  ///< Send retained elements from the cursor.
+  void maybeTrim();
+
+  Network& net_;
+  StreamId stream_;
+  MachineId src_machine_;
+  ElementSeq next_seq_ = 1;
+  ElementSeq trimmed_up_to_ = 0;
+  std::deque<Element> buffer_;  ///< Elements (trimmed_up_to_, next_seq_).
+  std::vector<Connection> connections_;
+  int next_conn_id_ = 1;
+  TrimListener trim_listener_;
+  ProduceListener produce_listener_;
+};
+
+class InputQueue {
+ public:
+  using ArrivalListener = std::function<void()>;
+  /// Sends an accumulative ack for `stream` up to `seq` to one upstream copy.
+  using AckFn = std::function<void(StreamId, ElementSeq)>;
+
+  InputQueue() = default;
+
+  /// Register a logical stream this queue consumes. `expected` is the first
+  /// sequence number to accept (watermark + 1).
+  void subscribe(StreamId stream, ElementSeq expected = 1);
+  bool subscribed(StreamId stream) const;
+
+  /// Register the ack path back to one physical upstream copy feeding
+  /// `stream`. Several copies may feed the same stream (active standby).
+  void addUpstream(StreamId stream, AckFn ack);
+
+  /// Deliver a batch from some upstream copy; duplicates are dropped,
+  /// in-sequence elements are appended to the pending buffer. When a shed
+  /// threshold is set and the buffer is full, new elements are *shed*
+  /// (accepted-and-dropped: retransmissions will not bring them back).
+  void receive(const std::vector<Element>& batch);
+
+  /// Enable load shedding: arrivals beyond `maxPending` buffered elements
+  /// are dropped (the paper's "load shedding" alternative -- it bounds the
+  /// delay at the price of data loss). 0 disables shedding (default).
+  void setShedThreshold(std::size_t maxPending) { shed_threshold_ = maxPending; }
+  std::uint64_t elementsShed() const { return elements_shed_; }
+
+  bool empty() const { return pending_.empty(); }
+  std::size_t size() const { return pending_.size(); }
+  const Element& front() const { return pending_.front(); }
+  void pop() { pending_.pop_front(); }
+
+  void setArrivalListener(ArrivalListener fn) { on_arrival_ = std::move(fn); }
+
+  /// Send accumulative acks for the given per-stream watermarks to every
+  /// registered upstream copy of each stream.
+  void sendAcks(const std::map<StreamId, ElementSeq>& watermarks);
+
+  /// Next sequence number this queue will accept for `stream`.
+  ElementSeq expected(StreamId stream) const;
+
+  /// Fast-forward to `watermark` (accept only seq > watermark from now on)
+  /// and drop buffered elements of `stream` with seq <= watermark. Used on
+  /// restore/rollback.
+  void fastForward(StreamId stream, ElementSeq watermark);
+
+  /// Drop everything buffered (fresh restore from checkpoint).
+  void clearPending() { pending_.clear(); }
+
+  /// Snapshot the pending (received, unprocessed) elements, oldest first.
+  std::vector<Element> snapshotPending() const {
+    return std::vector<Element>(pending_.begin(), pending_.end());
+  }
+
+  /// Restore buffered elements from a (conventional) checkpoint; expected
+  /// watermarks advance past every loaded element so retransmissions of the
+  /// backlog are treated as duplicates.
+  void loadPending(const std::vector<Element>& elements);
+
+  std::uint64_t duplicatesDropped() const { return duplicates_dropped_; }
+  /// Elements that arrived with a sequence gap (should be 0 in a correct
+  /// run; property tests assert this).
+  std::uint64_t gapsObserved() const { return gaps_observed_; }
+
+  std::vector<StreamId> streams() const;
+
+ private:
+  std::map<StreamId, ElementSeq> expected_;  ///< Next acceptable seq per stream.
+  std::deque<Element> pending_;
+  std::multimap<StreamId, AckFn> upstreams_;
+  ArrivalListener on_arrival_;
+  std::uint64_t duplicates_dropped_ = 0;
+  std::uint64_t gaps_observed_ = 0;
+  std::size_t shed_threshold_ = 0;
+  std::uint64_t elements_shed_ = 0;
+};
+
+}  // namespace streamha

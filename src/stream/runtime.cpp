@@ -1,0 +1,343 @@
+#include "stream/runtime.hpp"
+
+#include <cassert>
+#include <memory>
+
+#include "common/logging.hpp"
+
+namespace streamha {
+
+Runtime::Runtime(Cluster& cluster, const JobSpec& spec, Costs costs)
+    : cluster_(cluster), spec_(spec), costs_(costs) {
+  const std::string problem = spec_.validate();
+  assert(problem.empty() && "invalid job spec");
+  (void)problem;
+}
+
+Runtime::Runtime(Cluster& cluster, const JobSpec& spec)
+    : Runtime(cluster, spec, Costs{}) {}
+
+Source& Runtime::addSource(MachineId machine, Source::Params params) {
+  assert(source_ == nullptr);
+  source_ = std::make_unique<Source>(
+      cluster_.sim(), cluster_.machine(machine), cluster_.network(),
+      spec_.sourceStream, params,
+      cluster_.forkRng(stableHash("source") ^ static_cast<std::uint64_t>(spec_.id)));
+  return *source_;
+}
+
+Sink& Runtime::addSink(MachineId machine) {
+  assert(sink_ == nullptr);
+  Sink::Params params;
+  params.ackFlushInterval = costs_.ackFlushInterval;
+  sink_ = std::make_unique<Sink>(cluster_.sim(), cluster_.machine(machine),
+                                 params);
+  for (StreamId stream : spec_.sinkStreams) sink_->subscribe(stream);
+  return *sink_;
+}
+
+Subjob& Runtime::instantiate(SubjobId subjob, MachineId machine,
+                             Replica replica) {
+  const SubjobSpec& sjSpec = spec_.subjob(subjob);
+  auto instance = std::make_unique<Subjob>(
+      cluster_.sim(), cluster_.machine(machine), subjob, replica);
+  for (LogicalPeId peId : sjSpec.pes) {
+    const LogicalPeSpec& peSpec = spec_.pe(peId);
+    PeParams params;
+    params.logicalId = peSpec.id;
+    params.name = peSpec.name;
+    params.workPerElementUs = peSpec.workUs;
+    params.outputStreams = peSpec.outputStreams;
+    params.outputPayloadBytes = peSpec.payloadBytes;
+    auto& pe = instance->addPe(std::make_unique<PeInstance>(
+        cluster_.sim(), cluster_.machine(machine), cluster_.network(),
+        std::move(params), peSpec.makeLogic()));
+    for (StreamId stream : peSpec.inputStreams) pe.input().subscribe(stream);
+  }
+  instances_.push_back(std::move(instance));
+  LOG_DEBUG(cluster_.sim().now(), "runtime")
+      << "instantiated subjob " << subjob << " (" << toString(replica)
+      << ") on machine " << machine;
+  return *instances_.back();
+}
+
+std::vector<Subjob*> Runtime::instancesOf(SubjobId subjob) const {
+  std::vector<Subjob*> out;
+  for (const auto& inst : instances_) {
+    if (inst->logicalId() == subjob && !inst->terminated()) {
+      out.push_back(inst.get());
+    }
+  }
+  return out;
+}
+
+Subjob* Runtime::instanceOf(SubjobId subjob, Replica replica) const {
+  for (const auto& inst : instances_) {
+    if (inst->logicalId() == subjob && inst->replica() == replica &&
+        !inst->terminated()) {
+      return inst.get();
+    }
+  }
+  return nullptr;
+}
+
+bool Runtime::wireExists(const OutputQueue* oq, const PeInstance* consumerPe,
+                         bool toSink) const {
+  for (const auto& wire : wires_) {
+    if (wire->oq == oq) {
+      if (toSink && wire->consumerPe == nullptr) return true;
+      if (!toSink && wire->consumerPe == consumerPe) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Runtime::WirePlan> Runtime::collectMissingWires(Subjob& instance) {
+  std::vector<WirePlan> plans;
+  auto planned = [&](const OutputQueue* oq, const PeInstance* consumerPe,
+                     bool toSink) {
+    if (wireExists(oq, consumerPe, toSink)) return true;
+    for (const auto& plan : plans) {
+      if (plan.oq == oq) {
+        if (toSink && plan.consumerPe == nullptr) return true;
+        if (!toSink && plan.consumerPe == consumerPe) return true;
+      }
+    }
+    return false;
+  };
+  auto outputPortOf = [&](Subjob& inst, LogicalPeId peId,
+                          StreamId stream) -> OutputQueue* {
+    PeInstance* pe = inst.peByLogicalId(peId);
+    if (pe == nullptr) return nullptr;
+    for (std::size_t port = 0; port < pe->portCount(); ++port) {
+      if (pe->output(port).stream() == stream) return &pe->output(port);
+    }
+    return nullptr;
+  };
+
+  // Inbound: channels feeding this instance's PEs.
+  for (std::size_t i = 0; i < instance.peCount(); ++i) {
+    PeInstance& pe = instance.pe(i);
+    const LogicalPeSpec& peSpec = spec_.pe(pe.logicalId());
+    for (StreamId stream : peSpec.inputStreams) {
+      if (stream == spec_.sourceStream) {
+        if (source_ != nullptr && !planned(&source_->output(), &pe, false)) {
+          plans.push_back(
+              WirePlan{&source_->output(), stream, nullptr, &instance, &pe,
+                       false});
+        }
+        continue;
+      }
+      const LogicalPeId producerId = spec_.producerOf(stream);
+      const SubjobId producerSj = spec_.subjobOf(producerId);
+      if (producerSj == instance.logicalId()) {
+        OutputQueue* oq = outputPortOf(instance, producerId, stream);
+        if (oq != nullptr && !planned(oq, &pe, false)) {
+          plans.push_back(WirePlan{oq, stream, &instance, &instance, &pe, true});
+        }
+      } else {
+        for (Subjob* producer : instancesOf(producerSj)) {
+          OutputQueue* oq = outputPortOf(*producer, producerId, stream);
+          if (oq != nullptr && !planned(oq, &pe, false)) {
+            plans.push_back(
+                WirePlan{oq, stream, producer, &instance, &pe, false});
+          }
+        }
+      }
+    }
+  }
+
+  // Outbound: channels this instance's PEs feed.
+  for (std::size_t i = 0; i < instance.peCount(); ++i) {
+    PeInstance& pe = instance.pe(i);
+    const LogicalPeSpec& peSpec = spec_.pe(pe.logicalId());
+    for (std::size_t port = 0; port < peSpec.outputStreams.size(); ++port) {
+      const StreamId stream = peSpec.outputStreams[port];
+      OutputQueue* oq = &pe.output(port);
+      for (LogicalPeId consumerId : spec_.consumersOf(stream)) {
+        const SubjobId consumerSj = spec_.subjobOf(consumerId);
+        if (consumerSj == instance.logicalId()) {
+          PeInstance* consumerPe = instance.peByLogicalId(consumerId);
+          if (consumerPe != nullptr && !planned(oq, consumerPe, false)) {
+            plans.push_back(
+                WirePlan{oq, stream, &instance, &instance, consumerPe, true});
+          }
+        } else {
+          for (Subjob* consumer : instancesOf(consumerSj)) {
+            PeInstance* consumerPe = consumer->peByLogicalId(consumerId);
+            if (consumerPe != nullptr && !planned(oq, consumerPe, false)) {
+              plans.push_back(
+                  WirePlan{oq, stream, &instance, consumer, consumerPe, false});
+            }
+          }
+        }
+      }
+      for (StreamId sinkStream : spec_.sinkStreams) {
+        if (sinkStream == stream && sink_ != nullptr &&
+            !planned(oq, nullptr, true)) {
+          plans.push_back(
+              WirePlan{oq, stream, &instance, nullptr, nullptr, false});
+        }
+      }
+    }
+  }
+  return plans;
+}
+
+MachineId Runtime::producerMachine(const WirePlan& plan) const {
+  if (plan.producer != nullptr) return plan.producer->machine().id();
+  assert(source_ != nullptr);
+  return source_->machineId();
+}
+
+void Runtime::wireInstance(Subjob& instance, WireOpts inbound,
+                           WireOpts outbound) {
+  for (const WirePlan& plan : collectMissingWires(instance)) {
+    const WireOpts opts = plan.local
+                              ? WireOpts{true, true}
+                              : (plan.consumer == &instance ? inbound : outbound);
+    createSingleWire(plan, opts);
+  }
+}
+
+void Runtime::wireInstanceWithCost(Subjob& instance, WireOpts inbound,
+                                   WireOpts outbound,
+                                   std::function<void()> done) {
+  const auto plans = collectMissingWires(instance);
+  if (plans.empty()) {
+    if (done) done();
+    return;
+  }
+  auto remaining = std::make_shared<std::size_t>(plans.size());
+  auto doneShared = std::make_shared<std::function<void()>>(std::move(done));
+  Network* net = &cluster_.network();
+  for (const WirePlan& plan : plans) {
+    const MachineId producerM = producerMachine(plan);
+    const MachineId initiatorM = instance.machine().id();
+    Machine& producerMachineRef = cluster_.machine(producerM);
+    auto finishOne = [this, &instance, inbound, outbound, plan, remaining,
+                      doneShared] {
+      // Re-check that the wire is still missing (another path may have
+      // created it while the control exchange was in flight).
+      const bool toSink = plan.consumerPe == nullptr;
+      if (!wireExists(plan.oq, plan.consumerPe, toSink)) {
+        // Create exactly this one wire using the single-plan path.
+        createSingleWire(plan, plan.local ? WireOpts{true, true}
+                              : (plan.consumer == &instance ? inbound
+                                                            : outbound));
+      }
+      if (--*remaining == 0 && *doneShared) (*doneShared)();
+    };
+    if (plan.local || producerM == initiatorM) {
+      // Local setup: just the connection work on our own machine.
+      instance.machine().submitData(costs_.connectWorkUs, finishOne);
+    } else {
+      // Control round-trip to the producer, connection work there, confirm.
+      Machine* prodMachine = &producerMachineRef;
+      const std::size_t ctlBytes = costs_.controlMsgBytes;
+      const double connectWork = costs_.connectWorkUs;
+      net->send(initiatorM, producerM, MsgKind::kControl, ctlBytes, 0,
+                [net, prodMachine, initiatorM, producerM, ctlBytes,
+                 connectWork, finishOne] {
+                  prodMachine->submitData(connectWork, [net, initiatorM,
+                                                        producerM, ctlBytes,
+                                                        finishOne] {
+                    net->send(producerM, initiatorM, MsgKind::kControl,
+                              ctlBytes, 0, finishOne);
+                  });
+                });
+    }
+  }
+}
+
+void Runtime::createSingleWire(const WirePlan& plan, WireOpts opts) {
+  InputQueue* iq =
+      plan.consumerPe != nullptr ? &plan.consumerPe->input() : &sink_->input();
+  const MachineId dstMachine = plan.consumer != nullptr
+                                   ? plan.consumer->machine().id()
+                                   : sink_->machineId();
+  const MachineId srcMachine = producerMachine(plan);
+  const int connId = plan.oq->addConnection(
+      dstMachine, opts.active, opts.gatesTrim,
+      [iq](std::vector<Element> batch) { iq->receive(batch); });
+  Network* net = &cluster_.network();
+  OutputQueue* oq = plan.oq;
+  const std::size_t ackBytes = costs_.ackBytes;
+  iq->addUpstream(plan.stream,
+                  [net, srcMachine, dstMachine, oq, connId, ackBytes](
+                      StreamId, ElementSeq upTo) {
+                    net->send(dstMachine, srcMachine, MsgKind::kAck, ackBytes,
+                              0, [oq, connId, upTo] { oq->onAck(connId, upTo); });
+                  });
+  auto wire = std::make_unique<Wire>();
+  wire->oq = plan.oq;
+  wire->connId = connId;
+  wire->stream = plan.stream;
+  wire->producer = plan.producer;
+  wire->consumer = plan.consumer;
+  wire->consumerPe = plan.consumerPe;
+  wire->local = plan.local;
+  wires_.push_back(std::move(wire));
+}
+
+std::vector<Runtime::Wire*> Runtime::wiresInto(Subjob& instance) {
+  std::vector<Wire*> out;
+  for (const auto& wire : wires_) {
+    if (!wire->local && wire->consumer == &instance) out.push_back(wire.get());
+  }
+  return out;
+}
+
+std::vector<Runtime::Wire*> Runtime::wiresOutOf(Subjob& instance) {
+  std::vector<Wire*> out;
+  for (const auto& wire : wires_) {
+    if (!wire->local && wire->producer == &instance) out.push_back(wire.get());
+  }
+  return out;
+}
+
+void Runtime::setWireActive(Wire& wire, bool active) {
+  wire.oq->setConnectionActive(wire.connId, active);
+}
+
+void Runtime::retransmitWire(Wire& wire, ElementSeq fromSeq) {
+  wire.oq->retransmitFrom(wire.connId, fromSeq);
+}
+
+void Runtime::releaseTrimGate(Wire& wire) {
+  wire.oq->setConnectionGating(wire.connId, false);
+}
+
+void Runtime::removeWiresOf(Subjob& instance) {
+  for (auto it = wires_.begin(); it != wires_.end();) {
+    Wire& wire = **it;
+    if (wire.producer == &instance || wire.consumer == &instance) {
+      wire.oq->removeConnection(wire.connId);
+      it = wires_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Runtime::deployPrimaries(const std::vector<MachineId>& placement) {
+  assert(placement.size() == spec_.subjobCount());
+  assert(source_ != nullptr && sink_ != nullptr);
+  for (std::size_t i = 0; i < spec_.subjobCount(); ++i) {
+    instantiate(static_cast<SubjobId>(i), placement[i], Replica::kPrimary);
+  }
+  for (const auto& inst : instances_) {
+    wireInstance(*inst, WireOpts{true, true}, WireOpts{true, true});
+  }
+}
+
+void Runtime::start() {
+  assert(source_ != nullptr && sink_ != nullptr);
+  for (const auto& inst : instances_) {
+    inst->startAckTimer(costs_.ackFlushInterval);
+  }
+  sink_->start();
+  source_->start();
+}
+
+}  // namespace streamha

@@ -1,0 +1,153 @@
+// Runtime: deploys physical subjob instances onto cluster machines and wires
+// the replication-aware channels between them.
+//
+// One Runtime manages one job (plus its source and sink). Several Runtimes
+// may share a Cluster to model independent jobs contending for machines.
+//
+// Channel wiring rules
+// --------------------
+//  * PEs in the same subjob connect only within the same physical instance
+//    (a primary PE never feeds a secondary PE of its own subjob).
+//  * PEs in different subjobs connect across every pair of live instances;
+//    each connection carries `active` and `gatesTrim` flags chosen by the HA
+//    coordinator (all-active for AS, inactive standby for Hybrid, ...).
+//  * The source's output queue feeds every instance of the first subjob; the
+//    last subjob's instances all feed the sink.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/types.hpp"
+#include "stream/job.hpp"
+#include "stream/sink.hpp"
+#include "stream/source.hpp"
+#include "stream/subjob.hpp"
+
+namespace streamha {
+
+class Runtime {
+ public:
+  /// Control-plane costs (documented defaults; see DESIGN.md §5).
+  /// Calibrated against the paper's Section IV-B ratios: pre-deployment cuts
+  /// the redeploy phase by ~75% (resume = deploy / 4), early connection cuts
+  /// retransmission/reprocessing latency by ~50%.
+  struct Costs {
+    double deployWorkUs = 480'000.0;   ///< On-demand subjob deployment (PS).
+    double resumeWorkUs = 120'000.0;   ///< Resume of a pre-deployed suspended copy.
+    double connectWorkUs = 80'000.0;   ///< Per-connection establishment.
+    std::size_t controlMsgBytes = 128;
+    std::size_t ackBytes = 64;
+    SimDuration ackFlushInterval = 10 * kMillisecond;
+  };
+
+  Runtime(Cluster& cluster, const JobSpec& spec, Costs costs);
+  Runtime(Cluster& cluster, const JobSpec& spec);
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  Cluster& cluster() { return cluster_; }
+  const JobSpec& spec() const { return spec_; }
+  const Costs& costs() const { return costs_; }
+
+  // -- Source / sink ----------------------------------------------------------
+
+  Source& addSource(MachineId machine, Source::Params params);
+  Sink& addSink(MachineId machine);
+  Source* source() { return source_.get(); }
+  Sink* sink() { return sink_.get(); }
+
+  // -- Instances --------------------------------------------------------------
+
+  /// Create a physical copy of a subjob on `machine`. Object creation is
+  /// immediate; deployment *cost* is imposed by the caller (HA coordinator)
+  /// via machine work. The instance starts un-wired and running (callers
+  /// suspend standby copies before wiring).
+  Subjob& instantiate(SubjobId subjob, MachineId machine, Replica replica);
+
+  std::vector<Subjob*> instancesOf(SubjobId subjob) const;
+  Subjob* instanceOf(SubjobId subjob, Replica replica) const;
+  const std::vector<std::unique_ptr<Subjob>>& allInstances() const {
+    return instances_;
+  }
+
+  // -- Wiring -----------------------------------------------------------------
+
+  struct WireOpts {
+    bool active = true;
+    bool gatesTrim = true;
+  };
+
+  /// One established channel (a connection on a producer OutputQueue).
+  struct Wire {
+    OutputQueue* oq = nullptr;
+    int connId = 0;
+    StreamId stream = kNoStream;
+    Subjob* producer = nullptr;    ///< nullptr: the source.
+    Subjob* consumer = nullptr;    ///< nullptr: the sink.
+    PeInstance* consumerPe = nullptr;  ///< nullptr: the sink.
+    bool local = false;            ///< Intra-instance channel.
+  };
+
+  /// Create every missing channel into and out of `instance`. Inbound flags
+  /// apply to channels feeding this instance; outbound flags to channels it
+  /// feeds. Local intra-instance channels are always active and gating.
+  void wireInstance(Subjob& instance, WireOpts inbound, WireOpts outbound);
+
+  /// Like wireInstance, but pays per-connection establishment costs
+  /// (control round-trip + connectWorkUs on the producer machine) before
+  /// creating each channel; `done` runs when all channels exist.
+  void wireInstanceWithCost(Subjob& instance, WireOpts inbound,
+                            WireOpts outbound, std::function<void()> done);
+
+  /// Cross-instance wires whose consumer is `instance`.
+  std::vector<Wire*> wiresInto(Subjob& instance);
+  /// Cross-instance wires whose producer is `instance`.
+  std::vector<Wire*> wiresOutOf(Subjob& instance);
+
+  void setWireActive(Wire& wire, bool active);
+  /// Activate and reposition a wire to resend from `fromSeq`.
+  void retransmitWire(Wire& wire, ElementSeq fromSeq);
+  /// Remove every cross-instance wire touching `instance` (termination).
+  void removeWiresOf(Subjob& instance);
+  /// Stop a wire from gating the producer queue's trimming (dead consumer).
+  void releaseTrimGate(Wire& wire);
+
+  // -- Whole-job convenience ---------------------------------------------------
+
+  /// Instantiate a primary copy of every subjob per `placement` (one machine
+  /// per subjob, in subjob order) and wire everything active and gating.
+  /// Requires source and sink to exist.
+  void deployPrimaries(const std::vector<MachineId>& placement);
+
+  /// Start source, sink and the ack timers of kOnProcess instances.
+  void start();
+
+ private:
+  struct WirePlan {
+    OutputQueue* oq;
+    StreamId stream;
+    Subjob* producer;
+    Subjob* consumer;
+    PeInstance* consumerPe;  ///< nullptr: sink.
+    bool local;
+  };
+
+  std::vector<WirePlan> collectMissingWires(Subjob& instance);
+  bool wireExists(const OutputQueue* oq, const PeInstance* consumerPe,
+                  bool toSink) const;
+  void createSingleWire(const WirePlan& plan, WireOpts opts);
+  MachineId producerMachine(const WirePlan& plan) const;
+
+  Cluster& cluster_;
+  JobSpec spec_;
+  Costs costs_;
+  std::unique_ptr<Source> source_;
+  std::unique_ptr<Sink> sink_;
+  std::vector<std::unique_ptr<Subjob>> instances_;
+  std::vector<std::unique_ptr<Wire>> wires_;
+};
+
+}  // namespace streamha

@@ -1,0 +1,60 @@
+#include "stream/sink.hpp"
+
+namespace streamha {
+
+Sink::Sink(Simulator& sim, Machine& machine, Params params)
+    : sim_(sim),
+      machine_(machine),
+      params_(params),
+      ack_timer_(sim, params.ackFlushInterval, [this] {
+        std::map<StreamId, ElementSeq> advanced;
+        for (const auto& [stream, seq] : watermarks_) {
+          if (last_acked_[stream] < seq) {
+            advanced[stream] = seq;
+            last_acked_[stream] = seq;
+          }
+        }
+        if (!advanced.empty()) input_.sendAcks(advanced);
+      }) {
+  input_.setArrivalListener([this] { drain(); });
+}
+
+void Sink::subscribe(StreamId stream) { input_.subscribe(stream); }
+
+void Sink::start() { ack_timer_.start(); }
+
+void Sink::stop() { ack_timer_.stop(); }
+
+void Sink::drain() {
+  while (!input_.empty()) {
+    const Element e = input_.front();
+    input_.pop();
+    ++received_;
+    checksum_ = checksum_ * 1099511628211ULL + e.value;
+    watermarks_[e.stream] = e.seq;
+    const double delay_ms = toMillis(sim_.now() - e.sourceTs);
+    delays_.add(delay_ms);
+    if (params_.keepSeries) series_.emplace_back(sim_.now(), delay_ms);
+  }
+}
+
+double Sink::meanDelayBetween(SimTime from, SimTime to) const {
+  double total = 0;
+  std::size_t count = 0;
+  for (const auto& [when, delay] : series_) {
+    if (when >= from && when < to) {
+      total += delay;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+void Sink::resetStats() {
+  delays_ = SampleSet{};
+  series_.clear();
+  received_ = 0;
+  checksum_ = 0;
+}
+
+}  // namespace streamha

@@ -1,0 +1,104 @@
+#include "stream/source.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streamha {
+
+Source::Source(Simulator& sim, Machine& machine, Network& net, StreamId stream,
+               Params params, Rng rng)
+    : sim_(sim),
+      machine_(machine),
+      params_(params),
+      rng_(rng),
+      output_(net, stream, machine.id()) {}
+
+void Source::start() {
+  if (running_) return;
+  running_ = true;
+  burst_on_ = true;
+  phase_until_ = sim_.now() + params_.burstOn;
+  scheduleNext();
+}
+
+void Source::stop() {
+  running_ = false;
+  next_.cancel();
+}
+
+double Source::currentRatePerSec() const {
+  if (params_.pattern != Pattern::kBursty) return params_.ratePerSec;
+  if (!burst_on_) return 0.0;
+  // Scale the on-phase rate so the long-run average equals ratePerSec.
+  const double duty =
+      static_cast<double>(params_.burstOn) /
+      static_cast<double>(params_.burstOn + params_.burstOff);
+  return params_.ratePerSec / duty;
+}
+
+void Source::scheduleNext() {
+  if (!running_) return;
+  // Advance on/off phases for the bursty pattern.
+  if (params_.pattern == Pattern::kBursty) {
+    while (sim_.now() >= phase_until_) {
+      burst_on_ = !burst_on_;
+      const double mean = static_cast<double>(
+          burst_on_ ? params_.burstOn : params_.burstOff);
+      phase_until_ += std::max<SimDuration>(
+          1, static_cast<SimDuration>(rng_.exponential(mean)));
+    }
+    if (!burst_on_) {
+      next_ = sim_.scheduleAt(phase_until_, [this] { scheduleNext(); });
+      return;
+    }
+  }
+  const double rate = currentRatePerSec();
+  const double mean_gap_us = kSecond / std::max(rate, 1e-9);
+  double gap = mean_gap_us;
+  if (params_.pattern == Pattern::kPoisson ||
+      params_.pattern == Pattern::kBursty) {
+    gap = rng_.exponential(mean_gap_us);
+  }
+  next_ = sim_.schedule(
+      std::max<SimDuration>(1, static_cast<SimDuration>(gap)), [this] {
+        emit();
+        scheduleNext();
+      });
+}
+
+void Source::emit() {
+  if (!running_ || !machine_.isUp()) return;
+  if (params_.shapeRatePerSec <= 0) {
+    ++generated_;
+    output_.produce(sim_.now(), generated_, params_.payloadBytes);
+    return;
+  }
+  // Traffic shaping: the element is *created* now (its timestamp, and thus
+  // its end-to-end delay, starts here) but enters the stream at the shaped
+  // rate.
+  shaper_backlog_.push_back(sim_.now());
+  drainShaper();
+}
+
+void Source::drainShaper() {
+  if (shaper_drain_scheduled_) return;
+  if (shaper_backlog_.empty()) return;
+  const SimTime now = sim_.now();
+  if (now < shaper_next_release_) {
+    shaper_drain_scheduled_ = true;
+    sim_.scheduleAt(shaper_next_release_, [this] {
+      shaper_drain_scheduled_ = false;
+      drainShaper();
+    });
+    return;
+  }
+  const SimTime createdAt = shaper_backlog_.front();
+  shaper_backlog_.pop_front();
+  ++generated_;
+  output_.produce(createdAt, generated_, params_.payloadBytes);
+  shaper_next_release_ =
+      now + static_cast<SimDuration>(kSecond / params_.shapeRatePerSec);
+  drainShaper();
+}
+
+}  // namespace streamha

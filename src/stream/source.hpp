@@ -1,0 +1,80 @@
+// Data sources.
+//
+// A source generates elements on a machine into an OutputQueue that
+// participates in the ack/trim protocol exactly like a PE's output queue --
+// this is what allows a recovering first subjob to re-fetch raw input.
+// Generation itself consumes no simulated CPU (it models an external feed).
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/machine.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "stream/queues.hpp"
+
+namespace streamha {
+
+class Source {
+ public:
+  enum class Pattern {
+    kConstant,  ///< Fixed inter-arrival gaps.
+    kPoisson,   ///< Exponential gaps.
+    kBursty,    ///< On/off: bursts of `burstFactor` x rate, then silence.
+  };
+
+  struct Params {
+    double ratePerSec = 1000.0;  ///< Long-run average element rate.
+    Pattern pattern = Pattern::kConstant;
+    std::uint32_t payloadBytes = 100;
+    /// Bursty pattern: mean on/off phase lengths; the on-phase rate is scaled
+    /// so the long-run average stays at ratePerSec.
+    SimDuration burstOn = 200 * kMillisecond;
+    SimDuration burstOff = 300 * kMillisecond;
+    /// Traffic shaping (the paper's other Section I alternative): when > 0,
+    /// elements enter the stream no faster than this rate; bursts queue at
+    /// the source and their waiting time counts toward end-to-end delay
+    /// (each element keeps its original creation timestamp).
+    double shapeRatePerSec = 0.0;
+  };
+
+  Source(Simulator& sim, Machine& machine, Network& net, StreamId stream,
+         Params params, Rng rng);
+  Source(const Source&) = delete;
+  Source& operator=(const Source&) = delete;
+
+  void start();
+  void stop();
+
+  OutputQueue& output() { return output_; }
+  MachineId machineId() const { return machine_.id(); }
+  std::uint64_t generatedCount() const { return generated_; }
+  /// Elements created but still waiting in the shaper.
+  std::size_t shaperBacklog() const { return shaper_backlog_.size(); }
+  const Params& params() const { return params_; }
+
+ private:
+  void scheduleNext();
+  void emit();
+  void drainShaper();
+  double currentRatePerSec() const;
+
+  Simulator& sim_;
+  Machine& machine_;
+  Params params_;
+  Rng rng_;
+  OutputQueue output_;
+  bool running_ = false;
+  bool burst_on_ = true;
+  SimTime phase_until_ = 0;
+  EventHandle next_;
+  std::uint64_t generated_ = 0;
+  // Shaper state: creation timestamps waiting for a release slot.
+  std::deque<SimTime> shaper_backlog_;
+  SimTime shaper_next_release_ = 0;
+  bool shaper_drain_scheduled_ = false;
+};
+
+}  // namespace streamha

@@ -1,0 +1,218 @@
+#include "checkpoint/manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/scenario.hpp"
+
+namespace streamha {
+namespace {
+
+ScenarioParams baseParams(CheckpointKind kind) {
+  ScenarioParams p;
+  p.mode = HaMode::kPassiveStandby;
+  p.checkpointKind = kind;
+  p.checkpointInterval = 50 * kMillisecond;
+  p.duration = 5 * kSecond;
+  p.seed = 21;
+  return p;
+}
+
+TEST(CheckpointManager, SweepingCheckpointsAndReleasesAcks) {
+  Scenario s(baseParams(CheckpointKind::kSweeping));
+  s.build();
+  s.warmup();
+  s.run(5 * kSecond);
+  auto* cm = s.coordinatorFor(2)->checkpointManager();
+  ASSERT_NE(cm, nullptr);
+  EXPECT_STREQ(cm->name(), "sweeping");
+  EXPECT_GT(cm->stats().checkpoints, 50u);
+  EXPECT_GT(cm->stats().bytes, 0u);
+  // Acks flowed after checkpoints: the upstream subjob's boundary queue has
+  // been trimmed close to its head.
+  Subjob* upstream = s.runtime().instanceOf(1, Replica::kPrimary);
+  OutputQueue& boundary = upstream->lastPe().output(0);
+  EXPECT_GT(boundary.trimmedUpTo(), 1000u);
+  EXPECT_LT(boundary.bufferedCount(), 500u);
+}
+
+TEST(CheckpointManager, SweepingRespectsIntervalCooldown) {
+  Scenario s(baseParams(CheckpointKind::kSweeping));
+  s.build();
+  s.warmup();
+  s.run(5 * kSecond);
+  auto* cm = s.coordinatorFor(2)->checkpointManager();
+  // 2 PEs, 50 ms interval, 7 s total (2 s warmup + 5 s): at most
+  // 2 * 7s/50ms = 280 plus a little slack.
+  EXPECT_LE(cm->stats().checkpoints, 300u);
+  EXPECT_GE(cm->stats().checkpoints, 200u);
+}
+
+TEST(CheckpointManager, SynchronousCheckpointsWholeSubjob) {
+  Scenario s(baseParams(CheckpointKind::kSynchronous));
+  s.build();
+  s.warmup();
+  s.run(5 * kSecond);
+  auto* cm = s.coordinatorFor(2)->checkpointManager();
+  EXPECT_STREQ(cm->name(), "synchronous");
+  EXPECT_TRUE(cm->includesInputQueues());
+  // One grouped checkpoint per 50 ms interval over ~7 s (warmup + run),
+  // not one per PE.
+  EXPECT_GT(cm->stats().checkpoints, 100u);
+  EXPECT_LT(cm->stats().checkpoints, 160u);
+  EXPECT_GT(cm->stats().latencyMs.mean(), 0.0);
+}
+
+TEST(CheckpointManager, IndividualCheckpointsPerPe) {
+  Scenario s(baseParams(CheckpointKind::kIndividual));
+  s.build();
+  s.warmup();
+  s.run(5 * kSecond);
+  auto* cm = s.coordinatorFor(2)->checkpointManager();
+  EXPECT_STREQ(cm->name(), "individual");
+  // Two PEs, each on its own 50 ms timer, over ~7 s.
+  EXPECT_GT(cm->stats().checkpoints, 220u);
+  EXPECT_LT(cm->stats().checkpoints, 300u);
+}
+
+TEST(CheckpointManager, SweepingShipsFewerElementsThanConventional) {
+  std::uint64_t sweeping_elements = 0, individual_elements = 0;
+  {
+    Scenario s(baseParams(CheckpointKind::kSweeping));
+    s.build();
+    s.warmup();
+    s.run(5 * kSecond);
+    const auto& st = s.coordinatorFor(2)->checkpointManager()->stats();
+    sweeping_elements = st.elements * 100 / std::max<std::uint64_t>(1, st.checkpoints);
+  }
+  {
+    Scenario s(baseParams(CheckpointKind::kIndividual));
+    s.build();
+    s.warmup();
+    s.run(5 * kSecond);
+    const auto& st = s.coordinatorFor(2)->checkpointManager()->stats();
+    individual_elements = st.elements * 100 / std::max<std::uint64_t>(1, st.checkpoints);
+  }
+  // Sweeping checkpoints right after trims and never ships input queues, so
+  // its per-checkpoint element count is smaller.
+  EXPECT_LT(sweeping_elements, individual_elements);
+}
+
+TEST(CheckpointManager, SweepingPausesAreShorterThanSynchronous) {
+  double sweeping_pause = 0, synchronous_pause = 0;
+  {
+    Scenario s(baseParams(CheckpointKind::kSweeping));
+    s.build();
+    s.warmup();
+    s.run(5 * kSecond);
+    sweeping_pause =
+        s.coordinatorFor(2)->checkpointManager()->stats().pauseMs.mean();
+  }
+  {
+    Scenario s(baseParams(CheckpointKind::kSynchronous));
+    s.build();
+    s.warmup();
+    s.run(5 * kSecond);
+    synchronous_pause =
+        s.coordinatorFor(2)->checkpointManager()->stats().pauseMs.mean();
+  }
+  EXPECT_LE(sweeping_pause, synchronous_pause);
+}
+
+TEST(CheckpointManager, StopFencesFurtherAcks) {
+  Scenario s(baseParams(CheckpointKind::kSweeping));
+  s.build();
+  s.warmup();
+  s.run(kSecond);
+  auto* cm = s.coordinatorFor(2)->checkpointManager();
+  Subjob* upstream = s.runtime().instanceOf(1, Replica::kPrimary);
+  OutputQueue& boundary = upstream->lastPe().output(0);
+  cm->stop();
+  EXPECT_TRUE(cm->stopped());
+  const ElementSeq trimmed = boundary.trimmedUpTo();
+  s.run(2 * kSecond);
+  // No ack may advance the upstream trim point after the fence (a short
+  // grace for in-flight acks issued before the fence).
+  EXPECT_LE(boundary.trimmedUpTo(), trimmed + 50);
+}
+
+TEST(CheckpointManager, CheckpointAllNowCompletesAndBumpsVersions) {
+  Scenario s(baseParams(CheckpointKind::kSweeping));
+  s.build();
+  s.warmup();
+  auto* cm = s.coordinatorFor(2)->checkpointManager();
+  const auto before = cm->stats().checkpoints;
+  bool done = false;
+  cm->checkpointAllNow([&] { done = true; });
+  s.run(kSecond);
+  EXPECT_TRUE(done);
+  EXPECT_GE(cm->stats().checkpoints, before + 2);
+}
+
+TEST(CheckpointManager, SweepingFallbackTimerKeepsCheckpointingWithoutTrims) {
+  // A subjob that receives no data sees no acks and no trims; the fallback
+  // timer must still drive periodic checkpoints so a restore point exists.
+  Simulator sim;
+  Network net{sim, Network::Params{}, [](MachineId) { return true; }};
+  Rng rng(3);
+  Machine machine(sim, 0, rng.fork(0));
+  Machine storeMachine(sim, 1, rng.fork(1));
+  Subjob subjob(sim, machine, 0, Replica::kPrimary);
+  PeParams params;
+  params.logicalId = 0;
+  params.outputStreams = {10};
+  auto& pe = subjob.addPe(std::make_unique<PeInstance>(
+      sim, machine, net, std::move(params),
+      std::make_unique<SyntheticLogic>(1.0, 64)));
+  pe.input().subscribe(9);
+  StateStore store(sim, storeMachine);
+  CheckpointManager::Params cmParams;
+  cmParams.interval = 50 * kMillisecond;
+  SweepingCheckpointManager cm(sim, net, subjob, store, cmParams);
+  cm.start();
+  sim.runUntil(kSecond);
+  EXPECT_GT(cm.stats().checkpoints, 5u);
+  EXPECT_FALSE(store.latest(0).empty());
+  cm.stop();
+}
+
+TEST(CheckpointManager, DiskStoreDelaysAckRelease) {
+  // With a slow disk store the ack (which trims upstream) must lag the
+  // in-memory configuration.
+  auto measure = [](bool disk) {
+    ScenarioParams p;
+    p.mode = HaMode::kPassiveStandby;
+    p.store.persistToDisk = disk;
+    p.store.diskBytesPerMicro = 0.5;  // Extremely slow disk.
+    p.duration = 5 * kSecond;
+    p.seed = 21;
+    Scenario s(p);
+    s.build();
+    s.warmup();
+    s.run(5 * kSecond);
+    return s.coordinatorFor(2)->checkpointManager()->stats().latencyMs.mean();
+  };
+  EXPECT_GT(measure(true), 2.0 * measure(false));
+}
+
+TEST(SubjobQuiescer, PausesAllAndReleases) {
+  Scenario s(baseParams(CheckpointKind::kSweeping));
+  s.build();
+  s.warmup();
+  Subjob* subjob = s.runtime().instanceOf(1, Replica::kPrimary);
+  SubjobQuiescer quiescer;
+  bool quiesced = false;
+  quiescer.quiesce(*subjob, [&] { quiesced = true; });
+  s.run(kSecond);
+  EXPECT_TRUE(quiesced);
+  EXPECT_TRUE(subjob->pe(0).paused());
+  EXPECT_TRUE(subjob->pe(1).paused());
+  const auto processed = subjob->processedCount();
+  s.run(kSecond);
+  EXPECT_EQ(subjob->processedCount(), processed);  // Fully quiesced.
+  quiescer.release();
+  s.run(kSecond);
+  EXPECT_GT(subjob->processedCount(), processed);
+}
+
+}  // namespace
+}  // namespace streamha

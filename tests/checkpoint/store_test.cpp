@@ -1,0 +1,110 @@
+#include "checkpoint/store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace streamha {
+namespace {
+
+struct StoreFixture : ::testing::Test {
+  Simulator sim;
+  Rng rng{13};
+  std::unique_ptr<Machine> machine = std::make_unique<Machine>(sim, 0, rng);
+
+  PeState makeState(LogicalPeId pe, ElementSeq watermark) {
+    PeState state;
+    state.pe = pe;
+    state.internal = SyntheticLogic(1.0, 64).serialize();
+    state.processedWatermark[10] = watermark;
+    return state;
+  }
+};
+
+TEST_F(StoreFixture, StoresAndMergesPerPeStates) {
+  StateStore store(sim, *machine);
+  bool durable = false;
+  store.storePeState(3, makeState(0, 5), [&] { durable = true; });
+  EXPECT_TRUE(durable);  // Memory store: immediate.
+  store.storePeState(3, makeState(1, 7), nullptr);
+  const SubjobState latest = store.latest(3);
+  EXPECT_EQ(latest.pes.size(), 2u);
+  EXPECT_EQ(latest.pes.at(1).processedWatermark.at(10), 7u);
+  EXPECT_EQ(store.writeCount(), 2u);
+}
+
+TEST_F(StoreFixture, NewerStateReplacesOlderForSamePe) {
+  StateStore store(sim, *machine);
+  store.storePeState(3, makeState(0, 5), nullptr);
+  store.storePeState(3, makeState(0, 9), nullptr);
+  EXPECT_EQ(store.latest(3).pes.at(0).processedWatermark.at(10), 9u);
+}
+
+TEST_F(StoreFixture, LatestForUnknownSubjobIsEmpty) {
+  StateStore store(sim, *machine);
+  EXPECT_TRUE(store.latest(42).empty());
+  EXPECT_EQ(store.latest(42).subjob, 42);
+}
+
+TEST_F(StoreFixture, SubjobStateStoredWholesale) {
+  StateStore store(sim, *machine);
+  SubjobState state;
+  state.subjob = 1;
+  state.pes[0] = makeState(0, 2);
+  state.pes[1] = makeState(1, 3);
+  bool durable = false;
+  store.storeSubjobState(state, [&] { durable = true; });
+  EXPECT_TRUE(durable);
+  EXPECT_EQ(store.latest(1).pes.size(), 2u);
+}
+
+TEST_F(StoreFixture, DiskPenaltyDelaysDurability) {
+  StateStore::Params params;
+  params.persistToDisk = true;
+  params.diskBytesPerMicro = 1.0;  // Very slow disk.
+  StateStore store(sim, *machine, params);
+  SimTime durable_at = -1;
+  store.storePeState(1, makeState(0, 1), [&] { durable_at = sim.now(); });
+  EXPECT_EQ(durable_at, -1);
+  sim.runAll();
+  EXPECT_GT(durable_at, 100);  // Bytes / 1 B-per-us.
+}
+
+TEST_F(StoreFixture, CrashedStoreMachineDropsWrites) {
+  StateStore store(sim, *machine);
+  machine->crash();
+  bool durable = false;
+  store.storePeState(1, makeState(0, 1), [&] { durable = true; });
+  sim.runAll();
+  EXPECT_FALSE(durable);
+  EXPECT_TRUE(store.latest(1).empty());
+}
+
+TEST_F(StoreFixture, AttachedReplicaIsRefreshedWhileSuspended) {
+  StateStore store(sim, *machine);
+  Network net{sim, Network::Params{}, [](MachineId) { return true; }};
+  Subjob replica(sim, *machine, 1, Replica::kSecondary);
+  PeParams params;
+  params.logicalId = 0;
+  params.outputStreams = {20};
+  auto& pe = replica.addPe(std::make_unique<PeInstance>(
+      sim, *machine, net, params, std::make_unique<SyntheticLogic>(1.0, 64)));
+  pe.input().subscribe(10);
+  replica.suspendAll();
+  store.attachReplica(1, &replica);
+
+  store.storePeState(1, makeState(0, 6), nullptr);
+  EXPECT_EQ(pe.watermarks().at(10), 6u);  // Memory refreshed directly.
+
+  // An activated replica (switchover) is never clobbered.
+  replica.unsuspendAll();
+  store.storePeState(1, makeState(0, 9), nullptr);
+  EXPECT_EQ(pe.watermarks().at(10), 6u);
+
+  // Detached replicas are left alone even when suspended again.
+  replica.suspendAll();
+  store.detachReplica(1);
+  store.storePeState(1, makeState(0, 12), nullptr);
+  EXPECT_EQ(pe.watermarks().at(10), 6u);
+}
+
+}  // namespace
+}  // namespace streamha

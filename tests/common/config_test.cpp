@@ -1,0 +1,102 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace streamha {
+namespace {
+
+TEST(Config, TypedSetAndGet) {
+  Config c;
+  c.set("rate", 2.5);
+  c.set("count", static_cast<std::int64_t>(7));
+  c.set("name", std::string("hybrid"));
+  c.set("enabled", true);
+  EXPECT_DOUBLE_EQ(c.getDouble("rate", 0), 2.5);
+  EXPECT_EQ(c.getInt("count", 0), 7);
+  EXPECT_EQ(c.getString("name", ""), "hybrid");
+  EXPECT_TRUE(c.getBool("enabled", false));
+}
+
+TEST(Config, FallbacksWhenMissing) {
+  Config c;
+  EXPECT_DOUBLE_EQ(c.getDouble("x", 1.5), 1.5);
+  EXPECT_EQ(c.getInt("x", 9), 9);
+  EXPECT_EQ(c.getString("x", "d"), "d");
+  EXPECT_TRUE(c.getBool("x", true));
+}
+
+TEST(Config, NumericCoercions) {
+  Config c;
+  c.set("i", static_cast<std::int64_t>(3));
+  c.set("d", 4.7);
+  c.set("b", true);
+  EXPECT_DOUBLE_EQ(c.getDouble("i", 0), 3.0);
+  EXPECT_EQ(c.getInt("d", 0), 4);
+  EXPECT_EQ(c.getInt("b", 0), 1);
+  EXPECT_TRUE(c.getBool("i", false));
+}
+
+TEST(Config, SetFromStringInfersTypes) {
+  Config c;
+  EXPECT_TRUE(c.setFromString("a=5"));
+  EXPECT_TRUE(c.setFromString("b=2.5"));
+  EXPECT_TRUE(c.setFromString("c=true"));
+  EXPECT_TRUE(c.setFromString("d=hello"));
+  EXPECT_EQ(c.getInt("a", 0), 5);
+  EXPECT_DOUBLE_EQ(c.getDouble("b", 0), 2.5);
+  EXPECT_TRUE(c.getBool("c", false));
+  EXPECT_EQ(c.getString("d", ""), "hello");
+}
+
+TEST(Config, SetFromStringRejectsMalformed) {
+  Config c;
+  EXPECT_FALSE(c.setFromString("novalue"));
+  EXPECT_FALSE(c.setFromString("=5"));
+}
+
+TEST(Config, SetFromStringNegativeNumbers) {
+  Config c;
+  EXPECT_TRUE(c.setFromString("x=-3"));
+  EXPECT_TRUE(c.setFromString("y=-0.5"));
+  EXPECT_EQ(c.getInt("x", 0), -3);
+  EXPECT_DOUBLE_EQ(c.getDouble("y", 0), -0.5);
+}
+
+TEST(Config, SetFromArgs) {
+  const char* argv[] = {"prog", "rate=100", "bad", "mode=hybrid"};
+  Config c;
+  const auto failed = c.setFromArgs(4, argv);
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0], "bad");
+  EXPECT_EQ(c.getInt("rate", 0), 100);
+  EXPECT_EQ(c.getString("mode", ""), "hybrid");
+}
+
+TEST(Config, ContainsAndKeys) {
+  Config c;
+  c.set("b", true);
+  c.set("a", static_cast<std::int64_t>(1));
+  EXPECT_TRUE(c.contains("a"));
+  EXPECT_FALSE(c.contains("z"));
+  const auto keys = c.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");  // sorted (map order)
+}
+
+TEST(Config, OverwriteChangesTypeAndValue) {
+  Config c;
+  c.set("x", static_cast<std::int64_t>(1));
+  c.set("x", std::string("two"));
+  EXPECT_EQ(c.getString("x", ""), "two");
+  EXPECT_EQ(c.getInt("x", -1), -1);  // string does not coerce to int
+}
+
+TEST(Config, ToStringListsEntries) {
+  Config c;
+  c.set("a", static_cast<std::int64_t>(1));
+  c.set("b", true);
+  EXPECT_EQ(c.toString(), "a=1 b=true");
+}
+
+}  // namespace
+}  // namespace streamha

@@ -1,0 +1,49 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace streamha {
+namespace {
+
+struct LoggingFixture : ::testing::Test {
+  LogLevel saved = Logger::instance().level();
+  void TearDown() override { Logger::instance().setLevel(saved); }
+};
+
+TEST_F(LoggingFixture, LevelGatingEnablesAtOrAbove) {
+  Logger::instance().setLevel(LogLevel::kWarn);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
+}
+
+TEST_F(LoggingFixture, OffDisablesEverything) {
+  Logger::instance().setLevel(LogLevel::kOff);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kError));
+}
+
+TEST_F(LoggingFixture, MacroSkipsStreamingWhenDisabled) {
+  Logger::instance().setLevel(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  LOG_DEBUG(0, "test") << expensive();
+  EXPECT_EQ(evaluations, 0);  // The stream expression was never evaluated.
+  Logger::instance().setLevel(LogLevel::kDebug);
+  LOG_DEBUG(0, "test") << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingFixture, WriteHonorsLevel) {
+  // write() must be a no-op below the configured level (no crash, no
+  // observable side effects we can assert beyond it returning).
+  Logger::instance().setLevel(LogLevel::kError);
+  Logger::instance().write(LogLevel::kInfo, 5 * kSecond, "component", "msg");
+  Logger::instance().write(LogLevel::kError, -1, "component", "msg");
+}
+
+}  // namespace
+}  // namespace streamha

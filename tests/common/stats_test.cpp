@@ -1,0 +1,156 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace streamha {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, MeanMinMax) {
+  RunningStats s;
+  for (double v : {4.0, 2.0, 6.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+}
+
+TEST(RunningStats, Variance) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_NEAR(s.variance(), 4.0, 1e-9);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-9);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 10; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 50; i < 70; ++i) {
+    b.add(i);
+    all.add(i);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(RunningStats, Reset) {
+  RunningStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SampleSet, QuantileInterpolation) {
+  SampleSet s;
+  for (double v : {10.0, 20.0, 30.0, 40.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 25.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+}
+
+TEST(SampleSet, QuantileEmptyAndClamped) {
+  SampleSet s;
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(-1.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(2.0), 7.0);
+}
+
+TEST(SampleSet, MeanMinMax) {
+  SampleSet s;
+  for (double v : {1.0, 2.0, 3.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(SampleSet, CdfAt) {
+  SampleSet s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.cdfAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdfAt(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdfAt(10.0), 1.0);
+}
+
+TEST(SampleSet, CdfSeriesMonotone) {
+  SampleSet s;
+  for (int i = 0; i < 100; ++i) s.add(i * 0.37);
+  const auto series = s.cdfSeries(20);
+  ASSERT_EQ(series.size(), 20u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].first, series[i - 1].first);
+    EXPECT_GE(series[i].second, series[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(SampleSet, AddAfterQuantileKeepsConsistency) {
+  SampleSet s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(Histogram, BasicBinning) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(5.6);
+  EXPECT_EQ(h.totalCount(), 3u);
+  EXPECT_EQ(h.binCount(0), 1u);
+  EXPECT_EQ(h.binCount(5), 2u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(15.0);
+  EXPECT_EQ(h.binCount(0), 1u);
+  EXPECT_EQ(h.binCount(9), 1u);
+}
+
+TEST(Histogram, BinBoundaries) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.binHigh(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.binLow(4), 8.0);
+}
+
+TEST(Histogram, AsciiRendersEveryBin) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1.0);
+  const std::string art = h.toAscii();
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace streamha

@@ -1,0 +1,133 @@
+#include "detect/heartbeat.hpp"
+
+#include <gtest/gtest.h>
+
+namespace streamha {
+namespace {
+
+struct HeartbeatFixture : ::testing::Test {
+  Simulator sim;
+  Network net{sim, Network::Params{}, [this](MachineId id) {
+                return id == 0 ? monitor_up : target_up;
+              }};
+  Rng rng{31};
+  std::unique_ptr<Machine> monitor = std::make_unique<Machine>(sim, 0, rng.fork(0));
+  std::unique_ptr<Machine> target = std::make_unique<Machine>(sim, 1, rng.fork(1));
+  bool monitor_up = true;
+  bool target_up = true;
+
+  std::vector<SimTime> failures;
+  std::vector<SimTime> recoveries;
+
+  std::unique_ptr<HeartbeatDetector> makeDetector(int missThreshold) {
+    HeartbeatDetector::Params params;
+    params.interval = 100 * kMillisecond;
+    params.missThreshold = missThreshold;
+    params.recoverThreshold = 2;
+    HeartbeatDetector::Callbacks callbacks;
+    callbacks.onFailure = [this](SimTime t) { failures.push_back(t); };
+    callbacks.onRecovery = [this](SimTime t) { recoveries.push_back(t); };
+    return std::make_unique<HeartbeatDetector>(sim, net, *monitor, *target,
+                                               params, std::move(callbacks));
+  }
+};
+
+TEST_F(HeartbeatFixture, HealthyTargetNeverDeclared) {
+  auto det = makeDetector(3);
+  det->start();
+  sim.runUntil(30 * kSecond);
+  EXPECT_TRUE(failures.empty());
+  EXPECT_FALSE(det->failed());
+  EXPECT_GT(det->repliesReceived(), 250u);
+}
+
+TEST_F(HeartbeatFixture, SpikeCausesDeclarationAfterThresholdMisses) {
+  auto det = makeDetector(3);
+  det->start();
+  sim.runUntil(5 * kSecond);
+  target->setBackgroundLoad(0.97);  // Saturation: replies park.
+  sim.runUntil(10 * kSecond);
+  ASSERT_EQ(failures.size(), 1u);
+  // Declared roughly 3-4 intervals after the spike started.
+  EXPECT_GE(failures[0], 5 * kSecond + 300 * kMillisecond);
+  EXPECT_LE(failures[0], 5 * kSecond + 500 * kMillisecond);
+  EXPECT_TRUE(det->failed());
+}
+
+TEST_F(HeartbeatFixture, SingleMissThresholdDetectsFaster) {
+  auto det = makeDetector(1);
+  det->start();
+  sim.runUntil(5 * kSecond);
+  target->setBackgroundLoad(0.97);
+  sim.runUntil(10 * kSecond);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_LE(failures[0], 5 * kSecond + 250 * kMillisecond);
+}
+
+TEST_F(HeartbeatFixture, RecoveryDeclaredAfterSpikeEnds) {
+  auto det = makeDetector(1);
+  det->start();
+  sim.runUntil(5 * kSecond);
+  target->setBackgroundLoad(0.97);
+  sim.runUntil(8 * kSecond);
+  target->setBackgroundLoad(0.0);
+  sim.runUntil(12 * kSecond);
+  ASSERT_EQ(recoveries.size(), 1u);
+  EXPECT_GE(recoveries[0], 8 * kSecond);
+  EXPECT_LE(recoveries[0], 9 * kSecond);
+  EXPECT_FALSE(det->failed());
+}
+
+TEST_F(HeartbeatFixture, CrashedTargetIsDeclared) {
+  auto det = makeDetector(3);
+  det->start();
+  sim.runUntil(2 * kSecond);
+  target_up = false;
+  target->crash();
+  sim.runUntil(5 * kSecond);
+  EXPECT_EQ(failures.size(), 1u);
+  EXPECT_TRUE(det->failed());
+  EXPECT_TRUE(recoveries.empty());
+}
+
+TEST_F(HeartbeatFixture, RetargetResetsStateAndFollowsNewMachine) {
+  auto det = makeDetector(3);
+  det->start();
+  sim.runUntil(2 * kSecond);
+  target->crash();
+  target_up = false;
+  sim.runUntil(4 * kSecond);
+  ASSERT_EQ(failures.size(), 1u);
+
+  Machine other(sim, 2, rng.fork(2));
+  // Network up-check only knows machines 0/1; route the new machine as "1".
+  target_up = true;
+  det->retarget(other);
+  EXPECT_FALSE(det->failed());
+  EXPECT_EQ(det->targetId(), 2);
+  sim.runUntil(8 * kSecond);
+  // Healthy new target: no further declarations.
+  EXPECT_EQ(failures.size(), 1u);
+}
+
+TEST_F(HeartbeatFixture, StopCeasesPinging) {
+  auto det = makeDetector(3);
+  det->start();
+  sim.runUntil(kSecond);
+  const auto pings = det->pingsSent();
+  det->stop();
+  sim.runUntil(5 * kSecond);
+  EXPECT_EQ(det->pingsSent(), pings);
+}
+
+TEST_F(HeartbeatFixture, CountersAreConsistent) {
+  auto det = makeDetector(3);
+  det->start();
+  sim.runUntil(5 * kSecond);
+  EXPECT_GE(det->pingsSent(), det->repliesReceived());
+  EXPECT_EQ(det->failuresDeclared(), 0u);
+  EXPECT_EQ(det->consecutiveMisses(), 0);
+}
+
+}  // namespace
+}  // namespace streamha

@@ -1,0 +1,91 @@
+// Chaos sweep: randomized schedules of transient spikes AND machine crashes
+// against the Hybrid method with spares provisioned. Whatever the schedule,
+// the sink must see every element exactly once, in order.
+#include <gtest/gtest.h>
+
+#include "cluster/load_generator.hpp"
+#include "exp/scenario.hpp"
+
+namespace streamha {
+namespace {
+
+class ChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSweep, HybridSurvivesRandomSpikesAndACrash) {
+  const std::uint64_t seed = GetParam();
+  ScenarioParams p;
+  p.mode = HaMode::kHybrid;
+  p.provisionSpares = true;
+  p.failStopAfter = 3 * kSecond;
+  p.failureFraction = 0.25;
+  p.failureDuration = 1200 * kMillisecond;
+  p.failuresOnStandbys = true;
+  p.duration = 30 * kSecond;
+  p.seed = seed;
+  Scenario s(p);
+  s.build();
+  s.start();
+  s.startFailures();
+
+  // Crash the protected primary at a seed-dependent instant mid-run; the
+  // spike generators keep running on the standby throughout.
+  Rng chaos(seed * 97 + 1);
+  const SimTime crashAt =
+      fromSeconds(chaos.uniformReal(5.0, 20.0));
+  s.cluster().sim().schedule(crashAt, [&s] {
+    s.cluster().machine(s.primaryMachineOf(2)).crash();
+  });
+
+  s.run(p.duration);
+  s.stopFailures();
+  s.drain(10 * kSecond);
+  const auto r = s.collect();
+  EXPECT_EQ(r.gapsObserved, 0u) << "seed " << seed;
+  const StreamId sinkStream = s.runtime().spec().sinkStreams[0];
+  EXPECT_EQ(s.sink().highestSeq(sinkStream), s.source().generatedCount())
+      << "seed " << seed;
+  EXPECT_EQ(s.sink().receivedCount(), s.source().generatedCount())
+      << "seed " << seed;
+  // The crash was eventually treated as fail-stop.
+  EXPECT_GE(r.promotions, 1u) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
+                           return "seed" + std::to_string(i.param);
+                         });
+
+class PsChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PsChaosSweep, PassiveStandbySurvivesRandomSpikes) {
+  const std::uint64_t seed = GetParam();
+  ScenarioParams p;
+  p.mode = HaMode::kPassiveStandby;
+  p.failureFraction = 0.3;
+  p.failureDuration = 1500 * kMillisecond;
+  p.failuresOnStandbys = true;
+  p.duration = 30 * kSecond;
+  p.seed = seed;
+  Scenario s(p);
+  s.build();
+  s.start();
+  s.startFailures();
+  s.run(p.duration);
+  s.stopFailures();
+  s.drain(10 * kSecond);
+  const auto r = s.collect();
+  EXPECT_EQ(r.gapsObserved, 0u) << "seed " << seed;
+  const StreamId sinkStream = s.runtime().spec().sinkStreams[0];
+  EXPECT_EQ(s.sink().highestSeq(sinkStream), s.source().generatedCount())
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PsChaosSweep,
+                         ::testing::Values(111u, 222u, 333u, 444u),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
+                           return "seed" + std::to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace streamha

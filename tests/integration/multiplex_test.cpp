@@ -1,0 +1,125 @@
+// Multiplexing: several primaries share one secondary machine (Fig 5).
+#include <gtest/gtest.h>
+
+#include "exp/scenario.hpp"
+
+namespace streamha {
+namespace {
+
+ScenarioParams multiplexParams() {
+  ScenarioParams p;
+  p.mode = HaMode::kHybrid;
+  p.protectedSubjobs = {1, 2, 3};
+  p.sharedSecondary = true;
+  p.dataRatePerSec = 700;
+  p.failureFraction = 0.2;
+  p.failureDuration = kSecond;
+  p.duration = 25 * kSecond;
+  p.seed = 91;
+  return p;
+}
+
+TEST(Multiplex, AllStandbysShareOneMachine) {
+  Scenario s(multiplexParams());
+  s.build();
+  const MachineId shared = s.standbyMachineOf(1);
+  for (auto* c : s.coordinators()) {
+    ASSERT_NE(c->secondary(), nullptr);
+    EXPECT_EQ(c->secondary()->machine().id(), shared);
+    EXPECT_TRUE(c->secondary()->suspended());
+  }
+}
+
+TEST(Multiplex, ExactlyOnceUnderOverlappingFailures) {
+  Scenario s(multiplexParams());
+  s.build();
+  s.start();
+  s.startFailures();
+  s.run(25 * kSecond);
+  s.drain(8 * kSecond);
+  const auto r = s.collect();
+  EXPECT_EQ(r.gapsObserved, 0u);
+  EXPECT_GE(r.switchovers, 3u);
+  const StreamId sinkStream = s.runtime().spec().sinkStreams[0];
+  EXPECT_EQ(s.sink().highestSeq(sinkStream), s.source().generatedCount());
+}
+
+TEST(Multiplex, SharedSecondaryDelayCloseToDedicatedAtLowLoad) {
+  double shared = 0, dedicated = 0;
+  for (bool useShared : {true, false}) {
+    ScenarioParams p = multiplexParams();
+    p.sharedSecondary = useShared;
+    p.failureFraction = 0.08;
+    Scenario s(p);
+    const auto r = s.runAll();
+    (useShared ? shared : dedicated) = r.avgDelayMs;
+  }
+  EXPECT_LT(shared, dedicated * 2.5);
+}
+
+TEST(Multiplex, SuspendedCopiesConsumeNoCpuOnSharedMachine) {
+  ScenarioParams p = multiplexParams();
+  p.failureFraction = 0.0;
+  Scenario s(p);
+  s.build();
+  s.warmup();
+  const MachineId shared = s.standbyMachineOf(1);
+  const double before = s.cluster().machine(shared).busyIntegral();
+  s.run(5 * kSecond);
+  const double busy = s.cluster().machine(shared).busyIntegral() - before;
+  // Only checkpoint-related housekeeping; far below one subjob's worth of
+  // processing (which would be ~0.6 * 5s = 3s of busy time).
+  EXPECT_LT(busy, 0.2 * 5.0 * kSecond);
+}
+
+TEST(Multiplex, FailStopOfOnePrimaryPromotesOntoSharedStandby) {
+  ScenarioParams p = multiplexParams();
+  p.failureFraction = 0.0;
+  p.provisionSpares = true;
+  p.failStopAfter = 3 * kSecond;
+  Scenario s(p);
+  s.build();
+  s.start();
+  s.run(2 * kSecond);
+  const MachineId shared = s.standbyMachineOf(2);
+  s.cluster().machine(s.primaryMachineOf(2)).crash();
+  s.run(15 * kSecond);
+  auto* c = s.coordinatorFor(2);
+  EXPECT_EQ(c->promotions(), 1u);
+  EXPECT_EQ(c->primary()->machine().id(), shared);
+  // The other coordinators' standbys still live (suspended) on the shared
+  // machine alongside the promoted subjob.
+  EXPECT_TRUE(s.coordinatorFor(1)->secondary()->suspended());
+  EXPECT_TRUE(s.coordinatorFor(3)->secondary()->suspended());
+  s.drain();
+  const StreamId sinkStream = s.runtime().spec().sinkStreams[0];
+  EXPECT_EQ(s.sink().highestSeq(sinkStream), s.source().generatedCount());
+}
+
+TEST(Multiplex, SimultaneousSwitchoversContend) {
+  // Force spikes on two protected primaries at the same instant; both
+  // secondaries activate on the shared machine and share its CPU.
+  ScenarioParams p = multiplexParams();
+  p.failureFraction = 0.0;
+  Scenario s(p);
+  s.build();
+  s.warmup();
+  SpikeSpec spec;
+  spec.magnitude = 0.97;
+  LoadGenerator g1(s.cluster().sim(), s.cluster().machine(1), spec,
+                   s.cluster().forkRng(1));
+  LoadGenerator g2(s.cluster().sim(), s.cluster().machine(2), spec,
+                   s.cluster().forkRng(2));
+  g1.injectSpike(3 * kSecond);
+  g2.injectSpike(3 * kSecond);
+  s.run(10 * kSecond);
+  std::uint64_t switchovers = 0;
+  for (auto* c : s.coordinators()) switchovers += c->switchovers();
+  EXPECT_GE(switchovers, 2u);
+  s.drain();
+  const StreamId sinkStream = s.runtime().spec().sinkStreams[0];
+  EXPECT_EQ(s.sink().highestSeq(sinkStream), s.source().generatedCount());
+}
+
+}  // namespace
+}  // namespace streamha

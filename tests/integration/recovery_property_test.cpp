@@ -1,0 +1,227 @@
+// Property sweeps: across HA modes, seeds and random failure schedules, the
+// system must deliver every source element to the sink exactly once and in
+// order (deterministic PEs), with no sequence gaps anywhere.
+#include <gtest/gtest.h>
+
+#include "exp/scenario.hpp"
+
+namespace streamha {
+namespace {
+
+struct PropertyCase {
+  HaMode mode;
+  std::uint64_t seed;
+  double failureFraction;
+  SimDuration failureDuration;
+  bool failuresOnStandbys;
+};
+
+std::string caseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  const auto& c = info.param;
+  std::string name = toString(c.mode);
+  name += "_seed" + std::to_string(c.seed);
+  name += "_f" + std::to_string(static_cast<int>(c.failureFraction * 100));
+  name += "_d" + std::to_string(c.failureDuration / kMillisecond);
+  name += c.failuresOnStandbys ? "_both" : "_prim";
+  return name;
+}
+
+class RecoveryProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(RecoveryProperty, ExactlyOnceInOrderUnderTransientFailures) {
+  const PropertyCase& c = GetParam();
+  ScenarioParams p;
+  p.mode = c.mode;
+  p.seed = c.seed;
+  p.failureFraction = c.failureFraction;
+  p.failureDuration = c.failureDuration;
+  p.failuresOnStandbys = c.failuresOnStandbys;
+  p.duration = 25 * kSecond;
+  Scenario s(p);
+  s.build();
+  s.start();
+  s.startFailures();
+  s.run(p.duration);
+  s.drain(8 * kSecond);
+  const auto r = s.collect();
+
+  // No forward sequence jump anywhere in the system.
+  EXPECT_EQ(r.gapsObserved, 0u);
+  // The sink saw every element, exactly once, in order.
+  const StreamId sinkStream = s.runtime().spec().sinkStreams[0];
+  EXPECT_EQ(s.sink().highestSeq(sinkStream), s.source().generatedCount());
+  EXPECT_EQ(s.sink().receivedCount(), s.source().generatedCount());
+}
+
+std::vector<PropertyCase> makeCases() {
+  std::vector<PropertyCase> cases;
+  for (HaMode mode : {HaMode::kNone, HaMode::kActiveStandby,
+                      HaMode::kPassiveStandby, HaMode::kHybrid}) {
+    for (std::uint64_t seed : {101u, 202u, 303u}) {
+      cases.push_back(PropertyCase{mode, seed, 0.25, kSecond, true});
+    }
+  }
+  // Longer failures and standby-only stress for the reactive modes.
+  for (std::uint64_t seed : {404u, 505u}) {
+    cases.push_back(
+        PropertyCase{HaMode::kHybrid, seed, 0.4, 3 * kSecond, true});
+    cases.push_back(
+        PropertyCase{HaMode::kPassiveStandby, seed, 0.4, 3 * kSecond, true});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RecoveryProperty,
+                         ::testing::ValuesIn(makeCases()), caseName);
+
+struct IntervalCase {
+  SimDuration checkpointInterval;
+  SimDuration heartbeatInterval;
+  CheckpointKind kind;
+};
+
+class IntervalProperty : public ::testing::TestWithParam<IntervalCase> {};
+
+TEST_P(IntervalProperty, HybridCorrectAcrossIntervalsAndCheckpointKinds) {
+  const IntervalCase& c = GetParam();
+  ScenarioParams p;
+  p.mode = HaMode::kHybrid;
+  p.checkpointInterval = c.checkpointInterval;
+  p.heartbeatInterval = c.heartbeatInterval;
+  p.checkpointKind = c.kind;
+  p.failureFraction = 0.25;
+  p.failureDuration = 1500 * kMillisecond;
+  p.failuresOnStandbys = true;
+  p.duration = 20 * kSecond;
+  p.seed = 606;
+  Scenario s(p);
+  s.build();
+  s.start();
+  s.startFailures();
+  s.run(p.duration);
+  s.drain(8 * kSecond);
+  const auto r = s.collect();
+  EXPECT_EQ(r.gapsObserved, 0u);
+  const StreamId sinkStream = s.runtime().spec().sinkStreams[0];
+  EXPECT_EQ(s.sink().highestSeq(sinkStream), s.source().generatedCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Intervals, IntervalProperty,
+    ::testing::Values(
+        IntervalCase{50 * kMillisecond, 100 * kMillisecond,
+                     CheckpointKind::kSweeping},
+        IntervalCase{500 * kMillisecond, 100 * kMillisecond,
+                     CheckpointKind::kSweeping},
+        IntervalCase{900 * kMillisecond, 500 * kMillisecond,
+                     CheckpointKind::kSweeping},
+        IntervalCase{100 * kMillisecond, 100 * kMillisecond,
+                     CheckpointKind::kSynchronous},
+        IntervalCase{100 * kMillisecond, 100 * kMillisecond,
+                     CheckpointKind::kIndividual}),
+    [](const ::testing::TestParamInfo<IntervalCase>& info) {
+      std::string name =
+          "ck" + std::to_string(info.param.checkpointInterval / kMillisecond);
+      name += "_hb" +
+              std::to_string(info.param.heartbeatInterval / kMillisecond);
+      switch (info.param.kind) {
+        case CheckpointKind::kSweeping: name += "_sweep"; break;
+        case CheckpointKind::kSynchronous: name += "_sync"; break;
+        case CheckpointKind::kIndividual: name += "_indiv"; break;
+      }
+      return name;
+    });
+
+struct OptimizationCase {
+  bool predeploy;
+  bool earlyConnections;
+  bool readState;
+};
+
+class OptimizationProperty
+    : public ::testing::TestWithParam<OptimizationCase> {};
+
+TEST_P(OptimizationProperty, HybridCorrectUnderEveryOptimizationCombo) {
+  const OptimizationCase& c = GetParam();
+  ScenarioParams p;
+  p.mode = HaMode::kHybrid;
+  p.predeploySecondary = c.predeploy;
+  p.earlyConnections = c.earlyConnections;
+  p.readStateOnRollback = c.readState;
+  p.failureFraction = 0.25;
+  p.failureDuration = 1500 * kMillisecond;
+  p.failuresOnStandbys = true;
+  p.duration = 20 * kSecond;
+  p.seed = 808;
+  Scenario s(p);
+  s.build();
+  s.start();
+  s.startFailures();
+  s.run(p.duration);
+  s.drain(8 * kSecond);
+  const auto r = s.collect();
+  EXPECT_EQ(r.gapsObserved, 0u);
+  const StreamId sinkStream = s.runtime().spec().sinkStreams[0];
+  EXPECT_EQ(s.sink().highestSeq(sinkStream), s.source().generatedCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Toggles, OptimizationProperty,
+    ::testing::Values(OptimizationCase{true, true, true},
+                      OptimizationCase{false, true, true},
+                      OptimizationCase{true, false, true},
+                      OptimizationCase{true, true, false},
+                      OptimizationCase{false, false, true},
+                      OptimizationCase{false, true, false},
+                      OptimizationCase{true, false, false},
+                      OptimizationCase{false, false, false}),
+    [](const ::testing::TestParamInfo<OptimizationCase>& info) {
+      std::string name;
+      name += info.param.predeploy ? "pre" : "nopre";
+      name += info.param.earlyConnections ? "_early" : "_late";
+      name += info.param.readState ? "_read" : "_noread";
+      return name;
+    });
+
+struct RateCase {
+  double rate;
+  double workUs;
+  std::uint64_t seed;
+};
+
+class RateProperty : public ::testing::TestWithParam<RateCase> {};
+
+TEST_P(RateProperty, HybridExactAcrossDataRates) {
+  const RateCase& c = GetParam();
+  ScenarioParams p;
+  p.mode = HaMode::kHybrid;
+  p.dataRatePerSec = c.rate;
+  p.peWorkUs = c.workUs;
+  p.failureFraction = 0.2;
+  p.failureDuration = kSecond;
+  p.duration = 15 * kSecond;
+  p.seed = c.seed;
+  Scenario s(p);
+  s.build();
+  s.start();
+  s.startFailures();
+  s.run(p.duration);
+  s.drain(8 * kSecond);
+  const StreamId sinkStream = s.runtime().spec().sinkStreams[0];
+  EXPECT_EQ(s.sink().highestSeq(sinkStream), s.source().generatedCount());
+  EXPECT_EQ(s.collect().gapsObserved, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RateProperty,
+                         ::testing::Values(RateCase{200, 1500, 1},
+                                           RateCase{1000, 300, 2},
+                                           RateCase{5000, 60, 3},
+                                           RateCase{10000, 25, 4}),
+                         [](const ::testing::TestParamInfo<RateCase>& info) {
+                           return "rate" +
+                                  std::to_string(
+                                      static_cast<int>(info.param.rate));
+                         });
+
+}  // namespace
+}  // namespace streamha

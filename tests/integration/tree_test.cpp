@@ -1,0 +1,173 @@
+// Tree topologies (the paper's future-work item): fan-out, fan-in, and HA
+// protection of a branch in a non-chain dataflow.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/load_generator.hpp"
+#include "ha/hybrid.hpp"
+#include "stream/job.hpp"
+#include "stream/runtime.hpp"
+
+namespace streamha {
+namespace {
+
+/// ingest -> {left, right} -> merge; four subjobs on four machines.
+JobSpec treeJob() {
+  JobBuilder b;
+  const LogicalPeId ingest = b.addPe("ingest", 150.0);
+  const LogicalPeId left = b.addPe("left", 250.0);
+  // Heavy enough that a spike (which floors the machine at 25% share)
+  // genuinely backlogs this branch: demand 0.56 > 0.25.
+  const LogicalPeId right = b.addPe("right", 700.0);
+  const LogicalPeId merge = b.addPe("merge", 100.0);
+  b.connectSource(ingest);
+  b.connect(ingest, left);
+  b.connect(ingest, right);
+  b.connect(left, merge);
+  b.connect(right, merge);
+  b.connectSink(merge);
+  b.addSubjob({ingest});
+  b.addSubjob({left});
+  b.addSubjob({right});
+  b.addSubjob({merge});
+  return b.build();
+}
+
+struct TreeFixture : ::testing::Test {
+  Cluster::Params clusterParams() {
+    Cluster::Params p;
+    p.machineCount = 8;
+    p.seed = 3;
+    return p;
+  }
+  std::unique_ptr<Cluster> cluster = std::make_unique<Cluster>(clusterParams());
+  JobSpec spec = treeJob();
+  std::unique_ptr<Runtime> rt = std::make_unique<Runtime>(*cluster, spec);
+
+  void deploy() {
+    Source::Params sp;
+    sp.ratePerSec = 800;
+    sp.pattern = Source::Pattern::kPoisson;
+    rt->addSource(0, sp);
+    rt->addSink(4);
+    rt->deployPrimaries({0, 1, 2, 3});
+  }
+
+  void expectExact() {
+    // Fan-out with selectivity 1 everywhere: the merge PE consumes both
+    // branches, so it processes 2 elements (and the sink receives 2) per
+    // source element.
+    Subjob* merge = rt->instanceOf(3, Replica::kPrimary);
+    const StreamId leftStream = spec.pes[1].outputStreams[0];
+    const StreamId rightStream = spec.pes[2].outputStreams[0];
+    const auto generated = rt->source()->generatedCount();
+    EXPECT_EQ(merge->firstPe().input().expected(leftStream) - 1, generated);
+    EXPECT_EQ(merge->firstPe().input().expected(rightStream) - 1, generated);
+    EXPECT_EQ(rt->sink()->receivedCount(), 2 * generated);
+    EXPECT_EQ(rt->sink()->input().gapsObserved(), 0u);
+  }
+};
+
+TEST_F(TreeFixture, FanOutFanInDeliversBothBranches) {
+  deploy();
+  rt->start();
+  cluster->sim().runUntil(5 * kSecond);
+  rt->source()->stop();
+  cluster->sim().runUntil(8 * kSecond);
+  expectExact();
+}
+
+TEST_F(TreeFixture, HybridProtectsOneBranchThroughSpikes) {
+  deploy();
+  HaParams ha;
+  ha.standbyMachine = 5;
+  ha.heartbeat.missThreshold = 1;
+  HybridCoordinator hybrid(*rt, /*subjob=*/1, ha);  // The "left" branch.
+  hybrid.setup();
+  rt->start();
+
+  SpikeSpec spike = SpikeSpec::fromTimeFraction(kSecond, 0.25, 0.97);
+  LoadGenerator hog(cluster->sim(), cluster->machine(1), spike,
+                    cluster->forkRng(5));
+  hog.start();
+  cluster->sim().runUntil(20 * kSecond);
+  hog.stop();
+  rt->source()->stop();
+  cluster->sim().runUntil(28 * kSecond);
+
+  EXPECT_GT(hybrid.switchovers(), 0u);
+  expectExact();
+}
+
+TEST_F(TreeFixture, FanOutTrimWaitsForBothBranches) {
+  deploy();
+  rt->start();
+  cluster->sim().runUntil(2 * kSecond);
+  // Stall the right branch only: the ingest PE's output queue must retain
+  // elements for it even though the left branch keeps acking.
+  cluster->machine(2).setBackgroundLoad(0.97);
+  cluster->sim().runUntil(4 * kSecond);
+  Subjob* ingest = rt->instanceOf(0, Replica::kPrimary);
+  EXPECT_GT(ingest->lastPe().output(0).bufferedCount(), 500u);
+  cluster->machine(2).setBackgroundLoad(0.0);
+  cluster->sim().runUntil(9 * kSecond);
+  EXPECT_LT(ingest->lastPe().output(0).bufferedCount(), 200u);
+}
+
+TEST_F(TreeFixture, MultiPortSplitterRoutesIndependently) {
+  // A splitter with two output ports feeding two sinks-worth of consumers.
+  JobBuilder b;
+  const LogicalPeId split = b.addPe("split", 100.0);
+  const StreamId port1 = b.addOutputPort(split);
+  const LogicalPeId consumerA = b.addPe("a", 100.0);
+  const LogicalPeId consumerB = b.addPe("b", 100.0);
+  b.connectSource(split);
+  b.connect(split, consumerA);            // Port 0.
+  b.connectStream(port1, consumerB);      // Port 1.
+  b.connectSink(consumerA);
+  b.connectSink(consumerB);
+  b.addSubjob({split});
+  b.addSubjob({consumerA});
+  b.addSubjob({consumerB});
+  // Emit on alternating ports.
+  b.setLogicFactory(split, [] {
+    class Alternator : public PeLogic {
+     public:
+      void process(const Element& in, std::vector<Emit>& out) override {
+        Emit e;
+        e.port = static_cast<int>(in.seq % 2);
+        e.value = in.value;
+        out.push_back(e);
+      }
+      std::vector<std::uint8_t> serialize() const override { return {}; }
+      void deserialize(const std::vector<std::uint8_t>&) override {}
+      void reset() override {}
+    };
+    return std::make_unique<Alternator>();
+  });
+  const JobSpec splitSpec = b.build();
+
+  Cluster c2([&]{ Cluster::Params cp; cp.machineCount = 5; cp.seed = 9; return cp; }());
+  Runtime runtime(c2, splitSpec);
+  Source::Params sp;
+  sp.ratePerSec = 1000;
+  runtime.addSource(0, sp);
+  runtime.addSink(3);
+  runtime.deployPrimaries({0, 1, 2});
+  runtime.start();
+  c2.sim().runUntil(4 * kSecond);
+  runtime.source()->stop();
+  c2.sim().runUntil(6 * kSecond);
+
+  const auto generated = runtime.source()->generatedCount();
+  EXPECT_EQ(runtime.sink()->receivedCount(), generated);
+  // Each port carried about half the stream.
+  Subjob* splitInst = runtime.instanceOf(0, Replica::kPrimary);
+  const auto port0 = splitInst->firstPe().output(0).nextSeq() - 1;
+  const auto port1Count = splitInst->firstPe().output(1).nextSeq() - 1;
+  EXPECT_EQ(port0 + port1Count, generated);
+  EXPECT_NEAR(static_cast<double>(port0), generated / 2.0, generated * 0.02);
+}
+
+}  // namespace
+}  // namespace streamha

@@ -1,0 +1,139 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace streamha {
+namespace {
+
+struct NetFixture : ::testing::Test {
+  Simulator sim;
+  bool machine0_up = true;
+  bool machine1_up = true;
+
+  Network makeNet(Network::Params params = {}) {
+    return Network(sim, params, [this](MachineId id) {
+      return id == 0 ? machine0_up : machine1_up;
+    });
+  }
+};
+
+TEST_F(NetFixture, DeliveryTimeIsTransmitPlusLatency) {
+  Network::Params params;
+  params.latency = 100;
+  params.bytesPerMicro = 125.0;
+  Network net = makeNet(params);
+  SimTime delivered_at = -1;
+  net.send(0, 1, MsgKind::kData, 1250, 1, [&] { delivered_at = sim.now(); });
+  sim.runAll();
+  EXPECT_EQ(delivered_at, 10 + 100);  // 1250B / 125B-per-us + latency.
+}
+
+TEST_F(NetFixture, LinkSerializesBackToBackMessages) {
+  Network::Params params;
+  params.latency = 100;
+  params.bytesPerMicro = 125.0;
+  Network net = makeNet(params);
+  std::vector<SimTime> deliveries;
+  net.send(0, 1, MsgKind::kData, 1250, 1, [&] { deliveries.push_back(sim.now()); });
+  net.send(0, 1, MsgKind::kData, 1250, 1, [&] { deliveries.push_back(sim.now()); });
+  sim.runAll();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], 110);
+  EXPECT_EQ(deliveries[1], 120);  // Second waits for the link.
+}
+
+TEST_F(NetFixture, OppositeDirectionsDoNotSerialize) {
+  Network::Params params;
+  params.latency = 100;
+  params.bytesPerMicro = 125.0;
+  Network net = makeNet(params);
+  std::vector<SimTime> deliveries;
+  net.send(0, 1, MsgKind::kData, 1250, 1, [&] { deliveries.push_back(sim.now()); });
+  net.send(1, 0, MsgKind::kData, 1250, 1, [&] { deliveries.push_back(sim.now()); });
+  sim.runAll();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], 110);
+  EXPECT_EQ(deliveries[1], 110);
+}
+
+TEST_F(NetFixture, CountersTrackPerKind) {
+  Network net = makeNet();
+  net.send(0, 1, MsgKind::kData, 100, 3, [] {});
+  net.send(0, 1, MsgKind::kAck, 64, 0, [] {});
+  net.send(1, 0, MsgKind::kCheckpoint, 2000, 20, [] {});
+  sim.runAll();
+  const auto& c = net.counters();
+  EXPECT_EQ(c.messagesOf(MsgKind::kData), 1u);
+  EXPECT_EQ(c.elementsOf(MsgKind::kData), 3u);
+  EXPECT_EQ(c.bytesOf(MsgKind::kData), 100u);
+  EXPECT_EQ(c.messagesOf(MsgKind::kAck), 1u);
+  EXPECT_EQ(c.elementsOf(MsgKind::kCheckpoint), 20u);
+  EXPECT_EQ(c.totalMessages(), 3u);
+  EXPECT_EQ(c.totalElements(), 23u);
+  EXPECT_EQ(c.totalBytes(), 2164u);
+}
+
+TEST_F(NetFixture, LocalDeliveryIsNotCounted) {
+  Network::Params params;
+  params.localDelay = 10;
+  Network net = makeNet(params);
+  SimTime delivered_at = -1;
+  net.send(1, 1, MsgKind::kData, 100, 1, [&] { delivered_at = sim.now(); });
+  sim.runAll();
+  EXPECT_EQ(delivered_at, 10);
+  EXPECT_EQ(net.counters().totalMessages(), 0u);
+}
+
+TEST_F(NetFixture, DropToCrashedMachineAtDeliveryTime) {
+  Network net = makeNet();
+  bool delivered = false;
+  net.send(0, 1, MsgKind::kData, 100, 1, [&] { delivered = true; });
+  machine1_up = false;  // Goes down before delivery.
+  sim.runAll();
+  EXPECT_FALSE(delivered);
+  // Counters still record the send (bytes hit the wire).
+  EXPECT_EQ(net.counters().messagesOf(MsgKind::kData), 1u);
+}
+
+TEST_F(NetFixture, CounterSubtractionGivesWindowDeltas) {
+  Network net = makeNet();
+  net.send(0, 1, MsgKind::kData, 100, 1, [] {});
+  sim.runAll();
+  const auto baseline = net.snapshot();
+  net.send(0, 1, MsgKind::kData, 100, 2, [] {});
+  sim.runAll();
+  const auto delta = net.snapshot() - baseline;
+  EXPECT_EQ(delta.messagesOf(MsgKind::kData), 1u);
+  EXPECT_EQ(delta.elementsOf(MsgKind::kData), 2u);
+}
+
+TEST_F(NetFixture, CrashedSenderSendsNothing) {
+  Network net = makeNet();
+  machine0_up = false;
+  bool delivered = false;
+  net.send(0, 1, MsgKind::kData, 100, 1, [&] { delivered = true; });
+  sim.runAll();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.counters().totalMessages(), 0u);  // Never hit the wire.
+}
+
+TEST_F(NetFixture, ZeroByteControlMessageStillHasLatency) {
+  Network::Params params;
+  params.latency = 100;
+  Network net = makeNet(params);
+  SimTime delivered_at = -1;
+  net.send(0, 1, MsgKind::kControl, 0, 0, [&] { delivered_at = sim.now(); });
+  sim.runAll();
+  EXPECT_EQ(delivered_at, 100);
+}
+
+TEST_F(NetFixture, MsgKindNames) {
+  EXPECT_STREQ(toString(MsgKind::kData), "data");
+  EXPECT_STREQ(toString(MsgKind::kStateRead), "state-read");
+  EXPECT_STREQ(toString(MsgKind::kHeartbeatPing), "hb-ping");
+}
+
+}  // namespace
+}  // namespace streamha

@@ -1,0 +1,137 @@
+#include "stream/job.hpp"
+
+#include <gtest/gtest.h>
+
+namespace streamha {
+namespace {
+
+TEST(JobBuilder, ChainHasExpectedShape) {
+  const JobSpec spec = JobBuilder::chain(8, 2, 300.0);
+  EXPECT_EQ(spec.pes.size(), 8u);
+  EXPECT_EQ(spec.subjobs.size(), 4u);
+  EXPECT_TRUE(spec.validate().empty());
+  // First PE consumes the source stream; the rest chain.
+  EXPECT_EQ(spec.pes[0].inputStreams.size(), 1u);
+  EXPECT_EQ(spec.pes[0].inputStreams[0], spec.sourceStream);
+  EXPECT_EQ(spec.pes[3].inputStreams[0], spec.pes[2].outputStreams[0]);
+  // Sink consumes the last PE's stream.
+  ASSERT_EQ(spec.sinkStreams.size(), 1u);
+  EXPECT_EQ(spec.sinkStreams[0], spec.pes[7].outputStreams[0]);
+}
+
+TEST(JobBuilder, ChainPartitionsInOrder) {
+  const JobSpec spec = JobBuilder::chain(5, 2, 300.0);
+  ASSERT_EQ(spec.subjobs.size(), 3u);
+  EXPECT_EQ(spec.subjobs[0].pes, (std::vector<LogicalPeId>{0, 1}));
+  EXPECT_EQ(spec.subjobs[2].pes, (std::vector<LogicalPeId>{4}));
+}
+
+TEST(JobSpec, SubjobOfAndProducerLookups) {
+  const JobSpec spec = JobBuilder::chain(4, 2, 300.0);
+  EXPECT_EQ(spec.subjobOf(0), 0);
+  EXPECT_EQ(spec.subjobOf(3), 1);
+  EXPECT_EQ(spec.producerOf(spec.pes[1].outputStreams[0]), 1);
+  EXPECT_EQ(spec.producerOf(spec.sourceStream), -1);
+  const auto consumers = spec.consumersOf(spec.pes[0].outputStreams[0]);
+  ASSERT_EQ(consumers.size(), 1u);
+  EXPECT_EQ(consumers[0], 1);
+}
+
+TEST(JobBuilder, TreeTopologyFanOut) {
+  JobBuilder b;
+  const LogicalPeId root = b.addPe("root");
+  const LogicalPeId left = b.addPe("left");
+  const LogicalPeId right = b.addPe("right");
+  b.connectSource(root);
+  b.connect(root, left);
+  b.connect(root, right);
+  b.connectSink(left);
+  b.connectSink(right);
+  b.addSubjob({root});
+  b.addSubjob({left});
+  b.addSubjob({right});
+  const JobSpec spec = b.build();
+  EXPECT_TRUE(spec.validate().empty());
+  const auto consumers = spec.consumersOf(spec.pes[0].outputStreams[0]);
+  EXPECT_EQ(consumers.size(), 2u);
+  EXPECT_EQ(spec.sinkStreams.size(), 2u);
+}
+
+TEST(JobBuilder, FanInMerge) {
+  JobBuilder b;
+  const LogicalPeId a = b.addPe("a");
+  const LogicalPeId c = b.addPe("c");
+  const LogicalPeId merge = b.addPe("merge");
+  b.connectSource(a);
+  b.connectSource(c);
+  b.connect(a, merge);
+  b.connect(c, merge);
+  b.connectSink(merge);
+  b.addSubjob({a, c});
+  b.addSubjob({merge});
+  const JobSpec spec = b.build();
+  EXPECT_TRUE(spec.validate().empty());
+  EXPECT_EQ(spec.pes[2].inputStreams.size(), 2u);
+}
+
+TEST(JobBuilder, MultiPortPe) {
+  JobBuilder b;
+  const LogicalPeId splitter = b.addPe("split");
+  const StreamId second = b.addOutputPort(splitter);
+  const LogicalPeId down = b.addPe("down");
+  b.connectSource(splitter);
+  b.connectStream(second, down);
+  b.connectSink(down);
+  b.connectSink(splitter);
+  b.addSubjob({splitter});
+  b.addSubjob({down});
+  const JobSpec spec = b.build();
+  EXPECT_EQ(spec.pes[0].outputStreams.size(), 2u);
+  EXPECT_EQ(spec.producerOf(second), splitter);
+  EXPECT_TRUE(spec.validate().empty());
+}
+
+TEST(JobSpec, ValidateCatchesUnassignedPe) {
+  JobBuilder b;
+  const LogicalPeId pe = b.addPe("lonely");
+  b.connectSource(pe);
+  b.connectSink(pe);
+  // No subjob assignment.
+  JobSpec spec;
+  spec.pes.push_back(LogicalPeSpec{});
+  spec.pes[0].id = 0;
+  spec.pes[0].outputStreams = {1};
+  EXPECT_FALSE(spec.validate().empty());
+}
+
+TEST(JobSpec, ValidateCatchesUnknownInputStream) {
+  JobSpec spec = JobBuilder::chain(2, 1, 100.0);
+  spec.pes[1].inputStreams.push_back(999);
+  EXPECT_NE(spec.validate().find("unknown stream"), std::string::npos);
+}
+
+TEST(LogicalPeSpec, DefaultLogicFactoryUsesSynthetic) {
+  const JobSpec spec = JobBuilder::chain(1, 1, 100.0, 0.5, 512);
+  auto logic = spec.pes[0].makeLogic();
+  ASSERT_NE(logic, nullptr);
+  EXPECT_NE(dynamic_cast<SyntheticLogic*>(logic.get()), nullptr);
+}
+
+TEST(JobBuilder, CustomLogicFactoryIsUsed) {
+  JobBuilder b;
+  const LogicalPeId pe = b.addPe("custom");
+  b.connectSource(pe);
+  b.connectSink(pe);
+  b.addSubjob({pe});
+  b.setLogicFactory(pe, [] { return std::make_unique<SyntheticLogic>(2.0, 8); });
+  const JobSpec spec = b.build();
+  auto logic = spec.pes[0].makeLogic();
+  std::vector<PeLogic::Emit> out;
+  Element e;
+  e.seq = 1;
+  logic->process(e, out);
+  EXPECT_EQ(out.size(), 2u);  // Selectivity 2 from the custom factory.
+}
+
+}  // namespace
+}  // namespace streamha

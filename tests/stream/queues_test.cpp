@@ -1,0 +1,360 @@
+#include "stream/queues.hpp"
+
+#include <gtest/gtest.h>
+
+namespace streamha {
+namespace {
+
+struct QueueFixture : ::testing::Test {
+  Simulator sim;
+  Network net{sim, Network::Params{}, [](MachineId) { return true; }};
+
+  /// Collects everything delivered to one consumer endpoint.
+  struct Collector {
+    std::vector<Element> received;
+    OutputQueue::DeliverFn fn() {
+      return [this](std::vector<Element> batch) {
+        for (auto& e : batch) received.push_back(e);
+      };
+    }
+  };
+
+  static ElementSeq lastSeq(const Collector& c) {
+    return c.received.empty() ? 0 : c.received.back().seq;
+  }
+};
+
+TEST_F(QueueFixture, ProduceAssignsMonotonicSeqs) {
+  OutputQueue oq(net, 7, 0);
+  EXPECT_EQ(oq.produce(0, 1, 100), 1u);
+  EXPECT_EQ(oq.produce(0, 2, 100), 2u);
+  EXPECT_EQ(oq.nextSeq(), 3u);
+  EXPECT_EQ(oq.bufferedCount(), 2u);
+}
+
+TEST_F(QueueFixture, ActiveConnectionReceivesElements) {
+  OutputQueue oq(net, 7, 0);
+  Collector c;
+  oq.addConnection(1, true, true, c.fn());
+  oq.produce(0, 11, 100);
+  oq.produce(0, 22, 100);
+  sim.runAll();
+  ASSERT_EQ(c.received.size(), 2u);
+  EXPECT_EQ(c.received[0].value, 11u);
+  EXPECT_EQ(c.received[1].seq, 2u);
+  EXPECT_EQ(c.received[0].stream, 7);
+}
+
+TEST_F(QueueFixture, InactiveConnectionGetsNothingUntilActivated) {
+  OutputQueue oq(net, 7, 0);
+  Collector c;
+  const int conn = oq.addConnection(1, false, false, c.fn());
+  oq.produce(0, 1, 100);
+  oq.produce(0, 2, 100);
+  sim.runAll();
+  EXPECT_TRUE(c.received.empty());
+  oq.setConnectionActive(conn, true);
+  sim.runAll();
+  ASSERT_EQ(c.received.size(), 2u);  // Backlog pushed on activation.
+  EXPECT_EQ(c.received[0].seq, 1u);
+}
+
+TEST_F(QueueFixture, RetransmitFromRepositionsCursor) {
+  OutputQueue oq(net, 7, 0);
+  Collector c;
+  const int conn = oq.addConnection(1, true, true, c.fn());
+  for (int i = 0; i < 5; ++i) oq.produce(0, i, 100);
+  sim.runAll();
+  EXPECT_EQ(c.received.size(), 5u);
+  oq.retransmitFrom(conn, 3);
+  sim.runAll();
+  ASSERT_EQ(c.received.size(), 8u);  // Seqs 3,4,5 resent.
+  EXPECT_EQ(c.received[5].seq, 3u);
+  EXPECT_EQ(c.received[7].seq, 5u);
+}
+
+TEST_F(QueueFixture, AckTrimsAndFiresListener) {
+  OutputQueue oq(net, 7, 0);
+  Collector c;
+  const int conn = oq.addConnection(1, true, true, c.fn());
+  for (int i = 0; i < 5; ++i) oq.produce(0, i, 100);
+  ElementSeq trimmed = 0;
+  oq.setTrimListener([&](ElementSeq upTo) { trimmed = upTo; });
+  oq.onAck(conn, 3);
+  EXPECT_EQ(oq.trimmedUpTo(), 3u);
+  EXPECT_EQ(oq.bufferedCount(), 2u);
+  EXPECT_EQ(trimmed, 3u);
+}
+
+TEST_F(QueueFixture, TrimWaitsForSlowestGatingConnection) {
+  OutputQueue oq(net, 7, 0);
+  Collector c1, c2;
+  const int conn1 = oq.addConnection(1, true, true, c1.fn());
+  const int conn2 = oq.addConnection(2, true, true, c2.fn());
+  for (int i = 0; i < 5; ++i) oq.produce(0, i, 100);
+  oq.onAck(conn1, 4);
+  EXPECT_EQ(oq.trimmedUpTo(), 0u);  // conn2 has not acked.
+  oq.onAck(conn2, 2);
+  EXPECT_EQ(oq.trimmedUpTo(), 2u);
+}
+
+TEST_F(QueueFixture, NonGatingConnectionDoesNotHoldTrim) {
+  OutputQueue oq(net, 7, 0);
+  Collector c1, c2;
+  const int gating = oq.addConnection(1, true, true, c1.fn());
+  oq.addConnection(2, false, false, c2.fn());  // Hybrid standby style.
+  for (int i = 0; i < 3; ++i) oq.produce(0, i, 100);
+  oq.onAck(gating, 3);
+  EXPECT_EQ(oq.trimmedUpTo(), 3u);
+  EXPECT_EQ(oq.bufferedCount(), 0u);
+}
+
+TEST_F(QueueFixture, NoGatingConnectionsRetainsEverything) {
+  OutputQueue oq(net, 7, 0);
+  for (int i = 0; i < 3; ++i) oq.produce(0, i, 100);
+  EXPECT_EQ(oq.trimmedUpTo(), 0u);
+  EXPECT_EQ(oq.bufferedCount(), 3u);
+}
+
+TEST_F(QueueFixture, SelfHealingPushAfterRestore) {
+  OutputQueue oq(net, 7, 0);
+  Collector c;
+  oq.addConnection(1, true, true, c.fn());
+  // Restore jumps the queue ahead of the connection's cursor (as happens on
+  // a Hybrid secondary refreshed from checkpoints).
+  std::vector<Element> buffered;
+  for (ElementSeq s = 5; s <= 7; ++s) {
+    Element e;
+    e.stream = 7;
+    e.seq = s;
+    buffered.push_back(e);
+  }
+  oq.restore(8, buffered);
+  oq.produce(0, 42, 100);  // seq 8; cursor is behind at 5.
+  sim.runAll();
+  ASSERT_EQ(c.received.size(), 4u);
+  EXPECT_EQ(c.received.front().seq, 5u);
+  EXPECT_EQ(c.received.back().seq, 8u);
+}
+
+TEST_F(QueueFixture, RestoreSetsSeqStateAndClampsCursors) {
+  OutputQueue oq(net, 7, 0);
+  Collector c;
+  const int conn = oq.addConnection(1, true, true, c.fn());
+  std::vector<Element> buffered;
+  Element e;
+  e.stream = 7;
+  e.seq = 10;
+  buffered.push_back(e);
+  oq.restore(11, buffered);
+  EXPECT_EQ(oq.nextSeq(), 11u);
+  EXPECT_EQ(oq.trimmedUpTo(), 9u);
+  EXPECT_EQ(oq.connectionCursor(conn), 10u);
+  EXPECT_EQ(oq.snapshotBuffered().size(), 1u);
+}
+
+TEST_F(QueueFixture, RemoveConnectionReleasesItsGate) {
+  OutputQueue oq(net, 7, 0);
+  Collector c1, c2;
+  const int conn1 = oq.addConnection(1, true, true, c1.fn());
+  const int conn2 = oq.addConnection(2, true, true, c2.fn());
+  for (int i = 0; i < 3; ++i) oq.produce(0, i, 100);
+  oq.onAck(conn1, 3);
+  EXPECT_EQ(oq.trimmedUpTo(), 0u);
+  oq.removeConnection(conn2);
+  EXPECT_EQ(oq.trimmedUpTo(), 3u);
+}
+
+TEST_F(QueueFixture, SetConnectionGatingReleasesGate) {
+  OutputQueue oq(net, 7, 0);
+  Collector c1, c2;
+  const int conn1 = oq.addConnection(1, true, true, c1.fn());
+  const int conn2 = oq.addConnection(2, true, true, c2.fn());
+  for (int i = 0; i < 3; ++i) oq.produce(0, i, 100);
+  oq.onAck(conn1, 2);
+  oq.setConnectionGating(conn2, false);
+  EXPECT_EQ(oq.trimmedUpTo(), 2u);
+}
+
+TEST_F(QueueFixture, InputQueueAcceptsInOrderAndDedups) {
+  InputQueue iq;
+  iq.subscribe(7);
+  std::vector<Element> batch;
+  for (ElementSeq s = 1; s <= 3; ++s) {
+    Element e;
+    e.stream = 7;
+    e.seq = s;
+    batch.push_back(e);
+  }
+  iq.receive(batch);
+  EXPECT_EQ(iq.size(), 3u);
+  iq.receive(batch);  // Duplicate copy (active standby).
+  EXPECT_EQ(iq.size(), 3u);
+  EXPECT_EQ(iq.duplicatesDropped(), 3u);
+  EXPECT_EQ(iq.gapsObserved(), 0u);
+  EXPECT_EQ(iq.expected(7), 4u);
+}
+
+TEST_F(QueueFixture, InputQueueCountsGaps) {
+  InputQueue iq;
+  iq.subscribe(7);
+  Element e;
+  e.stream = 7;
+  e.seq = 5;
+  iq.receive({e});
+  EXPECT_EQ(iq.gapsObserved(), 1u);
+  EXPECT_EQ(iq.expected(7), 6u);
+}
+
+TEST_F(QueueFixture, InputQueueIgnoresUnsubscribedStreams) {
+  InputQueue iq;
+  iq.subscribe(7);
+  Element e;
+  e.stream = 9;
+  e.seq = 1;
+  iq.receive({e});
+  EXPECT_TRUE(iq.empty());
+}
+
+TEST_F(QueueFixture, InputQueueArrivalListener) {
+  InputQueue iq;
+  iq.subscribe(7);
+  int arrivals = 0;
+  iq.setArrivalListener([&] { ++arrivals; });
+  Element e;
+  e.stream = 7;
+  e.seq = 1;
+  iq.receive({e});
+  EXPECT_EQ(arrivals, 1);
+  iq.receive({e});  // Pure duplicate: no arrival signal.
+  EXPECT_EQ(arrivals, 1);
+}
+
+TEST_F(QueueFixture, AcksFanOutToAllUpstreamsOfStream) {
+  InputQueue iq;
+  iq.subscribe(7);
+  iq.subscribe(8);
+  std::vector<std::pair<StreamId, ElementSeq>> sent;
+  iq.addUpstream(7, [&](StreamId s, ElementSeq q) { sent.emplace_back(s, q); });
+  iq.addUpstream(7, [&](StreamId s, ElementSeq q) { sent.emplace_back(s, q); });
+  iq.addUpstream(8, [&](StreamId s, ElementSeq q) { sent.emplace_back(s, q); });
+  iq.sendAcks({{7, 5}, {8, 2}});
+  EXPECT_EQ(sent.size(), 3u);
+  iq.sendAcks({{7, 0}});  // Zero watermark: suppressed.
+  EXPECT_EQ(sent.size(), 3u);
+}
+
+TEST_F(QueueFixture, FastForwardDropsStaleAndAdvancesExpected) {
+  InputQueue iq;
+  iq.subscribe(7);
+  std::vector<Element> batch;
+  for (ElementSeq s = 1; s <= 4; ++s) {
+    Element e;
+    e.stream = 7;
+    e.seq = s;
+    batch.push_back(e);
+  }
+  iq.receive(batch);
+  iq.fastForward(7, 3);
+  EXPECT_EQ(iq.size(), 1u);
+  EXPECT_EQ(iq.front().seq, 4u);
+  EXPECT_EQ(iq.expected(7), 5u);
+  // Fast-forward never moves backwards.
+  iq.fastForward(7, 1);
+  EXPECT_EQ(iq.expected(7), 5u);
+}
+
+TEST_F(QueueFixture, LoadPendingAdvancesExpectedPastBacklog) {
+  InputQueue iq;
+  iq.subscribe(7);
+  std::vector<Element> backlog;
+  for (ElementSeq s = 4; s <= 6; ++s) {
+    Element e;
+    e.stream = 7;
+    e.seq = s;
+    backlog.push_back(e);
+  }
+  iq.loadPending(backlog);
+  EXPECT_EQ(iq.size(), 3u);
+  EXPECT_EQ(iq.expected(7), 7u);
+  // A retransmission of the backlog is now treated as duplicates.
+  iq.receive(backlog);
+  EXPECT_EQ(iq.size(), 3u);
+  EXPECT_EQ(iq.duplicatesDropped(), 3u);
+}
+
+TEST_F(QueueFixture, SnapshotPendingPreservesOrder) {
+  InputQueue iq;
+  iq.subscribe(7);
+  std::vector<Element> batch;
+  for (ElementSeq s = 1; s <= 3; ++s) {
+    Element e;
+    e.stream = 7;
+    e.seq = s;
+    batch.push_back(e);
+  }
+  iq.receive(batch);
+  iq.pop();
+  const auto snap = iq.snapshotPending();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].seq, 2u);
+  EXPECT_EQ(snap[1].seq, 3u);
+}
+
+TEST_F(QueueFixture, ShedThresholdDropsOverflowPermanently) {
+  InputQueue iq;
+  iq.subscribe(7);
+  iq.setShedThreshold(3);
+  std::vector<Element> batch;
+  for (ElementSeq s = 1; s <= 5; ++s) {
+    Element e;
+    e.stream = 7;
+    e.seq = s;
+    batch.push_back(e);
+  }
+  iq.receive(batch);
+  EXPECT_EQ(iq.size(), 3u);
+  EXPECT_EQ(iq.elementsShed(), 2u);
+  // The watermark advanced past the shed elements: a retransmission of them
+  // is a duplicate, not a gap.
+  iq.pop();
+  iq.receive(batch);
+  EXPECT_EQ(iq.duplicatesDropped(), 5u);
+  EXPECT_EQ(iq.gapsObserved(), 0u);
+  EXPECT_EQ(iq.size(), 2u);
+}
+
+TEST_F(QueueFixture, ShedDisabledByDefault) {
+  InputQueue iq;
+  iq.subscribe(7);
+  std::vector<Element> batch;
+  for (ElementSeq s = 1; s <= 1000; ++s) {
+    Element e;
+    e.stream = 7;
+    e.seq = s;
+    batch.push_back(e);
+  }
+  iq.receive(batch);
+  EXPECT_EQ(iq.size(), 1000u);
+  EXPECT_EQ(iq.elementsShed(), 0u);
+}
+
+TEST_F(QueueFixture, BatchingRespectsMaxBatch) {
+  OutputQueue oq(net, 7, 0);
+  // Produce more than kMaxBatch before attaching an active consumer, then
+  // count delivered batches.
+  for (std::size_t i = 0; i < kMaxBatch + 10; ++i) oq.produce(0, i, 100);
+  std::size_t batches = 0;
+  std::size_t elements = 0;
+  oq.addConnection(1, true, true, [&](std::vector<Element> batch) {
+    ++batches;
+    elements += batch.size();
+    EXPECT_LE(batch.size(), kMaxBatch);
+  });
+  sim.runAll();
+  EXPECT_EQ(elements, kMaxBatch + 10);
+  EXPECT_EQ(batches, 2u);
+}
+
+}  // namespace
+}  // namespace streamha
