@@ -9,6 +9,7 @@
 #include "common/stats.hpp"
 #include "exp/scenario.hpp"
 #include "metrics/report.hpp"
+#include "trace/export.hpp"
 
 namespace streamha::bench {
 
@@ -42,6 +43,26 @@ inline void finishTable(const Table& table, const std::string& name) {
   const char* dir = std::getenv("STREAMHA_CSV_DIR");
   if (dir != nullptr && table.writeCsvFile(dir, name)) {
     std::printf("(csv written to %s/%s.csv)\n", dir, name.c_str());
+  }
+}
+
+/// Mirrors STREAMHA_CSV_DIR for structured traces: when STREAMHA_TRACE_DIR is
+/// set, figure benches enable event tracing and write one Perfetto trace (of
+/// a representative run) per figure.
+inline const char* traceDir() { return std::getenv("STREAMHA_TRACE_DIR"); }
+
+inline bool tracingRequested() { return traceDir() != nullptr; }
+
+/// Export the scenario's recorded trace to `<dir>/<name>.perfetto.json` and
+/// `<dir>/<name>.jsonl`. No-op when STREAMHA_TRACE_DIR is unset or the
+/// scenario ran without tracing.
+inline void maybeExportTrace(Scenario& scenario, const std::string& name) {
+  const char* dir = traceDir();
+  if (dir == nullptr || scenario.trace() == nullptr) return;
+  const auto& events = scenario.trace()->events();
+  writeJsonlFile(events, dir, name);
+  if (writePerfettoFile(events, dir, name)) {
+    std::printf("(trace written to %s/%s.perfetto.json)\n", dir, name.c_str());
   }
 }
 

@@ -33,6 +33,7 @@ int main() {
       p.failureDuration = kSecond;
       p.failuresOnStandbys = true;
       p.duration = 40 * kSecond;
+      p.trace.enabled = tracingRequested();
       RunningStats delay, cpu, inflation;
       for (auto seed : seeds) {
         p.seed = seed;
@@ -41,6 +42,10 @@ int main() {
         delay.add(r.avgDelayMs);
         cpu.add(r.avgCpuLoad);
         inflation.add(r.delaySplit.failureInflation());
+        if (mode == HaMode::kHybrid && fraction == fractions.back() &&
+            seed == seeds.front()) {
+          maybeExportTrace(s, "fig04_delay_vs_cpu");
+        }
       }
       delays.push_back(delay.mean());
       if (mode == HaMode::kNone) {

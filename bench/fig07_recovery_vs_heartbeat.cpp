@@ -3,6 +3,7 @@
 #include "bench_util.hpp"
 
 #include "cluster/load_generator.hpp"
+#include "trace/timeline.hpp"
 
 using namespace streamha;
 using namespace streamha::bench;
@@ -11,7 +12,8 @@ namespace {
 
 RecoveryBreakdown measure(HaMode mode, SimDuration heartbeat,
                           SimDuration checkpoint,
-                          const std::vector<std::uint64_t>& seeds) {
+                          const std::vector<std::uint64_t>& seeds,
+                          bool exportTrace) {
   RecoveryBreakdown agg;
   for (std::uint64_t seed : seeds) {
     ScenarioParams p;
@@ -20,6 +22,10 @@ RecoveryBreakdown measure(HaMode mode, SimDuration heartbeat,
     p.checkpointInterval = checkpoint;
     p.duration = 12 * kSecond;
     p.seed = seed;
+    // The recovery decomposition is reconstructed from the recorded trace
+    // (recording changes no simulated behavior, so the derived numbers match
+    // the coordinators' bookkeeping exactly).
+    p.trace.enabled = true;
     Scenario s(p);
     s.build();
     s.warmup();
@@ -30,11 +36,11 @@ RecoveryBreakdown measure(HaMode mode, SimDuration heartbeat,
                       s.cluster().forkRng(seed * 131));
     gen.injectSpike(4 * kSecond);
     s.run(p.duration);
-    auto* c = s.coordinatorFor(2);
-    for (auto& t : c->mutableRecoveries()) {
-      t.failureStart = gen.spikes()[0].first;
+    RecoveryTimelineAnalyzer analyzer(s.trace()->events());
+    agg.addAll(analyzer.timelines());
+    if (exportTrace && seed == seeds.front()) {
+      maybeExportTrace(s, "fig07_recovery_vs_heartbeat");
     }
-    agg.addAll(c->recoveries());
   }
   return agg;
 }
@@ -58,7 +64,10 @@ int main() {
                          300 * kMillisecond, 400 * kMillisecond,
                          500 * kMillisecond}) {
     for (HaMode mode : {HaMode::kPassiveStandby, HaMode::kHybrid}) {
-      const auto agg = measure(mode, hb, 50 * kMillisecond, seeds);
+      const auto agg =
+          measure(mode, hb, 50 * kMillisecond, seeds,
+                  /*exportTrace=*/hb == 100 * kMillisecond &&
+                      mode == HaMode::kHybrid);
       table.addRow({std::to_string(hb / kMillisecond), toString(mode),
                     Table::num(agg.detectionMs.mean(), 0),
                     Table::num(agg.redeployMs.mean(), 0),

@@ -3,7 +3,30 @@
 #include <cassert>
 #include <cmath>
 
+#include "trace/recorder.hpp"
+
 namespace streamha {
+
+namespace {
+
+// `value` carries the logical PE id + 1; 0 means a grouped whole-subjob
+// checkpoint. The exporter uses the value to pair Begin/End when several PE
+// checkpoints of one subjob overlap.
+void recordCheckpointEvent(TraceRecorder* trace, TraceEventType type,
+                           SimTime at, MachineId machine, SubjobId subjob,
+                           std::uint64_t value, std::uint64_t bytes) {
+  if (trace == nullptr) return;
+  TraceEvent ev;
+  ev.type = type;
+  ev.at = at;
+  ev.machine = machine;
+  ev.subjob = subjob;
+  ev.value = value;
+  ev.aux = bytes;
+  trace->record(ev);
+}
+
+}  // namespace
 
 CheckpointManager::CheckpointManager(Simulator& sim, Network& net,
                                      Subjob& subjob, StateStore& store,
@@ -35,6 +58,9 @@ void CheckpointManager::checkpointPe(PeInstance& pe,
   }
   in_progress_.insert(&pe);
   const SimTime started = sim_.now();
+  recordCheckpointEvent(net_.trace(), TraceEventType::kCheckpointBegin, started,
+                        subjob_.machine().id(), subjob_.logicalId(),
+                        static_cast<std::uint64_t>(pe.logicalId()) + 1, 0);
   PeInstance* pePtr = &pe;
   pause_waiters_[pePtr] = [this, pePtr, started, done = std::move(done)] {
     PeState state = pePtr->checkpoint(true, includesInputQueues());
@@ -78,13 +104,22 @@ void CheckpointManager::shipState(PeInstance* pe, PeState state,
                       // the accumulative acks upstream.
                       net_.send(storeMachine, srcMachine, MsgKind::kControl,
                                 params_.confirmBytes, 0,
-                                [this, pe, bytes, elements, acks, startedAt,
-                                 done = std::move(done)] {
+                                [this, pe, bytes, elements, srcMachine, acks,
+                                 startedAt, done = std::move(done)] {
                                   stats_.checkpoints += 1;
                                   stats_.bytes += bytes;
                                   stats_.elements += elements;
                                   stats_.latencyMs.add(
                                       toMillis(sim_.now() - startedAt));
+                                  recordCheckpointEvent(
+                                      net_.trace(),
+                                      TraceEventType::kCheckpointEnd,
+                                      sim_.now(), srcMachine,
+                                      subjob_.logicalId(),
+                                      static_cast<std::uint64_t>(
+                                          pe->logicalId()) +
+                                          1,
+                                      bytes);
                                   in_progress_.erase(pe);
                                   // A fenced (stopped) manager must not
                                   // advance upstream trim points anymore.
@@ -119,6 +154,8 @@ void CheckpointManager::checkpointSubjobGrouped(std::function<void()> done) {
     return;
   }
   const SimTime started = sim_.now();
+  recordCheckpointEvent(net_.trace(), TraceEventType::kCheckpointBegin, started,
+                        subjob_.machine().id(), subjob_.logicalId(), 0, 0);
   auto awaiting = std::make_shared<std::size_t>(0);
   auto proceed = std::make_shared<std::function<void()>>();
   *proceed = [this, started, done = std::move(done)]() mutable {
@@ -148,13 +185,17 @@ void CheckpointManager::checkpointSubjobGrouped(std::function<void()> done) {
                       net_.send(
                           storeMachine, srcMachine, MsgKind::kControl,
                           params_.confirmBytes, 0,
-                          [this, state, bytes, elements, started,
+                          [this, state, bytes, elements, srcMachine, started,
                            done = std::move(done)] {
                             stats_.checkpoints += 1;
                             stats_.bytes += bytes;
                             stats_.elements += elements;
                             stats_.latencyMs.add(
                                 toMillis(sim_.now() - started));
+                            recordCheckpointEvent(
+                                net_.trace(), TraceEventType::kCheckpointEnd,
+                                sim_.now(), srcMachine, subjob_.logicalId(), 0,
+                                bytes);
                             for (const auto& [peId, peState] : state.pes) {
                               if (stopped_) break;
                               PeInstance* pe = subjob_.peByLogicalId(peId);

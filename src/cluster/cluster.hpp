@@ -40,6 +40,12 @@ class Cluster {
   /// Deterministic per-purpose RNG derived from the cluster seed.
   Rng forkRng(std::uint64_t salt) const { return root_rng_.fork(salt); }
 
+  /// Point the network and every machine at a trace recorder (null detaches).
+  void attachTrace(TraceRecorder* trace) {
+    network_->setTrace(trace);
+    for (auto& m : machines_) m->setTrace(trace);
+  }
+
  private:
   Params params_;
   Simulator sim_;

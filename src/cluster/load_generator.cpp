@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "trace/recorder.hpp"
+
 namespace streamha {
 
 SpikeSpec SpikeSpec::fromTimeFraction(SimDuration duration, double fraction,
@@ -81,6 +83,15 @@ void LoadGenerator::replayWindows(
 void LoadGenerator::beginSpike(SimDuration duration) {
   in_spike_ = true;
   spikes_.emplace_back(sim_.now(), sim_.now() + duration);
+  if (auto* trace = machine_.trace()) {
+    TraceEvent ev;
+    ev.type = TraceEventType::kLoadSpikeBegin;
+    ev.at = sim_.now();
+    ev.machine = machine_.id();
+    ev.value = static_cast<std::uint64_t>(spec_.magnitude * 1000.0);
+    ev.aux = static_cast<std::uint64_t>(duration);
+    trace->record(ev);
+  }
   if (spec_.rampDuration > 0 && spec_.rampDuration < duration) {
     // Ramp in a handful of steps; the last step lands at full magnitude.
     constexpr int kSteps = 8;
@@ -101,6 +112,13 @@ void LoadGenerator::beginSpike(SimDuration duration) {
 
 void LoadGenerator::endSpike() {
   in_spike_ = false;
+  if (auto* trace = machine_.trace()) {
+    TraceEvent ev;
+    ev.type = TraceEventType::kLoadSpikeEnd;
+    ev.at = sim_.now();
+    ev.machine = machine_.id();
+    trace->record(ev);
+  }
   machine_.setBackgroundLoad(spec_.baseline);
 }
 

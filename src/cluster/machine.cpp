@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "trace/recorder.hpp"
+
 namespace streamha {
 
 Machine::Machine(Simulator& sim, MachineId id, Rng rng, Params params)
@@ -197,6 +199,13 @@ void Machine::crash() {
   queue_.clear();
   parked_.clear();
   active_ = DataTask{};
+  if (trace_ != nullptr) {
+    TraceEvent ev;
+    ev.type = TraceEventType::kMachineCrash;
+    ev.at = sim_.now();
+    ev.machine = id_;
+    trace_->record(ev);
+  }
   for (const auto& fn : crash_listeners_) fn();
 }
 
@@ -204,6 +213,13 @@ void Machine::restart() {
   if (up_) return;
   accrueIntegrals();
   up_ = true;
+  if (trace_ != nullptr) {
+    TraceEvent ev;
+    ev.type = TraceEventType::kMachineRestart;
+    ev.at = sim_.now();
+    ev.machine = id_;
+    trace_->record(ev);
+  }
   startNextData();
 }
 

@@ -38,6 +38,8 @@
 
 namespace streamha {
 
+class TraceRecorder;
+
 class Machine {
  public:
   struct Params {
@@ -110,6 +112,12 @@ class Machine {
   /// Registers a callback invoked (synchronously) when the machine crashes.
   void addCrashListener(std::function<void()> fn);
 
+  /// Optional structured-event sink (null = tracing off). Crash/restart
+  /// events are recorded here; the load generator reaches it through its
+  /// machine as well.
+  void setTrace(TraceRecorder* trace) { trace_ = trace; }
+  TraceRecorder* trace() const { return trace_; }
+
  private:
   struct DataTask {
     double remainingWork;  // cpu-microseconds at full speed
@@ -155,6 +163,7 @@ class Machine {
   std::deque<std::pair<SimTime, double>> busy_snapshots_;
 
   std::vector<std::function<void()>> crash_listeners_;
+  TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace streamha

@@ -59,6 +59,7 @@ class LineBuilder {
   if (::streamha::Logger::instance().enabled(level))              \
   ::streamha::log_detail::LineBuilder(level, now, component)
 
+#define LOG_TRACE(now, component) STREAMHA_LOG(::streamha::LogLevel::kTrace, now, component)
 #define LOG_DEBUG(now, component) STREAMHA_LOG(::streamha::LogLevel::kDebug, now, component)
 #define LOG_INFO(now, component) STREAMHA_LOG(::streamha::LogLevel::kInfo, now, component)
 #define LOG_WARN(now, component) STREAMHA_LOG(::streamha::LogLevel::kWarn, now, component)

@@ -1,6 +1,25 @@
 #include "detect/heartbeat.hpp"
 
+#include "trace/recorder.hpp"
+
 namespace streamha {
+
+namespace {
+
+void recordDetectorEvent(TraceRecorder* trace, TraceEventType type, SimTime at,
+                         MachineId target, MachineId monitor,
+                         std::uint64_t value) {
+  if (trace == nullptr) return;
+  TraceEvent ev;
+  ev.type = type;
+  ev.at = at;
+  ev.machine = target;
+  ev.peer = monitor;
+  ev.value = value;
+  trace->record(ev);
+}
+
+}  // namespace
 
 HeartbeatDetector::HeartbeatDetector(Simulator& sim, Network& net,
                                      Machine& monitor, Machine& target,
@@ -43,14 +62,27 @@ void HeartbeatDetector::tick() {
       if (failed_ && consecutive_hits_ >= params_.recoverThreshold) {
         failed_ = false;
         ++recoveries_declared_;
+        recordDetectorEvent(net_.trace(), TraceEventType::kFailureCleared,
+                            sim_.now(), target_->id(), monitor_.id(),
+                            consecutive_hits_);
         if (callbacks_.onRecovery) callbacks_.onRecovery(sim_.now());
       }
     } else {
       consecutive_hits_ = 0;
       ++consecutive_misses_;
+      recordDetectorEvent(net_.trace(), TraceEventType::kHeartbeatMiss,
+                          sim_.now(), target_->id(), monitor_.id(),
+                          consecutive_misses_);
+      if (consecutive_misses_ == 1 && !failed_) {
+        recordDetectorEvent(net_.trace(), TraceEventType::kFailureSuspected,
+                            sim_.now(), target_->id(), monitor_.id(), 1);
+      }
       if (!failed_ && consecutive_misses_ >= params_.missThreshold) {
         failed_ = true;
         ++failures_declared_;
+        recordDetectorEvent(net_.trace(), TraceEventType::kFailureConfirmed,
+                            sim_.now(), target_->id(), monitor_.id(),
+                            consecutive_misses_);
         if (callbacks_.onFailure) callbacks_.onFailure(sim_.now());
       }
     }

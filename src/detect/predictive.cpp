@@ -2,7 +2,26 @@
 
 #include <algorithm>
 
+#include "trace/recorder.hpp"
+
 namespace streamha {
+
+namespace {
+
+void recordDetectorEvent(TraceRecorder* trace, TraceEventType type, SimTime at,
+                         MachineId target, MachineId monitor,
+                         std::uint64_t value) {
+  if (trace == nullptr) return;
+  TraceEvent ev;
+  ev.type = type;
+  ev.at = at;
+  ev.machine = target;
+  ev.peer = monitor;
+  ev.value = value;
+  trace->record(ev);
+}
+
+}  // namespace
 
 PredictiveDetector::PredictiveDetector(Simulator& sim, Network& net,
                                        Machine& monitor, Machine& target,
@@ -61,6 +80,9 @@ void PredictiveDetector::declare(bool predicted) {
   failed_ = true;
   consecutive_healthy_ = 0;
   if (predicted) ++predicted_;
+  recordDetectorEvent(net_.trace(), TraceEventType::kFailureConfirmed,
+                      sim_.now(), target_->id(), monitor_.id(),
+                      predicted ? 1 : 0);
   if (callbacks_.onFailure) callbacks_.onFailure(sim_.now());
 }
 
@@ -144,6 +166,11 @@ void PredictiveDetector::onReport(std::uint64_t seq, double load,
   if (unhealthy_now || unhealthy_soon) {
     consecutive_healthy_ = 0;
     ++consecutive_unhealthy_;
+    if (consecutive_unhealthy_ == 1 && !failed_) {
+      recordDetectorEvent(net_.trace(), TraceEventType::kFailureSuspected,
+                          sim_.now(), target_->id(), monitor_.id(),
+                          unhealthy_now ? 0 : 1);
+    }
     last_unhealthy_was_prediction_ = !unhealthy_now;
     // Debounce: one saturated window on a single-server machine is routine
     // queueing, not a failure.
@@ -155,6 +182,9 @@ void PredictiveDetector::onReport(std::uint64_t seq, double load,
     ++consecutive_healthy_;
     if (failed_ && consecutive_healthy_ >= params_.recoverSamples) {
       failed_ = false;
+      recordDetectorEvent(net_.trace(), TraceEventType::kFailureCleared,
+                          sim_.now(), target_->id(), monitor_.id(),
+                          consecutive_healthy_);
       if (callbacks_.onRecovery) callbacks_.onRecovery(sim_.now());
     }
   }

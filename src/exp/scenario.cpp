@@ -66,6 +66,20 @@ void Scenario::build() {
   clusterParams.machine = params_.machineParams;
   cluster_ = std::make_unique<Cluster>(clusterParams);
 
+  if (params_.trace.enabled) {
+    TraceRecorder::Params traceParams;
+    traceParams.maxEvents = params_.trace.maxEvents;
+    recorder_ = std::make_unique<TraceRecorder>(traceParams);
+    if (!params_.trace.messageEvents) {
+      recorder_->setEnabled(TraceEventType::kMessageSent, false);
+      recorder_->setEnabled(TraceEventType::kMessageDelivered, false);
+    }
+    if (!params_.trace.queueTrim) {
+      recorder_->setEnabled(TraceEventType::kQueueTrim, false);
+    }
+    cluster_->attachTrace(recorder_.get());
+  }
+
   const JobSpec spec = JobBuilder::chain(
       params_.numPes, params_.pesPerSubjob, params_.peWorkUs,
       params_.selectivity, params_.stateBytes, params_.payloadBytes);

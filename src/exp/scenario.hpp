@@ -29,6 +29,7 @@
 #include "metrics/latency.hpp"
 #include "metrics/recovery.hpp"
 #include "stream/runtime.hpp"
+#include "trace/recorder.hpp"
 
 namespace streamha {
 
@@ -95,6 +96,20 @@ struct ScenarioParams {
   bool failuresOnPrimaries = true;
   bool failuresOnStandbys = false;   ///< Fig 4 loads the secondary too.
   bool regularFailures = false;      ///< Regular vs Poisson arrivals.
+
+  // -- Tracing ----------------------------------------------------------------
+  /// Structured event tracing (see trace/). Off by default: a null recorder
+  /// pointer is never dereferenced, so untraced runs pay nothing and stay
+  /// bit-identical to pre-tracing builds. Recording never schedules events or
+  /// touches RNG, so *traced* runs produce the same results too.
+  struct TraceConfig {
+    bool enabled = false;
+    /// Per-message events are high-volume; keep them off unless needed.
+    bool messageEvents = false;
+    bool queueTrim = true;
+    std::size_t maxEvents = 0;  ///< 0 = unbounded.
+  };
+  TraceConfig trace;
 
   // -- Run --------------------------------------------------------------------
   SimDuration warmup = 2 * kSecond;
@@ -177,6 +192,9 @@ class Scenario {
   MachineId sinkMachine() const;
   std::size_t machineCount() const;
 
+  /// The trace recorder; null when params.trace.enabled is false.
+  TraceRecorder* trace() { return recorder_.get(); }
+
   /// Every ground-truth spike window across all load generators, merged.
   std::vector<std::pair<SimTime, SimTime>> allFailureWindows() const;
 
@@ -188,6 +206,7 @@ class Scenario {
   void createLoadGenerators();
 
   ScenarioParams params_;
+  std::unique_ptr<TraceRecorder> recorder_;  ///< Outlives the cluster below.
   std::unique_ptr<Cluster> cluster_;
   std::unique_ptr<Runtime> runtime_;
   std::vector<std::unique_ptr<HaCoordinator>> coordinators_;

@@ -74,9 +74,12 @@ void ActiveStandbyCoordinator::replaceCopy(Replica which) {
                               << " on spare machine " << spare;
 
   RecoveryTimeline timeline;
+  timeline.incidentId = beginTraceIncident();
   timeline.detectedAt = sim().now();
   recoveries_.push_back(timeline);
   const std::size_t idx = recoveries_.size() - 1;
+  recordIncidentEvent(TraceEventType::kSwitchoverBegin, timeline.incidentId,
+                      dead->machine().id(), spare);
 
   isolateInstance(*dead);
   dead->terminateAll();
@@ -87,6 +90,8 @@ void ActiveStandbyCoordinator::replaceCopy(Replica which) {
         Subjob& copy = rt_.instantiate(subjob_, spare, which);
         copy.setAckPolicy(AckPolicy::kOnProcess);
         recoveries_[idx].redeployDoneAt = sim().now();
+        recordIncidentEvent(TraceEventType::kRedeployDone,
+                            recoveries_[idx].incidentId, spare, kNoMachine);
         if (which == Replica::kPrimary) {
           primary_ = &copy;
         } else {
@@ -112,6 +117,9 @@ void ActiveStandbyCoordinator::replaceCopy(Replica which) {
                     Runtime::WireOpts{false, false},
                     [this, &copy, state, idx] {
                       recoveries_[idx].connectionsReadyAt = sim().now();
+                      recordIncidentEvent(TraceEventType::kConnectionsReady,
+                                          recoveries_[idx].incidentId,
+                                          copy.machine().id(), kNoMachine);
                       activateRestoredInstance(copy, state,
                                                /*gateInbound=*/true);
                       copy.startAckTimer(rt_.costs().ackFlushInterval);

@@ -1,6 +1,7 @@
 #include "ha/coordinator.hpp"
 
 #include "common/logging.hpp"
+#include "trace/recorder.hpp"
 
 namespace streamha {
 
@@ -15,6 +16,32 @@ HaCoordinator::~HaCoordinator() {
 Simulator& HaCoordinator::sim() { return rt_.cluster().sim(); }
 
 Network& HaCoordinator::net() { return rt_.cluster().network(); }
+
+TraceRecorder* HaCoordinator::trace() { return net().trace(); }
+
+std::uint64_t HaCoordinator::beginTraceIncident() {
+  TraceRecorder* tr = trace();
+  return tr == nullptr ? 0 : tr->beginIncident();
+}
+
+void HaCoordinator::recordIncidentEvent(TraceEventType type,
+                                        std::uint64_t incident,
+                                        MachineId machine, MachineId peer,
+                                        std::uint64_t value,
+                                        std::uint64_t aux) {
+  TraceRecorder* tr = trace();
+  if (tr == nullptr) return;
+  TraceEvent ev;
+  ev.type = type;
+  ev.at = sim().now();
+  ev.machine = machine;
+  ev.peer = peer;
+  ev.subjob = subjob_;
+  ev.incident = incident;
+  ev.value = value;
+  ev.aux = aux;
+  tr->record(ev);
+}
 
 std::unique_ptr<FailureDetector> HaCoordinator::makeDetector(
     Machine& monitor, Machine& target, FailureDetector::Callbacks callbacks) {
@@ -112,11 +139,16 @@ void HaCoordinator::watchFirstOutput(Subjob& copy, std::size_t timelineIdx,
                                      ElementSeq baseline) {
   OutputQueue& out = copy.lastPe().output(0);
   baseline = std::max(baseline, out.nextSeq());
-  out.setProduceListener([this, &out, baseline, timelineIdx](ElementSeq seq) {
+  const MachineId copyMachine = copy.machine().id();
+  out.setProduceListener([this, &out, baseline, timelineIdx,
+                          copyMachine](ElementSeq seq) {
     if (seq < baseline) return;
     if (timelineIdx < recoveries_.size() &&
         recoveries_[timelineIdx].firstOutputAt == kTimeNever) {
       recoveries_[timelineIdx].firstOutputAt = sim().now();
+      recordIncidentEvent(TraceEventType::kSwitchoverEnd,
+                          recoveries_[timelineIdx].incidentId, copyMachine,
+                          kNoMachine, seq);
     }
     out.setProduceListener(nullptr);
   });

@@ -26,6 +26,7 @@
 #include "detect/predictive.hpp"
 #include "metrics/recovery.hpp"
 #include "stream/runtime.hpp"
+#include "trace/event.hpp"
 
 namespace streamha {
 
@@ -94,6 +95,18 @@ class HaCoordinator {
   Simulator& sim();
   Network& net();
   Cluster& cluster() { return rt_.cluster(); }
+
+  /// Trace sink (null = tracing off); reached through the network.
+  TraceRecorder* trace();
+
+  /// Allocates a fresh incident correlation id; 0 when tracing is off.
+  std::uint64_t beginTraceIncident();
+
+  /// Records an incident-correlated recovery event (no-op when tracing off).
+  /// `machine` is the failed/affected machine, `peer` the standby involved.
+  void recordIncidentEvent(TraceEventType type, std::uint64_t incident,
+                           MachineId machine, MachineId peer,
+                           std::uint64_t value = 0, std::uint64_t aux = 0);
 
   std::unique_ptr<CheckpointManager> makeCheckpointManager(Subjob& subjob,
                                                            StateStore& store);

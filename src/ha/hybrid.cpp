@@ -53,9 +53,12 @@ void HybridCoordinator::onFailure(SimTime detectedAt) {
   switched_ = true;
   ++switchovers_;
   RecoveryTimeline timeline;
+  timeline.incidentId = beginTraceIncident();
   timeline.detectedAt = detectedAt;
   recoveries_.push_back(timeline);
   current_timeline_ = recoveries_.size() - 1;
+  recordIncidentEvent(TraceEventType::kSwitchoverBegin, timeline.incidentId,
+                      primary_->machine().id(), params_.standbyMachine);
   switchover_started_ = detectedAt;
   switchover_baseline_ = primary_->lastPe().output(0).nextSeq();
   cursor_sum_at_switchover_ = 0;
@@ -86,6 +89,9 @@ void HybridCoordinator::onFailure(SimTime detectedAt) {
       secondary_->setAckPolicy(AckPolicy::kOnProcess);
       secondary_->startAckTimer(rt_.costs().ackFlushInterval);
       recoveries_[idx].redeployDoneAt = sim().now();
+      recordIncidentEvent(TraceEventType::kRedeployDone,
+                          recoveries_[idx].incidentId,
+                          secondary_->machine().id(), kNoMachine);
       if (params_.earlyConnections) {
         completeSwitchover(idx);
       } else {
@@ -108,6 +114,9 @@ void HybridCoordinator::onFailure(SimTime detectedAt) {
       secondary_->startAckTimer(rt_.costs().ackFlushInterval);
       store_->attachReplica(subjob_, secondary_);
       recoveries_[idx].redeployDoneAt = sim().now();
+      recordIncidentEvent(TraceEventType::kRedeployDone,
+                          recoveries_[idx].incidentId,
+                          secondary_->machine().id(), kNoMachine);
       rt_.wireInstanceWithCost(
           *secondary_, Runtime::WireOpts{false, false},
           Runtime::WireOpts{false, false}, [this, idx] {
@@ -122,6 +131,9 @@ void HybridCoordinator::completeSwitchover(std::size_t timelineIdx) {
   secondary_->applyState(state);
   watchFirstOutput(*secondary_, timelineIdx, switchover_baseline_);
   recoveries_[timelineIdx].connectionsReadyAt = sim().now();
+  recordIncidentEvent(TraceEventType::kConnectionsReady,
+                      recoveries_[timelineIdx].incidentId,
+                      secondary_->machine().id(), kNoMachine);
   // Trim gating stays anchored to the primary's checkpointed acks: the
   // activated secondary never gates upstream queues, so a secondary failure
   // during switchover cannot lose data.
@@ -139,6 +151,13 @@ void HybridCoordinator::onRecovery(SimTime recoveredAt) {
     if (current_timeline_ < recoveries_.size()) {
       recoveries_[current_timeline_].rollbackStartAt = recoveredAt;
       recoveries_[current_timeline_].rollbackDoneAt = recoveredAt;
+      // Aborted switchover: zero-length rollback span (aux = 1 marks it).
+      recordIncidentEvent(TraceEventType::kRollbackBegin,
+                          recoveries_[current_timeline_].incidentId,
+                          primary_->machine().id(), kNoMachine, 0, 1);
+      recordIncidentEvent(TraceEventType::kRollbackEnd,
+                          recoveries_[current_timeline_].incidentId,
+                          primary_->machine().id(), kNoMachine, 0, 1);
     }
     switched_ = false;
     return;
@@ -147,6 +166,10 @@ void HybridCoordinator::onRecovery(SimTime recoveredAt) {
   failstop_timer_.cancel();
   if (current_timeline_ < recoveries_.size()) {
     recoveries_[current_timeline_].rollbackStartAt = recoveredAt;
+    recordIncidentEvent(TraceEventType::kRollbackBegin,
+                        recoveries_[current_timeline_].incidentId,
+                        primary_->machine().id(),
+                        secondary_->machine().id());
   }
   LOG_INFO(sim().now(), "hybrid")
       << "primary responsive again; rolling back subjob " << subjob_;
@@ -173,6 +196,10 @@ void HybridCoordinator::onRecovery(SimTime recoveredAt) {
       deactivateInstanceWires(*secondary_);
       if (current_timeline_ < recoveries_.size()) {
         recoveries_[current_timeline_].rollbackDoneAt = sim().now();
+        recordIncidentEvent(TraceEventType::kRollbackEnd,
+                            recoveries_[current_timeline_].incidentId,
+                            primary_->machine().id(),
+                            secondary_->machine().id(), state_read_elements_);
       }
       switched_ = false;
     };
@@ -217,6 +244,11 @@ void HybridCoordinator::promote() {
   if (!secondary_->alive()) return;
   promoting_ = true;
   ++promotions_;
+  recordIncidentEvent(TraceEventType::kPromotion,
+                      current_timeline_ < recoveries_.size()
+                          ? recoveries_[current_timeline_].incidentId
+                          : 0,
+                      secondary_->machine().id(), primary_->machine().id());
   LOG_INFO(sim().now(), "hybrid")
       << "fail-stop: promoting secondary of subjob " << subjob_
       << " on machine " << secondary_->machine().id();

@@ -38,9 +38,12 @@ void PassiveStandbyCoordinator::onFailure(SimTime detectedAt) {
   // is about to restore.
   cm_->stop();
   RecoveryTimeline timeline;
+  timeline.incidentId = beginTraceIncident();
   timeline.detectedAt = detectedAt;
   recoveries_.push_back(timeline);
   const std::size_t idx = recoveries_.size() - 1;
+  recordIncidentEvent(TraceEventType::kSwitchoverBegin, timeline.incidentId,
+                      primary_->machine().id(), standby_machine_);
   LOG_INFO(sim().now(), "ps") << "failure declared for subjob " << subjob_
                               << "; deploying on machine " << standby_machine_;
 
@@ -57,6 +60,9 @@ void PassiveStandbyCoordinator::onFailure(SimTime detectedAt) {
     const SubjobState state = store_->latest(subjob_);
     copy.applyState(state);
     recoveries_[idx].redeployDoneAt = sim().now();
+    recordIncidentEvent(TraceEventType::kRedeployDone,
+                        recoveries_[idx].incidentId, standby_machine_,
+                        kNoMachine);
     watchFirstOutput(copy, idx, baseline);
     // Establish connections on demand (control round-trips + CPU), then
     // reposition and activate them.
@@ -64,6 +70,9 @@ void PassiveStandbyCoordinator::onFailure(SimTime detectedAt) {
         copy, Runtime::WireOpts{false, false}, Runtime::WireOpts{false, false},
         [this, &copy, state, idx] {
           recoveries_[idx].connectionsReadyAt = sim().now();
+          recordIncidentEvent(TraceEventType::kConnectionsReady,
+                              recoveries_[idx].incidentId,
+                              copy.machine().id(), kNoMachine);
           activateRestoredInstance(copy, state, /*gateInbound=*/true);
           finishMigration(copy, state, idx);
         });
@@ -74,9 +83,14 @@ void PassiveStandbyCoordinator::finishMigration(Subjob& copy,
                                                 const SubjobState& state,
                                                 std::size_t timelineIdx) {
   (void)state;
-  (void)timelineIdx;
   Subjob* old = primary_;
   const MachineId oldMachine = old->machine().id();
+  // PS migration is permanent: the restored copy takes over the primary role.
+  recordIncidentEvent(TraceEventType::kPromotion,
+                      timelineIdx < recoveries_.size()
+                          ? recoveries_[timelineIdx].incidentId
+                          : 0,
+                      copy.machine().id(), oldMachine);
 
   // Upstream stops feeding and waiting on the old copy immediately (these
   // are actions on the healthy upstream machines).

@@ -15,6 +15,9 @@
 namespace streamha {
 
 struct RecoveryTimeline {
+  /// Trace correlation id linking this recovery to its TraceEvent chain
+  /// (0 when tracing was off; see trace/recorder.hpp).
+  std::uint64_t incidentId = 0;
   SimTime failureStart = kTimeNever;   ///< Ground truth (filled by harness).
   SimTime detectedAt = kTimeNever;
   SimTime redeployDoneAt = kTimeNever; ///< Deploy+restore (PS) or resume (Hybrid) complete.

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "trace/recorder.hpp"
+
 namespace streamha {
 
 std::uint64_t Network::Counters::totalMessages() const {
@@ -59,6 +61,18 @@ void Network::send(MachineId src, MachineId dst, MsgKind kind,
   counters_.bytes[idx] += bytes;
   counters_.elements[idx] += elements;
 
+  if (trace_ != nullptr) {
+    TraceEvent ev;
+    ev.type = TraceEventType::kMessageSent;
+    ev.at = sim_.now();
+    ev.machine = src;
+    ev.peer = dst;
+    ev.msgKind = kind;
+    ev.value = bytes;
+    ev.aux = elements;
+    trace_->record(ev);
+  }
+
   const std::uint64_t link_key =
       (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
       static_cast<std::uint32_t>(dst);
@@ -69,9 +83,23 @@ void Network::send(MachineId src, MachineId dst, MsgKind kind,
   free_at = start + transmit;
   const SimTime arrival = free_at + params_.latency;
 
-  sim_.scheduleAt(arrival, [this, dst, deliver = std::move(deliver)] {
-    if (!machine_up_ || machine_up_(dst)) deliver();
-  });
+  sim_.scheduleAt(arrival,
+                  [this, src, dst, kind, bytes, elements,
+                   deliver = std::move(deliver)] {
+                    if (machine_up_ && !machine_up_(dst)) return;
+                    if (trace_ != nullptr) {
+                      TraceEvent ev;
+                      ev.type = TraceEventType::kMessageDelivered;
+                      ev.at = sim_.now();
+                      ev.machine = dst;
+                      ev.peer = src;
+                      ev.msgKind = kind;
+                      ev.value = bytes;
+                      ev.aux = elements;
+                      trace_->record(ev);
+                    }
+                    deliver();
+                  });
 }
 
 }  // namespace streamha

@@ -16,6 +16,8 @@
 
 namespace streamha {
 
+class TraceRecorder;
+
 /// Classification of every message the protocols exchange.
 enum class MsgKind : std::uint8_t {
   kData = 0,        ///< Stream elements between subjobs.
@@ -89,10 +91,22 @@ class Network {
 
   const Params& params() const { return params_; }
 
+  /// Optional structured-event sink (null = tracing off, zero cost). The
+  /// network is the cluster-wide object every data-plane component already
+  /// references, so it doubles as the place they reach the recorder
+  /// (checkpoint managers, detectors and output queues all use trace()).
+  void setTrace(TraceRecorder* trace) { trace_ = trace; }
+  TraceRecorder* trace() const { return trace_; }
+
+  /// Current simulated time; lets trace call sites without their own
+  /// simulator reference timestamp events.
+  SimTime now() const { return sim_.now(); }
+
  private:
   Simulator& sim_;
   Params params_;
   std::function<bool(MachineId)> machine_up_;
+  TraceRecorder* trace_ = nullptr;
   Counters counters_;
   /// Time each ordered link becomes free (bandwidth serialization).
   std::unordered_map<std::uint64_t, SimTime> link_free_at_;

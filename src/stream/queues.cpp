@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "trace/recorder.hpp"
+
 namespace streamha {
 
 OutputQueue::OutputQueue(Network& net, StreamId stream, MachineId srcMachine)
@@ -145,10 +147,22 @@ void OutputQueue::maybeTrim() {
   }
   if (!any_gating) return;  // Nobody consumes yet: retain everything.
   if (new_trim <= trimmed_up_to_) return;
+  std::uint64_t dropped = 0;
   while (!buffer_.empty() && buffer_.front().seq <= new_trim) {
     buffer_.pop_front();
+    ++dropped;
   }
   trimmed_up_to_ = new_trim;
+  if (auto* trace = net_.trace(); trace != nullptr && dropped > 0) {
+    TraceEvent ev;
+    ev.type = TraceEventType::kQueueTrim;
+    ev.at = net_.now();
+    ev.machine = src_machine_;
+    ev.stream = stream_;
+    ev.value = trimmed_up_to_;
+    ev.aux = dropped;
+    trace->record(ev);
+  }
   if (trim_listener_) trim_listener_(trimmed_up_to_);
 }
 

@@ -1,0 +1,100 @@
+// Structured trace events.
+//
+// Every interesting thing the substrate and the HA protocols do is describable
+// as one of these strongly-typed events. A TraceEvent is a small POD carrying
+// the simulated timestamp, the machines/subjob involved and a per-incident
+// correlation id, so that one transient failure's detection -> activation ->
+// rollback chain is linkable across components. Events are collected by a
+// TraceRecorder (see recorder.hpp) and consumed by the exporters
+// (export.hpp: JSONL and Chrome/Perfetto trace_event JSON) and the
+// RecoveryTimeline analyzer (timeline.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "net/network.hpp"
+
+namespace streamha {
+
+enum class TraceEventType : std::uint8_t {
+  // -- Data plane -------------------------------------------------------------
+  kMessageSent = 0,   ///< Network::send accepted a cross-machine message.
+  kMessageDelivered,  ///< The message ran its delivery closure on the dst.
+  kQueueTrim,         ///< An OutputQueue advanced its trim point.
+  // -- Failure detection ------------------------------------------------------
+  kHeartbeatMiss,     ///< A ping deadline passed unanswered (value = run length).
+  kFailureSuspected,  ///< First miss / first unhealthy sample of a run.
+  kFailureConfirmed,  ///< Detector declared the target failed.
+  kFailureCleared,    ///< Detector declared the target responsive again.
+  // -- Checkpointing ----------------------------------------------------------
+  kCheckpointBegin,   ///< Pause requested (value = logical PE id + 1, 0 = whole subjob).
+  kCheckpointEnd,     ///< State durable and confirmed (aux = bytes shipped).
+  // -- Recovery (incident-correlated) -----------------------------------------
+  kSwitchoverBegin,   ///< Coordinator reacted to a failure declaration.
+  kRedeployDone,      ///< Standby resumed (Hybrid) or deployed+restored (PS/AS).
+  kConnectionsReady,  ///< All channels of the recovering copy established.
+  kSwitchoverEnd,     ///< First genuinely new output from the recovered copy.
+  kRollbackBegin,     ///< Primary responsive again; rollback started (Hybrid).
+  kRollbackEnd,       ///< Secondary re-suspended; primary owns the subjob again.
+  kPromotion,         ///< Fail-stop: the secondary was promoted to primary.
+  // -- Substrate ground truth -------------------------------------------------
+  kMachineCrash,
+  kMachineRestart,
+  kLoadSpikeBegin,    ///< Transient-failure CPU spike started (value = magnitude in 1/1000).
+  kLoadSpikeEnd,
+  kCount
+};
+
+inline constexpr std::size_t kTraceEventTypeCount =
+    static_cast<std::size_t>(TraceEventType::kCount);
+
+constexpr const char* toString(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kMessageSent: return "MessageSent";
+    case TraceEventType::kMessageDelivered: return "MessageDelivered";
+    case TraceEventType::kQueueTrim: return "QueueTrim";
+    case TraceEventType::kHeartbeatMiss: return "HeartbeatMiss";
+    case TraceEventType::kFailureSuspected: return "FailureSuspected";
+    case TraceEventType::kFailureConfirmed: return "FailureConfirmed";
+    case TraceEventType::kFailureCleared: return "FailureCleared";
+    case TraceEventType::kCheckpointBegin: return "CheckpointBegin";
+    case TraceEventType::kCheckpointEnd: return "CheckpointEnd";
+    case TraceEventType::kSwitchoverBegin: return "SwitchoverBegin";
+    case TraceEventType::kRedeployDone: return "RedeployDone";
+    case TraceEventType::kConnectionsReady: return "ConnectionsReady";
+    case TraceEventType::kSwitchoverEnd: return "SwitchoverEnd";
+    case TraceEventType::kRollbackBegin: return "RollbackBegin";
+    case TraceEventType::kRollbackEnd: return "RollbackEnd";
+    case TraceEventType::kPromotion: return "Promotion";
+    case TraceEventType::kMachineCrash: return "MachineCrash";
+    case TraceEventType::kMachineRestart: return "MachineRestart";
+    case TraceEventType::kLoadSpikeBegin: return "LoadSpikeBegin";
+    case TraceEventType::kLoadSpikeEnd: return "LoadSpikeEnd";
+    case TraceEventType::kCount: break;
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  TraceEventType type = TraceEventType::kCount;
+  SimTime at = 0;
+  /// The machine the event happened on (detector events: the *target*).
+  MachineId machine = kNoMachine;
+  /// Counterpart machine: message destination, detector monitor, standby.
+  MachineId peer = kNoMachine;
+  SubjobId subjob = -1;
+  StreamId stream = kNoStream;
+  /// Message classification (message events only).
+  MsgKind msgKind = MsgKind::kData;
+  /// Correlation id linking one failure's detection -> switchover -> rollback
+  /// chain. 0 = not part of an incident. Allocated by
+  /// TraceRecorder::beginIncident() when a coordinator reacts to a failure.
+  std::uint64_t incident = 0;
+  /// Type-specific scalar (bytes, trim watermark, consecutive misses, ...).
+  std::uint64_t value = 0;
+  /// Second type-specific scalar (elements, bytes, ...).
+  std::uint64_t aux = 0;
+};
+
+}  // namespace streamha

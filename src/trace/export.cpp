@@ -1,0 +1,433 @@
+#include "trace/export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <tuple>
+
+namespace streamha {
+
+// ---------------------------------------------------------------------------
+// JSONL
+// ---------------------------------------------------------------------------
+
+std::string toJsonLine(const TraceEvent& ev) {
+  std::ostringstream out;
+  out << "{\"type\":\"" << toString(ev.type) << "\""
+      << ",\"at\":" << ev.at
+      << ",\"machine\":" << ev.machine
+      << ",\"peer\":" << ev.peer
+      << ",\"subjob\":" << ev.subjob
+      << ",\"stream\":" << ev.stream
+      << ",\"kind\":\"" << toString(ev.msgKind) << "\""
+      << ",\"incident\":" << ev.incident
+      << ",\"value\":" << ev.value
+      << ",\"aux\":" << ev.aux << "}";
+  return out.str();
+}
+
+void writeJsonl(const std::vector<TraceEvent>& events, std::ostream& out) {
+  for (const auto& ev : events) out << toJsonLine(ev) << "\n";
+}
+
+namespace {
+
+/// Extract the raw token following `"key":` (a number, or a quoted string
+/// with the quotes stripped). Returns false if the key is absent.
+bool jsonField(const std::string& line, const std::string& key,
+               std::string& out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  std::size_t start = pos + needle.size();
+  if (start >= line.size()) return false;
+  if (line[start] == '"') {
+    const std::size_t end = line.find('"', start + 1);
+    if (end == std::string::npos) return false;
+    out = line.substr(start + 1, end - start - 1);
+    return true;
+  }
+  std::size_t end = start;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  out = line.substr(start, end - start);
+  return !out.empty();
+}
+
+bool parseInt64(const std::string& text, std::int64_t& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stoll(text, &used);
+    return used == text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parseUint64(const std::string& text, std::uint64_t& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stoull(text, &used);
+    return used == text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+bool parseJsonLine(const std::string& line, TraceEvent& ev) {
+  std::string token;
+  if (!jsonField(line, "type", token)) return false;
+  bool typeFound = false;
+  for (std::size_t i = 0; i < kTraceEventTypeCount; ++i) {
+    const auto candidate = static_cast<TraceEventType>(i);
+    if (token == toString(candidate)) {
+      ev.type = candidate;
+      typeFound = true;
+      break;
+    }
+  }
+  if (!typeFound) return false;
+
+  std::int64_t i64 = 0;
+  std::uint64_t u64 = 0;
+  if (!jsonField(line, "at", token) || !parseInt64(token, i64)) return false;
+  ev.at = i64;
+  if (!jsonField(line, "machine", token) || !parseInt64(token, i64)) return false;
+  ev.machine = static_cast<MachineId>(i64);
+  if (!jsonField(line, "peer", token) || !parseInt64(token, i64)) return false;
+  ev.peer = static_cast<MachineId>(i64);
+  if (!jsonField(line, "subjob", token) || !parseInt64(token, i64)) return false;
+  ev.subjob = static_cast<SubjobId>(i64);
+  if (!jsonField(line, "stream", token) || !parseInt64(token, i64)) return false;
+  ev.stream = static_cast<StreamId>(i64);
+
+  if (!jsonField(line, "kind", token)) return false;
+  bool kindFound = false;
+  for (std::size_t i = 0; i < kMsgKindCount; ++i) {
+    const auto candidate = static_cast<MsgKind>(i);
+    if (token == toString(candidate)) {
+      ev.msgKind = candidate;
+      kindFound = true;
+      break;
+    }
+  }
+  if (!kindFound) return false;
+
+  if (!jsonField(line, "incident", token) || !parseUint64(token, u64)) return false;
+  ev.incident = u64;
+  if (!jsonField(line, "value", token) || !parseUint64(token, u64)) return false;
+  ev.value = u64;
+  if (!jsonField(line, "aux", token) || !parseUint64(token, u64)) return false;
+  ev.aux = u64;
+  return true;
+}
+
+std::vector<TraceEvent> readJsonl(std::istream& in) {
+  std::vector<TraceEvent> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    TraceEvent ev;
+    if (parseJsonLine(line, ev)) events.push_back(ev);
+  }
+  return events;
+}
+
+bool writeJsonlFile(const std::vector<TraceEvent>& events,
+                    const std::string& dir, const std::string& name) {
+  if (dir.empty()) return false;
+  std::ofstream file(dir + "/" + name + ".jsonl");
+  if (!file) return false;
+  writeJsonl(events, file);
+  return static_cast<bool>(file);
+}
+
+// ---------------------------------------------------------------------------
+// Perfetto / Chrome trace_event JSON
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Thread-track layout inside each machine "process".
+enum PerfettoTrack : int {
+  kTrackEvents = 0,      // crashes / restarts
+  kTrackLoad = 1,        // transient-failure CPU spikes
+  kTrackDetect = 2,      // heartbeat misses, suspicions, declarations
+  kTrackCheckpoint = 3,  // checkpoint pipelines
+  kTrackRecovery = 4,    // switchover / rollback incident spans
+  kTrackQueues = 5,      // output-queue trims
+  kTrackNet = 6,         // per-message instants
+};
+
+const char* trackName(int tid) {
+  switch (tid) {
+    case kTrackEvents: return "machine events";
+    case kTrackLoad: return "load";
+    case kTrackDetect: return "detector";
+    case kTrackCheckpoint: return "checkpoint";
+    case kTrackRecovery: return "recovery";
+    case kTrackQueues: return "queue trim";
+    case kTrackNet: return "messages";
+  }
+  return "?";
+}
+
+int trackOf(const TraceEvent& ev) {
+  switch (ev.type) {
+    case TraceEventType::kMessageSent:
+    case TraceEventType::kMessageDelivered:
+      return kTrackNet;
+    case TraceEventType::kQueueTrim:
+      return kTrackQueues;
+    case TraceEventType::kHeartbeatMiss:
+    case TraceEventType::kFailureSuspected:
+    case TraceEventType::kFailureConfirmed:
+    case TraceEventType::kFailureCleared:
+      return kTrackDetect;
+    case TraceEventType::kCheckpointBegin:
+    case TraceEventType::kCheckpointEnd:
+      return kTrackCheckpoint;
+    case TraceEventType::kSwitchoverBegin:
+    case TraceEventType::kRedeployDone:
+    case TraceEventType::kConnectionsReady:
+    case TraceEventType::kSwitchoverEnd:
+    case TraceEventType::kRollbackBegin:
+    case TraceEventType::kRollbackEnd:
+    case TraceEventType::kPromotion:
+      return kTrackRecovery;
+    case TraceEventType::kLoadSpikeBegin:
+    case TraceEventType::kLoadSpikeEnd:
+      return kTrackLoad;
+    default:
+      return kTrackEvents;
+  }
+}
+
+std::string escapeJson(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string eventArgs(const TraceEvent& ev) {
+  std::ostringstream out;
+  out << "{";
+  out << "\"machine\":" << ev.machine;
+  if (ev.peer != kNoMachine) out << ",\"peer\":" << ev.peer;
+  if (ev.subjob >= 0) out << ",\"subjob\":" << ev.subjob;
+  if (ev.stream != kNoStream) out << ",\"stream\":" << ev.stream;
+  if (ev.incident != 0) out << ",\"incident\":" << ev.incident;
+  if (ev.type == TraceEventType::kMessageSent ||
+      ev.type == TraceEventType::kMessageDelivered) {
+    out << ",\"kind\":\"" << toString(ev.msgKind) << "\"";
+  }
+  if (ev.value != 0) out << ",\"value\":" << ev.value;
+  if (ev.aux != 0) out << ",\"aux\":" << ev.aux;
+  out << "}";
+  return out.str();
+}
+
+struct PerfettoItem {
+  SimTime ts = 0;
+  SimDuration dur = -1;  ///< -1: instant, otherwise complete ("X") event.
+  MachineId pid = 0;
+  int tid = 0;
+  std::string name;
+  std::string args;
+};
+
+std::string spanName(const TraceEvent& begin) {
+  std::ostringstream name;
+  switch (begin.type) {
+    case TraceEventType::kLoadSpikeBegin:
+      name << "load spike";
+      break;
+    case TraceEventType::kCheckpointBegin:
+      name << "checkpoint";
+      if (begin.subjob >= 0) name << " sj" << begin.subjob;
+      if (begin.value == 0) {
+        name << " (all)";
+      } else {
+        name << " pe" << (begin.value - 1);
+      }
+      break;
+    case TraceEventType::kSwitchoverBegin:
+      name << "switchover";
+      if (begin.incident != 0) name << " #" << begin.incident;
+      break;
+    case TraceEventType::kRollbackBegin:
+      name << "rollback";
+      if (begin.incident != 0) name << " #" << begin.incident;
+      break;
+    default:
+      name << toString(begin.type);
+      break;
+  }
+  return name.str();
+}
+
+}  // namespace
+
+void writePerfettoJson(const std::vector<TraceEvent>& events, std::ostream& out,
+                       const std::map<MachineId, std::string>& machineLabels) {
+  std::vector<PerfettoItem> items;
+  items.reserve(events.size());
+
+  // Open Begin events awaiting their End, keyed per span family.
+  std::map<MachineId, TraceEvent> openSpikes;
+  // (machine, subjob, value) -> begins in FIFO order (sweeping checkpoints of
+  // different PEs on one machine may overlap).
+  std::map<std::tuple<MachineId, SubjobId, std::uint64_t>,
+           std::vector<TraceEvent>>
+      openCheckpoints;
+  std::map<std::uint64_t, TraceEvent> openSwitchovers;  // by incident
+  std::map<std::uint64_t, TraceEvent> openRollbacks;    // by incident
+
+  auto emitSpan = [&items](const TraceEvent& begin, SimTime endAt) {
+    items.push_back(PerfettoItem{begin.at, std::max<SimDuration>(0, endAt - begin.at),
+                                 begin.machine, trackOf(begin), spanName(begin),
+                                 eventArgs(begin)});
+  };
+  auto emitInstant = [&items](const TraceEvent& ev) {
+    items.push_back(PerfettoItem{ev.at, -1, ev.machine, trackOf(ev),
+                                 toString(ev.type), eventArgs(ev)});
+  };
+
+  SimTime traceEnd = 0;
+  for (const auto& ev : events) traceEnd = std::max(traceEnd, ev.at);
+
+  for (const auto& ev : events) {
+    switch (ev.type) {
+      case TraceEventType::kLoadSpikeBegin:
+        openSpikes[ev.machine] = ev;
+        break;
+      case TraceEventType::kLoadSpikeEnd: {
+        auto it = openSpikes.find(ev.machine);
+        if (it != openSpikes.end()) {
+          emitSpan(it->second, ev.at);
+          openSpikes.erase(it);
+        }
+        break;
+      }
+      case TraceEventType::kCheckpointBegin:
+        openCheckpoints[{ev.machine, ev.subjob, ev.value}].push_back(ev);
+        break;
+      case TraceEventType::kCheckpointEnd: {
+        auto it = openCheckpoints.find({ev.machine, ev.subjob, ev.value});
+        if (it != openCheckpoints.end() && !it->second.empty()) {
+          emitSpan(it->second.front(), ev.at);
+          it->second.erase(it->second.begin());
+        }
+        break;
+      }
+      case TraceEventType::kSwitchoverBegin:
+        openSwitchovers[ev.incident] = ev;
+        break;
+      case TraceEventType::kSwitchoverEnd: {
+        auto it = openSwitchovers.find(ev.incident);
+        if (it != openSwitchovers.end()) {
+          emitSpan(it->second, ev.at);
+          openSwitchovers.erase(it);
+        }
+        break;
+      }
+      case TraceEventType::kRollbackBegin:
+        openRollbacks[ev.incident] = ev;
+        break;
+      case TraceEventType::kRollbackEnd: {
+        auto it = openRollbacks.find(ev.incident);
+        if (it != openRollbacks.end()) {
+          emitSpan(it->second, ev.at);
+          openRollbacks.erase(it);
+        }
+        break;
+      }
+      default:
+        emitInstant(ev);
+        break;
+    }
+  }
+  // Spans still open at the end of the trace run to the last timestamp.
+  for (const auto& [machine, begin] : openSpikes) emitSpan(begin, traceEnd);
+  for (const auto& [key, begins] : openCheckpoints) {
+    for (const auto& begin : begins) emitSpan(begin, traceEnd);
+  }
+  for (const auto& [incident, begin] : openSwitchovers) emitSpan(begin, traceEnd);
+  for (const auto& [incident, begin] : openRollbacks) emitSpan(begin, traceEnd);
+
+  std::stable_sort(items.begin(), items.end(),
+                   [](const PerfettoItem& a, const PerfettoItem& b) {
+                     return a.ts < b.ts;
+                   });
+
+  // Which (pid, tid) tracks exist, for the metadata records.
+  std::map<MachineId, std::vector<int>> tracks;
+  for (const auto& item : items) {
+    auto& tids = tracks[item.pid];
+    if (std::find(tids.begin(), tids.end(), item.tid) == tids.end()) {
+      tids.push_back(item.tid);
+    }
+  }
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+  for (const auto& [pid, tids] : tracks) {
+    sep();
+    std::string label = "machine " + std::to_string(pid);
+    const auto it = machineLabels.find(pid);
+    if (it != machineLabels.end()) label += " (" + escapeJson(it->second) + ")";
+    out << "{\"ph\":\"M\",\"pid\":" << pid
+        << ",\"name\":\"process_name\",\"args\":{\"name\":\"" << label
+        << "\"}}";
+    for (int tid : tids) {
+      sep();
+      out << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+          << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+          << trackName(tid) << "\"}}";
+      sep();
+      // Keep the track order stable in the UI.
+      out << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+          << ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" << tid
+          << "}}";
+    }
+  }
+  for (const auto& item : items) {
+    sep();
+    out << "{\"ph\":\"" << (item.dur >= 0 ? "X" : "i") << "\",\"ts\":"
+        << item.ts;
+    if (item.dur >= 0) {
+      out << ",\"dur\":" << item.dur;
+    } else {
+      out << ",\"s\":\"t\"";
+    }
+    out << ",\"pid\":" << item.pid << ",\"tid\":" << item.tid
+        << ",\"name\":\"" << escapeJson(item.name) << "\",\"args\":"
+        << item.args << "}";
+  }
+  out << "\n]}\n";
+}
+
+bool writePerfettoFile(const std::vector<TraceEvent>& events,
+                       const std::string& dir, const std::string& name,
+                       const std::map<MachineId, std::string>& machineLabels) {
+  if (dir.empty()) return false;
+  std::ofstream file(dir + "/" + name + ".perfetto.json");
+  if (!file) return false;
+  writePerfettoJson(events, file, machineLabels);
+  return static_cast<bool>(file);
+}
+
+}  // namespace streamha

@@ -1,0 +1,57 @@
+// Trace exporters.
+//
+// Two formats:
+//
+//  * JSONL -- one self-describing JSON object per line, lossless (readJsonl
+//    round-trips what writeJsonl produced). Meant for scripting: grep for an
+//    incident id, pipe through jq, diff two runs.
+//
+//  * Chrome/Perfetto trace_event JSON -- load the file at https://ui.perfetto.dev
+//    (or chrome://tracing) and a whole cluster run renders as per-machine
+//    tracks: load spikes, checkpoints and recovery incidents as duration
+//    spans; crashes, heartbeat misses and trims as instants. Timestamps are
+//    already microseconds, Chrome's native unit. Begin/End pairs are matched
+//    at export time and emitted as complete ("X") events, so the output is
+//    valid for any (even truncated) event stream.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace streamha {
+
+// -- JSONL --------------------------------------------------------------------
+
+/// One event as a single-line JSON object (no trailing newline).
+std::string toJsonLine(const TraceEvent& ev);
+
+void writeJsonl(const std::vector<TraceEvent>& events, std::ostream& out);
+
+/// Parse one line produced by toJsonLine. Returns false (and leaves `ev`
+/// unspecified) on malformed input. Only the exporter's own output format is
+/// supported -- this is a round-trip codec, not a general JSON parser.
+bool parseJsonLine(const std::string& line, TraceEvent& ev);
+
+/// Read every event from a JSONL stream; malformed lines are skipped.
+std::vector<TraceEvent> readJsonl(std::istream& in);
+
+/// Write `<dir>/<name>.jsonl`; returns whether a file was written (false when
+/// `dir` is empty, mirroring Table::writeCsvFile).
+bool writeJsonlFile(const std::vector<TraceEvent>& events,
+                    const std::string& dir, const std::string& name);
+
+// -- Perfetto -----------------------------------------------------------------
+
+void writePerfettoJson(const std::vector<TraceEvent>& events, std::ostream& out,
+                       const std::map<MachineId, std::string>& machineLabels = {});
+
+/// Write `<dir>/<name>.perfetto.json`; returns whether a file was written.
+bool writePerfettoFile(const std::vector<TraceEvent>& events,
+                       const std::string& dir, const std::string& name,
+                       const std::map<MachineId, std::string>& machineLabels = {});
+
+}  // namespace streamha

@@ -1,0 +1,55 @@
+#include "trace/recorder.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace streamha {
+
+void TraceRecorder::record(const TraceEvent& ev) {
+  if (!enabled(ev.type)) return;
+  if (params_.echoLog) {
+    LOG_TRACE(ev.at, "trace") << describeEvent(ev);
+  }
+  if (params_.maxEvents != 0 && events_.size() >= params_.maxEvents) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(ev);
+}
+
+void TraceRecorder::setEnabled(TraceEventType type, bool on) {
+  mask_[static_cast<std::size_t>(type)] = on;
+}
+
+std::size_t TraceRecorder::countOf(TraceEventType type) const {
+  std::size_t n = 0;
+  for (const auto& ev : events_) {
+    if (ev.type == type) ++n;
+  }
+  return n;
+}
+
+void TraceRecorder::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::string describeEvent(const TraceEvent& ev) {
+  std::ostringstream out;
+  out << toString(ev.type);
+  if (ev.machine != kNoMachine) out << " m" << ev.machine;
+  if (ev.peer != kNoMachine) out << "->m" << ev.peer;
+  if (ev.subjob >= 0) out << " sj" << ev.subjob;
+  if (ev.stream != kNoStream) out << " stream" << ev.stream;
+  if (ev.type == TraceEventType::kMessageSent ||
+      ev.type == TraceEventType::kMessageDelivered) {
+    out << " " << toString(ev.msgKind);
+  }
+  if (ev.incident != 0) out << " incident#" << ev.incident;
+  if (ev.value != 0) out << " value=" << ev.value;
+  if (ev.aux != 0) out << " aux=" << ev.aux;
+  return out.str();
+}
+
+}  // namespace streamha

@@ -1,0 +1,80 @@
+// TraceRecorder: the collection point for structured trace events.
+//
+// One recorder is owned by the experiment harness (Scenario) or whoever built
+// the cluster, and is handed to the substrate as an *optional* sink: every
+// instrumented component holds a `TraceRecorder*` that is null when tracing is
+// off, so a disabled trace costs one pointer test per site and changes no
+// simulated behavior (recording never schedules events, never touches machine
+// work and never perturbs RNG state -- traced and untraced runs are
+// bit-identical).
+//
+// The recorder also allocates *incident ids*: when an HA coordinator reacts to
+// a failure declaration it calls beginIncident() and stamps the id on every
+// event of that failure's detection -> switchover -> rollback chain, which is
+// what lets the RecoveryTimeline analyzer (timeline.hpp) and the Perfetto
+// exporter reassemble per-incident timelines from the flat stream.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace streamha {
+
+class TraceRecorder {
+ public:
+  struct Params {
+    /// Hard cap on retained events; once reached, further events are counted
+    /// in dropped() but not stored. 0 = unbounded.
+    std::size_t maxEvents = 0;
+    /// Echo every recorded event through LOG_TRACE (visible when the global
+    /// Logger level is kTrace).
+    bool echoLog = true;
+  };
+
+  TraceRecorder() = default;
+  explicit TraceRecorder(Params params) : params_(params) {}
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Record one event. The caller fills every field it knows (including
+  /// `at`); the recorder never stamps times itself so replayed / synthetic
+  /// streams stay possible.
+  void record(const TraceEvent& ev);
+
+  /// Per-type enable mask (all types enabled by default). High-volume types
+  /// (kMessageSent/kMessageDelivered) are typically disabled for long runs.
+  void setEnabled(TraceEventType type, bool on);
+  bool enabled(TraceEventType type) const {
+    return mask_[static_cast<std::size_t>(type)];
+  }
+
+  /// Allocate the next incident correlation id (ids start at 1).
+  std::uint64_t beginIncident() { return ++last_incident_; }
+  std::uint64_t lastIncident() const { return last_incident_; }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+  std::size_t countOf(TraceEventType type) const;
+
+  void clear();
+
+ private:
+  Params params_;
+  std::array<bool, kTraceEventTypeCount> mask_ = [] {
+    std::array<bool, kTraceEventTypeCount> all{};
+    all.fill(true);
+    return all;
+  }();
+  std::vector<TraceEvent> events_;
+  std::uint64_t last_incident_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// One-line human-readable rendering (used by the LOG_TRACE echo).
+std::string describeEvent(const TraceEvent& ev);
+
+}  // namespace streamha

@@ -1,0 +1,109 @@
+#include "trace/timeline.hpp"
+
+#include <algorithm>
+
+namespace streamha {
+
+RecoveryTimelineAnalyzer::RecoveryTimelineAnalyzer(
+    const std::vector<TraceEvent>& events) {
+  auto incidentOf = [this](const TraceEvent& ev) -> IncidentTimeline& {
+    auto it = index_.find(ev.incident);
+    if (it == index_.end()) {
+      it = index_.emplace(ev.incident, incidents_.size()).first;
+      incidents_.push_back(IncidentTimeline{});
+      incidents_.back().incident = ev.incident;
+      incidents_.back().phases.incidentId = ev.incident;
+    }
+    return incidents_[it->second];
+  };
+
+  for (const auto& ev : events) {
+    if (ev.incident == 0) continue;
+    IncidentTimeline& inc = incidentOf(ev);
+    if (ev.subjob >= 0 && inc.subjob < 0) inc.subjob = ev.subjob;
+    switch (ev.type) {
+      case TraceEventType::kSwitchoverBegin:
+        inc.phases.detectedAt = ev.at;
+        inc.failedMachine = ev.machine;
+        inc.standbyMachine = ev.peer;
+        break;
+      case TraceEventType::kRedeployDone:
+        inc.phases.redeployDoneAt = ev.at;
+        break;
+      case TraceEventType::kConnectionsReady:
+        inc.phases.connectionsReadyAt = ev.at;
+        break;
+      case TraceEventType::kSwitchoverEnd:
+        if (inc.phases.firstOutputAt == kTimeNever) {
+          inc.phases.firstOutputAt = ev.at;
+        }
+        break;
+      case TraceEventType::kRollbackBegin:
+        inc.phases.rollbackStartAt = ev.at;
+        inc.rolledBack = true;
+        break;
+      case TraceEventType::kRollbackEnd:
+        inc.phases.rollbackDoneAt = ev.at;
+        break;
+      case TraceEventType::kPromotion:
+        inc.promoted = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Ground-truth failure starts: the latest spike begin or crash at or before
+  // detection, preferring events on the failed machine itself.
+  for (auto& inc : incidents_) {
+    if (inc.phases.detectedAt == kTimeNever) continue;
+    SimTime onFailed = kTimeNever;
+    SimTime anywhere = kTimeNever;
+    for (const auto& ev : events) {
+      if (ev.type != TraceEventType::kLoadSpikeBegin &&
+          ev.type != TraceEventType::kMachineCrash) {
+        continue;
+      }
+      if (ev.at > inc.phases.detectedAt) continue;
+      if (anywhere == kTimeNever || ev.at > anywhere) anywhere = ev.at;
+      if (ev.machine == inc.failedMachine &&
+          (onFailed == kTimeNever || ev.at > onFailed)) {
+        onFailed = ev.at;
+      }
+    }
+    inc.phases.failureStart = onFailed != kTimeNever ? onFailed : anywhere;
+  }
+}
+
+const IncidentTimeline* RecoveryTimelineAnalyzer::incident(
+    std::uint64_t id) const {
+  const auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &incidents_[it->second];
+}
+
+std::vector<RecoveryTimeline> RecoveryTimelineAnalyzer::timelines() const {
+  std::vector<RecoveryTimeline> out;
+  out.reserve(incidents_.size());
+  for (const auto& inc : incidents_) out.push_back(inc.phases);
+  return out;
+}
+
+RecoveryBreakdown RecoveryTimelineAnalyzer::breakdown() const {
+  RecoveryBreakdown agg;
+  agg.addAll(timelines());
+  return agg;
+}
+
+std::vector<double> RecoveryTimelineAnalyzer::detectionLatenciesMs() const {
+  std::vector<double> out;
+  for (const auto& inc : incidents_) {
+    if (inc.phases.failureStart == kTimeNever ||
+        inc.phases.detectedAt == kTimeNever) {
+      continue;
+    }
+    out.push_back(inc.phases.detectionMs());
+  }
+  return out;
+}
+
+}  // namespace streamha

@@ -37,6 +37,26 @@ TEST_F(LoggingFixture, MacroSkipsStreamingWhenDisabled) {
   EXPECT_EQ(evaluations, 1);
 }
 
+TEST_F(LoggingFixture, TraceIsTheMostVerboseLevel) {
+  Logger::instance().setLevel(LogLevel::kDebug);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kTrace));
+  Logger::instance().setLevel(LogLevel::kTrace);
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kTrace));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kDebug));
+
+  // LOG_TRACE evaluates its stream only at kTrace.
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  LOG_TRACE(0, "test") << expensive();
+  EXPECT_EQ(evaluations, 1);
+  Logger::instance().setLevel(LogLevel::kDebug);
+  LOG_TRACE(0, "test") << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
 TEST_F(LoggingFixture, WriteHonorsLevel) {
   // write() must be a no-op below the configured level (no crash, no
   // observable side effects we can assert beyond it returning).

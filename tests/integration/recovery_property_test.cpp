@@ -1,12 +1,62 @@
 // Property sweeps: across HA modes, seeds and random failure schedules, the
 // system must deliver every source element to the sink exactly once and in
-// order (deterministic PEs), with no sequence gaps anywhere.
+// order (deterministic PEs), with no sequence gaps anywhere. Every run is
+// traced, and the recovery numbers reconstructed from the trace must agree
+// with the coordinators' own bookkeeping -- two independent derivations of
+// the paper's timeline decomposition.
 #include <gtest/gtest.h>
 
 #include "exp/scenario.hpp"
+#include "trace/timeline.hpp"
 
 namespace streamha {
 namespace {
+
+/// Cross-check the trace-derived incident timelines against the coordinator
+/// bookkeeping that ScenarioResult::recovery is built from. Matched by
+/// incident correlation id; every recovery the coordinators saw must be
+/// reconstructable from the trace with identical timestamps.
+void expectTraceAgreesWithCoordinators(Scenario& s,
+                                       const ScenarioResult& r) {
+  ASSERT_NE(s.trace(), nullptr);
+  RecoveryTimelineAnalyzer analyzer(s.trace()->events());
+
+  std::size_t coordinatorRecoveries = 0;
+  for (HaCoordinator* c : s.coordinators()) {
+    for (const RecoveryTimeline& want : c->recoveries()) {
+      ++coordinatorRecoveries;
+      ASSERT_NE(want.incidentId, 0u);
+      const IncidentTimeline* got = analyzer.incident(want.incidentId);
+      ASSERT_NE(got, nullptr) << "incident " << want.incidentId
+                              << " missing from trace";
+      EXPECT_EQ(got->subjob, c->subjobId());
+      EXPECT_EQ(got->phases.detectedAt, want.detectedAt);
+      EXPECT_EQ(got->phases.redeployDoneAt, want.redeployDoneAt);
+      EXPECT_EQ(got->phases.connectionsReadyAt, want.connectionsReadyAt);
+      EXPECT_EQ(got->phases.firstOutputAt, want.firstOutputAt);
+      EXPECT_EQ(got->phases.rollbackStartAt, want.rollbackStartAt);
+      EXPECT_EQ(got->phases.rollbackDoneAt, want.rollbackDoneAt);
+      // Phase ordering must hold in the reconstruction.
+      if (got->phases.complete()) {
+        EXPECT_LE(got->phases.detectedAt, got->phases.redeployDoneAt);
+        EXPECT_LE(got->phases.redeployDoneAt, got->phases.firstOutputAt);
+      }
+    }
+  }
+  EXPECT_EQ(analyzer.incidents().size(), coordinatorRecoveries);
+
+  // The counters must be derivable from the trace as well.
+  EXPECT_EQ(s.trace()->countOf(TraceEventType::kSwitchoverBegin),
+            coordinatorRecoveries);
+  std::uint64_t realRollbacks = 0;
+  for (const TraceEvent& ev : s.trace()->events()) {
+    // aux == 1 on a RollbackBegin marks an aborted (zero-length) rollback.
+    if (ev.type == TraceEventType::kRollbackBegin && ev.aux == 0) {
+      ++realRollbacks;
+    }
+  }
+  EXPECT_EQ(realRollbacks, r.rollbacks);
+}
 
 struct PropertyCase {
   HaMode mode;
@@ -37,6 +87,7 @@ TEST_P(RecoveryProperty, ExactlyOnceInOrderUnderTransientFailures) {
   p.failureDuration = c.failureDuration;
   p.failuresOnStandbys = c.failuresOnStandbys;
   p.duration = 25 * kSecond;
+  p.trace.enabled = true;
   Scenario s(p);
   s.build();
   s.start();
@@ -51,6 +102,9 @@ TEST_P(RecoveryProperty, ExactlyOnceInOrderUnderTransientFailures) {
   const StreamId sinkStream = s.runtime().spec().sinkStreams[0];
   EXPECT_EQ(s.sink().highestSeq(sinkStream), s.source().generatedCount());
   EXPECT_EQ(s.sink().receivedCount(), s.source().generatedCount());
+
+  // The recorded trace independently reproduces the recovery bookkeeping.
+  expectTraceAgreesWithCoordinators(s, r);
 }
 
 std::vector<PropertyCase> makeCases() {

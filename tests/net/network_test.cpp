@@ -107,6 +107,9 @@ TEST_F(NetFixture, CounterSubtractionGivesWindowDeltas) {
   const auto delta = net.snapshot() - baseline;
   EXPECT_EQ(delta.messagesOf(MsgKind::kData), 1u);
   EXPECT_EQ(delta.elementsOf(MsgKind::kData), 2u);
+  EXPECT_EQ(delta.bytesOf(MsgKind::kData), 100u);
+  EXPECT_EQ(delta.messagesOf(MsgKind::kAck), 0u);
+  EXPECT_EQ(delta.totalMessages(), 1u);
 }
 
 TEST_F(NetFixture, CrashedSenderSendsNothing) {

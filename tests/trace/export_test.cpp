@@ -1,0 +1,195 @@
+#include "trace/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace streamha {
+namespace {
+
+/// A sample covering every event type plus field extremes.
+std::vector<TraceEvent> sampleEvents() {
+  std::vector<TraceEvent> events;
+  SimTime t = 0;
+  for (std::size_t i = 0; i < kTraceEventTypeCount; ++i) {
+    TraceEvent ev;
+    ev.type = static_cast<TraceEventType>(i);
+    ev.at = t += 250;
+    ev.machine = static_cast<MachineId>(i % 5);
+    ev.peer = (i % 2) ? static_cast<MachineId>((i + 1) % 5) : kNoMachine;
+    ev.subjob = (i % 3) ? static_cast<SubjobId>(i % 4) : -1;
+    ev.stream = (i % 4) ? static_cast<StreamId>(i) : kNoStream;
+    ev.msgKind = static_cast<MsgKind>(i % 4);
+    ev.incident = i / 3;
+    ev.value = i * 17;
+    ev.aux = i;
+    events.push_back(ev);
+  }
+  TraceEvent extreme;
+  extreme.type = TraceEventType::kQueueTrim;
+  extreme.at = std::numeric_limits<SimTime>::max();
+  extreme.machine = kNoMachine;
+  extreme.value = std::numeric_limits<std::uint64_t>::max();
+  extreme.aux = std::numeric_limits<std::uint64_t>::max();
+  events.push_back(extreme);
+  return events;
+}
+
+bool equalEvents(const TraceEvent& a, const TraceEvent& b) {
+  return a.type == b.type && a.at == b.at && a.machine == b.machine &&
+         a.peer == b.peer && a.subjob == b.subjob && a.stream == b.stream &&
+         a.msgKind == b.msgKind && a.incident == b.incident &&
+         a.value == b.value && a.aux == b.aux;
+}
+
+TEST(TraceJsonl, RoundTripsEveryField) {
+  const auto events = sampleEvents();
+  std::stringstream ss;
+  writeJsonl(events, ss);
+  const auto back = readJsonl(ss);
+  ASSERT_EQ(back.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_TRUE(equalEvents(events[i], back[i])) << "event " << i;
+  }
+}
+
+TEST(TraceJsonl, LinesAreSelfContainedJsonObjects) {
+  for (const auto& ev : sampleEvents()) {
+    const std::string line = toJsonLine(ev);
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    EXPECT_NE(line.find("\"type\":"), std::string::npos);
+    EXPECT_NE(line.find("\"incident\":"), std::string::npos);
+  }
+}
+
+TEST(TraceJsonl, RejectsMalformedLines) {
+  TraceEvent ev;
+  EXPECT_FALSE(parseJsonLine("", ev));
+  EXPECT_FALSE(parseJsonLine("not json", ev));
+  EXPECT_FALSE(parseJsonLine("{}", ev));
+  EXPECT_FALSE(parseJsonLine("{\"type\":\"NoSuchEvent\",\"at\":1}", ev));
+  std::string good = toJsonLine(sampleEvents().front());
+  EXPECT_TRUE(parseJsonLine(good, ev));
+  // Corrupt a numeric field.
+  std::string bad = good;
+  bad.replace(bad.find("\"at\":") + 5, 1, "x");
+  EXPECT_FALSE(parseJsonLine(bad, ev));
+}
+
+TEST(TraceJsonl, ReaderSkipsMalformedLines) {
+  const auto events = sampleEvents();
+  std::stringstream ss;
+  ss << toJsonLine(events[0]) << "\n";
+  ss << "garbage line\n\n";
+  ss << toJsonLine(events[1]) << "\n";
+  const auto back = readJsonl(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_TRUE(equalEvents(back[0], events[0]));
+  EXPECT_TRUE(equalEvents(back[1], events[1]));
+}
+
+TEST(TraceJsonl, FileWriterRefusesEmptyDir) {
+  EXPECT_FALSE(writeJsonlFile(sampleEvents(), "", "trace"));
+}
+
+// -- Perfetto -----------------------------------------------------------------
+
+/// Pull every `"key":<number>` occurrence out of the emitted JSON, in order.
+std::vector<long long> numbersFor(const std::string& json,
+                                  const std::string& key) {
+  std::vector<long long> out;
+  const std::string needle = "\"" + key + "\":";
+  for (std::size_t pos = json.find(needle); pos != std::string::npos;
+       pos = json.find(needle, pos + 1)) {
+    out.push_back(std::stoll(json.substr(pos + needle.size())));
+  }
+  return out;
+}
+
+/// A trace with one matched spike span, one checkpoint span, one incident
+/// span pair, one unmatched begin, and a few instants.
+std::vector<TraceEvent> perfettoSample() {
+  std::vector<TraceEvent> events;
+  auto add = [&events](TraceEventType type, SimTime at, MachineId machine,
+                       SubjobId subjob = -1, std::uint64_t incident = 0,
+                       std::uint64_t value = 0) {
+    TraceEvent ev;
+    ev.type = type;
+    ev.at = at;
+    ev.machine = machine;
+    ev.subjob = subjob;
+    ev.incident = incident;
+    ev.value = value;
+    events.push_back(ev);
+  };
+  add(TraceEventType::kLoadSpikeBegin, 1000, 2);
+  add(TraceEventType::kCheckpointBegin, 1500, 1, 2, 0, 3);
+  add(TraceEventType::kHeartbeatMiss, 2000, 2);
+  add(TraceEventType::kCheckpointEnd, 2500, 1, 2, 0, 3);
+  add(TraceEventType::kSwitchoverBegin, 3000, 2, 2, 1);
+  add(TraceEventType::kMachineCrash, 3500, 4);
+  add(TraceEventType::kSwitchoverEnd, 4000, 2, 2, 1);
+  add(TraceEventType::kLoadSpikeEnd, 5000, 2);
+  add(TraceEventType::kRollbackBegin, 6000, 2, 2, 1);  // left open on purpose
+  return events;
+}
+
+TEST(TracePerfetto, EmitsValidEventArray) {
+  std::stringstream ss;
+  writePerfettoJson(perfettoSample(), ss);
+  const std::string json = ss.str();
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["), 0u);
+  // Complete spans for the three matched Begin/End pairs, plus the unmatched
+  // rollback closed at trace end.
+  std::size_t spans = 0;
+  for (std::size_t pos = json.find("\"ph\":\"X\""); pos != std::string::npos;
+       pos = json.find("\"ph\":\"X\"", pos + 1)) {
+    ++spans;
+  }
+  EXPECT_EQ(spans, 4u);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instants
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // metadata
+  EXPECT_NE(json.find("load spike"), std::string::npos);
+  EXPECT_NE(json.find("switchover #1"), std::string::npos);
+  // Balanced braces/brackets -- cheap structural validity check.
+  long depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TracePerfetto, TimestampsMonotonePerTrack) {
+  std::stringstream ss;
+  writePerfettoJson(perfettoSample(), ss);
+  const std::string json = ss.str();
+  // The exporter stable-sorts by ts, so the global (and thus per-(pid,tid))
+  // emitted order must be non-decreasing.
+  const auto ts = numbersFor(json, "ts");
+  ASSERT_FALSE(ts.empty());
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    EXPECT_LE(ts[i - 1], ts[i]) << "emitted order not sorted at item " << i;
+  }
+}
+
+TEST(TracePerfetto, MachineLabelsBecomeProcessNames) {
+  std::stringstream ss;
+  writePerfettoJson(perfettoSample(), ss, {{2, "primary of sj2"}});
+  EXPECT_NE(ss.str().find("primary of sj2"), std::string::npos);
+}
+
+TEST(TracePerfetto, FileWriterRefusesEmptyDir) {
+  EXPECT_FALSE(writePerfettoFile(perfettoSample(), "", "trace"));
+}
+
+}  // namespace
+}  // namespace streamha

@@ -1,0 +1,83 @@
+#include "trace/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace streamha {
+namespace {
+
+TraceEvent makeEvent(TraceEventType type, SimTime at, MachineId machine) {
+  TraceEvent ev;
+  ev.type = type;
+  ev.at = at;
+  ev.machine = machine;
+  return ev;
+}
+
+TEST(TraceRecorder, RecordsEventsInOrder) {
+  TraceRecorder rec;
+  rec.record(makeEvent(TraceEventType::kMachineCrash, 100, 2));
+  rec.record(makeEvent(TraceEventType::kMachineRestart, 200, 2));
+  ASSERT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.events()[0].type, TraceEventType::kMachineCrash);
+  EXPECT_EQ(rec.events()[1].type, TraceEventType::kMachineRestart);
+  EXPECT_EQ(rec.events()[0].at, 100);
+  EXPECT_EQ(rec.events()[1].at, 200);
+}
+
+TEST(TraceRecorder, TypeMaskFiltersDisabledTypes) {
+  TraceRecorder rec;
+  EXPECT_TRUE(rec.enabled(TraceEventType::kMessageSent));
+  rec.setEnabled(TraceEventType::kMessageSent, false);
+  EXPECT_FALSE(rec.enabled(TraceEventType::kMessageSent));
+  rec.record(makeEvent(TraceEventType::kMessageSent, 1, 0));
+  rec.record(makeEvent(TraceEventType::kMachineCrash, 2, 0));
+  EXPECT_EQ(rec.size(), 1u);
+  EXPECT_EQ(rec.countOf(TraceEventType::kMessageSent), 0u);
+  EXPECT_EQ(rec.countOf(TraceEventType::kMachineCrash), 1u);
+  // Masked events are not counted as dropped -- they were never wanted.
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(TraceRecorder, MaxEventsCapCountsDrops) {
+  TraceRecorder::Params params;
+  params.maxEvents = 2;
+  TraceRecorder rec(params);
+  for (int i = 0; i < 5; ++i) {
+    rec.record(makeEvent(TraceEventType::kQueueTrim, i, 0));
+  }
+  EXPECT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.dropped(), 3u);
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(TraceRecorder, IncidentIdsAreSequentialFromOne) {
+  TraceRecorder rec;
+  EXPECT_EQ(rec.lastIncident(), 0u);
+  EXPECT_EQ(rec.beginIncident(), 1u);
+  EXPECT_EQ(rec.beginIncident(), 2u);
+  EXPECT_EQ(rec.lastIncident(), 2u);
+}
+
+TEST(TraceRecorder, DescribeEventMentionsTypeAndParticipants) {
+  TraceEvent ev = makeEvent(TraceEventType::kSwitchoverBegin, 5000, 2);
+  ev.peer = 5;
+  ev.subjob = 2;
+  ev.incident = 7;
+  const std::string text = describeEvent(ev);
+  EXPECT_NE(text.find("SwitchoverBegin"), std::string::npos);
+  EXPECT_NE(text.find("m2"), std::string::npos);
+  EXPECT_NE(text.find("m5"), std::string::npos);
+  EXPECT_NE(text.find("sj2"), std::string::npos);
+  EXPECT_NE(text.find("incident#7"), std::string::npos);
+}
+
+TEST(TraceRecorder, EveryTypeHasAName) {
+  for (std::size_t i = 0; i < kTraceEventTypeCount; ++i) {
+    EXPECT_STRNE(toString(static_cast<TraceEventType>(i)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace streamha
