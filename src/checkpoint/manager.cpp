@@ -57,6 +57,26 @@ void CheckpointManager::checkpointPe(PeInstance& pe,
     return;
   }
   in_progress_.insert(&pe);
+  if (params_.confirmTimeout > 0) {
+    // Wrap `done` so whichever of {confirm arrival, timeout} fires first wins
+    // and the other becomes a no-op. The timeout path releases no acks -- it
+    // only unblocks the PE for a future checkpoint attempt.
+    auto finished = std::make_shared<bool>(false);
+    auto doneShared = std::make_shared<std::function<void()>>(std::move(done));
+    done = [finished, doneShared] {
+      if (*finished) return;
+      *finished = true;
+      if (*doneShared) (*doneShared)();
+    };
+    PeInstance* peGuard = &pe;
+    sim_.schedule(params_.confirmTimeout,
+                  [this, peGuard, finished, doneShared] {
+                    if (*finished) return;
+                    *finished = true;
+                    in_progress_.erase(peGuard);
+                    if (*doneShared) (*doneShared)();
+                  });
+  }
   const SimTime started = sim_.now();
   recordCheckpointEvent(net_.trace(), TraceEventType::kCheckpointBegin, started,
                         subjob_.machine().id(), subjob_.logicalId(),

@@ -42,6 +42,13 @@ class CheckpointManager : public CheckpointController {
     /// the paper's figures use.
     std::uint32_t bytesPerElement = 132;
     std::size_t confirmBytes = 64;
+    /// Liveness guard for lossy-transport runs: if the durable-confirm for a
+    /// per-PE checkpoint has not arrived after this long, the manager gives
+    /// up on that pipeline (no acks are released) so the PE can checkpoint
+    /// again later. 0 (the default) disables the guard -- on reliable
+    /// transport the confirm always arrives and the extra timer events would
+    /// perturb baseline traces.
+    SimDuration confirmTimeout = 0;
   };
 
   struct Stats {

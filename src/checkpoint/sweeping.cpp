@@ -20,10 +20,17 @@ void SweepingCheckpointManager::start() {
   }
   fallback_ = std::make_unique<PeriodicTimer>(
       sim_, 2 * params_.interval, [this] {
-        for (auto& [pePtr, sched] : schedule_) {
+        // Iterate in PE index order, not schedule_ (pointer-keyed map) order:
+        // heap addresses vary between runs, and the resulting begin-order
+        // would break bit-identical trace reproducibility.
+        for (std::size_t i = 0; i < subjob_.peCount(); ++i) {
+          PeInstance& pe = subjob_.pe(i);
+          auto it = schedule_.find(&pe);
+          if (it == schedule_.end()) continue;
+          PeSchedule& sched = it->second;
           if (sched.lastStarted < 0 ||
               sim_.now() - sched.lastStarted >= 2 * params_.interval) {
-            requestCheckpoint(*pePtr);
+            requestCheckpoint(pe);
           }
         }
       });

@@ -6,6 +6,7 @@
 #include "cluster/load_generator.hpp"
 #include "detect/benchmark_probe.hpp"
 #include "detect/heartbeat.hpp"
+#include "fault/injector.hpp"
 
 namespace streamha {
 
@@ -70,6 +71,21 @@ DetectionStudyResult runDetectionStudy(const DetectionStudyParams& params) {
   BurstyAppLoad app(cluster.sim(), target, params,
                     cluster.forkRng(stableHash("app")));
   app.start();
+
+  // Optional heartbeat loss: drop pings/replies on the monitor<->target link.
+  std::unique_ptr<FaultInjector> injector;
+  if (params.heartbeatLossProb > 0.0) {
+    FaultSchedule schedule;
+    LinkFaultRule rule;
+    rule.src = monitor.id();
+    rule.dst = target.id();
+    rule.bidirectional = true;
+    rule.kinds =
+        maskOf(MsgKind::kHeartbeatPing) | maskOf(MsgKind::kHeartbeatReply);
+    rule.dropProb = params.heartbeatLossProb;
+    schedule.links.push_back(rule);
+    injector = std::make_unique<FaultInjector>(cluster, schedule);
+  }
 
   // Spike injector with ground truth.
   // "periodically generate over 200 transient load increases": regular

@@ -30,6 +30,11 @@ struct DetectionStudyParams {
   /// Heartbeat settings ("we set the heartbeat interval to 110 ms").
   SimDuration heartbeatInterval = 110 * kMillisecond;
   int heartbeatMissThreshold = 3;
+  /// Per-message loss probability on the monitor<->target heartbeat link
+  /// (applied to both pings and replies via a FaultInjector). A lost message
+  /// looks identical to an overloaded target, so low miss thresholds convert
+  /// this directly into false alarms (Figure 13's robustness trade-off).
+  double heartbeatLossProb = 0.0;
 
   /// Benchmarking settings.
   double benchmarkLoadThreshold = 0.5;  ///< L_th.

@@ -10,10 +10,12 @@ namespace streamha {
 Scenario::Scenario(ScenarioParams params) : params_(std::move(params)) {}
 
 Scenario::~Scenario() {
-  // Coordinators reference the runtime/cluster; destroy them first.
+  // Coordinators reference the runtime/cluster; destroy them first. The
+  // injector detaches its network hook, so it too must die before the cluster.
   coordinators_.clear();
   load_generators_.clear();
   runtime_.reset();
+  injector_.reset();
   cluster_.reset();
 }
 
@@ -31,34 +33,44 @@ MachineId Scenario::sinkMachine() const { return sink_machine_; }
 
 std::size_t Scenario::machineCount() const { return machine_count_; }
 
-void Scenario::build() {
-  const int numSubjobs =
-      (params_.numPes + params_.pesPerSubjob - 1) / params_.pesPerSubjob;
-  const std::size_t protectedCount = params_.protectedSubjobs.size();
-
-  standby_of_.assign(static_cast<std::size_t>(numSubjobs), kNoMachine);
-  spare_of_.assign(static_cast<std::size_t>(numSubjobs), kNoMachine);
-  sink_machine_ = static_cast<MachineId>(numSubjobs);
-  MachineId next = sink_machine_ + 1;
-  if (params_.mode != HaMode::kNone) {
-    if (params_.sharedSecondary) {
+ScenarioLayout Scenario::layoutFor(const ScenarioParams& params) {
+  ScenarioLayout layout;
+  layout.numSubjobs =
+      (params.numPes + params.pesPerSubjob - 1) / params.pesPerSubjob;
+  layout.standbyOf.assign(static_cast<std::size_t>(layout.numSubjobs),
+                          kNoMachine);
+  layout.spareOf.assign(static_cast<std::size_t>(layout.numSubjobs),
+                        kNoMachine);
+  layout.sinkMachine = static_cast<MachineId>(layout.numSubjobs);
+  MachineId next = layout.sinkMachine + 1;
+  if (params.mode != HaMode::kNone) {
+    if (params.sharedSecondary) {
       const MachineId shared = next++;
-      for (SubjobId sj : params_.protectedSubjobs) {
-        standby_of_[static_cast<std::size_t>(sj)] = shared;
+      for (SubjobId sj : params.protectedSubjobs) {
+        layout.standbyOf[static_cast<std::size_t>(sj)] = shared;
       }
     } else {
-      for (SubjobId sj : params_.protectedSubjobs) {
-        standby_of_[static_cast<std::size_t>(sj)] = next++;
+      for (SubjobId sj : params.protectedSubjobs) {
+        layout.standbyOf[static_cast<std::size_t>(sj)] = next++;
       }
     }
-    if (params_.provisionSpares) {
-      for (SubjobId sj : params_.protectedSubjobs) {
-        spare_of_[static_cast<std::size_t>(sj)] = next++;
+    if (params.provisionSpares) {
+      for (SubjobId sj : params.protectedSubjobs) {
+        layout.spareOf[static_cast<std::size_t>(sj)] = next++;
       }
     }
   }
-  machine_count_ = static_cast<std::size_t>(next);
-  (void)protectedCount;
+  layout.machineCount = static_cast<std::size_t>(next);
+  return layout;
+}
+
+void Scenario::build() {
+  const ScenarioLayout layout = layoutFor(params_);
+  const int numSubjobs = layout.numSubjobs;
+  standby_of_ = layout.standbyOf;
+  spare_of_ = layout.spareOf;
+  sink_machine_ = layout.sinkMachine;
+  machine_count_ = layout.machineCount;
 
   Cluster::Params clusterParams;
   clusterParams.machineCount = machine_count_;
@@ -78,6 +90,16 @@ void Scenario::build() {
       recorder_->setEnabled(TraceEventType::kQueueTrim, false);
     }
     cluster_->attachTrace(recorder_.get());
+  }
+
+  if (!params_.faults.empty()) {
+    injector_ = std::make_unique<FaultInjector>(*cluster_, params_.faults,
+                                                params_.faultSeedSalt);
+    // Faulty transport needs the loss-recovery machinery on; keep any value
+    // the caller chose explicitly.
+    if (params_.costs.retransmitTimeout == 0) {
+      params_.costs.retransmitTimeout = 250 * kMillisecond;
+    }
   }
 
   const JobSpec spec = JobBuilder::chain(
@@ -132,6 +154,9 @@ void Scenario::createCoordinators() {
     ha.heartbeat.interval = params_.heartbeatInterval;
     ha.heartbeat.recoverThreshold = params_.recoverThreshold;
     ha.checkpoint.interval = params_.checkpointInterval;
+    if (!params_.faults.empty() && ha.checkpoint.confirmTimeout == 0) {
+      ha.checkpoint.confirmTimeout = 1 * kSecond;
+    }
     ha.checkpointKind = params_.checkpointKind;
     ha.failStopAfter = params_.failStopAfter;
     ha.detectorFactory = params_.detectorFactory;
@@ -321,11 +346,13 @@ ScenarioResult Scenario::collect() {
     for (std::size_t i = 0; i < inst->peCount(); ++i) {
       result.gapsObserved += inst->pe(i).input().gapsObserved();
       result.duplicatesDropped += inst->pe(i).input().duplicatesDropped();
+      result.outOfOrderDropped += inst->pe(i).input().outOfOrderDropped();
       result.elementsShed += inst->pe(i).input().elementsShed();
     }
   }
   result.gapsObserved += sink().input().gapsObserved();
   result.duplicatesDropped += sink().input().duplicatesDropped();
+  result.outOfOrderDropped += sink().input().outOfOrderDropped();
   return result;
 }
 

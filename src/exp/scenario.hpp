@@ -22,6 +22,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/load_generator.hpp"
 #include "common/types.hpp"
+#include "fault/injector.hpp"
 #include "ha/active_standby.hpp"
 #include "ha/hybrid.hpp"
 #include "ha/passive_standby.hpp"
@@ -111,6 +112,17 @@ struct ScenarioParams {
   };
   TraceConfig trace;
 
+  // -- Fault injection --------------------------------------------------------
+  /// Declarative fault schedule (see fault/schedule.hpp). When non-empty,
+  /// build() arms a FaultInjector on the cluster and -- unless the caller set
+  /// them explicitly -- enables the loss-recovery machinery
+  /// (costs.retransmitTimeout) and the checkpoint confirm-timeout guard, so
+  /// chaos runs converge to exactly-once delivery.
+  FaultSchedule faults;
+  /// Extra salt mixed into the injector's RNG stream (vary fault randomness
+  /// without disturbing the rest of the run).
+  std::uint64_t faultSeedSalt = 0;
+
   // -- Run --------------------------------------------------------------------
   SimDuration warmup = 2 * kSecond;
   SimDuration duration = 30 * kSecond;
@@ -142,14 +154,34 @@ struct ScenarioResult {
   /// Sequence gaps seen anywhere (must be 0 in a correct run).
   std::uint64_t gapsObserved = 0;
   std::uint64_t duplicatesDropped = 0;
+  /// Out-of-order arrivals dropped pending retransmission (only non-zero in
+  /// fault-injection runs; the NACK/retransmit path backfills them).
+  std::uint64_t outOfOrderDropped = 0;
   /// Elements dropped by load shedding (0 unless shedThreshold is set).
   std::uint64_t elementsShed = 0;
+};
+
+/// Machine layout implied by a ScenarioParams, computed without building
+/// anything (fault-schedule generators need machine ids up front).
+struct ScenarioLayout {
+  int numSubjobs = 0;
+  MachineId sinkMachine = kNoMachine;
+  std::vector<MachineId> standbyOf;  ///< Indexed by subjob; kNoMachine if none.
+  std::vector<MachineId> spareOf;
+  std::size_t machineCount = 0;
+
+  MachineId primaryOf(SubjobId subjob) const {
+    return static_cast<MachineId>(subjob);
+  }
 };
 
 class Scenario {
  public:
   explicit Scenario(ScenarioParams params);
   ~Scenario();
+
+  /// The machine layout build() will create for `params`.
+  static ScenarioLayout layoutFor(const ScenarioParams& params);
   Scenario(const Scenario&) = delete;
   Scenario& operator=(const Scenario&) = delete;
 
@@ -195,6 +227,9 @@ class Scenario {
   /// The trace recorder; null when params.trace.enabled is false.
   TraceRecorder* trace() { return recorder_.get(); }
 
+  /// The armed fault injector; null when params.faults is empty.
+  FaultInjector* faultInjector() { return injector_.get(); }
+
   /// Every ground-truth spike window across all load generators, merged.
   std::vector<std::pair<SimTime, SimTime>> allFailureWindows() const;
 
@@ -208,6 +243,7 @@ class Scenario {
   ScenarioParams params_;
   std::unique_ptr<TraceRecorder> recorder_;  ///< Outlives the cluster below.
   std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<FaultInjector> injector_;  ///< Detaches before the cluster dies.
   std::unique_ptr<Runtime> runtime_;
   std::vector<std::unique_ptr<HaCoordinator>> coordinators_;
   std::vector<std::unique_ptr<LoadGenerator>> load_generators_;

@@ -1,0 +1,124 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+#include "trace/recorder.hpp"
+
+namespace streamha {
+
+FaultInjector::FaultInjector(Cluster& cluster, FaultSchedule schedule,
+                             std::uint64_t seedSalt)
+    : cluster_(cluster),
+      schedule_(std::move(schedule)),
+      rng_(cluster.forkRng(stableHash("fault-injector") ^ seedSalt)) {
+  arm();
+}
+
+FaultInjector::~FaultInjector() { cluster_.network().setFault(nullptr); }
+
+void FaultInjector::arm() {
+  cluster_.network().setFault(
+      [this](MachineId src, MachineId dst, MsgKind kind, std::size_t bytes) {
+        return onSend(src, dst, kind, bytes);
+      });
+
+  Simulator& sim = cluster_.sim();
+  const auto at = [&sim](SimTime t) { return std::max(sim.now(), t); };
+
+  for (const CrashSpec& crash : schedule_.allCrashes()) {
+    const MachineId m = crash.machine;
+    sim.scheduleAt(at(crash.crashAt), [this, m] {
+      if (!cluster_.machineUp(m)) return;
+      ++stats_.crashes;
+      cluster_.machine(m).crash();
+    });
+    if (crash.restartAt != kTimeNever) {
+      sim.scheduleAt(at(crash.restartAt), [this, m] {
+        if (cluster_.machineUp(m)) return;
+        ++stats_.restarts;
+        cluster_.machine(m).restart();
+      });
+    }
+  }
+
+  for (std::size_t i = 0; i < schedule_.partitions.size(); ++i) {
+    const PartitionSpec& part = schedule_.partitions[i];
+    const MachineId a = part.islandA.empty() ? kNoMachine : part.islandA[0];
+    const MachineId b = part.islandB.empty() ? kNoMachine : part.islandB[0];
+    sim.scheduleAt(at(part.beginAt), [this, a, b, i] {
+      record(TraceEventType::kPartitionBegin, a, b, MsgKind::kControl, i, 0);
+    });
+    if (part.healAt != kTimeNever) {
+      sim.scheduleAt(at(part.healAt), [this, a, b, i] {
+        record(TraceEventType::kPartitionEnd, a, b, MsgKind::kControl, i, 0);
+      });
+    }
+  }
+}
+
+bool FaultInjector::partitioned(MachineId a, MachineId b) const {
+  const SimTime now = cluster_.sim().now();
+  for (const PartitionSpec& part : schedule_.partitions) {
+    if (part.separates(a, b, now)) return true;
+  }
+  return false;
+}
+
+Network::FaultDecision FaultInjector::onSend(MachineId src, MachineId dst,
+                                             MsgKind kind, std::size_t bytes) {
+  Network::FaultDecision decision;
+  const SimTime now = cluster_.sim().now();
+
+  // Partitions dominate: every kind is blocked, no RNG is consumed.
+  if (partitioned(src, dst)) {
+    decision.drop = true;
+    ++stats_.partitionDrops;
+    ++stats_.droppedByKind[static_cast<std::size_t>(kind)];
+    record(TraceEventType::kMessageDropped, src, dst, kind, 1, bytes);
+    return decision;
+  }
+
+  for (const LinkFaultRule& rule : schedule_.links) {
+    if (!rule.matches(src, dst, kind, now)) continue;
+    if (rule.dropProb > 0 && rng_.chance(rule.dropProb)) {
+      decision.drop = true;
+      ++stats_.randomDrops;
+      ++stats_.droppedByKind[static_cast<std::size_t>(kind)];
+      record(TraceEventType::kMessageDropped, src, dst, kind, 0, bytes);
+      return decision;
+    }
+    if (rule.duplicateProb > 0 && rng_.chance(rule.duplicateProb)) {
+      ++decision.duplicates;
+      ++stats_.duplicates;
+      record(TraceEventType::kMessageDuplicated, src, dst, kind, 0, bytes);
+    }
+    if (rule.delayProb > 0 && rule.maxExtraDelay > 0 &&
+        rng_.chance(rule.delayProb)) {
+      const SimDuration extra = static_cast<SimDuration>(
+          rng_.uniformInt(1, rule.maxExtraDelay));
+      decision.extraDelay += extra;
+      ++stats_.delayed;
+      record(TraceEventType::kMessageDelayed, src, dst, kind,
+             static_cast<std::uint64_t>(extra), bytes);
+    }
+  }
+  return decision;
+}
+
+void FaultInjector::record(TraceEventType type, MachineId src, MachineId dst,
+                           MsgKind kind, std::uint64_t value,
+                           std::uint64_t aux) {
+  TraceRecorder* trace = cluster_.network().trace();
+  if (trace == nullptr) return;
+  TraceEvent ev;
+  ev.type = type;
+  ev.at = cluster_.sim().now();
+  ev.machine = src;
+  ev.peer = dst;
+  ev.msgKind = kind;
+  ev.value = value;
+  ev.aux = aux;
+  trace->record(ev);
+}
+
+}  // namespace streamha

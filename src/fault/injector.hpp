@@ -1,0 +1,65 @@
+// Deterministic fault injection.
+//
+// The FaultInjector interprets one declarative FaultSchedule against one
+// Cluster: it installs itself as the Network's per-(src, dst, kind)
+// interposition point for message loss / duplication / delay-jitter and
+// partitions, and schedules machine crash/restart events (including
+// correlated bursts) on the simulator. All randomness comes from an Rng
+// forked off the cluster seed, and every decision is a pure function of the
+// deterministic message order, so the same seed + the same schedule
+// reproduces bit-identical runs (and bit-identical traces). Every injected
+// fault is recorded through the cluster's TraceRecorder when one is
+// attached; recording never perturbs behavior.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "cluster/cluster.hpp"
+#include "fault/schedule.hpp"
+#include "trace/event.hpp"
+
+namespace streamha {
+
+class FaultInjector {
+ public:
+  struct Stats {
+    std::uint64_t randomDrops = 0;     ///< Loss-rule drops.
+    std::uint64_t partitionDrops = 0;  ///< Drops while a partition was open.
+    std::uint64_t duplicates = 0;
+    std::uint64_t delayed = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+    std::array<std::uint64_t, kMsgKindCount> droppedByKind{};
+
+    std::uint64_t totalDrops() const { return randomDrops + partitionDrops; }
+  };
+
+  /// Constructing arms the injector: the network hook is installed and all
+  /// crash/partition events are scheduled immediately.
+  FaultInjector(Cluster& cluster, FaultSchedule schedule,
+                std::uint64_t seedSalt = 0);
+  ~FaultInjector();
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// True when any partition currently separates `a` from `b`.
+  bool partitioned(MachineId a, MachineId b) const;
+
+  const FaultSchedule& schedule() const { return schedule_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void arm();
+  Network::FaultDecision onSend(MachineId src, MachineId dst, MsgKind kind,
+                                std::size_t bytes);
+  void record(TraceEventType type, MachineId src, MachineId dst, MsgKind kind,
+              std::uint64_t value, std::uint64_t aux);
+
+  Cluster& cluster_;
+  FaultSchedule schedule_;
+  Rng rng_;
+  Stats stats_;
+};
+
+}  // namespace streamha

@@ -1,0 +1,129 @@
+#include "fault/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace streamha {
+
+namespace {
+
+void appendWindow(std::ostringstream& out, SimTime from, SimTime until) {
+  out << " in [" << toSeconds(from) << "s, ";
+  if (until == kTimeNever) {
+    out << "end";
+  } else {
+    out << toSeconds(until) << "s";
+  }
+  out << ")";
+}
+
+std::string machineList(const std::vector<MachineId>& machines) {
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    if (i != 0) out << ",";
+    out << machines[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace
+
+bool LinkFaultRule::matches(MachineId s, MachineId d, MsgKind kind,
+                            SimTime now) const {
+  if (now < from || now >= until) return false;
+  if ((kinds & maskOf(kind)) == 0) return false;
+  const bool forward = (src == kNoMachine || src == s) &&
+                       (dst == kNoMachine || dst == d);
+  if (forward) return true;
+  if (!bidirectional) return false;
+  return (src == kNoMachine || src == d) && (dst == kNoMachine || dst == s);
+}
+
+bool PartitionSpec::separates(MachineId a, MachineId b, SimTime now) const {
+  if (now < beginAt || now >= healAt) return false;
+  const auto inA = [this](MachineId m) {
+    return std::find(islandA.begin(), islandA.end(), m) != islandA.end();
+  };
+  const auto inB = [this](MachineId m) {
+    return std::find(islandB.begin(), islandB.end(), m) != islandB.end();
+  };
+  return (inA(a) && inB(b)) || (inA(b) && inB(a));
+}
+
+std::vector<CrashSpec> FaultSchedule::allCrashes() const {
+  std::vector<CrashSpec> out = crashes;
+  for (const CorrelatedBurstSpec& burst : bursts) {
+    SimTime at = burst.beginAt;
+    for (MachineId m : burst.machines) {
+      CrashSpec crash;
+      crash.machine = m;
+      crash.crashAt = at;
+      crash.restartAt = burst.downFor == kTimeNever
+                            ? kTimeNever
+                            : at + burst.downFor;
+      out.push_back(crash);
+      at += burst.stagger;
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CrashSpec& a, const CrashSpec& b) {
+                     return a.crashAt < b.crashAt;
+                   });
+  return out;
+}
+
+std::string FaultSchedule::describe() const {
+  std::ostringstream out;
+  if (empty()) return "(empty fault schedule)\n";
+  for (const LinkFaultRule& rule : links) {
+    out << "link ";
+    if (rule.src == kNoMachine) {
+      out << "*";
+    } else {
+      out << rule.src;
+    }
+    out << (rule.bidirectional ? " <-> " : " -> ");
+    if (rule.dst == kNoMachine) {
+      out << "*";
+    } else {
+      out << rule.dst;
+    }
+    out << " kinds=0x" << std::hex << rule.kinds << std::dec;
+    if (rule.dropProb > 0) out << " drop=" << rule.dropProb;
+    if (rule.duplicateProb > 0) out << " dup=" << rule.duplicateProb;
+    if (rule.delayProb > 0) {
+      out << " delay=" << rule.delayProb << "(max "
+          << rule.maxExtraDelay << "us)";
+    }
+    appendWindow(out, rule.from, rule.until);
+    out << "\n";
+  }
+  for (const PartitionSpec& part : partitions) {
+    out << "partition " << machineList(part.islandA) << " | "
+        << machineList(part.islandB);
+    appendWindow(out, part.beginAt, part.healAt);
+    out << "\n";
+  }
+  for (const CrashSpec& crash : crashes) {
+    out << "crash machine " << crash.machine << " at "
+        << toSeconds(crash.crashAt) << "s";
+    if (crash.restartAt != kTimeNever) {
+      out << ", restart at " << toSeconds(crash.restartAt) << "s";
+    }
+    out << "\n";
+  }
+  for (const CorrelatedBurstSpec& burst : bursts) {
+    out << "burst " << machineList(burst.machines) << " from "
+        << toSeconds(burst.beginAt) << "s stagger "
+        << toSeconds(burst.stagger) << "s";
+    if (burst.downFor != kTimeNever) {
+      out << " downFor " << toSeconds(burst.downFor) << "s";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace streamha

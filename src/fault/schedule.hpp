@@ -1,0 +1,101 @@
+// Declarative fault schedules.
+//
+// A FaultSchedule is pure data describing *what* should go wrong during a
+// run: probabilistic per-link message loss / duplication / delay-jitter
+// rules, bidirectional network partitions with heal times, machine
+// crash/restart events, and correlated multi-machine failure bursts. The
+// FaultInjector (injector.hpp) interprets a schedule deterministically
+// against one Cluster. Keeping the schedule declarative is what makes
+// failing chaos runs reproducible and shrinkable: the harness can describe,
+// serialize and minimize schedules without re-deriving injector state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/network.hpp"
+
+namespace streamha {
+
+/// Bitmask helpers for selecting message kinds a rule applies to.
+constexpr std::uint32_t maskOf(MsgKind kind) {
+  return 1u << static_cast<std::uint32_t>(kind);
+}
+inline constexpr std::uint32_t kAllKinds = (1u << kMsgKindCount) - 1;
+/// The data plane plus heartbeats: the kinds the chaos harness perturbs.
+/// Control, checkpoint and state-read transfers are treated as reliable
+/// transport (see docs/TESTING.md; lifting this is a ROADMAP open item).
+inline constexpr std::uint32_t kLossyKindsDefault =
+    maskOf(MsgKind::kData) | maskOf(MsgKind::kAck) |
+    maskOf(MsgKind::kHeartbeatPing) | maskOf(MsgKind::kHeartbeatReply);
+
+/// Probabilistic loss/duplication/jitter on one link (or any link, with
+/// wildcards). Active inside [from, until).
+struct LinkFaultRule {
+  MachineId src = kNoMachine;  ///< kNoMachine = any source.
+  MachineId dst = kNoMachine;  ///< kNoMachine = any destination.
+  bool bidirectional = true;   ///< Also match the (dst, src) direction.
+  std::uint32_t kinds = kLossyKindsDefault;
+  double dropProb = 0.0;
+  double duplicateProb = 0.0;
+  double delayProb = 0.0;
+  SimDuration maxExtraDelay = 0;  ///< Uniform jitter in [1, maxExtraDelay].
+  SimTime from = 0;
+  SimTime until = kTimeNever;
+
+  bool matches(MachineId s, MachineId d, MsgKind kind, SimTime now) const;
+};
+
+/// Bidirectional partition between two machine groups; every message kind is
+/// blocked in both directions inside [beginAt, healAt).
+struct PartitionSpec {
+  std::vector<MachineId> islandA;
+  std::vector<MachineId> islandB;
+  SimTime beginAt = 0;
+  SimTime healAt = kTimeNever;
+
+  bool separates(MachineId a, MachineId b, SimTime now) const;
+};
+
+/// Crash one machine at crashAt; restart it at restartAt (kTimeNever =
+/// crash-stop, the paper's fail-stop model).
+struct CrashSpec {
+  MachineId machine = kNoMachine;
+  SimTime crashAt = 0;
+  SimTime restartAt = kTimeNever;
+};
+
+/// Correlated burst: the machines crash in sequence, `stagger` apart,
+/// starting at beginAt; each stays down for `downFor` (kTimeNever = forever).
+/// Models the rack/switch failures Su & Zhou's correlated-failure study
+/// stresses; expanded into CrashSpecs by the injector.
+struct CorrelatedBurstSpec {
+  std::vector<MachineId> machines;
+  SimTime beginAt = 0;
+  SimDuration stagger = 0;
+  SimDuration downFor = kTimeNever;
+};
+
+struct FaultSchedule {
+  std::vector<LinkFaultRule> links;
+  std::vector<PartitionSpec> partitions;
+  std::vector<CrashSpec> crashes;
+  std::vector<CorrelatedBurstSpec> bursts;
+
+  bool empty() const {
+    return links.empty() && partitions.empty() && crashes.empty() &&
+           bursts.empty();
+  }
+
+  /// Flatten bursts into their equivalent crash events (plus the explicit
+  /// crashes), sorted by crash time.
+  std::vector<CrashSpec> allCrashes() const;
+
+  /// Human-readable multi-line description (used by the harness's
+  /// minimal-schedule failure reports).
+  std::string describe() const;
+};
+
+}  // namespace streamha

@@ -142,6 +142,11 @@ void HybridCoordinator::completeSwitchover(std::size_t timelineIdx) {
 
 void HybridCoordinator::onRecovery(SimTime recoveredAt) {
   if (!switched_ || promoting_) return;
+  // Detector lag: a "recovered" verdict can rest on heartbeat replies that
+  // left the primary just before it died. Never start a rollback to a dead
+  // primary -- stand pat on the secondary and leave the fail-stop timer
+  // armed so the crash eventually promotes it.
+  if (!primary_->alive()) return;
   // The primary came back before the secondary even finished resuming (or,
   // without pre-deployment, before it was deployed): nothing to roll back --
   // abort the speculative switchover. The pending resume/deploy callback
@@ -185,6 +190,23 @@ void HybridCoordinator::onRecovery(SimTime recoveredAt) {
   }
 
   quiescer_.quiesce(*secondary_, [this] {
+    // The primary can die between the recovery verdict and quiesce
+    // completion. Abort the rollback: resume the secondary where it was and
+    // re-arm the fail-stop timer (cancelled above) so the crash promotes it.
+    if (!primary_->alive()) {
+      quiescer_.release();
+      if (current_timeline_ < recoveries_.size()) {
+        recoveries_[current_timeline_].rollbackDoneAt = sim().now();
+        recordIncidentEvent(TraceEventType::kRollbackEnd,
+                            recoveries_[current_timeline_].incidentId,
+                            primary_->machine().id(),
+                            secondary_->machine().id(), 0, 1);
+      }
+      failstop_timer_ = sim().schedule(params_.failStopAfter, [this] {
+        if (switched_ && !promoting_) promote();
+      });
+      return;
+    }
     SubjobState state = secondary_->captureState(true, false);
     const bool useState =
         params_.readStateOnRollback && stateAdvances(state, *primary_);
@@ -211,8 +233,17 @@ void HybridCoordinator::onRecovery(SimTime recoveredAt) {
       state_read_elements_ += elements;
       const MachineId standbyM = secondary_->machine().id();
       const MachineId primaryM = primary_->machine().id();
+      // The delivery callback is lost if the primary dies while the state is
+      // in flight; a timeout finishes the rollback regardless (the detector
+      // then re-reports the failure and a fresh switchover begins).
+      auto finishOnce = std::make_shared<std::function<void()>>(
+          [finishRollback, done = false]() mutable {
+            if (done) return;
+            done = true;
+            finishRollback();
+          });
       net().send(standbyM, primaryM, MsgKind::kStateRead, state.sizeBytes(),
-                 elements, [this, state, finishRollback] {
+                 elements, [this, state, finishOnce] {
                    // Re-check at application time: the recovered primary has
                    // been processing during the transfer and may have moved
                    // past the captured state -- applying it then would roll
@@ -229,8 +260,9 @@ void HybridCoordinator::onRecovery(SimTime recoveredAt) {
                      // trimming) resume from it.
                      cm_->checkpointAllNow(nullptr);
                    }
-                   finishRollback();
+                   (*finishOnce)();
                  });
+      sim().schedule(params_.failStopAfter, [finishOnce] { (*finishOnce)(); });
     } else {
       finishRollback();
     }

@@ -73,6 +73,12 @@ void Network::send(MachineId src, MachineId dst, MsgKind kind,
     trace_->record(ev);
   }
 
+  // The injector sees every cross-machine message after it was counted and
+  // serialized on the sender's link (a dropped message still occupied the
+  // NIC), so fault-laden runs keep honest traffic accounting.
+  FaultDecision fault{};
+  if (fault_) fault = fault_(src, dst, kind, bytes);
+
   const std::uint64_t link_key =
       (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
       static_cast<std::uint32_t>(dst);
@@ -81,25 +87,32 @@ void Network::send(MachineId src, MachineId dst, MsgKind kind,
   const auto transmit = static_cast<SimDuration>(
       std::ceil(static_cast<double>(bytes) / params_.bytesPerMicro));
   free_at = start + transmit;
-  const SimTime arrival = free_at + params_.latency;
+  const SimTime arrival = free_at + params_.latency + fault.extraDelay;
 
-  sim_.scheduleAt(arrival,
-                  [this, src, dst, kind, bytes, elements,
-                   deliver = std::move(deliver)] {
-                    if (machine_up_ && !machine_up_(dst)) return;
-                    if (trace_ != nullptr) {
-                      TraceEvent ev;
-                      ev.type = TraceEventType::kMessageDelivered;
-                      ev.at = sim_.now();
-                      ev.machine = dst;
-                      ev.peer = src;
-                      ev.msgKind = kind;
-                      ev.value = bytes;
-                      ev.aux = elements;
-                      trace_->record(ev);
-                    }
-                    deliver();
-                  });
+  if (fault.drop) return;
+
+  auto deliverOnce = [this, src, dst, kind, bytes, elements,
+                      deliver = std::move(deliver)] {
+    if (machine_up_ && !machine_up_(dst)) return;
+    if (trace_ != nullptr) {
+      TraceEvent ev;
+      ev.type = TraceEventType::kMessageDelivered;
+      ev.at = sim_.now();
+      ev.machine = dst;
+      ev.peer = src;
+      ev.msgKind = kind;
+      ev.value = bytes;
+      ev.aux = elements;
+      trace_->record(ev);
+    }
+    deliver();
+  };
+  // Duplicate copies land right after the original (insertion order breaks
+  // the tie deterministically); receivers dedup by sequence watermark.
+  sim_.scheduleAt(arrival, deliverOnce);
+  for (std::uint32_t copy = 0; copy < fault.duplicates; ++copy) {
+    sim_.scheduleAt(arrival, deliverOnce);
+  }
 }
 
 }  // namespace streamha

@@ -76,6 +76,18 @@ class Network {
     Counters operator-(const Counters& other) const;
   };
 
+  /// Verdict of the fault-interposition hook for one message (see
+  /// fault/injector.hpp). Defaults mean "deliver normally".
+  struct FaultDecision {
+    bool drop = false;          ///< Lose the message after serialization.
+    std::uint32_t duplicates = 0;  ///< Extra deliveries of the same message.
+    SimDuration extraDelay = 0;    ///< Jitter added on top of link latency.
+  };
+  /// Per-(src, dst, kind) interposition point consulted on every
+  /// cross-machine send (loopback is exempt). Null = faultless network.
+  using FaultFn =
+      std::function<FaultDecision(MachineId, MachineId, MsgKind, std::size_t)>;
+
   Network(Simulator& sim, Params params,
           std::function<bool(MachineId)> machineUp);
 
@@ -102,10 +114,15 @@ class Network {
   /// simulator reference timestamp events.
   SimTime now() const { return sim_.now(); }
 
+  /// Install (or clear, with null) the fault-injection hook.
+  void setFault(FaultFn fn) { fault_ = std::move(fn); }
+  bool hasFault() const { return static_cast<bool>(fault_); }
+
  private:
   Simulator& sim_;
   Params params_;
   std::function<bool(MachineId)> machine_up_;
+  FaultFn fault_;
   TraceRecorder* trace_ = nullptr;
   Counters counters_;
   /// Time each ordered link becomes free (bandwidth serialization).

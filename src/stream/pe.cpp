@@ -235,4 +235,18 @@ void PeInstance::flushAcks(const std::map<StreamId, ElementSeq>& watermarks) {
   if (!advanced.empty()) input_.sendAcks(advanced);
 }
 
+void PeInstance::enableAckResend(SimDuration minGap) {
+  ack_resend_min_gap_ = minGap;
+  input_.setDuplicateListener([this](StreamId stream) {
+    if (terminated_ || ack_resend_min_gap_ <= 0) return;
+    const auto acked = last_ack_sent_.find(stream);
+    if (acked == last_ack_sent_.end() || acked->second == 0) return;
+    const SimTime now = sim_.now();
+    auto& last = last_ack_resend_[stream];
+    if (last != 0 && now - last < ack_resend_min_gap_) return;
+    last = now;
+    input_.sendAcks({{stream, acked->second}});
+  });
+}
+
 }  // namespace streamha

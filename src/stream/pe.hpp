@@ -168,6 +168,13 @@ class PeInstance {
   /// Flush acks at the current processed watermarks (kOnProcess policy).
   void flushProcessedAcks() { flushAcks(watermarks_); }
 
+  /// Loss recovery: re-send the last ack for a stream whenever a duplicate
+  /// arrives (the upstream stall-retransmitter believes the consumer is
+  /// behind, so the previous ack must have been lost). Rate-limited to one
+  /// resend per stream per `minGap`. Off by default: active standby receives
+  /// duplicates by design and must not double its ack traffic.
+  void enableAckResend(SimDuration minGap);
+
   // -- Introspection ----------------------------------------------------------
 
   std::uint64_t processedCount() const { return processed_count_; }
@@ -200,6 +207,8 @@ class PeInstance {
   AckPolicy ack_policy_ = AckPolicy::kOnProcess;
   std::map<StreamId, ElementSeq> watermarks_;      ///< Processed, per stream.
   std::map<StreamId, ElementSeq> last_ack_sent_;
+  std::map<StreamId, SimTime> last_ack_resend_;
+  SimDuration ack_resend_min_gap_ = 0;  ///< 0 = resend-on-duplicate off.
   std::uint64_t processed_count_ = 0;
   std::uint64_t checkpoint_version_ = 0;
   std::vector<PeLogic::Emit> scratch_emits_;

@@ -47,6 +47,7 @@ int OutputQueue::addConnection(MachineId dstMachine, bool active,
   conn.gatesTrim = gatesTrim;
   conn.nextToSend = trimmed_up_to_ + 1;
   conn.ackedUpTo = trimmed_up_to_;
+  conn.lastProgressAt = net_.now();
   connections_.push_back(std::move(conn));
   if (active) push(connections_.back());
   return connections_.back().id;
@@ -105,6 +106,37 @@ void OutputQueue::retransmitFrom(int connId, ElementSeq fromSeq) {
   if (conn->active) push(*conn);
 }
 
+void OutputQueue::nack(int connId, ElementSeq fromSeq) {
+  Connection* conn = find(connId);
+  if (conn == nullptr) return;
+  const ElementSeq rewound =
+      std::max<ElementSeq>(std::min(conn->nextToSend, fromSeq),
+                           trimmed_up_to_ + 1);
+  if (rewound >= conn->nextToSend) return;  // Stale NACK: nothing to resend.
+  conn->nextToSend = rewound;
+  if (conn->active) push(*conn);
+}
+
+void OutputQueue::retransmitStalled(SimDuration baseTimeout) {
+  const SimTime now = net_.now();
+  for (auto& conn : connections_) {
+    if (!conn.active) continue;
+    const ElementSeq covered = std::max(conn.ackedUpTo, trimmed_up_to_);
+    if (covered + 1 >= conn.nextToSend) {
+      // Nothing outstanding: the stall clock starts when backlog appears.
+      conn.lastProgressAt = now;
+      conn.backoffLevel = 0;
+      continue;
+    }
+    const SimDuration timeout = baseTimeout << std::min(conn.backoffLevel, 4);
+    if (now - conn.lastProgressAt < timeout) continue;
+    conn.nextToSend = covered + 1;
+    conn.lastProgressAt = now;
+    ++conn.backoffLevel;
+    push(conn);
+  }
+}
+
 void OutputQueue::push(Connection& conn) {
   if (buffer_.empty()) {
     conn.nextToSend = std::max(conn.nextToSend, next_seq_);
@@ -133,7 +165,11 @@ void OutputQueue::push(Connection& conn) {
 void OutputQueue::onAck(int connId, ElementSeq upTo) {
   Connection* conn = find(connId);
   if (conn == nullptr) return;
-  conn->ackedUpTo = std::max(conn->ackedUpTo, upTo);
+  if (upTo > conn->ackedUpTo) {
+    conn->ackedUpTo = upTo;
+    conn->lastProgressAt = net_.now();
+    conn->backoffLevel = 0;
+  }
   maybeTrim();
 }
 
@@ -195,16 +231,37 @@ void InputQueue::addUpstream(StreamId stream, AckFn ack) {
   upstreams_.emplace(stream, std::move(ack));
 }
 
+void InputQueue::addGapRequester(StreamId stream, GapRequestFn fn) {
+  gap_requesters_.emplace(stream, std::move(fn));
+}
+
 void InputQueue::receive(const std::vector<Element>& batch) {
   bool delivered = false;
+  // Streams needing loss-recovery signaling, at most once per batch each.
+  std::vector<StreamId> gapped;
+  std::vector<StreamId> duplicated;
+  const auto noteOnce = [](std::vector<StreamId>& list, StreamId stream) {
+    if (std::find(list.begin(), list.end(), stream) == list.end()) {
+      list.push_back(stream);
+    }
+  };
   for (const Element& e : batch) {
     auto it = expected_.find(e.stream);
     if (it == expected_.end()) continue;  // Not subscribed: ignore.
     if (e.seq < it->second) {
       ++duplicates_dropped_;
+      if (duplicate_listener_) noteOnce(duplicated, e.stream);
       continue;
     }
-    if (e.seq > it->second) ++gaps_observed_;
+    if (e.seq > it->second) {
+      // Out-of-order: a preceding message was lost in flight. Strict
+      // in-order acceptance drops it without advancing the watermark (the
+      // old accept-and-count-a-gap behavior would lose the gap elements
+      // forever) and asks upstream to go back to the first missing seq.
+      ++out_of_order_dropped_;
+      if (!gap_requesters_.empty()) noteOnce(gapped, e.stream);
+      continue;
+    }
     it->second = e.seq + 1;
     if (shed_threshold_ != 0 && pending_.size() >= shed_threshold_) {
       // Shed: the watermark advanced, so the element is gone for good (a
@@ -215,6 +272,12 @@ void InputQueue::receive(const std::vector<Element>& batch) {
     pending_.push_back(e);
     delivered = true;
   }
+  for (StreamId stream : gapped) {
+    const ElementSeq firstMissing = expected_[stream];
+    auto [lo, hi] = gap_requesters_.equal_range(stream);
+    for (auto it = lo; it != hi; ++it) it->second(stream, firstMissing);
+  }
+  for (StreamId stream : duplicated) duplicate_listener_(stream);
   if (delivered && on_arrival_) on_arrival_();
 }
 

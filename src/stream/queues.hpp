@@ -83,6 +83,19 @@ class OutputQueue {
   /// consumer asks for everything after its checkpoint watermark.
   void retransmitFrom(int connId, ElementSeq fromSeq);
 
+  /// Go-back-N negative ack: the consumer saw an out-of-order arrival and
+  /// asks for everything from `fromSeq`. Unlike retransmitFrom this only ever
+  /// rewinds the cursor *backward* (clamped to the trim point), so a stale or
+  /// duplicated NACK can never make the connection skip elements.
+  void nack(int connId, ElementSeq fromSeq);
+
+  /// Sender-side loss recovery: rewind-and-resend every active connection
+  /// whose unacked backlog has made no progress for an exponentially
+  /// backed-off multiple of `baseTimeout` (base, 2x, 4x, ... capped at 16x).
+  /// Driven by a periodic timer in Runtime when loss recovery is enabled;
+  /// spurious retransmissions are deduplicated by the receiver's watermark.
+  void retransmitStalled(SimDuration baseTimeout);
+
   /// Record an accumulative ack from a connection; may advance the trim point.
   void onAck(int connId, ElementSeq upTo);
 
@@ -120,6 +133,8 @@ class OutputQueue {
     bool gatesTrim;
     ElementSeq nextToSend;  ///< Seq of the next element this connection gets.
     ElementSeq ackedUpTo = 0;
+    SimTime lastProgressAt = 0;  ///< Last ack advance (stall detection).
+    int backoffLevel = 0;        ///< Consecutive stall retransmissions.
   };
 
   Connection* find(int connId);
@@ -156,11 +171,30 @@ class InputQueue {
   /// `stream`. Several copies may feed the same stream (active standby).
   void addUpstream(StreamId stream, AckFn ack);
 
-  /// Deliver a batch from some upstream copy; duplicates are dropped,
-  /// in-sequence elements are appended to the pending buffer. When a shed
-  /// threshold is set and the buffer is full, new elements are *shed*
+  /// Deliver a batch from some upstream copy. Acceptance is strictly
+  /// in-order per stream: duplicates (seq < expected) are dropped and
+  /// counted, out-of-order arrivals (seq > expected, meaning a preceding
+  /// message was lost) are dropped WITHOUT advancing the watermark -- the
+  /// registered gap requesters (go-back-N NACK paths) are notified instead,
+  /// so upstream rewinds and the gap is eventually filled. In-sequence
+  /// elements are appended to the pending buffer. When a shed threshold is
+  /// set and the buffer is full, new elements are *shed*
   /// (accepted-and-dropped: retransmissions will not bring them back).
   void receive(const std::vector<Element>& batch);
+
+  /// Per-stream notification hooks, invoked at most once per received batch.
+  using StreamListener = std::function<void(StreamId)>;
+  /// Register a loss-recovery path back to one upstream copy of `stream`:
+  /// invoked with (stream, firstMissingSeq) when an out-of-order arrival
+  /// reveals a gap. Several copies may be registered (active standby).
+  using GapRequestFn = std::function<void(StreamId, ElementSeq)>;
+  void addGapRequester(StreamId stream, GapRequestFn fn);
+  /// Invoked when a duplicate arrives (the consumer is ahead of what the
+  /// sender believes): owners resend their last ack so a lost ack cannot
+  /// stall upstream trimming / stall-retransmission forever.
+  void setDuplicateListener(StreamListener fn) {
+    duplicate_listener_ = std::move(fn);
+  }
 
   /// Enable load shedding: arrivals beyond `maxPending` buffered elements
   /// are dropped (the paper's "load shedding" alternative -- it bounds the
@@ -201,9 +235,13 @@ class InputQueue {
   void loadPending(const std::vector<Element>& elements);
 
   std::uint64_t duplicatesDropped() const { return duplicates_dropped_; }
-  /// Elements that arrived with a sequence gap (should be 0 in a correct
-  /// run; property tests assert this).
+  /// Forward sequence jumps *accepted* past the watermark (data loss). With
+  /// strict in-order acceptance this must be 0 in every run; property tests
+  /// assert it.
   std::uint64_t gapsObserved() const { return gaps_observed_; }
+  /// Out-of-order arrivals dropped while waiting for a retransmission of the
+  /// gap (> 0 only when message loss is injected).
+  std::uint64_t outOfOrderDropped() const { return out_of_order_dropped_; }
 
   std::vector<StreamId> streams() const;
 
@@ -211,9 +249,12 @@ class InputQueue {
   std::map<StreamId, ElementSeq> expected_;  ///< Next acceptable seq per stream.
   std::deque<Element> pending_;
   std::multimap<StreamId, AckFn> upstreams_;
+  std::multimap<StreamId, GapRequestFn> gap_requesters_;
+  StreamListener duplicate_listener_;
   ArrivalListener on_arrival_;
   std::uint64_t duplicates_dropped_ = 0;
   std::uint64_t gaps_observed_ = 0;
+  std::uint64_t out_of_order_dropped_ = 0;
   std::size_t shed_threshold_ = 0;
   std::uint64_t elements_shed_ = 0;
 };

@@ -33,6 +33,9 @@ Sink& Runtime::addSink(MachineId machine) {
   sink_ = std::make_unique<Sink>(cluster_.sim(), cluster_.machine(machine),
                                  params);
   for (StreamId stream : spec_.sinkStreams) sink_->subscribe(stream);
+  if (costs_.retransmitTimeout > 0) {
+    sink_->enableAckResend(costs_.ackFlushInterval);
+  }
   return *sink_;
 }
 
@@ -53,6 +56,9 @@ Subjob& Runtime::instantiate(SubjobId subjob, MachineId machine,
         cluster_.sim(), cluster_.machine(machine), cluster_.network(),
         std::move(params), peSpec.makeLogic()));
     for (StreamId stream : peSpec.inputStreams) pe.input().subscribe(stream);
+    if (costs_.retransmitTimeout > 0) {
+      pe.enableAckResend(costs_.ackFlushInterval);
+    }
   }
   instances_.push_back(std::move(instance));
   LOG_DEBUG(cluster_.sim().now(), "runtime")
@@ -269,6 +275,25 @@ void Runtime::createSingleWire(const WirePlan& plan, WireOpts opts) {
                     net->send(dstMachine, srcMachine, MsgKind::kAck, ackBytes,
                               0, [oq, connId, upTo] { oq->onAck(connId, upTo); });
                   });
+  if (costs_.retransmitTimeout > 0) {
+    // Go-back-N NACK path: an out-of-order arrival asks this producer to
+    // rewind the wire to the first missing element. Rate-limited per wire;
+    // rides the control plane (treated as reliable transport -- the
+    // sender-side stall retransmission is the backstop if it is not).
+    auto lastNack = std::make_shared<SimTime>(-1);
+    const SimDuration minGap = costs_.nackMinGap;
+    const std::size_t nackBytes = costs_.nackBytes;
+    iq->addGapRequester(
+        plan.stream,
+        [net, srcMachine, dstMachine, oq, connId, nackBytes, minGap, lastNack](
+            StreamId, ElementSeq fromSeq) {
+          const SimTime now = net->now();
+          if (*lastNack >= 0 && now - *lastNack < minGap) return;
+          *lastNack = now;
+          net->send(dstMachine, srcMachine, MsgKind::kControl, nackBytes, 0,
+                    [oq, connId, fromSeq] { oq->nack(connId, fromSeq); });
+        });
+  }
   auto wire = std::make_unique<Wire>();
   wire->oq = plan.oq;
   wire->connId = connId;
@@ -335,6 +360,23 @@ void Runtime::start() {
   assert(source_ != nullptr && sink_ != nullptr);
   for (const auto& inst : instances_) {
     inst->startAckTimer(costs_.ackFlushInterval);
+  }
+  if (costs_.retransmitTimeout > 0 && retransmit_timer_ == nullptr) {
+    retransmit_timer_ = std::make_unique<PeriodicTimer>(
+        cluster_.sim(), costs_.retransmitScanInterval, [this] {
+          source_->output().retransmitStalled(costs_.retransmitTimeout);
+          for (const auto& inst : instances_) {
+            if (inst->terminated() || !inst->machine().isUp()) continue;
+            for (std::size_t i = 0; i < inst->peCount(); ++i) {
+              PeInstance& pe = inst->pe(i);
+              if (pe.terminated()) continue;
+              for (std::size_t port = 0; port < pe.portCount(); ++port) {
+                pe.output(port).retransmitStalled(costs_.retransmitTimeout);
+              }
+            }
+          }
+        });
+    retransmit_timer_->start();
   }
   sink_->start();
   source_->start();

@@ -21,6 +21,7 @@
 
 #include "cluster/cluster.hpp"
 #include "common/types.hpp"
+#include "sim/timer.hpp"
 #include "stream/job.hpp"
 #include "stream/sink.hpp"
 #include "stream/source.hpp"
@@ -41,6 +42,19 @@ class Runtime {
     std::size_t controlMsgBytes = 128;
     std::size_t ackBytes = 64;
     SimDuration ackFlushInterval = 10 * kMillisecond;
+
+    // -- Loss recovery (fault-injection runs) ---------------------------------
+    /// Stall-retransmission timeout; 0 disables ALL loss-recovery machinery
+    /// (the default, so faultless runs stay bit-identical to older builds).
+    /// When > 0: receivers NACK out-of-order arrivals back to the producer
+    /// (go-back-N), senders rewind-and-resend connections whose unacked
+    /// backlog stalls (exponential backoff on this base), and duplicate
+    /// arrivals trigger ack resends. Scenario enables this automatically
+    /// when a fault schedule is configured.
+    SimDuration retransmitTimeout = 0;
+    SimDuration retransmitScanInterval = 50 * kMillisecond;
+    SimDuration nackMinGap = 20 * kMillisecond;  ///< Per-wire NACK rate limit.
+    std::size_t nackBytes = 64;
   };
 
   Runtime(Cluster& cluster, const JobSpec& spec, Costs costs);
@@ -148,6 +162,7 @@ class Runtime {
   std::unique_ptr<Sink> sink_;
   std::vector<std::unique_ptr<Subjob>> instances_;
   std::vector<std::unique_ptr<Wire>> wires_;
+  std::unique_ptr<PeriodicTimer> retransmit_timer_;
 };
 
 }  // namespace streamha

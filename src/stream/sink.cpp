@@ -23,6 +23,20 @@ void Sink::subscribe(StreamId stream) { input_.subscribe(stream); }
 
 void Sink::start() { ack_timer_.start(); }
 
+void Sink::enableAckResend(SimDuration minGap) {
+  ack_resend_min_gap_ = minGap;
+  input_.setDuplicateListener([this](StreamId stream) {
+    if (ack_resend_min_gap_ <= 0) return;
+    const auto acked = last_acked_.find(stream);
+    if (acked == last_acked_.end() || acked->second == 0) return;
+    const SimTime now = sim_.now();
+    auto& last = last_ack_resend_[stream];
+    if (last != 0 && now - last < ack_resend_min_gap_) return;
+    last = now;
+    input_.sendAcks({{stream, acked->second}});
+  });
+}
+
 void Sink::stop() { ack_timer_.stop(); }
 
 void Sink::drain() {

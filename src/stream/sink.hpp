@@ -61,6 +61,11 @@ class Sink {
   /// Reset delay statistics (e.g. after a warm-up period).
   void resetStats();
 
+  /// Loss recovery: resend the last ack when a duplicate arrives (a lost ack
+  /// is the only reason a correct upstream retransmits to the sink).
+  /// Rate-limited per stream; off by default (see PeInstance::enableAckResend).
+  void enableAckResend(SimDuration minGap);
+
  private:
   void drain();
 
@@ -75,6 +80,8 @@ class Sink {
   std::vector<std::pair<SimTime, double>> series_;
   std::map<StreamId, ElementSeq> watermarks_;
   std::map<StreamId, ElementSeq> last_acked_;
+  std::map<StreamId, SimTime> last_ack_resend_;
+  SimDuration ack_resend_min_gap_ = 0;
 };
 
 }  // namespace streamha

@@ -43,6 +43,12 @@ enum class TraceEventType : std::uint8_t {
   kMachineRestart,
   kLoadSpikeBegin,    ///< Transient-failure CPU spike started (value = magnitude in 1/1000).
   kLoadSpikeEnd,
+  // -- Injected faults (fault/) -----------------------------------------------
+  kMessageDropped,    ///< Injector dropped a message (value = 1: partition drop).
+  kMessageDuplicated, ///< Injector scheduled an extra delivery.
+  kMessageDelayed,    ///< Injector added delay jitter (value = extra micros).
+  kPartitionBegin,    ///< A scheduled network partition opened.
+  kPartitionEnd,      ///< The partition healed.
   kCount
 };
 
@@ -71,6 +77,11 @@ constexpr const char* toString(TraceEventType type) {
     case TraceEventType::kMachineRestart: return "MachineRestart";
     case TraceEventType::kLoadSpikeBegin: return "LoadSpikeBegin";
     case TraceEventType::kLoadSpikeEnd: return "LoadSpikeEnd";
+    case TraceEventType::kMessageDropped: return "MessageDropped";
+    case TraceEventType::kMessageDuplicated: return "MessageDuplicated";
+    case TraceEventType::kMessageDelayed: return "MessageDelayed";
+    case TraceEventType::kPartitionBegin: return "PartitionBegin";
+    case TraceEventType::kPartitionEnd: return "PartitionEnd";
     case TraceEventType::kCount: break;
   }
   return "?";

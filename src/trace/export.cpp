@@ -201,6 +201,10 @@ int trackOf(const TraceEvent& ev) {
     case TraceEventType::kLoadSpikeBegin:
     case TraceEventType::kLoadSpikeEnd:
       return kTrackLoad;
+    case TraceEventType::kMessageDropped:
+    case TraceEventType::kMessageDuplicated:
+    case TraceEventType::kMessageDelayed:
+      return kTrackNet;
     default:
       return kTrackEvents;
   }

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "cluster/cluster.hpp"
+#include "fault/injector.hpp"
+#include "trace/recorder.hpp"
+
 namespace streamha {
 namespace {
 
@@ -118,6 +122,120 @@ TEST_F(HeartbeatFixture, StopCeasesPinging) {
   det->stop();
   sim.runUntil(5 * kSecond);
   EXPECT_EQ(det->pingsSent(), pings);
+}
+
+// -- Detection under injected heartbeat loss ---------------------------------
+//
+// A lost ping or reply is indistinguishable from an overloaded target, so
+// message loss manufactures false alarms. These tests pin the contract the
+// fig13 study relies on: a single lost reply trips a 1-miss detector but is
+// absorbed by a 3-miss one.
+
+struct LossyHeartbeatFixture : ::testing::Test {
+  Cluster::Params clusterParams() {
+    Cluster::Params p;
+    p.machineCount = 2;
+    p.seed = 7;
+    return p;
+  }
+
+  /// Drops every kHeartbeatReply sent inside [from, until).
+  FaultSchedule replyLossWindow(SimTime from, SimTime until) {
+    FaultSchedule schedule;
+    LinkFaultRule rule;
+    rule.kinds = maskOf(MsgKind::kHeartbeatReply);
+    rule.dropProb = 1.0;
+    rule.from = from;
+    rule.until = until;
+    schedule.links.push_back(rule);
+    return schedule;
+  }
+
+  std::unique_ptr<HeartbeatDetector> makeDetector(Cluster& cluster,
+                                                  int missThreshold) {
+    HeartbeatDetector::Params params;
+    params.interval = 100 * kMillisecond;
+    params.missThreshold = missThreshold;
+    params.recoverThreshold = 2;
+    HeartbeatDetector::Callbacks callbacks;
+    callbacks.onFailure = [this](SimTime t) { failures.push_back(t); };
+    callbacks.onRecovery = [this](SimTime t) { recoveries.push_back(t); };
+    return std::make_unique<HeartbeatDetector>(
+        cluster.sim(), cluster.network(), cluster.machine(0),
+        cluster.machine(1), params, std::move(callbacks));
+  }
+
+  int countEvents(const TraceRecorder& recorder, TraceEventType type) {
+    int n = 0;
+    for (const TraceEvent& ev : recorder.events()) n += (ev.type == type);
+    return n;
+  }
+
+  std::vector<SimTime> failures;
+  std::vector<SimTime> recoveries;
+};
+
+TEST_F(LossyHeartbeatFixture, OneLostReplyTripsSingleMissDetector) {
+  Cluster cluster(clusterParams());
+  TraceRecorder recorder;
+  cluster.attachTrace(&recorder);
+  // The window covers exactly one reply: the answer to the ping sent at
+  // 5.0s is in flight a few hundred us later; the next reply (~5.1s ping)
+  // falls outside.
+  FaultInjector injector(cluster,
+                         replyLossWindow(5 * kSecond, 5100 * kMillisecond - 1));
+  auto det = makeDetector(cluster, /*missThreshold=*/1);
+  det->start();
+  cluster.sim().runUntil(10 * kSecond);
+
+  // Exactly one false alarm: suspected and confirmed on the single miss,
+  // then cleared once replies flow again.
+  EXPECT_EQ(injector.stats().randomDrops, 1u);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_GE(failures[0], 5 * kSecond);
+  EXPECT_LE(failures[0], 5200 * kMillisecond);
+  EXPECT_EQ(countEvents(recorder, TraceEventType::kFailureSuspected), 1);
+  EXPECT_EQ(countEvents(recorder, TraceEventType::kFailureConfirmed), 1);
+  EXPECT_EQ(countEvents(recorder, TraceEventType::kHeartbeatMiss), 1);
+  ASSERT_EQ(recoveries.size(), 1u);
+  EXPECT_FALSE(det->failed());
+}
+
+TEST_F(LossyHeartbeatFixture, ThreeMissThresholdAbsorbsOneLostReply) {
+  Cluster cluster(clusterParams());
+  TraceRecorder recorder;
+  cluster.attachTrace(&recorder);
+  FaultInjector injector(cluster,
+                         replyLossWindow(5 * kSecond, 5100 * kMillisecond - 1));
+  auto det = makeDetector(cluster, /*missThreshold=*/3);
+  det->start();
+  cluster.sim().runUntil(10 * kSecond);
+
+  // The miss is noted (and suspicion raised) but never confirmed: no false
+  // alarm reaches the coordinator.
+  EXPECT_EQ(injector.stats().randomDrops, 1u);
+  EXPECT_TRUE(failures.empty());
+  EXPECT_EQ(countEvents(recorder, TraceEventType::kHeartbeatMiss), 1);
+  EXPECT_EQ(countEvents(recorder, TraceEventType::kFailureSuspected), 1);
+  EXPECT_EQ(countEvents(recorder, TraceEventType::kFailureConfirmed), 0);
+  EXPECT_FALSE(det->failed());
+}
+
+TEST_F(LossyHeartbeatFixture, SustainedLossConfirmsEvenAtThreeMisses) {
+  Cluster cluster(clusterParams());
+  // Every reply lost for a full second: >= 3 consecutive misses.
+  FaultInjector injector(cluster, replyLossWindow(5 * kSecond, 6 * kSecond));
+  auto det = makeDetector(cluster, /*missThreshold=*/3);
+  det->start();
+  cluster.sim().runUntil(10 * kSecond);
+
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_GE(failures[0], 5300 * kMillisecond);
+  EXPECT_LE(failures[0], 5600 * kMillisecond);
+  // Loss ended at 6s; the detector recovers shortly after.
+  ASSERT_EQ(recoveries.size(), 1u);
+  EXPECT_LE(recoveries[0], 6500 * kMillisecond);
+  EXPECT_FALSE(det->failed());
 }
 
 TEST_F(HeartbeatFixture, CountersAreConsistent) {

@@ -1,0 +1,261 @@
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/recorder.hpp"
+
+namespace streamha {
+namespace {
+
+struct InjectorFixture : ::testing::Test {
+  Cluster::Params clusterParams() {
+    Cluster::Params p;
+    p.machineCount = 3;
+    p.seed = 42;
+    return p;
+  }
+};
+
+TEST_F(InjectorFixture, DropRuleRespectsKindMask) {
+  Cluster cluster(clusterParams());
+  FaultSchedule schedule;
+  LinkFaultRule rule;
+  rule.kinds = maskOf(MsgKind::kData);
+  rule.dropProb = 1.0;
+  schedule.links.push_back(rule);
+  FaultInjector injector(cluster, schedule);
+
+  bool dataDelivered = false;
+  bool ackDelivered = false;
+  cluster.network().send(0, 1, MsgKind::kData, 100, 1,
+                         [&] { dataDelivered = true; });
+  cluster.network().send(0, 1, MsgKind::kAck, 64, 0,
+                         [&] { ackDelivered = true; });
+  cluster.sim().runAll();
+  EXPECT_FALSE(dataDelivered);
+  EXPECT_TRUE(ackDelivered);
+  EXPECT_EQ(injector.stats().randomDrops, 1u);
+  EXPECT_EQ(injector.stats().droppedByKind[static_cast<std::size_t>(
+                MsgKind::kData)],
+            1u);
+  EXPECT_EQ(injector.stats().droppedByKind[static_cast<std::size_t>(
+                MsgKind::kAck)],
+            0u);
+}
+
+TEST_F(InjectorFixture, LinkRuleMatchesBidirectionallyAndByWindow) {
+  Cluster cluster(clusterParams());
+  FaultSchedule schedule;
+  LinkFaultRule rule;
+  rule.src = 0;
+  rule.dst = 1;
+  rule.kinds = kAllKinds;
+  rule.dropProb = 1.0;
+  rule.from = 1 * kSecond;
+  rule.until = 2 * kSecond;
+  schedule.links.push_back(rule);
+  FaultInjector injector(cluster, schedule);
+
+  int delivered = 0;
+  const auto sendBoth = [&] {
+    cluster.network().send(0, 1, MsgKind::kData, 10, 1, [&] { ++delivered; });
+    cluster.network().send(1, 0, MsgKind::kData, 10, 1, [&] { ++delivered; });
+    cluster.network().send(0, 2, MsgKind::kData, 10, 1, [&] { ++delivered; });
+  };
+  sendBoth();  // t=0: before the window.
+  cluster.sim().runUntil(1500 * kMillisecond);
+  sendBoth();  // In the window: 0<->1 dropped both ways, 0->2 unmatched.
+  cluster.sim().runUntil(2500 * kMillisecond);
+  sendBoth();  // After the window.
+  cluster.sim().runAll();
+  EXPECT_EQ(delivered, 7);
+  EXPECT_EQ(injector.stats().randomDrops, 2u);
+}
+
+TEST_F(InjectorFixture, PartitionBlocksEveryKindBothWaysUntilHealed) {
+  Cluster cluster(clusterParams());
+  FaultSchedule schedule;
+  PartitionSpec part;
+  part.islandA = {0};
+  part.islandB = {1};
+  part.beginAt = 0;
+  part.healAt = 1 * kSecond;
+  schedule.partitions.push_back(part);
+  FaultInjector injector(cluster, schedule);
+  EXPECT_TRUE(injector.partitioned(0, 1));
+  EXPECT_FALSE(injector.partitioned(0, 2));
+
+  int delivered = 0;
+  cluster.network().send(0, 1, MsgKind::kControl, 10, 0, [&] { ++delivered; });
+  cluster.network().send(1, 0, MsgKind::kCheckpoint, 10, 0,
+                         [&] { ++delivered; });
+  cluster.network().send(0, 2, MsgKind::kData, 10, 1, [&] { ++delivered; });
+  cluster.sim().runUntil(2 * kSecond);
+  EXPECT_EQ(delivered, 1);  // Only the unpartitioned 0->2 message.
+  EXPECT_EQ(injector.stats().partitionDrops, 2u);
+  EXPECT_FALSE(injector.partitioned(0, 1));  // Healed.
+  cluster.network().send(0, 1, MsgKind::kControl, 10, 0, [&] { ++delivered; });
+  cluster.sim().runAll();
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST_F(InjectorFixture, CrashAndRestartScheduleDrivesMachines) {
+  Cluster cluster(clusterParams());
+  FaultSchedule schedule;
+  CrashSpec crash;
+  crash.machine = 1;
+  crash.crashAt = 1 * kSecond;
+  crash.restartAt = 2 * kSecond;
+  schedule.crashes.push_back(crash);
+  FaultInjector injector(cluster, schedule);
+
+  cluster.sim().runUntil(1500 * kMillisecond);
+  EXPECT_FALSE(cluster.machineUp(1));
+  cluster.sim().runUntil(2500 * kMillisecond);
+  EXPECT_TRUE(cluster.machineUp(1));
+  EXPECT_EQ(injector.stats().crashes, 1u);
+  EXPECT_EQ(injector.stats().restarts, 1u);
+}
+
+TEST_F(InjectorFixture, CorrelatedBurstCrashesMachinesStaggered) {
+  Cluster cluster(clusterParams());
+  FaultSchedule schedule;
+  CorrelatedBurstSpec burst;
+  burst.machines = {1, 2};
+  burst.beginAt = 1 * kSecond;
+  burst.stagger = 500 * kMillisecond;
+  burst.downFor = 2 * kSecond;
+  schedule.bursts.push_back(burst);
+  FaultInjector injector(cluster, schedule);
+
+  cluster.sim().runUntil(1200 * kMillisecond);
+  EXPECT_FALSE(cluster.machineUp(1));
+  EXPECT_TRUE(cluster.machineUp(2));
+  cluster.sim().runUntil(1700 * kMillisecond);
+  EXPECT_FALSE(cluster.machineUp(2));
+  cluster.sim().runUntil(4 * kSecond);  // 1 restarts at 3s, 2 at 3.5s.
+  EXPECT_TRUE(cluster.machineUp(1));
+  EXPECT_TRUE(cluster.machineUp(2));
+  EXPECT_EQ(injector.stats().crashes, 2u);
+  EXPECT_EQ(injector.stats().restarts, 2u);
+}
+
+TEST_F(InjectorFixture, InjectedFaultsAreRecordedInTheTrace) {
+  Cluster cluster(clusterParams());
+  TraceRecorder recorder;
+  cluster.attachTrace(&recorder);
+  FaultSchedule schedule;
+  LinkFaultRule rule;
+  rule.kinds = maskOf(MsgKind::kData);
+  rule.dropProb = 1.0;
+  schedule.links.push_back(rule);
+  PartitionSpec part;
+  part.islandA = {0};
+  part.islandB = {2};
+  part.beginAt = 0;
+  part.healAt = 1 * kSecond;
+  schedule.partitions.push_back(part);
+  FaultInjector injector(cluster, schedule);
+
+  cluster.network().send(0, 1, MsgKind::kData, 100, 1, [] {});
+  cluster.network().send(0, 2, MsgKind::kControl, 10, 0, [] {});
+  cluster.sim().runUntil(2 * kSecond);
+
+  int randomDrops = 0, partitionDrops = 0, begins = 0, ends = 0;
+  for (const TraceEvent& ev : recorder.events()) {
+    switch (ev.type) {
+      case TraceEventType::kMessageDropped:
+        (ev.value == 1 ? partitionDrops : randomDrops) += 1;
+        break;
+      case TraceEventType::kPartitionBegin:
+        ++begins;
+        break;
+      case TraceEventType::kPartitionEnd:
+        ++ends;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(randomDrops, 1);
+  EXPECT_EQ(partitionDrops, 1);
+  EXPECT_EQ(begins, 1);
+  EXPECT_EQ(ends, 1);
+}
+
+TEST_F(InjectorFixture, SameSeedSameDecisions) {
+  const auto deliveryMask = [this](std::uint64_t clusterSeed,
+                                   std::uint64_t salt) {
+    Cluster::Params p = clusterParams();
+    p.seed = clusterSeed;
+    Cluster cluster(p);
+    FaultSchedule schedule;
+    LinkFaultRule rule;
+    rule.kinds = maskOf(MsgKind::kData);
+    rule.dropProb = 0.5;
+    schedule.links.push_back(rule);
+    FaultInjector injector(cluster, schedule, salt);
+    std::uint64_t mask = 0;
+    for (int i = 0; i < 64; ++i) {
+      cluster.network().send(0, 1, MsgKind::kData, 10, 1,
+                             [&mask, i] { mask |= 1ull << i; });
+    }
+    cluster.sim().runAll();
+    return mask;
+  };
+  const std::uint64_t mask = deliveryMask(7, 0);
+  EXPECT_EQ(mask, deliveryMask(7, 0));          // Bit-identical rerun.
+  EXPECT_NE(mask, 0u);                          // Some delivered...
+  EXPECT_NE(mask, ~std::uint64_t{0});           // ... some dropped.
+  EXPECT_NE(mask, deliveryMask(7, 99));         // Salt changes the pattern.
+  EXPECT_NE(mask, deliveryMask(8, 0));          // So does the cluster seed.
+}
+
+TEST_F(InjectorFixture, DuplicatesAndDelaysAreInjected) {
+  Cluster cluster(clusterParams());
+  FaultSchedule schedule;
+  LinkFaultRule rule;
+  rule.kinds = maskOf(MsgKind::kData);
+  rule.duplicateProb = 1.0;
+  rule.delayProb = 1.0;
+  rule.maxExtraDelay = 5;
+  schedule.links.push_back(rule);
+  FaultInjector injector(cluster, schedule);
+
+  int deliveries = 0;
+  SimTime lastAt = -1;
+  cluster.network().send(0, 1, MsgKind::kData, 0, 1, [&] {
+    ++deliveries;
+    lastAt = cluster.sim().now();
+  });
+  cluster.sim().runAll();
+  EXPECT_EQ(deliveries, 2);  // Original + one copy.
+  const SimDuration latency = Network::Params{}.latency;
+  EXPECT_GT(lastAt, latency);                // Jitter was added...
+  EXPECT_LE(lastAt, latency + 5);            // ... within the bound.
+  EXPECT_EQ(injector.stats().duplicates, 1u);
+  EXPECT_EQ(injector.stats().delayed, 1u);
+}
+
+TEST_F(InjectorFixture, DetachOnDestructionRestoresCleanNetwork) {
+  Cluster cluster(clusterParams());
+  {
+    FaultSchedule schedule;
+    LinkFaultRule rule;
+    rule.dropProb = 1.0;
+    rule.kinds = kAllKinds;
+    schedule.links.push_back(rule);
+    FaultInjector injector(cluster, schedule);
+    EXPECT_TRUE(cluster.network().hasFault());
+  }
+  EXPECT_FALSE(cluster.network().hasFault());
+  bool delivered = false;
+  cluster.network().send(0, 1, MsgKind::kData, 10, 1, [&] { delivered = true; });
+  cluster.sim().runAll();
+  EXPECT_TRUE(delivered);
+}
+
+}  // namespace
+}  // namespace streamha

@@ -1,0 +1,233 @@
+#include "harness/chaos_harness.hpp"
+
+#include <sstream>
+
+#include "trace/export.hpp"
+
+namespace streamha {
+namespace harness {
+
+// ---------------------------------------------------------------------------
+// Oracle
+// ---------------------------------------------------------------------------
+
+std::string OracleReport::summary() const {
+  std::ostringstream out;
+  out << "generated=" << generated << " delivered=" << delivered;
+  if (ok) {
+    out << " (exactly-once, in-order)";
+  } else {
+    for (const auto& v : violations) out << "\n  VIOLATION: " << v;
+  }
+  return out.str();
+}
+
+OracleReport checkExactlyOnceInOrder(Scenario& s, const ScenarioResult& r) {
+  OracleReport rep;
+  rep.generated = s.source().generatedCount();
+  rep.delivered = s.sink().receivedCount();
+  auto fail = [&rep](std::string msg) {
+    rep.ok = false;
+    rep.violations.push_back(std::move(msg));
+  };
+
+  // No input queue anywhere may ever have accepted a sequence jump: an
+  // accepted jump is a silently lost element.
+  if (r.gapsObserved != 0) {
+    fail("an input queue accepted a sequence jump (gapsObserved=" +
+         std::to_string(r.gapsObserved) + ")");
+  }
+  // Shedding forfeits exactly-once by design; a chaos run must not shed.
+  if (r.elementsShed != 0) {
+    fail("elements were shed (" + std::to_string(r.elementsShed) + ")");
+  }
+
+  // The sink's contiguous watermark must cover every generated element
+  // (selectivity-1 chain: each source element yields exactly one sink
+  // element; summing generalizes to multi-stream sinks of such chains).
+  std::uint64_t contiguous = 0;
+  for (StreamId stream : s.runtime().spec().sinkStreams) {
+    contiguous += s.sink().highestSeq(stream);
+  }
+  if (contiguous != rep.generated) {
+    fail("sink in-order watermark " + std::to_string(contiguous) +
+         " != generated " + std::to_string(rep.generated) +
+         (contiguous < rep.generated ? " (lost elements)"
+                                     : " (phantom elements)"));
+  }
+  // ... and it must have accepted each exactly once.
+  if (rep.delivered != rep.generated) {
+    fail("sink accepted " + std::to_string(rep.delivered) + " of " +
+         std::to_string(rep.generated) + " generated elements");
+  }
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Schedule generation
+// ---------------------------------------------------------------------------
+
+ChaosPlan makeChaosPlan(const ScenarioParams& params,
+                        const ChaosProfile& profile, std::uint64_t seed) {
+  const ScenarioLayout layout = Scenario::layoutFor(params);
+  Rng rng(stableHash("chaos-plan") ^ (seed * 0x9E3779B97F4A7C15ULL + seed));
+  ChaosPlan plan;
+
+  // Random loss / duplication / jitter on every link, data-plane kinds only.
+  LinkFaultRule rule;
+  rule.kinds = kLossyKindsDefault;
+  rule.dropProb = rng.uniformReal(0.005, profile.maxLossProb);
+  rule.duplicateProb = rng.uniformReal(0.0, profile.maxDuplicateProb);
+  rule.delayProb = rng.uniformReal(0.0, profile.maxDelayProb);
+  rule.maxExtraDelay = profile.maxExtraDelay;
+  rule.from = profile.faultsFrom;
+  rule.until = profile.faultsUntil;
+  plan.schedule.links.push_back(rule);
+
+  // One healed partition between two data-plane machines. Machine 0 hosts
+  // the source and mid-run (re)wiring always has a standby/spare endpoint,
+  // so partitions among {primaries 1.., sink} heal into full recovery.
+  std::vector<MachineId> dataPlane;
+  for (int sj = 1; sj < layout.numSubjobs; ++sj) {
+    dataPlane.push_back(layout.primaryOf(sj));
+  }
+  dataPlane.push_back(layout.sinkMachine);
+  if (profile.withPartition && dataPlane.size() >= 2) {
+    const auto a = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(dataPlane.size()) - 1));
+    auto b = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(dataPlane.size()) - 2));
+    if (b >= a) ++b;
+    PartitionSpec part;
+    part.islandA = {dataPlane[a]};
+    part.islandB = {dataPlane[b]};
+    part.beginAt = rng.uniformInt(
+        profile.faultsFrom, profile.faultsUntil - profile.maxPartition);
+    part.healAt = part.beginAt +
+                  rng.uniformInt(profile.minPartition, profile.maxPartition);
+    plan.schedule.partitions.push_back(part);
+  }
+
+  // One crash; the target cycles over the protected primaries plus one
+  // standby so every failover role gets exercised across a seed sweep.
+  // Machine 0 is never crashed (it hosts the source).
+  if (profile.withCrash) {
+    std::vector<std::pair<MachineId, bool>> targets;
+    for (SubjobId sj : params.protectedSubjobs) {
+      const MachineId m = layout.primaryOf(sj);
+      if (m != 0) targets.emplace_back(m, true);
+    }
+    for (SubjobId sj : params.protectedSubjobs) {
+      const MachineId standby =
+          layout.standbyOf[static_cast<std::size_t>(sj)];
+      if (standby != kNoMachine) {
+        targets.emplace_back(standby, false);
+        break;
+      }
+    }
+    if (!targets.empty()) {
+      const auto& [machine, isPrimary] =
+          targets[static_cast<std::size_t>(seed % targets.size())];
+      CrashSpec crash;
+      crash.machine = machine;
+      crash.crashAt =
+          rng.uniformInt(profile.faultsFrom, profile.faultsUntil);
+      if (profile.restartCrashed) {
+        crash.restartAt =
+            crash.crashAt + rng.uniformInt(1 * kSecond, 4 * kSecond);
+      }
+      plan.schedule.crashes.push_back(crash);
+      plan.crashTarget = machine;
+      plan.crashedProtectedPrimary = isPrimary;
+    }
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+ChaosOutcome runChaosScenario(ScenarioParams params, SimDuration drainGrace) {
+  Scenario s(std::move(params));
+  s.build();
+  s.start();
+  if (s.params().failureFraction > 0) s.startFailures();
+  s.run(s.params().duration);
+  s.drain(drainGrace);
+  ChaosOutcome out;
+  out.result = s.collect();
+  out.oracle = checkExactlyOnceInOrder(s, out.result);
+  if (s.faultInjector() != nullptr) out.faults = s.faultInjector()->stats();
+  return out;
+}
+
+std::string traceJsonl(Scenario& s) {
+  if (s.trace() == nullptr) return {};
+  std::ostringstream out;
+  writeJsonl(s.trace()->events(), out);
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::size_t componentCount(const FaultSchedule& s) {
+  return s.links.size() + s.partitions.size() + s.crashes.size() +
+         s.bursts.size();
+}
+
+/// The schedule with component `index` (in links/partitions/crashes/bursts
+/// order) removed.
+FaultSchedule without(const FaultSchedule& s, std::size_t index) {
+  FaultSchedule out = s;
+  if (index < out.links.size()) {
+    out.links.erase(out.links.begin() + static_cast<std::ptrdiff_t>(index));
+    return out;
+  }
+  index -= out.links.size();
+  if (index < out.partitions.size()) {
+    out.partitions.erase(out.partitions.begin() +
+                         static_cast<std::ptrdiff_t>(index));
+    return out;
+  }
+  index -= out.partitions.size();
+  if (index < out.crashes.size()) {
+    out.crashes.erase(out.crashes.begin() +
+                      static_cast<std::ptrdiff_t>(index));
+    return out;
+  }
+  index -= out.crashes.size();
+  out.bursts.erase(out.bursts.begin() + static_cast<std::ptrdiff_t>(index));
+  return out;
+}
+
+}  // namespace
+
+FaultSchedule shrinkFailingSchedule(
+    FaultSchedule schedule,
+    const std::function<bool(const FaultSchedule&)>& stillFails,
+    int maxRuns) {
+  int runs = 0;
+  bool shrunk = true;
+  while (shrunk && runs < maxRuns) {
+    shrunk = false;
+    for (std::size_t i = 0; i < componentCount(schedule) && runs < maxRuns;
+         ++i) {
+      FaultSchedule candidate = without(schedule, i);
+      ++runs;
+      if (stillFails(candidate)) {
+        schedule = std::move(candidate);
+        shrunk = true;
+        break;  // Restart the scan over the smaller schedule.
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace harness
+}  // namespace streamha

@@ -1,0 +1,121 @@
+// Reusable chaos-test harness.
+//
+// The pieces the integration tests compose:
+//
+//  * ChaosPlan / makeChaosPlan -- derive a deterministic FaultSchedule
+//    (bounded random loss, one healed partition, one machine crash) from a
+//    ScenarioParams + seed. The crash target cycles over the protected
+//    primaries and one standby so the sweep exercises every failover role.
+//  * runChaosScenario -- build/run/drain one scenario and evaluate the
+//    exactly-once/in-order oracle against it.
+//  * checkExactlyOnceInOrder -- the oracle alone, for custom drivers.
+//  * traceJsonl -- the run's recorded trace as a JSONL string, for
+//    bit-identical reproducibility checks (same seed + schedule => same
+//    string).
+//  * shrinkFailingSchedule -- greedy delta-debugging over a schedule's
+//    components; reports the smallest schedule that still fails so a failing
+//    seed produces an actionable repro (see docs/TESTING.md).
+//
+// Everything here is deterministic: no wall clock, no global state; the only
+// randomness is an Rng seeded from the caller's seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "fault/injector.hpp"
+#include "fault/schedule.hpp"
+
+namespace streamha {
+namespace harness {
+
+// -- Oracle -------------------------------------------------------------------
+
+/// Result of the exactly-once/in-order check over a drained scenario.
+struct OracleReport {
+  bool ok = true;
+  /// Human-readable description of each violated invariant.
+  std::vector<std::string> violations;
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+
+  std::string summary() const;
+};
+
+/// The sink must have seen every generated element exactly once, in order,
+/// and no input queue anywhere may have accepted a sequence jump.
+/// Call after drain(); an undrained run trivially fails.
+OracleReport checkExactlyOnceInOrder(Scenario& s, const ScenarioResult& r);
+
+// -- Schedule generation ------------------------------------------------------
+
+/// Bounds for the random schedule generator.
+struct ChaosProfile {
+  double maxLossProb = 0.05;        ///< Per-message drop cap (spec: <= 5%).
+  double maxDuplicateProb = 0.01;   ///< Injected duplicate deliveries.
+  double maxDelayProb = 0.05;       ///< Delay-jitter probability.
+  SimDuration maxExtraDelay = 5 * kMillisecond;
+  bool withPartition = true;        ///< One healed bidirectional partition.
+  bool withCrash = true;            ///< One machine crash.
+  /// When true the crashed machine restarts 1s..4s later (rollback paths);
+  /// when false the crash is permanent (fail-stop promotion paths).
+  bool restartCrashed = false;
+  /// Faults are confined to [faultsFrom, faultsUntil] so the drain phase can
+  /// converge on loss-free links.
+  SimDuration faultsFrom = 5 * kSecond;
+  SimDuration faultsUntil = 25 * kSecond;
+  SimDuration minPartition = 500 * kMillisecond;
+  SimDuration maxPartition = 2 * kSecond;
+};
+
+/// One generated chaos schedule plus what it targets.
+struct ChaosPlan {
+  FaultSchedule schedule;
+  MachineId crashTarget = kNoMachine;
+  /// True when the crash hits a protected subjob's primary (a permanent such
+  /// crash must eventually produce a fail-stop promotion).
+  bool crashedProtectedPrimary = false;
+};
+
+/// Derive the plan for (params, seed). Deterministic: same inputs, same plan.
+/// Machine 0 is never crashed (it hosts the source, like the paper's setup).
+ChaosPlan makeChaosPlan(const ScenarioParams& params,
+                        const ChaosProfile& profile, std::uint64_t seed);
+
+// -- Drivers ------------------------------------------------------------------
+
+/// Everything a chaos driver needs to assert on.
+struct ChaosOutcome {
+  ScenarioResult result;
+  OracleReport oracle;
+  FaultInjector::Stats faults;
+};
+
+/// build + start (+failures) + run + drain + collect + oracle, one call.
+/// `params.faults` must already hold the schedule (see makeChaosPlan).
+ChaosOutcome runChaosScenario(ScenarioParams params,
+                              SimDuration drainGrace = 12 * kSecond);
+
+// -- Trace reproducibility ----------------------------------------------------
+
+/// The scenario's recorded trace rendered as JSONL (empty string when tracing
+/// is disabled). Two runs with identical params produce identical strings.
+std::string traceJsonl(Scenario& s);
+
+// -- Shrinking ----------------------------------------------------------------
+
+/// Greedy delta-debugging over the schedule's components (each link rule,
+/// partition, crash and burst is one removable atom). Repeatedly re-runs
+/// `stillFails` on candidate sub-schedules until no single component can be
+/// removed, or `maxRuns` re-executions have been spent. Returns the smallest
+/// still-failing schedule found; print it with FaultSchedule::describe().
+FaultSchedule shrinkFailingSchedule(
+    FaultSchedule schedule,
+    const std::function<bool(const FaultSchedule&)>& stillFails,
+    int maxRuns = 64);
+
+}  // namespace harness
+}  // namespace streamha

@@ -1,0 +1,161 @@
+#include "harness/chaos_harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace streamha {
+namespace {
+
+FaultSchedule bigSchedule() {
+  FaultSchedule s;
+  for (int i = 0; i < 3; ++i) {
+    LinkFaultRule rule;
+    rule.src = i;
+    rule.dst = i + 1;
+    rule.dropProb = 0.01 * (i + 1);
+    s.links.push_back(rule);
+  }
+  for (int i = 0; i < 2; ++i) {
+    PartitionSpec part;
+    part.islandA = {static_cast<MachineId>(i)};
+    part.islandB = {static_cast<MachineId>(i + 3)};
+    part.beginAt = i * kSecond;
+    part.healAt = (i + 1) * kSecond;
+    s.partitions.push_back(part);
+  }
+  for (int i = 0; i < 2; ++i) {
+    CrashSpec crash;
+    crash.machine = static_cast<MachineId>(4 + i);
+    crash.crashAt = kSecond;
+    s.crashes.push_back(crash);
+  }
+  CorrelatedBurstSpec burst;
+  burst.machines = {1, 2};
+  burst.beginAt = 2 * kSecond;
+  s.bursts.push_back(burst);
+  return s;
+}
+
+TEST(ShrinkFailingSchedule, FindsMinimalFailingCombination) {
+  // "Fails" iff the schedule still contains BOTH the crash of machine 5 and
+  // a partition whose islandA is machine 1.
+  const auto stillFails = [](const FaultSchedule& s) {
+    bool hasCrash = false;
+    for (const auto& c : s.crashes) hasCrash |= (c.machine == 5);
+    bool hasPartition = false;
+    for (const auto& p : s.partitions) {
+      hasPartition |= (!p.islandA.empty() && p.islandA[0] == 1);
+    }
+    return hasCrash && hasPartition;
+  };
+  const FaultSchedule start = bigSchedule();
+  ASSERT_TRUE(stillFails(start));
+  const FaultSchedule minimal =
+      harness::shrinkFailingSchedule(start, stillFails);
+  EXPECT_TRUE(stillFails(minimal));
+  EXPECT_TRUE(minimal.links.empty());
+  EXPECT_TRUE(minimal.bursts.empty());
+  ASSERT_EQ(minimal.partitions.size(), 1u);
+  EXPECT_EQ(minimal.partitions[0].islandA[0], 1);
+  ASSERT_EQ(minimal.crashes.size(), 1u);
+  EXPECT_EQ(minimal.crashes[0].machine, 5);
+  EXPECT_FALSE(minimal.describe().empty());
+}
+
+TEST(ShrinkFailingSchedule, RespectsRunBudget) {
+  int calls = 0;
+  const auto alwaysFails = [&calls](const FaultSchedule&) {
+    ++calls;
+    return true;
+  };
+  const FaultSchedule minimal =
+      harness::shrinkFailingSchedule(bigSchedule(), alwaysFails, 3);
+  EXPECT_LE(calls, 3);
+  // With everything removable the budgeted result lost exactly 3 components.
+  EXPECT_EQ(minimal.links.size() + minimal.partitions.size() +
+                minimal.crashes.size() + minimal.bursts.size(),
+            8u - 3u);
+}
+
+TEST(MakeChaosPlan, IsDeterministicAndBounded) {
+  ScenarioParams p;
+  p.mode = HaMode::kHybrid;
+  p.protectedSubjobs = {1, 2, 3};
+  p.provisionSpares = true;
+  harness::ChaosProfile profile;
+  const harness::ChaosPlan a = harness::makeChaosPlan(p, profile, 5);
+  const harness::ChaosPlan b = harness::makeChaosPlan(p, profile, 5);
+  EXPECT_EQ(a.schedule.describe(), b.schedule.describe());
+  EXPECT_EQ(a.crashTarget, b.crashTarget);
+
+  ASSERT_EQ(a.schedule.links.size(), 1u);
+  EXPECT_LE(a.schedule.links[0].dropProb, profile.maxLossProb);
+  EXPECT_GT(a.schedule.links[0].dropProb, 0.0);
+  ASSERT_EQ(a.schedule.partitions.size(), 1u);
+  EXPECT_NE(a.schedule.partitions[0].healAt, kTimeNever);
+  ASSERT_EQ(a.schedule.crashes.size(), 1u);
+  EXPECT_NE(a.crashTarget, 0);  // Machine 0 hosts the source.
+}
+
+TEST(MakeChaosPlan, CrashTargetSweepsPrimariesAndAStandby) {
+  ScenarioParams p;
+  p.mode = HaMode::kHybrid;
+  p.protectedSubjobs = {1, 2, 3};
+  p.provisionSpares = true;
+  const ScenarioLayout layout = Scenario::layoutFor(p);
+  harness::ChaosProfile profile;
+  std::set<MachineId> targets;
+  bool sawStandby = false;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const harness::ChaosPlan plan = harness::makeChaosPlan(p, profile, seed);
+    targets.insert(plan.crashTarget);
+    sawStandby |= !plan.crashedProtectedPrimary;
+    if (plan.crashedProtectedPrimary) {
+      EXPECT_TRUE(plan.crashTarget >= 1 && plan.crashTarget <= 3);
+    }
+  }
+  // All three protected primaries and one standby get their turn.
+  EXPECT_TRUE(targets.count(layout.primaryOf(1)));
+  EXPECT_TRUE(targets.count(layout.primaryOf(2)));
+  EXPECT_TRUE(targets.count(layout.primaryOf(3)));
+  EXPECT_TRUE(sawStandby);
+  EXPECT_EQ(targets.size(), 4u);
+}
+
+TEST(ScenarioLayout, MatchesBuiltScenario) {
+  ScenarioParams p;
+  p.mode = HaMode::kHybrid;
+  p.protectedSubjobs = {1, 3};
+  p.provisionSpares = true;
+  const ScenarioLayout layout = Scenario::layoutFor(p);
+  Scenario s(p);
+  s.build();
+  EXPECT_EQ(layout.sinkMachine, s.sinkMachine());
+  EXPECT_EQ(layout.machineCount, s.machineCount());
+  for (SubjobId sj : p.protectedSubjobs) {
+    EXPECT_EQ(layout.primaryOf(sj), s.primaryMachineOf(sj));
+    EXPECT_EQ(layout.standbyOf[static_cast<std::size_t>(sj)],
+              s.standbyMachineOf(sj));
+  }
+}
+
+TEST(Oracle, CleanRunPasses) {
+  ScenarioParams p;
+  p.mode = HaMode::kNone;
+  p.duration = 4 * kSecond;
+  p.warmup = 0;
+  Scenario s(p);
+  s.build();
+  s.start();
+  s.run(p.duration);
+  s.drain(4 * kSecond);
+  const ScenarioResult r = s.collect();
+  const harness::OracleReport rep = harness::checkExactlyOnceInOrder(s, r);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+  EXPECT_GT(rep.generated, 0u);
+  EXPECT_EQ(rep.generated, rep.delivered);
+}
+
+}  // namespace
+}  // namespace streamha

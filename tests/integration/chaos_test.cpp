@@ -1,60 +1,150 @@
-// Chaos sweep: randomized schedules of transient spikes AND machine crashes
-// against the Hybrid method with spares provisioned. Whatever the schedule,
-// the sink must see every element exactly once, in order.
+// Chaos sweeps, driven by the reusable harness (tests/harness/). Whatever
+// the fault schedule -- random message loss, duplication, delay jitter, a
+// healed partition, machine crashes, transient load spikes -- the sink must
+// see every element exactly once, in order. See docs/TESTING.md for how to
+// reproduce and shrink a failing seed.
 #include <gtest/gtest.h>
 
 #include "cluster/load_generator.hpp"
-#include "exp/scenario.hpp"
+#include "harness/chaos_harness.hpp"
 
 namespace streamha {
 namespace {
+
+std::string seedName(const ::testing::TestParamInfo<std::uint64_t>& i) {
+  return "seed" + std::to_string(i.param);
+}
+
+/// Hybrid with three protected subjobs and spares: every chaos seed has
+/// several failover roles (protected primaries 1..3, their standbys) to hit.
+ScenarioParams chaosBaseParams(std::uint64_t seed) {
+  ScenarioParams p;
+  p.mode = HaMode::kHybrid;
+  p.protectedSubjobs = {1, 2, 3};
+  p.provisionSpares = true;
+  p.failStopAfter = 3 * kSecond;
+  p.duration = 30 * kSecond;
+  p.seed = seed;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// The main sweep: random loss (<= 5%) + duplication + jitter on every data
+// link, one healed partition, and one machine crash whose target cycles over
+// the protected primaries and a standby. A third of the seeds restart the
+// crashed machine (rollback paths); the rest leave it down (fail-stop
+// promotion paths).
+// ---------------------------------------------------------------------------
+
+class FaultChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultChaosSweep, ExactlyOnceUnderLossPartitionAndCrash) {
+  const std::uint64_t seed = GetParam();
+  ScenarioParams p = chaosBaseParams(seed);
+  harness::ChaosProfile profile;
+  profile.restartCrashed = (seed % 3 == 0);
+  const harness::ChaosPlan plan = harness::makeChaosPlan(p, profile, seed);
+  p.faults = plan.schedule;
+  p.faultSeedSalt = seed;
+
+  const harness::ChaosOutcome out = harness::runChaosScenario(p);
+  EXPECT_TRUE(out.oracle.ok)
+      << "seed " << seed << ": " << out.oracle.summary() << "\nschedule:\n"
+      << plan.schedule.describe();
+  // A permanently crashed protected primary must end in a promotion.
+  if (plan.crashedProtectedPrimary && !profile.restartCrashed) {
+    EXPECT_GE(out.result.promotions, 1u) << "seed " << seed;
+  }
+  // The schedule was not a no-op.
+  EXPECT_GT(out.faults.totalDrops() + out.faults.crashes, 0u)
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultChaosSweep,
+                         ::testing::Range<std::uint64_t>(1, 51), seedName);
+
+// ---------------------------------------------------------------------------
+// Determinism: the same seed + schedule reproduces a bit-identical trace.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosDeterminism, SameSeedAndScheduleGiveBitIdenticalTraces) {
+  auto runOnce = [](std::uint64_t seed) {
+    ScenarioParams p = chaosBaseParams(seed);
+    p.duration = 12 * kSecond;
+    p.trace.enabled = true;
+    harness::ChaosProfile profile;
+    profile.faultsUntil = 10 * kSecond;
+    p.faults = harness::makeChaosPlan(p, profile, seed).schedule;
+    p.faultSeedSalt = seed;
+    Scenario s(p);
+    s.build();
+    s.start();
+    s.run(p.duration);
+    s.drain(8 * kSecond);
+    return harness::traceJsonl(s);
+  };
+  const std::string first = runOnce(7);
+  const std::string second = runOnce(7);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // ... and a different fault salt genuinely changes the run.
+  auto runSalted = [](std::uint64_t seed, std::uint64_t salt) {
+    ScenarioParams p = chaosBaseParams(seed);
+    p.duration = 12 * kSecond;
+    p.trace.enabled = true;
+    harness::ChaosProfile profile;
+    profile.faultsUntil = 10 * kSecond;
+    profile.withCrash = false;
+    p.faults = harness::makeChaosPlan(p, profile, seed).schedule;
+    p.faultSeedSalt = salt;
+    Scenario s(p);
+    s.build();
+    s.start();
+    s.run(p.duration);
+    s.drain(8 * kSecond);
+    return harness::traceJsonl(s);
+  };
+  EXPECT_NE(runSalted(7, 1), runSalted(7, 2));
+}
+
+// ---------------------------------------------------------------------------
+// Legacy sweeps, now harness drivers: transient load spikes plus a crash
+// whose target sweeps every protected primary and a standby (previously the
+// crash always hit primaryMachineOf(2)).
+// ---------------------------------------------------------------------------
 
 class ChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ChaosSweep, HybridSurvivesRandomSpikesAndACrash) {
   const std::uint64_t seed = GetParam();
-  ScenarioParams p;
-  p.mode = HaMode::kHybrid;
-  p.provisionSpares = true;
-  p.failStopAfter = 3 * kSecond;
+  ScenarioParams p = chaosBaseParams(seed);
   p.failureFraction = 0.25;
   p.failureDuration = 1200 * kMillisecond;
   p.failuresOnStandbys = true;
-  p.duration = 30 * kSecond;
-  p.seed = seed;
-  Scenario s(p);
-  s.build();
-  s.start();
-  s.startFailures();
 
-  // Crash the protected primary at a seed-dependent instant mid-run; the
-  // spike generators keep running on the standby throughout.
-  Rng chaos(seed * 97 + 1);
-  const SimTime crashAt =
-      fromSeconds(chaos.uniformReal(5.0, 20.0));
-  s.cluster().sim().schedule(crashAt, [&s] {
-    s.cluster().machine(s.primaryMachineOf(2)).crash();
-  });
+  // Crash schedule only (no message loss): the crash instant is seed-derived
+  // like before, but the target cycles through the failover roles.
+  harness::ChaosProfile profile;
+  profile.withPartition = false;
+  harness::ChaosPlan plan = harness::makeChaosPlan(p, profile, seed);
+  plan.schedule.links.clear();
+  p.faults = plan.schedule;
 
-  s.run(p.duration);
-  s.stopFailures();
-  s.drain(10 * kSecond);
-  const auto r = s.collect();
-  EXPECT_EQ(r.gapsObserved, 0u) << "seed " << seed;
-  const StreamId sinkStream = s.runtime().spec().sinkStreams[0];
-  EXPECT_EQ(s.sink().highestSeq(sinkStream), s.source().generatedCount())
-      << "seed " << seed;
-  EXPECT_EQ(s.sink().receivedCount(), s.source().generatedCount())
-      << "seed " << seed;
-  // The crash was eventually treated as fail-stop.
-  EXPECT_GE(r.promotions, 1u) << "seed " << seed;
+  const harness::ChaosOutcome out = harness::runChaosScenario(p);
+  EXPECT_TRUE(out.oracle.ok)
+      << "seed " << seed << ": " << out.oracle.summary() << "\nschedule:\n"
+      << plan.schedule.describe();
+  if (plan.crashedProtectedPrimary) {
+    // The crashed primary was eventually treated as fail-stop.
+    EXPECT_GE(out.result.promotions, 1u) << "seed " << seed;
+  }
+  EXPECT_EQ(out.faults.crashes, 1u) << "seed " << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep,
-                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u),
-                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
-                           return "seed" + std::to_string(i.param);
-                         });
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u, 77u,
+                                           88u),
+                         seedName);
 
 class PsChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -67,25 +157,12 @@ TEST_P(PsChaosSweep, PassiveStandbySurvivesRandomSpikes) {
   p.failuresOnStandbys = true;
   p.duration = 30 * kSecond;
   p.seed = seed;
-  Scenario s(p);
-  s.build();
-  s.start();
-  s.startFailures();
-  s.run(p.duration);
-  s.stopFailures();
-  s.drain(10 * kSecond);
-  const auto r = s.collect();
-  EXPECT_EQ(r.gapsObserved, 0u) << "seed " << seed;
-  const StreamId sinkStream = s.runtime().spec().sinkStreams[0];
-  EXPECT_EQ(s.sink().highestSeq(sinkStream), s.source().generatedCount())
-      << "seed " << seed;
+  const harness::ChaosOutcome out = harness::runChaosScenario(p, 10 * kSecond);
+  EXPECT_TRUE(out.oracle.ok) << "seed " << seed << ": " << out.oracle.summary();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PsChaosSweep,
-                         ::testing::Values(111u, 222u, 333u, 444u),
-                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
-                           return "seed" + std::to_string(i.param);
-                         });
+                         ::testing::Values(111u, 222u, 333u, 444u), seedName);
 
 }  // namespace
 }  // namespace streamha

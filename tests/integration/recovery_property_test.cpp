@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "exp/scenario.hpp"
+#include "harness/chaos_harness.hpp"
 #include "trace/timeline.hpp"
 
 namespace streamha {
@@ -96,12 +97,10 @@ TEST_P(RecoveryProperty, ExactlyOnceInOrderUnderTransientFailures) {
   s.drain(8 * kSecond);
   const auto r = s.collect();
 
-  // No forward sequence jump anywhere in the system.
-  EXPECT_EQ(r.gapsObserved, 0u);
-  // The sink saw every element, exactly once, in order.
-  const StreamId sinkStream = s.runtime().spec().sinkStreams[0];
-  EXPECT_EQ(s.sink().highestSeq(sinkStream), s.source().generatedCount());
-  EXPECT_EQ(s.sink().receivedCount(), s.source().generatedCount());
+  // The sink saw every element exactly once, in order, with no sequence
+  // jump accepted anywhere in the system.
+  const harness::OracleReport oracle = harness::checkExactlyOnceInOrder(s, r);
+  EXPECT_TRUE(oracle.ok) << oracle.summary();
 
   // The recorded trace independently reproduces the recovery bookkeeping.
   expectTraceAgreesWithCoordinators(s, r);
@@ -148,16 +147,8 @@ TEST_P(IntervalProperty, HybridCorrectAcrossIntervalsAndCheckpointKinds) {
   p.failuresOnStandbys = true;
   p.duration = 20 * kSecond;
   p.seed = 606;
-  Scenario s(p);
-  s.build();
-  s.start();
-  s.startFailures();
-  s.run(p.duration);
-  s.drain(8 * kSecond);
-  const auto r = s.collect();
-  EXPECT_EQ(r.gapsObserved, 0u);
-  const StreamId sinkStream = s.runtime().spec().sinkStreams[0];
-  EXPECT_EQ(s.sink().highestSeq(sinkStream), s.source().generatedCount());
+  const harness::ChaosOutcome out = harness::runChaosScenario(p, 8 * kSecond);
+  EXPECT_TRUE(out.oracle.ok) << out.oracle.summary();
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -207,16 +198,8 @@ TEST_P(OptimizationProperty, HybridCorrectUnderEveryOptimizationCombo) {
   p.failuresOnStandbys = true;
   p.duration = 20 * kSecond;
   p.seed = 808;
-  Scenario s(p);
-  s.build();
-  s.start();
-  s.startFailures();
-  s.run(p.duration);
-  s.drain(8 * kSecond);
-  const auto r = s.collect();
-  EXPECT_EQ(r.gapsObserved, 0u);
-  const StreamId sinkStream = s.runtime().spec().sinkStreams[0];
-  EXPECT_EQ(s.sink().highestSeq(sinkStream), s.source().generatedCount());
+  const harness::ChaosOutcome out = harness::runChaosScenario(p, 8 * kSecond);
+  EXPECT_TRUE(out.oracle.ok) << out.oracle.summary();
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -255,15 +238,8 @@ TEST_P(RateProperty, HybridExactAcrossDataRates) {
   p.failureDuration = kSecond;
   p.duration = 15 * kSecond;
   p.seed = c.seed;
-  Scenario s(p);
-  s.build();
-  s.start();
-  s.startFailures();
-  s.run(p.duration);
-  s.drain(8 * kSecond);
-  const StreamId sinkStream = s.runtime().spec().sinkStreams[0];
-  EXPECT_EQ(s.sink().highestSeq(sinkStream), s.source().generatedCount());
-  EXPECT_EQ(s.collect().gapsObserved, 0u);
+  const harness::ChaosOutcome out = harness::runChaosScenario(p, 8 * kSecond);
+  EXPECT_TRUE(out.oracle.ok) << out.oracle.summary();
 }
 
 INSTANTIATE_TEST_SUITE_P(Rates, RateProperty,

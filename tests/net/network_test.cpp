@@ -132,6 +132,119 @@ TEST_F(NetFixture, ZeroByteControlMessageStillHasLatency) {
   EXPECT_EQ(delivered_at, 100);
 }
 
+TEST_F(NetFixture, CounterSubtractionCoversEveryKindAndTotals) {
+  Network net = makeNet();
+  // Baseline traffic: one message of every kind.
+  for (int k = 0; k < kMsgKindCount; ++k) {
+    net.send(0, 1, static_cast<MsgKind>(k), 10 * (k + 1),
+             static_cast<std::uint64_t>(k), [] {});
+  }
+  sim.runAll();
+  const auto baseline = net.snapshot();
+  // Window traffic: two more of every kind.
+  for (int round = 0; round < 2; ++round) {
+    for (int k = 0; k < kMsgKindCount; ++k) {
+      net.send(1, 0, static_cast<MsgKind>(k), 5,
+               static_cast<std::uint64_t>(k) + 1, [] {});
+    }
+  }
+  sim.runAll();
+  const auto delta = net.snapshot() - baseline;
+  std::uint64_t messages = 0, elements = 0, bytes = 0;
+  for (int k = 0; k < kMsgKindCount; ++k) {
+    const auto kind = static_cast<MsgKind>(k);
+    EXPECT_EQ(delta.messagesOf(kind), 2u) << toString(kind);
+    EXPECT_EQ(delta.elementsOf(kind), 2u * (static_cast<std::uint64_t>(k) + 1))
+        << toString(kind);
+    EXPECT_EQ(delta.bytesOf(kind), 10u) << toString(kind);
+    messages += delta.messagesOf(kind);
+    elements += delta.elementsOf(kind);
+    bytes += delta.bytesOf(kind);
+  }
+  // The totals are consistent with the per-kind deltas.
+  EXPECT_EQ(delta.totalMessages(), messages);
+  EXPECT_EQ(delta.totalElements(), elements);
+  EXPECT_EQ(delta.totalBytes(), bytes);
+}
+
+TEST_F(NetFixture, AllKindsShareOneLinksBandwidth) {
+  // Serialization is per-(src, dst) link, not per message kind: a checkpoint
+  // transfer delays a data batch queued right behind it.
+  Network::Params params;
+  params.latency = 100;
+  params.bytesPerMicro = 125.0;
+  Network net = makeNet(params);
+  std::vector<std::pair<MsgKind, SimTime>> deliveries;
+  net.send(0, 1, MsgKind::kCheckpoint, 12500, 0,
+           [&] { deliveries.emplace_back(MsgKind::kCheckpoint, sim.now()); });
+  net.send(0, 1, MsgKind::kData, 1250, 1,
+           [&] { deliveries.emplace_back(MsgKind::kData, sim.now()); });
+  sim.runAll();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0].first, MsgKind::kCheckpoint);
+  EXPECT_EQ(deliveries[0].second, 100 + 100);  // 12500B / 125B-per-us.
+  EXPECT_EQ(deliveries[1].first, MsgKind::kData);
+  EXPECT_EQ(deliveries[1].second, 100 + 10 + 100);  // Queued behind it.
+}
+
+TEST_F(NetFixture, DistinctDestinationsAreIndependentLinks) {
+  Network::Params params;
+  params.latency = 100;
+  params.bytesPerMicro = 125.0;
+  Network net = makeNet(params);
+  std::vector<SimTime> deliveries;
+  net.send(0, 1, MsgKind::kData, 1250, 1, [&] { deliveries.push_back(sim.now()); });
+  net.send(0, 2, MsgKind::kData, 1250, 1, [&] { deliveries.push_back(sim.now()); });
+  sim.runAll();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], 110);
+  EXPECT_EQ(deliveries[1], 110);  // No shared serialization.
+}
+
+TEST_F(NetFixture, FaultHookDropStillCountsAndOccupiesLink) {
+  Network::Params params;
+  params.latency = 100;
+  params.bytesPerMicro = 125.0;
+  Network net = makeNet(params);
+  net.setFault([](MachineId, MachineId, MsgKind kind, std::size_t) {
+    Network::FaultDecision d;
+    d.drop = (kind == MsgKind::kData);
+    return d;
+  });
+  std::vector<SimTime> deliveries;
+  bool dataDelivered = false;
+  net.send(0, 1, MsgKind::kData, 1250, 1, [&] { dataDelivered = true; });
+  net.send(0, 1, MsgKind::kAck, 1250, 0, [&] { deliveries.push_back(sim.now()); });
+  sim.runAll();
+  EXPECT_FALSE(dataDelivered);
+  // The dropped message still hit the wire: counted, and the ack behind it
+  // had to wait for the link.
+  EXPECT_EQ(net.counters().messagesOf(MsgKind::kData), 1u);
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0], 120);
+}
+
+TEST_F(NetFixture, FaultHookDuplicatesAndDelays) {
+  Network::Params params;
+  params.latency = 100;
+  Network net = makeNet(params);
+  net.setFault([](MachineId, MachineId, MsgKind kind, std::size_t) {
+    Network::FaultDecision d;
+    if (kind == MsgKind::kData) d.duplicates = 2;
+    if (kind == MsgKind::kAck) d.extraDelay = 40;
+    return d;
+  });
+  int dataDeliveries = 0;
+  SimTime ackAt = -1;
+  net.send(0, 1, MsgKind::kData, 0, 1, [&] { ++dataDeliveries; });
+  net.send(0, 1, MsgKind::kAck, 0, 0, [&] { ackAt = sim.now(); });
+  sim.runAll();
+  EXPECT_EQ(dataDeliveries, 3);  // Original + 2 copies.
+  EXPECT_EQ(ackAt, 140);         // Latency + injected jitter.
+  // Duplicates are copies on the receive side, not extra sends.
+  EXPECT_EQ(net.counters().messagesOf(MsgKind::kData), 1u);
+}
+
 TEST_F(NetFixture, MsgKindNames) {
   EXPECT_STREQ(toString(MsgKind::kData), "data");
   EXPECT_STREQ(toString(MsgKind::kStateRead), "state-read");

@@ -195,15 +195,103 @@ TEST_F(QueueFixture, InputQueueAcceptsInOrderAndDedups) {
   EXPECT_EQ(iq.expected(7), 4u);
 }
 
-TEST_F(QueueFixture, InputQueueCountsGaps) {
+TEST_F(QueueFixture, InputQueueDropsOutOfOrderWithoutAdvancing) {
+  // Strict in-order delivery: a forward jump is held back (dropped pending
+  // retransmission), the watermark does not move, and the registered gap
+  // requesters learn the first missing sequence.
   InputQueue iq;
   iq.subscribe(7);
+  std::vector<std::pair<StreamId, ElementSeq>> nacks;
+  iq.addGapRequester(
+      7, [&](StreamId s, ElementSeq from) { nacks.emplace_back(s, from); });
   Element e;
   e.stream = 7;
   e.seq = 5;
   iq.receive({e});
-  EXPECT_EQ(iq.gapsObserved(), 1u);
-  EXPECT_EQ(iq.expected(7), 6u);
+  EXPECT_TRUE(iq.empty());
+  EXPECT_EQ(iq.outOfOrderDropped(), 1u);
+  EXPECT_EQ(iq.gapsObserved(), 0u);
+  EXPECT_EQ(iq.expected(7), 1u);
+  ASSERT_EQ(nacks.size(), 1u);
+  EXPECT_EQ(nacks[0], std::make_pair(StreamId{7}, ElementSeq{1}));
+  // The retransmitted in-order element is then accepted normally.
+  e.seq = 1;
+  iq.receive({e});
+  EXPECT_EQ(iq.size(), 1u);
+  EXPECT_EQ(iq.expected(7), 2u);
+}
+
+TEST_F(QueueFixture, InputQueueDuplicateListenerFires) {
+  InputQueue iq;
+  iq.subscribe(7);
+  std::vector<StreamId> dups;
+  iq.setDuplicateListener([&](StreamId s) { dups.push_back(s); });
+  Element e;
+  e.stream = 7;
+  e.seq = 1;
+  iq.receive({e});
+  EXPECT_TRUE(dups.empty());
+  iq.receive({e});  // Stale copy: duplicate listener signals once per batch.
+  ASSERT_EQ(dups.size(), 1u);
+  EXPECT_EQ(dups[0], 7);
+  EXPECT_EQ(iq.duplicatesDropped(), 1u);
+}
+
+TEST_F(QueueFixture, OutputQueueNackRewindsBackwardOnly) {
+  OutputQueue oq(net, 7, 0);
+  Collector c;
+  const int conn = oq.addConnection(1, true, true, c.fn());
+  for (int i = 0; i < 6; ++i) oq.produce(0, i, 100);
+  sim.runAll();
+  EXPECT_EQ(c.received.size(), 6u);
+  // NACK from 3: elements 3..6 are resent.
+  oq.nack(conn, 3);
+  sim.runAll();
+  EXPECT_EQ(c.received.size(), 10u);
+  EXPECT_EQ(c.received[6].seq, 3u);
+  // A NACK at/above the cursor is stale and resends nothing.
+  oq.nack(conn, 7);
+  sim.runAll();
+  EXPECT_EQ(c.received.size(), 10u);
+  // NACKs never reach below the trim point.
+  oq.onAck(conn, 4);
+  EXPECT_EQ(oq.trimmedUpTo(), 4u);
+  oq.nack(conn, 1);
+  sim.runAll();
+  ASSERT_GT(c.received.size(), 10u);
+  EXPECT_EQ(c.received[10].seq, 5u);
+}
+
+TEST_F(QueueFixture, RetransmitStalledRewindsToCoveredPrefix) {
+  OutputQueue oq(net, 7, 0);
+  Collector c;
+  const int conn = oq.addConnection(1, true, true, c.fn());
+  for (int i = 0; i < 4; ++i) oq.produce(0, i, 100);
+  sim.runAll();
+  EXPECT_EQ(c.received.size(), 4u);
+  oq.onAck(conn, 2);  // Acks 3..4 were lost.
+  const SimDuration timeout = 100 * kMillisecond;
+  // Inside the timeout nothing is resent.
+  sim.runUntil(sim.now() + timeout / 2);
+  oq.retransmitStalled(timeout);
+  sim.runAll();
+  EXPECT_EQ(c.received.size(), 4u);
+  // After the timeout the unacked suffix is resent, and the backoff doubles:
+  // a scan one base-timeout later stays quiet.
+  sim.runUntil(sim.now() + timeout);
+  oq.retransmitStalled(timeout);
+  sim.runAll();
+  ASSERT_EQ(c.received.size(), 6u);
+  EXPECT_EQ(c.received[4].seq, 3u);
+  sim.runUntil(sim.now() + timeout + kMillisecond);
+  oq.retransmitStalled(timeout);  // 2x backoff not yet elapsed.
+  sim.runAll();
+  EXPECT_EQ(c.received.size(), 6u);
+  // Progress clears the backlog; later scans resend nothing.
+  oq.onAck(conn, 4);
+  oq.retransmitStalled(timeout);
+  sim.runAll();
+  EXPECT_EQ(c.received.size(), 6u);
 }
 
 TEST_F(QueueFixture, InputQueueIgnoresUnsubscribedStreams) {

@@ -99,6 +99,10 @@ TEST_F(RuntimeFixture, ActivatingWireDeliversBacklog) {
   rt->start();
   cluster->sim().runUntil(kSecond);
   for (Runtime::Wire* wire : rt->wiresInto(copy)) {
+    // Inputs are strictly in-order, so mirror a real activation: align the
+    // consumer's watermark with the producer's trim point (a coordinator does
+    // this by restoring checkpointed state) before opening the wire.
+    copy.firstPe().input().fastForward(wire->stream, wire->oq->trimmedUpTo());
     rt->setWireActive(*wire, true);
   }
   cluster->sim().runUntil(1100 * kMillisecond);
