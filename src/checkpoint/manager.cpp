@@ -56,11 +56,14 @@ void CheckpointManager::checkpointPe(PeInstance& pe,
     if (done) done();
     return;
   }
-  in_progress_.insert(&pe);
+  const std::uint64_t token = ++attempt_counter_;
+  in_progress_[&pe] = token;
   if (params_.confirmTimeout > 0) {
     // Wrap `done` so whichever of {confirm arrival, timeout} fires first wins
     // and the other becomes a no-op. The timeout path releases no acks -- it
-    // only unblocks the PE for a future checkpoint attempt.
+    // only unblocks the PE for a future checkpoint attempt. The token guard
+    // keeps the erase scoped to *this* attempt: by the time the timer fires a
+    // newer attempt may own the entry.
     auto finished = std::make_shared<bool>(false);
     auto doneShared = std::make_shared<std::function<void()>>(std::move(done));
     done = [finished, doneShared] {
@@ -70,10 +73,13 @@ void CheckpointManager::checkpointPe(PeInstance& pe,
     };
     PeInstance* peGuard = &pe;
     sim_.schedule(params_.confirmTimeout,
-                  [this, peGuard, finished, doneShared] {
+                  [this, peGuard, token, finished, doneShared] {
                     if (*finished) return;
                     *finished = true;
-                    in_progress_.erase(peGuard);
+                    auto it = in_progress_.find(peGuard);
+                    if (it != in_progress_.end() && it->second == token) {
+                      in_progress_.erase(it);
+                    }
                     if (*doneShared) (*doneShared)();
                   });
   }
@@ -82,17 +88,18 @@ void CheckpointManager::checkpointPe(PeInstance& pe,
                         subjob_.machine().id(), subjob_.logicalId(),
                         static_cast<std::uint64_t>(pe.logicalId()) + 1, 0);
   PeInstance* pePtr = &pe;
-  pause_waiters_[pePtr] = [this, pePtr, started, done = std::move(done)] {
+  pause_waiters_[pePtr] = [this, pePtr, started, token,
+                           done = std::move(done)] {
     PeState state = pePtr->checkpoint(true, includesInputQueues());
     pePtr->resume();
     stats_.pauseMs.add(toMillis(sim_.now() - started));
-    shipState(pePtr, std::move(state), started, done);
+    shipState(pePtr, std::move(state), started, token, done);
   };
   pe.pause(*this);
 }
 
 void CheckpointManager::shipState(PeInstance* pe, PeState state,
-                                  SimTime startedAt,
+                                  SimTime startedAt, std::uint64_t token,
                                   std::function<void()> done) {
   const std::uint64_t bytes = state.sizeBytes();
   const std::uint64_t elements = state.sizeElements(params_.bytesPerElement);
@@ -110,46 +117,54 @@ void CheckpointManager::shipState(PeInstance* pe, PeState state,
                             : state.processedWatermark;
   machine.submitData(serializeWork, [this, pe, state = std::move(state),
                                      bytes, elements, srcMachine, storeMachine,
-                                     subjobId, acks, startedAt,
+                                     subjobId, acks, startedAt, token,
                                      done = std::move(done)]() mutable {
-    net_.send(srcMachine, storeMachine, MsgKind::kCheckpoint, bytes, elements,
-              [this, pe, state = std::move(state), bytes, elements, srcMachine,
-               storeMachine, subjobId, acks, startedAt,
-               done = std::move(done)]() mutable {
-                store_.storePeState(
-                    subjobId, state,
-                    [this, pe, bytes, elements, srcMachine, storeMachine, acks,
-                     startedAt, done = std::move(done)] {
-                      // Durable: confirm back to the primary, then release
-                      // the accumulative acks upstream.
-                      net_.send(storeMachine, srcMachine, MsgKind::kControl,
-                                params_.confirmBytes, 0,
-                                [this, pe, bytes, elements, srcMachine, acks,
-                                 startedAt, done = std::move(done)] {
-                                  stats_.checkpoints += 1;
-                                  stats_.bytes += bytes;
-                                  stats_.elements += elements;
-                                  stats_.latencyMs.add(
-                                      toMillis(sim_.now() - startedAt));
-                                  recordCheckpointEvent(
-                                      net_.trace(),
-                                      TraceEventType::kCheckpointEnd,
-                                      sim_.now(), srcMachine,
-                                      subjob_.logicalId(),
-                                      static_cast<std::uint64_t>(
-                                          pe->logicalId()) +
-                                          1,
-                                      bytes);
-                                  in_progress_.erase(pe);
-                                  // A fenced (stopped) manager must not
-                                  // advance upstream trim points anymore.
-                                  if (!stopped_ && !pe->terminated()) {
-                                    pe->flushAcks(acks);
-                                  }
-                                  if (done) done();
-                                });
+    // Ship and confirm ride the reliable control-plane path: under a lossy
+    // network both legs are retried until acked (plain send when ARQ is off).
+    net_.sendReliable(
+        srcMachine, storeMachine, MsgKind::kCheckpoint, bytes, elements,
+        [this, pe, state = std::move(state), bytes, elements, srcMachine,
+         storeMachine, subjobId, acks, startedAt, token,
+         done = std::move(done)]() mutable {
+          store_.storePeState(
+              subjobId, state,
+              [this, pe, bytes, elements, srcMachine, storeMachine, acks,
+               startedAt, token, done = std::move(done)] {
+                // Durable: confirm back to the primary, then release
+                // the accumulative acks upstream.
+                net_.sendReliable(
+                    storeMachine, srcMachine, MsgKind::kControl,
+                    params_.confirmBytes, 0,
+                    [this, pe, bytes, elements, srcMachine, acks, startedAt,
+                     token, done = std::move(done)] {
+                      stats_.checkpoints += 1;
+                      stats_.bytes += bytes;
+                      stats_.elements += elements;
+                      stats_.latencyMs.add(toMillis(sim_.now() - startedAt));
+                      recordCheckpointEvent(
+                          net_.trace(), TraceEventType::kCheckpointEnd,
+                          sim_.now(), srcMachine, subjob_.logicalId(),
+                          static_cast<std::uint64_t>(pe->logicalId()) + 1,
+                          bytes);
+                      // Only the attempt that started this pipeline may
+                      // retire the in-flight entry: a confirm arriving after
+                      // its confirm-timeout abandoned the attempt finds a
+                      // newer token (or none) and must leave it alone.
+                      auto it = in_progress_.find(pe);
+                      if (it != in_progress_.end() && it->second == token) {
+                        in_progress_.erase(it);
+                      } else {
+                        stats_.staleConfirms += 1;
+                      }
+                      // A fenced (stopped) manager must not
+                      // advance upstream trim points anymore.
+                      if (!stopped_ && !pe->terminated()) {
+                        pe->flushAcks(acks);
+                      }
+                      if (done) done();
                     });
               });
+        });
   });
 }
 
@@ -195,14 +210,14 @@ void CheckpointManager::checkpointSubjobGrouped(std::function<void()> done) {
         serializeWork,
         [this, state = std::move(state), bytes, elements, srcMachine,
          storeMachine, started, done = std::move(done)]() mutable {
-          net_.send(
+          net_.sendReliable(
               srcMachine, storeMachine, MsgKind::kCheckpoint, bytes, elements,
               [this, state = std::move(state), bytes, elements, srcMachine,
                storeMachine, started, done = std::move(done)]() mutable {
                 store_.storeSubjobState(
                     state, [this, state, bytes, elements, srcMachine,
                             storeMachine, started, done = std::move(done)] {
-                      net_.send(
+                      net_.sendReliable(
                           storeMachine, srcMachine, MsgKind::kControl,
                           params_.confirmBytes, 0,
                           [this, state, bytes, elements, srcMachine, started,

@@ -21,7 +21,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "checkpoint/store.hpp"
@@ -55,6 +54,10 @@ class CheckpointManager : public CheckpointController {
     std::uint64_t checkpoints = 0;
     std::uint64_t bytes = 0;
     std::uint64_t elements = 0;
+    /// Confirms that arrived after the confirm-timeout had already abandoned
+    /// their attempt. Each one is an interleaving that, before per-attempt
+    /// tokens, would have erased a *newer* pipeline's in_progress_ entry.
+    std::uint64_t staleConfirms = 0;
     RunningStats latencyMs;  ///< pause -> durable (incl. network + store).
     RunningStats pauseMs;    ///< How long PEs were held paused.
   };
@@ -84,6 +87,12 @@ class CheckpointManager : public CheckpointController {
   Subjob& subjob() { return subjob_; }
   const Params& params() const { return params_; }
 
+  /// White-box hooks for the confirm-token regression tests.
+  std::size_t inFlightCheckpoints() const { return in_progress_.size(); }
+  bool checkpointInFlight(PeInstance& pe) const {
+    return in_progress_.count(&pe) != 0;
+  }
+
  protected:
   /// Full checkpoint pipeline for one PE.
   void checkpointPe(PeInstance& pe, std::function<void()> done);
@@ -99,10 +108,14 @@ class CheckpointManager : public CheckpointController {
 
  private:
   void shipState(PeInstance* pe, PeState state, SimTime startedAt,
-                 std::function<void()> done);
+                 std::uint64_t token, std::function<void()> done);
 
   std::map<PeInstance*, std::function<void()>> pause_waiters_;
-  std::set<PeInstance*> in_progress_;
+  /// In-flight pipeline per PE, tagged with its attempt token. A confirm (or
+  /// confirm-timeout) may only erase the entry whose token it carries, so a
+  /// late confirm from an abandoned attempt can never cancel a newer one.
+  std::map<PeInstance*, std::uint64_t> in_progress_;
+  std::uint64_t attempt_counter_ = 0;
   bool stopped_ = false;
 };
 

@@ -23,11 +23,25 @@ void StateStore::completeWrite(std::uint64_t bytes,
   sim_.schedule(std::max<SimDuration>(1, penalty), std::move(onDurable));
 }
 
+bool StateStore::freshFor(const SubjobState& slot, const PeState& state) const {
+  const auto it = slot.pes.find(state.pe);
+  return it == slot.pes.end() || it->second.version < state.version;
+}
+
 void StateStore::storePeState(SubjobId subjob, const PeState& state,
                               std::function<void()> onDurable) {
   if (!machine_.isUp()) return;  // Store lost with its machine.
   SubjobState& slot = latest_[subjob];
   slot.subjob = subjob;
+  // Ships ride the ARQ layer, which guarantees delivery but not order: a
+  // retried older checkpoint may land after a newer one. Applying it would
+  // rewind the replica behind the upstream trim point, so drop it here;
+  // versions are monotonic per PE (PeInstance::checkpoint).
+  if (!freshFor(slot, state)) {
+    ++stale_writes_;
+    completeWrite(state.sizeBytes(), std::move(onDurable));
+    return;
+  }
   ++slot.version;
   slot.pes[state.pe] = state;
   applyToReplica(subjob, state);
@@ -41,6 +55,10 @@ void StateStore::storeSubjobState(const SubjobState& state,
   slot.subjob = state.subjob;
   ++slot.version;
   for (const auto& [peId, peState] : state.pes) {
+    if (!freshFor(slot, peState)) {
+      ++stale_writes_;
+      continue;
+    }
     slot.pes[peId] = peState;
     applyToReplica(state.subjob, peState);
   }

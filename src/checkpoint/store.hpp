@@ -57,8 +57,12 @@ class StateStore {
 
   std::uint64_t writeCount() const { return writes_; }
   std::uint64_t bytesWritten() const { return bytes_written_; }
+  /// Ships that arrived with a per-PE version at or below the stored one
+  /// (ARQ retries may reorder; stale versions are never applied).
+  std::uint64_t staleWrites() const { return stale_writes_; }
 
  private:
+  bool freshFor(const SubjobState& slot, const PeState& state) const;
   void applyToReplica(SubjobId subjob, const PeState& state);
   void completeWrite(std::uint64_t bytes, std::function<void()> onDurable);
 
@@ -69,6 +73,7 @@ class StateStore {
   std::map<SubjobId, Subjob*> replicas_;
   std::uint64_t writes_ = 0;
   std::uint64_t bytes_written_ = 0;
+  std::uint64_t stale_writes_ = 0;
 };
 
 }  // namespace streamha

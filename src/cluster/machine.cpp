@@ -189,6 +189,10 @@ void Machine::addCrashListener(std::function<void()> fn) {
   crash_listeners_.push_back(std::move(fn));
 }
 
+void Machine::addRestartListener(std::function<void()> fn) {
+  restart_listeners_.push_back(std::move(fn));
+}
+
 void Machine::crash() {
   if (!up_) return;
   accrueIntegrals();
@@ -221,6 +225,7 @@ void Machine::restart() {
     trace_->record(ev);
   }
   startNextData();
+  for (const auto& fn : restart_listeners_) fn();
 }
 
 }  // namespace streamha

@@ -112,6 +112,11 @@ class Machine {
   /// Registers a callback invoked (synchronously) when the machine crashes.
   void addCrashListener(std::function<void()> fn);
 
+  /// Registers a callback invoked (synchronously) when the machine restarts
+  /// after a crash. Hosted components use this to resume self-driven work
+  /// whose pending completions the crash dropped.
+  void addRestartListener(std::function<void()> fn);
+
   /// Optional structured-event sink (null = tracing off). Crash/restart
   /// events are recorded here; the load generator reaches it through its
   /// machine as well.
@@ -163,6 +168,7 @@ class Machine {
   std::deque<std::pair<SimTime, double>> busy_snapshots_;
 
   std::vector<std::function<void()>> crash_listeners_;
+  std::vector<std::function<void()>> restart_listeners_;
   TraceRecorder* trace_ = nullptr;
 };
 

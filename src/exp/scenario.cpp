@@ -100,6 +100,15 @@ void Scenario::build() {
     if (params_.costs.retransmitTimeout == 0) {
       params_.costs.retransmitTimeout = 250 * kMillisecond;
     }
+    // Arm the control-plane ARQ layer: checkpoint ship/confirm, rewiring
+    // round-trips, NACKs and state reads retry until acked, so every message
+    // kind can be made lossy. Fault-free runs never arm it, keeping their
+    // traffic and traces bit-identical to pre-ARQ builds.
+    if (!cluster_->network().reliableEnabled()) {
+      ReliableParams arq;
+      arq.retryTimeout = params_.costs.retransmitTimeout;
+      cluster_->network().enableReliable(arq);
+    }
   }
 
   const JobSpec spec = JobBuilder::chain(

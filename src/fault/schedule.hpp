@@ -24,20 +24,17 @@ constexpr std::uint32_t maskOf(MsgKind kind) {
   return 1u << static_cast<std::uint32_t>(kind);
 }
 inline constexpr std::uint32_t kAllKinds = (1u << kMsgKindCount) - 1;
-/// The data plane plus heartbeats: the kinds the chaos harness perturbs.
-/// Control, checkpoint and state-read transfers are treated as reliable
-/// transport (see docs/TESTING.md; lifting this is a ROADMAP open item).
-inline constexpr std::uint32_t kLossyKindsDefault =
-    maskOf(MsgKind::kData) | maskOf(MsgKind::kAck) |
-    maskOf(MsgKind::kHeartbeatPing) | maskOf(MsgKind::kHeartbeatReply);
 
 /// Probabilistic loss/duplication/jitter on one link (or any link, with
-/// wildcards). Active inside [from, until).
+/// wildcards). Active inside [from, until). Every message kind is fair game
+/// by default -- control, checkpoint and state-read traffic rides the ARQ
+/// layer (net/reliable.hpp), so there is no longer a reliable-transport
+/// exemption.
 struct LinkFaultRule {
   MachineId src = kNoMachine;  ///< kNoMachine = any source.
   MachineId dst = kNoMachine;  ///< kNoMachine = any destination.
   bool bidirectional = true;   ///< Also match the (dst, src) direction.
-  std::uint32_t kinds = kLossyKindsDefault;
+  std::uint32_t kinds = kAllKinds;
   double dropProb = 0.0;
   double duplicateProb = 0.0;
   double delayProb = 0.0;

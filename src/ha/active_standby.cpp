@@ -103,7 +103,7 @@ void ActiveStandbyCoordinator::replaceCopy(Replica which) {
         quiescer_.quiesce(*survivor, [this, &copy, survivor, spare, idx] {
           SubjobState state = survivor->captureState(true, true);
           const MachineId from = survivor->machine().id();
-          net().send(
+          net().sendReliable(
               from, spare, MsgKind::kStateRead, state.sizeBytes(),
               state.sizeElements(params_.checkpoint.bytesPerElement),
               [this, &copy, survivor, state, idx] {

@@ -163,6 +163,11 @@ void HybridCoordinator::onRecovery(SimTime recoveredAt) {
       recordIncidentEvent(TraceEventType::kRollbackEnd,
                           recoveries_[current_timeline_].incidentId,
                           primary_->machine().id(), kNoMachine, 0, 1);
+      // Explicit classification for the timeline analyzer: value 1 = the
+      // switchover was abandoned before the secondary even resumed.
+      recordIncidentEvent(TraceEventType::kIncidentAborted,
+                          recoveries_[current_timeline_].incidentId,
+                          primary_->machine().id(), kNoMachine, 1);
     }
     switched_ = false;
     return;
@@ -201,6 +206,12 @@ void HybridCoordinator::onRecovery(SimTime recoveredAt) {
                             recoveries_[current_timeline_].incidentId,
                             primary_->machine().id(),
                             secondary_->machine().id(), 0, 1);
+        // Explicit classification for the timeline analyzer: value 2 = the
+        // rollback was abandoned because the primary died mid-quiesce.
+        recordIncidentEvent(TraceEventType::kIncidentAborted,
+                            recoveries_[current_timeline_].incidentId,
+                            primary_->machine().id(),
+                            secondary_->machine().id(), 2);
       }
       failstop_timer_ = sim().schedule(params_.failStopAfter, [this] {
         if (switched_ && !promoting_) promote();
@@ -233,17 +244,19 @@ void HybridCoordinator::onRecovery(SimTime recoveredAt) {
       state_read_elements_ += elements;
       const MachineId standbyM = secondary_->machine().id();
       const MachineId primaryM = primary_->machine().id();
-      // The delivery callback is lost if the primary dies while the state is
-      // in flight; a timeout finishes the rollback regardless (the detector
-      // then re-reports the failure and a fresh switchover begins).
+      // The transfer rides the reliable path, so a lost copy is retried
+      // instead of silently falling back; the timeout below only remains for
+      // the case where the primary dies while the state is in flight (the
+      // detector then re-reports the failure and a fresh switchover begins).
       auto finishOnce = std::make_shared<std::function<void()>>(
           [finishRollback, done = false]() mutable {
             if (done) return;
             done = true;
             finishRollback();
           });
-      net().send(standbyM, primaryM, MsgKind::kStateRead, state.sizeBytes(),
-                 elements, [this, state, finishOnce] {
+      net().sendReliable(standbyM, primaryM, MsgKind::kStateRead,
+                         state.sizeBytes(), elements,
+                         [this, state, finishOnce] {
                    // Re-check at application time: the recovered primary has
                    // been processing during the transfer and may have moved
                    // past the captured state -- applying it then would roll

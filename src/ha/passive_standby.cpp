@@ -96,15 +96,16 @@ void PassiveStandbyCoordinator::finishMigration(Subjob& copy,
   // are actions on the healthy upstream machines).
   isolateInstance(*old);
 
-  // The old copy itself is told to terminate via a control message -- it
-  // lands whenever the stalled machine gets around to it. Until then the old
-  // copy may keep producing from its backlog; downstream dedup drops it.
+  // The old copy itself is told to terminate via a reliable control message
+  // -- it lands whenever the stalled machine gets around to it (retried if
+  // lost). Until then the old copy may keep producing from its backlog;
+  // downstream dedup drops it.
   Subjob* oldPtr = old;
-  net().send(copy.machine().id(), oldMachine, MsgKind::kControl,
-             rt_.costs().controlMsgBytes, 0, [this, oldPtr] {
-               oldPtr->terminateAll();
-               rt_.removeWiresOf(*oldPtr);
-             });
+  net().sendReliable(copy.machine().id(), oldMachine, MsgKind::kControl,
+                     rt_.costs().controlMsgBytes, 0, [this, oldPtr] {
+                       oldPtr->terminateAll();
+                       rt_.removeWiresOf(*oldPtr);
+                     });
 
   // Role swap: the old primary machine becomes the new standby.
   primary_ = &copy;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "net/reliable.hpp"
 #include "trace/recorder.hpp"
 
 namespace streamha {
@@ -39,6 +40,22 @@ Network::Counters Network::Counters::operator-(const Counters& other) const {
 Network::Network(Simulator& sim, Params params,
                  std::function<bool(MachineId)> machineUp)
     : sim_(sim), params_(params), machine_up_(std::move(machineUp)) {}
+
+Network::~Network() = default;
+
+void Network::enableReliable(const ReliableParams& params) {
+  reliable_ = std::make_unique<ReliableDelivery>(sim_, *this, params);
+}
+
+void Network::sendReliable(MachineId src, MachineId dst, MsgKind kind,
+                           std::size_t bytes, std::uint64_t elements,
+                           std::function<void()> deliver) {
+  if (reliable_) {
+    reliable_->send(src, dst, kind, bytes, elements, std::move(deliver));
+  } else {
+    send(src, dst, kind, bytes, elements, std::move(deliver));
+  }
+}
 
 void Network::send(MachineId src, MachineId dst, MsgKind kind,
                    std::size_t bytes, std::uint64_t elements,

@@ -9,6 +9,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 
 #include "common/types.hpp"
@@ -17,6 +18,16 @@
 namespace streamha {
 
 class TraceRecorder;
+class ReliableDelivery;
+
+/// Tuning for the control-plane ARQ layer (net/reliable.hpp). Defined here so
+/// Network::enableReliable callers don't need the full ReliableDelivery type.
+struct ReliableParams {
+  SimDuration retryTimeout = 250 * kMillisecond;  ///< Base retry; doubles.
+  int maxBackoffShift = 4;                        ///< Cap retries at 16x base.
+  std::size_t headerBytes = 16;  ///< Sequence-id header per reliable message.
+  std::size_t ackBytes = 24;     ///< ARQ-ack wire size (rides kControl).
+};
 
 /// Classification of every message the protocols exchange.
 enum class MsgKind : std::uint8_t {
@@ -90,6 +101,7 @@ class Network {
 
   Network(Simulator& sim, Params params,
           std::function<bool(MachineId)> machineUp);
+  ~Network();
 
   /// Send a message. `elements` is the number of stream data elements the
   /// message carries (0 for pure control traffic); it feeds the
@@ -97,6 +109,30 @@ class Network {
   /// at the destination unless that machine is down at delivery time.
   void send(MachineId src, MachineId dst, MsgKind kind, std::size_t bytes,
             std::uint64_t elements, std::function<void()> deliver);
+
+  /// Send with reliable-delivery semantics (retry until acked, duplicates
+  /// suppressed at the receiver; see net/reliable.hpp). Falls through to
+  /// plain send() while the ARQ layer is unarmed, so fault-free runs carry
+  /// zero ARQ traffic. Control-plane protocols (checkpoint ship/confirm,
+  /// deploy/rewire round-trips, NACKs, state reads) use this entry point.
+  void sendReliable(MachineId src, MachineId dst, MsgKind kind,
+                    std::size_t bytes, std::uint64_t elements,
+                    std::function<void()> deliver);
+
+  /// Arm the control-plane ARQ layer. Scenario::build() calls this whenever a
+  /// fault schedule is present; idempotent (re-arming replaces the params but
+  /// keeps in-flight state only if never armed before -- arm once, early).
+  void enableReliable(const ReliableParams& params);
+  bool reliableEnabled() const { return reliable_ != nullptr; }
+  ReliableDelivery* reliable() const { return reliable_.get(); }
+
+  /// Whether `id` is currently up, per the cluster's liveness callback
+  /// (true when no callback is installed). Lets senders -- the stall
+  /// retransmit scan, the ARQ retry timer -- skip transmissions the network
+  /// would drop at delivery anyway.
+  bool machineUp(MachineId id) const {
+    return !machine_up_ || machine_up_(id);
+  }
 
   const Counters& counters() const { return counters_; }
   Counters snapshot() const { return counters_; }
@@ -124,6 +160,7 @@ class Network {
   std::function<bool(MachineId)> machine_up_;
   FaultFn fault_;
   TraceRecorder* trace_ = nullptr;
+  std::unique_ptr<ReliableDelivery> reliable_;
   Counters counters_;
   /// Time each ordered link becomes free (bandwidth serialization).
   std::unordered_map<std::uint64_t, SimTime> link_free_at_;

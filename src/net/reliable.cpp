@@ -1,0 +1,91 @@
+#include "net/reliable.hpp"
+
+#include <algorithm>
+
+namespace streamha {
+
+namespace {
+std::uint64_t linkKey(MachineId src, MachineId dst) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint32_t>(dst);
+}
+}  // namespace
+
+ReliableDelivery::ReliableDelivery(Simulator& sim, Network& net,
+                                   ReliableParams params)
+    : sim_(sim), net_(net), params_(params) {}
+
+void ReliableDelivery::send(MachineId src, MachineId dst, MsgKind kind,
+                            std::size_t bytes, std::uint64_t elements,
+                            std::function<void()> deliver) {
+  if (src == dst) {
+    // Loopback is lossless in the network model; no ARQ needed.
+    net_.send(src, dst, kind, bytes, elements, std::move(deliver));
+    return;
+  }
+  const std::uint64_t id = next_id_++;
+  Pending p;
+  p.src = src;
+  p.dst = dst;
+  p.kind = kind;
+  p.bytes = bytes;
+  p.elements = elements;
+  p.deliver = std::move(deliver);
+  pending_.emplace(id, std::move(p));
+  ++stats_.accepted;
+  transmit(id);
+}
+
+void ReliableDelivery::transmit(std::uint64_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;  // Acked while the timer was armed.
+  Pending& p = it->second;
+  if (!net_.machineUp(p.src)) {
+    // The sending process died with its machine; nothing left to retry.
+    ++stats_.abandoned;
+    pending_.erase(it);
+    return;
+  }
+  ++p.attempts;
+  if (net_.machineUp(p.dst)) {
+    if (p.attempts > 1) ++stats_.retransmits;
+    const MachineId src = p.src;
+    const MachineId dst = p.dst;
+    net_.send(src, dst, p.kind, p.bytes + params_.headerBytes, p.elements,
+              [this, id, src, dst] { onDelivered(id, src, dst); });
+  }
+  // Receiver down: skip the wasted copy (the network would drop it at
+  // delivery anyway) but keep the timer armed so delivery resumes after a
+  // restart. Satellite fix "retransmission to dead peers" for the control
+  // plane; the data plane's equivalent lives in OutputQueue.
+  armTimer(id);
+}
+
+void ReliableDelivery::armTimer(std::uint64_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  const int shift =
+      std::min(it->second.attempts - 1, params_.maxBackoffShift);
+  const SimDuration wait = params_.retryTimeout << shift;
+  sim_.schedule(wait, [this, id] { transmit(id); });
+}
+
+void ReliableDelivery::onDelivered(std::uint64_t id, MachineId src,
+                                   MachineId dst) {
+  auto& seen = delivered_[linkKey(src, dst)];
+  if (seen.insert(id).second) {
+    auto it = pending_.find(id);
+    if (it != pending_.end() && it->second.deliver) it->second.deliver();
+  } else {
+    // Injected duplicate or retransmitted copy: suppressed, but re-acked --
+    // a lost ack must not wedge the sender in retry forever.
+    ++stats_.duplicatesSuppressed;
+  }
+  ++stats_.acksSent;
+  net_.send(dst, src, MsgKind::kControl, params_.ackBytes, 0,
+            [this, id] { onAcked(id); });
+}
+
+void ReliableDelivery::onAcked(std::uint64_t id) { pending_.erase(id); }
+
+}  // namespace streamha

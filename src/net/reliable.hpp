@@ -1,0 +1,90 @@
+// Reliable delivery (ARQ) for control-plane traffic.
+//
+// The simulated interconnect (network.hpp) is allowed to lose, duplicate and
+// delay any message. The data plane recovers with its own go-back-N machinery
+// (NACK gap-requesters + stall retransmit, see stream/queues.hpp), but
+// control-plane exchanges -- checkpoint ship/confirm, deploy/rewire
+// round-trips, NACKs themselves, read-state-on-rollback -- used to assume a
+// reliable transport. This layer removes that assumption: every message sent
+// through Network::sendReliable carries a sequence id, the receiver
+// acknowledges it, the sender retries on an exponentially backed-off timer
+// until acknowledged, and the receiver suppresses duplicate deliveries (both
+// injected duplicates and retransmitted copies).
+//
+// Liveness policy on retry:
+//  * sender machine down  -> abandon (the sending process died with it);
+//  * receiver machine down -> skip the wasted transmission but keep the
+//    timer armed, so delivery resumes when the machine restarts.
+//
+// The layer is off by default (Network::sendReliable falls through to plain
+// send()), so fault-free runs carry zero ARQ traffic and stay bit-identical
+// to pre-ARQ builds. Scenario::build() arms it whenever a fault schedule is
+// present. Everything is deterministic: no randomness, timers only.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/network.hpp"
+
+namespace streamha {
+
+class ReliableDelivery {
+ public:
+  struct Stats {
+    std::uint64_t accepted = 0;     ///< sendReliable calls accepted.
+    std::uint64_t retransmits = 0;  ///< Timer-driven re-sends.
+    std::uint64_t acksSent = 0;     ///< ARQ acks emitted by receivers.
+    std::uint64_t duplicatesSuppressed = 0;  ///< Copies dropped at receivers.
+    std::uint64_t abandoned = 0;    ///< Given up because the sender died.
+  };
+
+  ReliableDelivery(Simulator& sim, Network& net, ReliableParams params);
+
+  /// Send with at-least-once transmission and exactly-once delivery: retried
+  /// until the receiver's ack lands, duplicate copies suppressed. `deliver`
+  /// runs at most once, at `dst`, the first time any copy arrives while the
+  /// machine is up. Loopback falls through to plain send (it is lossless).
+  void send(MachineId src, MachineId dst, MsgKind kind, std::size_t bytes,
+            std::uint64_t elements, std::function<void()> deliver);
+
+  const Stats& stats() const { return stats_; }
+  const ReliableParams& params() const { return params_; }
+  /// Messages currently awaiting an ack (for tests / leak checks).
+  std::size_t inFlight() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    MachineId src = kNoMachine;
+    MachineId dst = kNoMachine;
+    MsgKind kind = MsgKind::kControl;
+    std::size_t bytes = 0;
+    std::uint64_t elements = 0;
+    std::function<void()> deliver;
+    int attempts = 0;  ///< Transmissions so far (drives the backoff shift).
+  };
+
+  void transmit(std::uint64_t id);
+  void armTimer(std::uint64_t id);
+  void onDelivered(std::uint64_t id, MachineId src, MachineId dst);
+  void onAcked(std::uint64_t id);
+
+  Simulator& sim_;
+  Network& net_;
+  ReliableParams params_;
+  Stats stats_;
+  std::uint64_t next_id_ = 1;
+  /// Unacked messages, by id. std::map: deterministic iteration not needed
+  /// (lookups only), but keeps debugging output ordered.
+  std::map<std::uint64_t, Pending> pending_;
+  /// Receiver-side duplicate suppression: ids already delivered, per ordered
+  /// (src, dst) link. Only ever grows; bounded by the number of reliable
+  /// sends in a run, which is fine for simulation lifetimes.
+  std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>>
+      delivered_;
+};
+
+}  // namespace streamha

@@ -177,8 +177,8 @@ void LoadBalancer::migrateSubjob(Subjob& instance, MachineId target,
       const MachineId from = inst->machine().id();
       Network& net = rt_.cluster().network();
       const std::uint64_t elements = state.sizeElements(132);
-      net.send(from, target, MsgKind::kStateRead, state.sizeBytes(), elements,
-               [this, inst, target, state, doneShared] {
+      net.sendReliable(from, target, MsgKind::kStateRead, state.sizeBytes(),
+                       elements, [this, inst, target, state, doneShared] {
                  // 3. Instantiate and restore on the target.
                  Subjob& copy = rt_.instantiate(inst->logicalId(), target,
                                                 Replica::kPrimary);

@@ -1,5 +1,6 @@
 #include "stream/pe.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -69,6 +70,18 @@ PeInstance::PeInstance(Simulator& sim, Machine& machine, Network& net,
         std::make_unique<OutputQueue>(net, stream, machine_.id()));
   }
   input_.setArrivalListener([this] { maybeSchedule(); });
+  // A crash drops the machine's queued work, including any processing
+  // completion this PE is waiting on. Invalidate it -- and any pause
+  // handshake riding on it -- or the instance would come back from restart()
+  // with in_flight_ stuck true and never process again. The restart hook
+  // re-pokes the loop in case the input backlog saw no new arrival to do it.
+  machine_.addCrashListener([this] {
+    ++epoch_;
+    in_flight_ = false;
+    pause_requested_ = false;
+    pause_controller_ = nullptr;
+  });
+  machine_.addRestartListener([this] { maybeSchedule(); });
 }
 
 void PeInstance::maybeSchedule() {
@@ -189,6 +202,24 @@ void PeInstance::storeJobState(const PeState& state) {
 #endif
   ++epoch_;  // Invalidate any in-flight processing completion.
   in_flight_ = false;
+#ifdef STREAMHA_DEBUG_SEQ
+  for (const auto& [stream, wm] : state.processedWatermark) {
+    const auto cur = watermarks_.find(stream);
+    if (cur != watermarks_.end() && wm < cur->second) {
+      std::fprintf(stderr,
+                   "[restore-rewind] t=%lld pe=%d machine=%d stream=%d "
+                   "wm %llu -> %llu expected=%llu\n",
+                   (long long)sim_.now(), params_.logicalId, machine_.id(),
+                   stream, (unsigned long long)cur->second,
+                   (unsigned long long)wm,
+                   (unsigned long long)input_.expected(stream));
+    }
+  }
+#endif
+  // Keep the per-PE checkpoint version monotonic across restores: after a
+  // promotion this instance's own checkpoints must out-version everything the
+  // old primary shipped, or the store would reject them as stale.
+  checkpoint_version_ = std::max(checkpoint_version_, state.version);
   logic_->deserialize(state.internal);
   watermarks_ = state.processedWatermark;
   for (const auto& port : state.ports) {
@@ -199,7 +230,12 @@ void PeInstance::storeJobState(const PeState& state) {
     }
   }
   for (const auto& [stream, wm] : watermarks_) {
-    input_.fastForward(stream, wm);
+    // Reset, not fast-forward: a restore may legitimately REWIND this PE
+    // (e.g. the checkpointed state lags what a briefly-activated secondary
+    // processed on its own). The input dedup point must follow the state
+    // down, or retransmissions of the rewound span are dropped as
+    // duplicates and their outputs are lost for good.
+    input_.resetStream(stream, wm);
   }
   if (!state.inputBacklog.empty()) {
     input_.loadPending(state.inputBacklog);

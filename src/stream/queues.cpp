@@ -128,6 +128,15 @@ void OutputQueue::retransmitStalled(SimDuration baseTimeout) {
       conn.backoffLevel = 0;
       continue;
     }
+    if (!net_.machineUp(conn.dst)) {
+      // The peer machine is down: every retransmission would be dropped at
+      // delivery anyway, so park the stall clock instead of resending into
+      // the dead connection. After a restart (or once failover replaces the
+      // connection) the scan resumes with a fresh backoff.
+      conn.lastProgressAt = now;
+      conn.backoffLevel = 0;
+      continue;
+    }
     const SimDuration timeout = baseTimeout << std::min(conn.backoffLevel, 4);
     if (now - conn.lastProgressAt < timeout) continue;
     conn.nextToSend = covered + 1;
@@ -292,6 +301,39 @@ void InputQueue::sendAcks(const std::map<StreamId, ElementSeq>& watermarks) {
 ElementSeq InputQueue::expected(StreamId stream) const {
   const auto it = expected_.find(stream);
   return it == expected_.end() ? 1 : it->second;
+}
+
+void InputQueue::resetStream(StreamId stream, ElementSeq watermark) {
+  auto it = expected_.find(stream);
+  if (it == expected_.end()) return;
+  // Elements at or below the watermark are covered by the restored state.
+  pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                [&](const Element& e) {
+                                  return e.stream == stream &&
+                                         e.seq <= watermark;
+                                }),
+                 pending_.end());
+  // The stream's surviving pending span is contiguous up to expected - 1 (the
+  // queue accepts strictly in order), so its first element tells rewind from
+  // non-rewind apart. If it starts at watermark + 1 the restore did not jump
+  // below anything already processed: keep the backlog, expected stands. If
+  // it does not (or nothing survives past a watermark below expected - 1),
+  // the restore REWOUND the PE past elements it already consumed; those are
+  // un-acked upstream (acks never run ahead of the processed watermark), so
+  // drop the stream's backlog and rewind the dedup point to re-accept the
+  // retransmission of the whole span -- keeping it would dedup the resent
+  // elements into a permanent gap.
+  for (const auto& e : pending_) {
+    if (e.stream != stream) continue;
+    if (e.seq == watermark + 1) return;  // Contiguous: nothing rewound.
+    break;
+  }
+  if (watermark + 1 == it->second) return;  // Empty span, nothing rewound.
+  it->second = watermark + 1;
+  pending_.erase(std::remove_if(
+                     pending_.begin(), pending_.end(),
+                     [&](const Element& e) { return e.stream == stream; }),
+                 pending_.end());
 }
 
 void InputQueue::fastForward(StreamId stream, ElementSeq watermark) {

@@ -221,6 +221,15 @@ class InputQueue {
   /// restore/rollback.
   void fastForward(StreamId stream, ElementSeq watermark);
 
+  /// Hard-reset `stream` to exactly `watermark`: expect watermark + 1 next
+  /// (even if that REWINDS the dedup point) and drop every pending element of
+  /// the stream. This is the restore semantic -- a PE restored to an older
+  /// state must be able to re-accept the retransmission of elements it once
+  /// saw, or they are deduplicated into a permanent gap. fastForward, in
+  /// contrast, only ever advances and is for merging a newer watermark into a
+  /// live queue.
+  void resetStream(StreamId stream, ElementSeq watermark);
+
   /// Drop everything buffered (fresh restore from checkpoint).
   void clearPending() { pending_.clear(); }
 

@@ -239,19 +239,22 @@ void Runtime::wireInstanceWithCost(Subjob& instance, WireOpts inbound,
       instance.machine().submitData(costs_.connectWorkUs, finishOne);
     } else {
       // Control round-trip to the producer, connection work there, confirm.
+      // Rides the reliable path: a lost leg would strand `remaining` above
+      // zero and wedge the whole switchover/rewire, so both legs retry until
+      // acked once the ARQ layer is armed.
       Machine* prodMachine = &producerMachineRef;
       const std::size_t ctlBytes = costs_.controlMsgBytes;
       const double connectWork = costs_.connectWorkUs;
-      net->send(initiatorM, producerM, MsgKind::kControl, ctlBytes, 0,
-                [net, prodMachine, initiatorM, producerM, ctlBytes,
-                 connectWork, finishOne] {
-                  prodMachine->submitData(connectWork, [net, initiatorM,
-                                                        producerM, ctlBytes,
-                                                        finishOne] {
-                    net->send(producerM, initiatorM, MsgKind::kControl,
-                              ctlBytes, 0, finishOne);
-                  });
+      net->sendReliable(
+          initiatorM, producerM, MsgKind::kControl, ctlBytes, 0,
+          [net, prodMachine, initiatorM, producerM, ctlBytes, connectWork,
+           finishOne] {
+            prodMachine->submitData(
+                connectWork, [net, initiatorM, producerM, ctlBytes, finishOne] {
+                  net->sendReliable(producerM, initiatorM, MsgKind::kControl,
+                                    ctlBytes, 0, finishOne);
                 });
+          });
     }
   }
 }
@@ -278,8 +281,8 @@ void Runtime::createSingleWire(const WirePlan& plan, WireOpts opts) {
   if (costs_.retransmitTimeout > 0) {
     // Go-back-N NACK path: an out-of-order arrival asks this producer to
     // rewind the wire to the first missing element. Rate-limited per wire;
-    // rides the control plane (treated as reliable transport -- the
-    // sender-side stall retransmission is the backstop if it is not).
+    // rides the reliable control plane so a lost NACK is retried instead of
+    // waiting out a full stall-retransmit backoff round.
     auto lastNack = std::make_shared<SimTime>(-1);
     const SimDuration minGap = costs_.nackMinGap;
     const std::size_t nackBytes = costs_.nackBytes;
@@ -290,8 +293,9 @@ void Runtime::createSingleWire(const WirePlan& plan, WireOpts opts) {
           const SimTime now = net->now();
           if (*lastNack >= 0 && now - *lastNack < minGap) return;
           *lastNack = now;
-          net->send(dstMachine, srcMachine, MsgKind::kControl, nackBytes, 0,
-                    [oq, connId, fromSeq] { oq->nack(connId, fromSeq); });
+          net->sendReliable(dstMachine, srcMachine, MsgKind::kControl,
+                            nackBytes, 0,
+                            [oq, connId, fromSeq] { oq->nack(connId, fromSeq); });
         });
   }
   auto wire = std::make_unique<Wire>();

@@ -38,6 +38,9 @@ enum class TraceEventType : std::uint8_t {
   kRollbackBegin,     ///< Primary responsive again; rollback started (Hybrid).
   kRollbackEnd,       ///< Secondary re-suspended; primary owns the subjob again.
   kPromotion,         ///< Fail-stop: the secondary was promoted to primary.
+  kIncidentAborted,   ///< Recovery abandoned mid-flight (value = reason: 1 =
+                      ///< switchover aborted before resume, 2 = rollback
+                      ///< aborted because the primary died mid-quiesce).
   // -- Substrate ground truth -------------------------------------------------
   kMachineCrash,
   kMachineRestart,
@@ -73,6 +76,7 @@ constexpr const char* toString(TraceEventType type) {
     case TraceEventType::kRollbackBegin: return "RollbackBegin";
     case TraceEventType::kRollbackEnd: return "RollbackEnd";
     case TraceEventType::kPromotion: return "Promotion";
+    case TraceEventType::kIncidentAborted: return "IncidentAborted";
     case TraceEventType::kMachineCrash: return "MachineCrash";
     case TraceEventType::kMachineRestart: return "MachineRestart";
     case TraceEventType::kLoadSpikeBegin: return "LoadSpikeBegin";

@@ -197,6 +197,7 @@ int trackOf(const TraceEvent& ev) {
     case TraceEventType::kRollbackBegin:
     case TraceEventType::kRollbackEnd:
     case TraceEventType::kPromotion:
+    case TraceEventType::kIncidentAborted:
       return kTrackRecovery;
     case TraceEventType::kLoadSpikeBegin:
     case TraceEventType::kLoadSpikeEnd:

@@ -48,6 +48,10 @@ RecoveryTimelineAnalyzer::RecoveryTimelineAnalyzer(
       case TraceEventType::kPromotion:
         inc.promoted = true;
         break;
+      case TraceEventType::kIncidentAborted:
+        inc.aborted = true;
+        inc.abortReason = ev.value;
+        break;
       default:
         break;
     }
@@ -89,8 +93,16 @@ std::vector<RecoveryTimeline> RecoveryTimelineAnalyzer::timelines() const {
 }
 
 RecoveryBreakdown RecoveryTimelineAnalyzer::breakdown() const {
+  // Aborted incidents carry degenerate phase spans (e.g. a zero-length
+  // rollback cut short by the primary dying mid-quiesce); folding them into
+  // the aggregates would skew every mean downward.
   RecoveryBreakdown agg;
-  agg.addAll(timelines());
+  std::vector<RecoveryTimeline> completed;
+  completed.reserve(incidents_.size());
+  for (const auto& inc : incidents_) {
+    if (!inc.aborted) completed.push_back(inc.phases);
+  }
+  agg.addAll(completed);
   return agg;
 }
 

@@ -39,6 +39,12 @@ struct IncidentTimeline {
   RecoveryTimeline phases;
   bool rolledBack = false;  ///< The failure was transient (Hybrid rollback).
   bool promoted = false;    ///< The failure became a fail-stop promotion.
+  /// The recovery was abandoned mid-flight (IncidentAborted event): the
+  /// rollback span is zero-length by construction, not a measurement.
+  /// abortReason: 1 = switchover aborted before the secondary resumed,
+  /// 2 = rollback aborted because the primary died mid-quiesce.
+  bool aborted = false;
+  std::uint64_t abortReason = 0;
 };
 
 class RecoveryTimelineAnalyzer {

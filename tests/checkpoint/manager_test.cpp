@@ -194,6 +194,48 @@ TEST(CheckpointManager, DiskStoreDelaysAckRelease) {
   EXPECT_GT(measure(true), 2.0 * measure(false));
 }
 
+TEST(CheckpointManager, LateConfirmCannotRetireANewerAttempt) {
+  // Regression for the lossy-control latent bug: with confirms riding a
+  // delaying network, a confirm can land after its confirm-timeout already
+  // abandoned the attempt and a NEWER attempt is in flight. The pre-token
+  // code erased the in-flight entry unconditionally, so the late confirm
+  // retired the newer attempt's guard and the manager double-tracked the PE.
+  // With per-attempt tokens the late confirm is counted as stale and the
+  // newer attempt keeps its slot.
+  ScenarioParams p;
+  p.mode = HaMode::kHybrid;
+  p.protectedSubjobs = {1, 2, 3};
+  p.duration = 10 * kSecond;
+  p.seed = 33;
+  // Every control message is held back by 1..2s; the confirm-timeout that a
+  // non-empty fault schedule arms is 1s, so a large share of confirms arrive
+  // after their attempt has been abandoned. Data, checkpoint ships and
+  // heartbeats are untouched: no failovers, only late confirms.
+  LinkFaultRule rule;
+  rule.kinds = maskOf(MsgKind::kControl);
+  rule.delayProb = 1.0;
+  rule.maxExtraDelay = 2 * kSecond;
+  p.faults.links.push_back(rule);
+  Scenario s(p);
+  s.build();
+  s.start();
+  s.run(p.duration);
+  s.drain(10 * kSecond);
+  const ScenarioResult r = s.collect();
+  auto* cm = s.coordinatorFor(1)->checkpointManager();
+  ASSERT_NE(cm, nullptr);
+  EXPECT_GT(cm->stats().staleConfirms, 0u);   // The race actually occurred.
+  EXPECT_GT(cm->stats().checkpoints, 10u);    // Progress was never wedged.
+  // One slot per PE, ever: stale confirms must not free a busy slot (the
+  // old bug) and abandoned attempts must not leak slots. Attempts started
+  // just before the run ends may legitimately still be in flight.
+  EXPECT_LE(cm->inFlightCheckpoints(), s.runtime().spec().subjob(1).pes.size());
+  // Late confirms release their acks late, never wrongly: exactly-once holds.
+  EXPECT_EQ(r.gapsObserved, 0u);
+  const StreamId sinkStream = s.runtime().spec().sinkStreams[0];
+  EXPECT_EQ(s.sink().highestSeq(sinkStream), s.source().generatedCount());
+}
+
 TEST(SubjobQuiescer, PausesAllAndReleases) {
   Scenario s(baseParams(CheckpointKind::kSweeping));
   s.build();

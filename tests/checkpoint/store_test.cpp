@@ -13,6 +13,9 @@ struct StoreFixture : ::testing::Test {
   PeState makeState(LogicalPeId pe, ElementSeq watermark) {
     PeState state;
     state.pe = pe;
+    // Real producers stamp a monotonic per-PE version (PeInstance::checkpoint);
+    // the store rejects anything at or below the version it already holds.
+    state.version = watermark;
     state.internal = SyntheticLogic(1.0, 64).serialize();
     state.processedWatermark[10] = watermark;
     return state;
@@ -36,6 +39,19 @@ TEST_F(StoreFixture, NewerStateReplacesOlderForSamePe) {
   store.storePeState(3, makeState(0, 5), nullptr);
   store.storePeState(3, makeState(0, 9), nullptr);
   EXPECT_EQ(store.latest(3).pes.at(0).processedWatermark.at(10), 9u);
+}
+
+TEST_F(StoreFixture, StaleVersionNeverOverwritesNewerState) {
+  // An ARQ retry can deliver an old checkpoint ship after a newer one; the
+  // version guard must drop it while still completing the write (the sender's
+  // confirm flow has to resolve either way).
+  StateStore store(sim, *machine);
+  store.storePeState(3, makeState(0, 9), nullptr);
+  bool durable = false;
+  store.storePeState(3, makeState(0, 5), [&] { durable = true; });
+  EXPECT_TRUE(durable);
+  EXPECT_EQ(store.latest(3).pes.at(0).processedWatermark.at(10), 9u);
+  EXPECT_EQ(store.staleWrites(), 1u);
 }
 
 TEST_F(StoreFixture, LatestForUnknownSubjobIsEmpty) {

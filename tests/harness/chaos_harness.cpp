@@ -1,5 +1,6 @@
 #include "harness/chaos_harness.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "trace/export.hpp"
@@ -73,9 +74,11 @@ ChaosPlan makeChaosPlan(const ScenarioParams& params,
   Rng rng(stableHash("chaos-plan") ^ (seed * 0x9E3779B97F4A7C15ULL + seed));
   ChaosPlan plan;
 
-  // Random loss / duplication / jitter on every link, data-plane kinds only.
+  // Random loss / duplication / jitter on every link. Every message kind is
+  // lossy by default (the control plane rides the ARQ layer); profiles can
+  // narrow the mask for targeted sweeps.
   LinkFaultRule rule;
-  rule.kinds = kLossyKindsDefault;
+  rule.kinds = profile.lossyKinds;
   rule.dropProb = rng.uniformReal(0.005, profile.maxLossProb);
   rule.duplicateProb = rng.uniformReal(0.0, profile.maxDuplicateProb);
   rule.delayProb = rng.uniformReal(0.0, profile.maxDelayProb);
@@ -84,28 +87,31 @@ ChaosPlan makeChaosPlan(const ScenarioParams& params,
   rule.until = profile.faultsUntil;
   plan.schedule.links.push_back(rule);
 
-  // One healed partition between two data-plane machines. Machine 0 hosts
-  // the source and mid-run (re)wiring always has a standby/spare endpoint,
-  // so partitions among {primaries 1.., sink} heal into full recovery.
+  // Healed partitions between data-plane machines. Machine 0 hosts the
+  // source and mid-run (re)wiring retries until acked, so partitions among
+  // {primaries 1.., sink} heal into full recovery. With partitionCount > 1
+  // the windows may overlap (correlated outages).
   std::vector<MachineId> dataPlane;
   for (int sj = 1; sj < layout.numSubjobs; ++sj) {
     dataPlane.push_back(layout.primaryOf(sj));
   }
   dataPlane.push_back(layout.sinkMachine);
-  if (profile.withPartition && dataPlane.size() >= 2) {
-    const auto a = static_cast<std::size_t>(
-        rng.uniformInt(0, static_cast<std::int64_t>(dataPlane.size()) - 1));
-    auto b = static_cast<std::size_t>(
-        rng.uniformInt(0, static_cast<std::int64_t>(dataPlane.size()) - 2));
-    if (b >= a) ++b;
-    PartitionSpec part;
-    part.islandA = {dataPlane[a]};
-    part.islandB = {dataPlane[b]};
-    part.beginAt = rng.uniformInt(
-        profile.faultsFrom, profile.faultsUntil - profile.maxPartition);
-    part.healAt = part.beginAt +
-                  rng.uniformInt(profile.minPartition, profile.maxPartition);
-    plan.schedule.partitions.push_back(part);
+  if (dataPlane.size() >= 2) {
+    for (int i = 0; i < profile.partitionCount; ++i) {
+      const auto a = static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(dataPlane.size()) - 1));
+      auto b = static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(dataPlane.size()) - 2));
+      if (b >= a) ++b;
+      PartitionSpec part;
+      part.islandA = {dataPlane[a]};
+      part.islandB = {dataPlane[b]};
+      part.beginAt = rng.uniformInt(
+          profile.faultsFrom, profile.faultsUntil - profile.maxPartition);
+      part.healAt = part.beginAt +
+                    rng.uniformInt(profile.minPartition, profile.maxPartition);
+      plan.schedule.partitions.push_back(part);
+    }
   }
 
   // One crash; the target cycles over the protected primaries plus one
@@ -139,6 +145,30 @@ ChaosPlan makeChaosPlan(const ScenarioParams& params,
       plan.schedule.crashes.push_back(crash);
       plan.crashTarget = machine;
       plan.crashedProtectedPrimary = isPrimary;
+    }
+  }
+
+  // Correlated burst: take down a protected primary and its standby in
+  // staggered sequence, both restarting burstDownFor later. Exercises the
+  // nobody-left-to-promote window (detector dark, promotion impossible) and
+  // the convergence path once both machines come back.
+  if (profile.withBurst && !params.protectedSubjobs.empty()) {
+    const std::size_t pick =
+        static_cast<std::size_t>(seed % params.protectedSubjobs.size());
+    const SubjobId sj = params.protectedSubjobs[pick];
+    const MachineId primary = layout.primaryOf(sj);
+    const MachineId standby = layout.standbyOf[static_cast<std::size_t>(sj)];
+    if (primary != 0 && standby != kNoMachine) {
+      CorrelatedBurstSpec burst;
+      burst.machines = {primary, standby};
+      const SimTime latestBegin =
+          profile.faultsUntil - profile.burstDownFor - profile.burstStagger;
+      burst.beginAt = rng.uniformInt(
+          profile.faultsFrom, std::max<SimTime>(profile.faultsFrom + 1,
+                                                latestBegin));
+      burst.stagger = profile.burstStagger;
+      burst.downFor = profile.burstDownFor;
+      plan.schedule.bursts.push_back(burst);
     }
   }
   return plan;

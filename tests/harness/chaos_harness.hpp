@@ -58,11 +58,24 @@ struct ChaosProfile {
   double maxDuplicateProb = 0.01;   ///< Injected duplicate deliveries.
   double maxDelayProb = 0.05;       ///< Delay-jitter probability.
   SimDuration maxExtraDelay = 5 * kMillisecond;
-  bool withPartition = true;        ///< One healed bidirectional partition.
+  /// Message kinds the loss rule perturbs. Defaults to *every* kind --
+  /// control, checkpoint and state-read included -- now that the control
+  /// plane rides the ARQ layer (net/reliable.hpp). Narrow it (e.g. to
+  /// maskOf(MsgKind::kControl) | ...) for targeted control-loss sweeps.
+  std::uint32_t lossyKinds = kAllKinds;
+  /// Healed bidirectional partitions among the data-plane machines; 0
+  /// disables. Values > 1 may overlap in time (correlated outages).
+  int partitionCount = 1;
   bool withCrash = true;            ///< One machine crash.
   /// When true the crashed machine restarts 1s..4s later (rollback paths);
   /// when false the crash is permanent (fail-stop promotion paths).
   bool restartCrashed = false;
+  /// Correlated burst: crash a protected primary *and* its standby in
+  /// staggered sequence, both restarting `burstDownFor` after their crash
+  /// (the rack/switch failure mode Su & Zhou's study stresses).
+  bool withBurst = false;
+  SimDuration burstStagger = 300 * kMillisecond;
+  SimDuration burstDownFor = 2 * kSecond;
   /// Faults are confined to [faultsFrom, faultsUntil] so the drain phase can
   /// converge on loss-free links.
   SimDuration faultsFrom = 5 * kSecond;

@@ -98,6 +98,26 @@ TEST(MakeChaosPlan, IsDeterministicAndBounded) {
   EXPECT_NE(a.crashTarget, 0);  // Machine 0 hosts the source.
 }
 
+TEST(MakeChaosPlan, WidenedProfileYieldsMultiPartitionBurstAndKindMask) {
+  ScenarioParams p;
+  p.mode = HaMode::kHybrid;
+  p.protectedSubjobs = {1, 2, 3};
+  p.provisionSpares = true;
+  harness::ChaosProfile profile;
+  profile.partitionCount = 2;
+  profile.withCrash = false;
+  profile.withBurst = true;
+  profile.lossyKinds = maskOf(MsgKind::kControl) | maskOf(MsgKind::kCheckpoint);
+  const harness::ChaosPlan plan = harness::makeChaosPlan(p, profile, 9);
+  EXPECT_EQ(plan.schedule.partitions.size(), 2u);
+  EXPECT_TRUE(plan.schedule.crashes.empty());
+  ASSERT_EQ(plan.schedule.bursts.size(), 1u);
+  EXPECT_EQ(plan.schedule.bursts[0].machines.size(), 2u);  // Primary+standby.
+  EXPECT_EQ(plan.schedule.bursts[0].stagger, profile.burstStagger);
+  ASSERT_FALSE(plan.schedule.links.empty());
+  EXPECT_EQ(plan.schedule.links[0].kinds, profile.lossyKinds);
+}
+
 TEST(MakeChaosPlan, CrashTargetSweepsPrimariesAndAStandby) {
   ScenarioParams p;
   p.mode = HaMode::kHybrid;

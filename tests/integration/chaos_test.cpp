@@ -64,6 +64,76 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FaultChaosSweep,
                          ::testing::Range<std::uint64_t>(1, 51), seedName);
 
 // ---------------------------------------------------------------------------
+// Control-plane loss sweeps: the ARQ layer (net/reliable.hpp) is the system
+// under test. The first sweep concentrates loss on the control kinds alone,
+// at rates far beyond the main sweep's cap, so any wedge is attributable to
+// the control protocols; the second widens the schedule to overlapping
+// partitions plus a correlated primary+standby burst. The CI job
+// `chaos-control-loss` runs exactly these via `ctest -R ControlLoss`.
+// ---------------------------------------------------------------------------
+
+class ControlLossChaosSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ControlLossChaosSweep, ExactlyOnceWithOnlyControlKindsLossy) {
+  const std::uint64_t seed = GetParam();
+  ScenarioParams p = chaosBaseParams(seed);
+  harness::ChaosProfile profile;
+  // NACKs, checkpoint ship/confirm and state reads drop at up to 20% while
+  // the data plane stays clean.
+  profile.lossyKinds = maskOf(MsgKind::kControl) |
+                       maskOf(MsgKind::kCheckpoint) |
+                       maskOf(MsgKind::kStateRead);
+  profile.maxLossProb = 0.20;
+  profile.maxDuplicateProb = 0.05;
+  profile.restartCrashed = (seed % 2 == 0);
+  const harness::ChaosPlan plan = harness::makeChaosPlan(p, profile, seed);
+  p.faults = plan.schedule;
+  p.faultSeedSalt = seed;
+
+  const harness::ChaosOutcome out = harness::runChaosScenario(p);
+  EXPECT_TRUE(out.oracle.ok)
+      << "seed " << seed << ": " << out.oracle.summary() << "\nschedule:\n"
+      << plan.schedule.describe();
+  if (plan.crashedProtectedPrimary && !profile.restartCrashed) {
+    EXPECT_GE(out.result.promotions, 1u) << "seed " << seed;
+  }
+  EXPECT_GT(out.faults.totalDrops() + out.faults.crashes, 0u)
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControlLossChaosSweep,
+                         ::testing::Range<std::uint64_t>(101, 113), seedName);
+
+class ControlLossBurstSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ControlLossBurstSweep, ExactlyOnceUnderMultiPartitionAndBurst) {
+  const std::uint64_t seed = GetParam();
+  ScenarioParams p = chaosBaseParams(seed);
+  harness::ChaosProfile profile;
+  // All kinds lossy, two (possibly overlapping) healed partitions, and a
+  // correlated burst taking down a protected primary plus its standby; the
+  // single-machine crash is disabled so the burst owns the crash dimension.
+  profile.partitionCount = 2;
+  profile.withCrash = false;
+  profile.withBurst = true;
+  const harness::ChaosPlan plan = harness::makeChaosPlan(p, profile, seed);
+  p.faults = plan.schedule;
+  p.faultSeedSalt = seed;
+
+  const harness::ChaosOutcome out = harness::runChaosScenario(p);
+  EXPECT_TRUE(out.oracle.ok)
+      << "seed " << seed << ": " << out.oracle.summary() << "\nschedule:\n"
+      << plan.schedule.describe();
+  // The burst really crashed two machines (primary + standby).
+  EXPECT_EQ(out.faults.crashes, 2u) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControlLossBurstSweep,
+                         ::testing::Range<std::uint64_t>(201, 209), seedName);
+
+// ---------------------------------------------------------------------------
 // Determinism: the same seed + schedule reproduces a bit-identical trace.
 // ---------------------------------------------------------------------------
 
@@ -125,7 +195,7 @@ TEST_P(ChaosSweep, HybridSurvivesRandomSpikesAndACrash) {
   // Crash schedule only (no message loss): the crash instant is seed-derived
   // like before, but the target cycles through the failover roles.
   harness::ChaosProfile profile;
-  profile.withPartition = false;
+  profile.partitionCount = 0;
   harness::ChaosPlan plan = harness::makeChaosPlan(p, profile, seed);
   plan.schedule.links.clear();
   p.faults = plan.schedule;

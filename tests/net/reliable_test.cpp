@@ -1,0 +1,184 @@
+#include "net/reliable.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace streamha {
+namespace {
+
+// The reliable layer is exercised through Network::sendReliable, exactly as
+// the control-plane protocols use it. Payloads ride kStateRead so the ARQ's
+// own kControl acks stay separable in fault hooks and counters.
+struct ReliableFixture : ::testing::Test {
+  Simulator sim;
+  bool machine0_up = true;
+  bool machine1_up = true;
+  Network net{sim, Network::Params{}, [this](MachineId id) {
+                return id == 0 ? machine0_up : machine1_up;
+              }};
+
+  // Default retry of 1ms sits well above the ~200us simulated RTT, so a
+  // retry never races the ack of a copy that was in fact delivered.
+  ReliableParams arm(SimDuration retryTimeout = 1000) {
+    ReliableParams p;
+    p.retryTimeout = retryTimeout;
+    net.enableReliable(p);
+    return p;
+  }
+};
+
+TEST_F(ReliableFixture, UnarmedFallsThroughToPlainSend) {
+  int delivered = 0;
+  net.sendReliable(0, 1, MsgKind::kStateRead, 100, 0, [&] { ++delivered; });
+  sim.runAll();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_FALSE(net.reliableEnabled());
+  // No ARQ ack traffic, no header overhead: plain send, byte for byte.
+  EXPECT_EQ(net.counters().messagesOf(MsgKind::kControl), 0u);
+  EXPECT_EQ(net.counters().bytesOf(MsgKind::kStateRead), 100u);
+}
+
+TEST_F(ReliableFixture, LosslessDeliveryIsSingleShot) {
+  const ReliableParams p = arm();
+  int delivered = 0;
+  net.sendReliable(0, 1, MsgKind::kStateRead, 100, 0, [&] { ++delivered; });
+  sim.runAll();
+  EXPECT_EQ(delivered, 1);
+  const auto& s = net.reliable()->stats();
+  EXPECT_EQ(s.accepted, 1u);
+  EXPECT_EQ(s.retransmits, 0u);
+  EXPECT_EQ(s.acksSent, 1u);
+  EXPECT_EQ(s.duplicatesSuppressed, 0u);
+  EXPECT_EQ(net.reliable()->inFlight(), 0u);
+  // The payload carries the sequence-id header on the wire.
+  EXPECT_EQ(net.counters().bytesOf(MsgKind::kStateRead), 100u + p.headerBytes);
+}
+
+TEST_F(ReliableFixture, RetriesUntilDeliveredUnderLoss) {
+  arm();
+  int dropsLeft = 3;
+  net.setFault([&](MachineId, MachineId, MsgKind kind, std::size_t) {
+    Network::FaultDecision d;
+    if (kind == MsgKind::kStateRead && dropsLeft > 0) {
+      --dropsLeft;
+      d.drop = true;
+    }
+    return d;
+  });
+  int delivered = 0;
+  net.sendReliable(0, 1, MsgKind::kStateRead, 100, 0, [&] { ++delivered; });
+  sim.runAll();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.reliable()->stats().retransmits, 3u);
+  EXPECT_EQ(net.reliable()->inFlight(), 0u);
+}
+
+TEST_F(ReliableFixture, DuplicateCopiesSuppressedAndReacked) {
+  arm();
+  net.setFault([](MachineId, MachineId, MsgKind kind, std::size_t) {
+    Network::FaultDecision d;
+    if (kind == MsgKind::kStateRead) d.duplicates = 2;
+    return d;
+  });
+  int delivered = 0;
+  net.sendReliable(0, 1, MsgKind::kStateRead, 100, 0, [&] { ++delivered; });
+  sim.runAll();
+  EXPECT_EQ(delivered, 1);  // Exactly-once despite three arriving copies.
+  const auto& s = net.reliable()->stats();
+  EXPECT_EQ(s.duplicatesSuppressed, 2u);
+  EXPECT_EQ(s.acksSent, 3u);  // Every copy is re-acked.
+  EXPECT_EQ(net.reliable()->inFlight(), 0u);
+}
+
+TEST_F(ReliableFixture, LostAckResolvedByResendAndReack) {
+  arm();
+  // Drop the first ARQ ack: the sender must retry, the receiver must
+  // suppress the duplicate copy but ack it again, and the retry must NOT
+  // deliver the payload twice.
+  int ackDropsLeft = 1;
+  net.setFault([&](MachineId src, MachineId, MsgKind kind, std::size_t) {
+    Network::FaultDecision d;
+    if (kind == MsgKind::kControl && src == 1 && ackDropsLeft > 0) {
+      --ackDropsLeft;
+      d.drop = true;
+    }
+    return d;
+  });
+  int delivered = 0;
+  net.sendReliable(0, 1, MsgKind::kStateRead, 100, 0, [&] { ++delivered; });
+  sim.runAll();
+  EXPECT_EQ(delivered, 1);
+  const auto& s = net.reliable()->stats();
+  EXPECT_GE(s.retransmits, 1u);
+  EXPECT_GE(s.duplicatesSuppressed, 1u);
+  EXPECT_EQ(net.reliable()->inFlight(), 0u);
+}
+
+TEST_F(ReliableFixture, SenderDeathAbandonsRetry) {
+  arm();
+  net.setFault([](MachineId, MachineId, MsgKind kind, std::size_t) {
+    Network::FaultDecision d;
+    d.drop = (kind == MsgKind::kStateRead);  // Never delivers.
+    return d;
+  });
+  int delivered = 0;
+  net.sendReliable(0, 1, MsgKind::kStateRead, 100, 0, [&] { ++delivered; });
+  sim.runUntil(50);
+  machine0_up = false;  // The sending process dies before the first retry.
+  sim.runAll();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.reliable()->stats().abandoned, 1u);
+  EXPECT_EQ(net.reliable()->inFlight(), 0u);  // No leaked retry state.
+}
+
+TEST_F(ReliableFixture, ReceiverDownParksWithoutWireTraffic) {
+  arm(100);
+  machine1_up = false;
+  int delivered = 0;
+  net.sendReliable(0, 1, MsgKind::kStateRead, 100, 0, [&] { ++delivered; });
+  sim.runUntil(350);  // A few retry periods with the receiver down.
+  EXPECT_EQ(delivered, 0);
+  // Liveness check: not one copy was burned on the dead machine.
+  EXPECT_EQ(net.counters().messagesOf(MsgKind::kStateRead), 0u);
+  EXPECT_EQ(net.reliable()->inFlight(), 1u);  // Still parked, not abandoned.
+  machine1_up = true;
+  sim.runAll();
+  EXPECT_EQ(delivered, 1);  // Delivery resumes after the restart.
+  EXPECT_EQ(net.reliable()->inFlight(), 0u);
+}
+
+TEST_F(ReliableFixture, RetryBackoffIsExponentialAndCapped) {
+  ReliableParams p;
+  p.retryTimeout = 100;
+  p.maxBackoffShift = 2;  // 100, 200, 400, then 400 forever.
+  net.enableReliable(p);
+  net.setFault([](MachineId, MachineId, MsgKind kind, std::size_t) {
+    Network::FaultDecision d;
+    d.drop = (kind == MsgKind::kStateRead);
+    return d;
+  });
+  net.sendReliable(0, 1, MsgKind::kStateRead, 100, 0, [] {});
+  // Transmissions at t=0, 100, 300, 700, 1100, 1500, ... : exponential up to
+  // the cap, then a flat 400us cadence.
+  const std::vector<std::pair<SimTime, std::uint64_t>> expected = {
+      {50, 1}, {150, 2}, {350, 3}, {750, 4}, {1150, 5}, {1550, 6}};
+  for (const auto& [at, count] : expected) {
+    sim.runUntil(at);
+    EXPECT_EQ(net.counters().messagesOf(MsgKind::kStateRead), count)
+        << "at t=" << at;
+  }
+}
+
+TEST_F(ReliableFixture, LoopbackBypassesArq) {
+  arm();
+  int delivered = 0;
+  net.sendReliable(1, 1, MsgKind::kStateRead, 100, 0, [&] { ++delivered; });
+  sim.runAll();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.reliable()->stats().accepted, 0u);  // Plain local delivery.
+  EXPECT_EQ(net.reliable()->stats().acksSent, 0u);
+}
+
+}  // namespace
+}  // namespace streamha

@@ -236,5 +236,38 @@ TEST_F(PeFixture, CrashedMachineHaltsProcessing) {
   EXPECT_LE(pe->processedCount(), 1u);
 }
 
+TEST_F(PeFixture, ProcessingResumesAfterCrashRestart) {
+  // Regression: a crash drops the machine's queued work, including the
+  // processing completion the PE was waiting on. Without the crash hook the
+  // instance came back from restart() with in_flight_ stuck true and never
+  // processed again -- its input queue kept accepting while the watermark
+  // froze forever.
+  auto pe = makePe(1.0, 100.0);
+  feed(*pe, 1, 3);
+  sim.runUntil(150);  // Element 1 done, element 2 mid-flight.
+  machine->crash();
+  sim.runUntil(200);
+  machine->restart();
+  feed(*pe, 4, 6);  // More arrivals after the restart.
+  sim.runAll();
+  // Everything pending at the crash plus everything fed after it drains.
+  EXPECT_EQ(pe->processedCount(), 6u);
+  EXPECT_EQ(pe->watermarks().at(10), 6u);
+}
+
+TEST_F(PeFixture, RestartAlonePokesStalledBacklog) {
+  // The restart hook itself must re-poke the loop: if no new element arrives
+  // after the restart, the backlog from before the crash still drains.
+  auto pe = makePe(1.0, 100.0);
+  feed(*pe, 1, 4);
+  sim.runUntil(150);
+  machine->crash();
+  sim.runUntil(200);
+  machine->restart();
+  sim.runAll();
+  EXPECT_EQ(pe->processedCount(), 4u);
+  EXPECT_EQ(pe->watermarks().at(10), 4u);
+}
+
 }  // namespace
 }  // namespace streamha

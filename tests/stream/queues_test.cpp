@@ -444,5 +444,80 @@ TEST_F(QueueFixture, BatchingRespectsMaxBatch) {
   EXPECT_EQ(batches, 2u);
 }
 
+TEST_F(QueueFixture, RetransmitStalledSendsNothingToCrashedPeer) {
+  bool machine1_up = true;
+  Network liveNet{sim, Network::Params{},
+                  [&](MachineId id) { return id != 1 || machine1_up; }};
+  OutputQueue oq(liveNet, 7, 0);
+  Collector c;
+  const int conn = oq.addConnection(1, true, true, c.fn());
+  for (int i = 0; i < 4; ++i) oq.produce(0, i, 100);
+  sim.runAll();
+  EXPECT_EQ(c.received.size(), 4u);
+  oq.onAck(conn, 2);  // Acks 3..4 lost; backlog outstanding.
+  machine1_up = false;
+  const SimDuration timeout = 100 * kMillisecond;
+  const auto before = liveNet.counters().messagesOf(MsgKind::kData);
+  for (int scan = 0; scan < 5; ++scan) {
+    sim.runUntil(sim.now() + 2 * timeout);
+    oq.retransmitStalled(timeout);
+  }
+  sim.runAll();
+  // Not one message was burned on the dead machine: the scan parks the stall
+  // clock instead of resending into a connection the network would drop.
+  EXPECT_EQ(liveNet.counters().messagesOf(MsgKind::kData), before);
+  // After a restart the scan resumes with a fresh backoff.
+  machine1_up = true;
+  sim.runUntil(sim.now() + 2 * timeout);
+  oq.retransmitStalled(timeout);
+  sim.runAll();
+  ASSERT_EQ(c.received.size(), 6u);  // Seqs 3, 4 resent.
+  EXPECT_EQ(c.received[4].seq, 3u);
+}
+
+TEST_F(QueueFixture, ResetStreamKeepsContiguousBacklog) {
+  InputQueue iq;
+  iq.subscribe(7);
+  std::vector<Element> batch;
+  for (ElementSeq s = 1; s <= 4; ++s) {
+    Element e;
+    e.stream = 7;
+    e.seq = s;
+    batch.push_back(e);
+  }
+  iq.receive(batch);
+  // Restore to watermark 2 with 3..4 still pending: 1..2 are covered by the
+  // restored state, the rest is contiguous with it -- nothing was rewound, so
+  // the backlog survives and the dedup point stands.
+  iq.resetStream(7, 2);
+  EXPECT_EQ(iq.size(), 2u);
+  EXPECT_EQ(iq.front().seq, 3u);
+  EXPECT_EQ(iq.expected(7), 5u);
+}
+
+TEST_F(QueueFixture, ResetStreamRewindsDedupPointOnGenuineRewind) {
+  InputQueue iq;
+  iq.subscribe(7);
+  std::vector<Element> batch;
+  for (ElementSeq s = 1; s <= 4; ++s) {
+    Element e;
+    e.stream = 7;
+    e.seq = s;
+    batch.push_back(e);
+  }
+  iq.receive(batch);
+  while (!iq.empty()) iq.pop();  // All four processed.
+  // Restore REWINDS the PE to watermark 2: elements 3..4 were consumed by a
+  // state that no longer exists, so the queue must re-accept their
+  // retransmission -- the old dedup point would silently swallow them.
+  iq.resetStream(7, 2);
+  EXPECT_EQ(iq.expected(7), 3u);
+  iq.receive(batch);  // Upstream resends 1..4.
+  EXPECT_EQ(iq.size(), 2u);  // 3..4 re-accepted ...
+  EXPECT_EQ(iq.front().seq, 3u);
+  EXPECT_EQ(iq.duplicatesDropped(), 2u);  // ... 1..2 still deduped.
+  EXPECT_EQ(iq.expected(7), 5u);
+}
+
 }  // namespace
 }  // namespace streamha

@@ -71,6 +71,40 @@ TEST(RecoveryTimelineAnalyzer, ReconstructsPhasesFromEvents) {
   EXPECT_DOUBLE_EQ(bd.totalMs.mean(), 0.6);
 }
 
+TEST(RecoveryTimelineAnalyzer, ClassifiesAbortedRecoveries) {
+  // A rollback abandoned because the primary died mid-quiesce: the
+  // coordinator emits a zero-length rollback span plus an IncidentAborted
+  // event carrying the reason code. The analyzer must flag the incident so
+  // its rollback "duration" is not mistaken for a measurement.
+  std::vector<TraceEvent> events;
+  auto add = [&events](TraceEventType type, SimTime at, std::uint64_t incident,
+                       std::uint64_t value) {
+    TraceEvent ev;
+    ev.type = type;
+    ev.at = at;
+    ev.machine = 2;
+    ev.peer = 5;
+    ev.subjob = 2;
+    ev.incident = incident;
+    ev.value = value;
+    events.push_back(ev);
+  };
+  add(TraceEventType::kSwitchoverBegin, 1000, 1, 0);
+  add(TraceEventType::kSwitchoverEnd, 1200, 1, 0);
+  add(TraceEventType::kRollbackBegin, 4000, 1, 0);
+  add(TraceEventType::kRollbackEnd, 4000, 1, 0);
+  add(TraceEventType::kIncidentAborted, 4000, 1, 2);
+
+  RecoveryTimelineAnalyzer analyzer(events);
+  ASSERT_EQ(analyzer.incidents().size(), 1u);
+  const IncidentTimeline& inc = analyzer.incidents().front();
+  EXPECT_TRUE(inc.aborted);
+  EXPECT_EQ(inc.abortReason, 2u);  // Primary died mid-quiesce.
+  EXPECT_TRUE(inc.rolledBack);
+  // The degenerate spans stay out of the aggregate statistics.
+  EXPECT_EQ(analyzer.breakdown().count, 0u);
+}
+
 TEST(RecoveryTimelineAnalyzer, IgnoresNonIncidentEvents) {
   std::vector<TraceEvent> events;
   TraceEvent ev;
