@@ -23,6 +23,7 @@
 #include "cluster/load_generator.hpp"
 #include "common/types.hpp"
 #include "fault/injector.hpp"
+#include "flow/flow_control.hpp"
 #include "ha/active_standby.hpp"
 #include "ha/hybrid.hpp"
 #include "ha/passive_standby.hpp"
@@ -112,6 +113,12 @@ struct ScenarioParams {
   };
   TraceConfig trace;
 
+  // -- Flow control (flow/) ----------------------------------------------------
+  /// Credit-based flow control: ARQ send windows, end-to-end backpressure and
+  /// accounted shedding. Disabled by default -- a default FlowParams arms
+  /// nothing, so fault-free figure runs stay bit-identical.
+  flow::FlowParams flow;
+
   // -- Fault injection --------------------------------------------------------
   /// Declarative fault schedule (see fault/schedule.hpp). When non-empty,
   /// build() arms a FaultInjector on the cluster and -- unless the caller set
@@ -159,6 +166,23 @@ struct ScenarioResult {
   std::uint64_t outOfOrderDropped = 0;
   /// Elements dropped by load shedding (0 unless shedThreshold is set).
   std::uint64_t elementsShed = 0;
+  /// Flow-control / ARQ-window telemetry (all zero with flow control off).
+  FlowTelemetry flow;
+};
+
+/// Result of Scenario::drainQuiescent(): how the run wound down.
+struct QuiescenceReport {
+  /// The sink stopped moving for the required window (clean or residual).
+  bool quiescent = false;
+  /// Strong form: sink stable AND no tracked ARQ messages AND no data-plane
+  /// traffic or stall retransmissions in the window AND every live producer's
+  /// unacked backlog fully drained. A healed run ends clean; a never-healing
+  /// partition ends quiescent-but-residual (capped-backoff ARQ retries and
+  /// stall retransmissions continue forever toward the unreachable island).
+  bool clean = false;
+  SimTime at = 0;                   ///< Simulated time the verdict was reached.
+  std::uint64_t residualArq = 0;      ///< Tracked ARQ messages at the end.
+  std::uint64_t residualBacklog = 0;  ///< Max live-peer unacked backlog left.
 };
 
 /// Machine layout implied by a ScenarioParams, computed without building
@@ -204,6 +228,18 @@ class Scenario {
   /// Stop the source and drain in-flight elements (for exactness checks).
   void drain(SimDuration grace = 5 * kSecond);
 
+  /// Stop the source and run until the pipeline is *observably* quiescent
+  /// instead of a fixed headroom: polls every `tick` until either the strong
+  /// predicate (sink stable `stableTicks` ticks, zero tracked ARQ messages,
+  /// zero data/retransmit traffic in the window, zero live-peer unacked
+  /// backlog) holds -- a clean finish -- or the sink alone stays stable for
+  /// 2 x `stableTicks` ticks while residual traffic persists, which is the
+  /// honest verdict under a never-healing partition. Gives sweeps a
+  /// convergence *proof* where drain()'s fixed grace was a guess.
+  QuiescenceReport drainQuiescent(SimDuration maxGrace = 30 * kSecond,
+                                  SimDuration tick = 500 * kMillisecond,
+                                  int stableTicks = 8);
+
   /// Close the measurement window and gather results.
   ScenarioResult collect();
 
@@ -230,6 +266,9 @@ class Scenario {
   /// The armed fault injector; null when params.faults is empty.
   FaultInjector* faultInjector() { return injector_.get(); }
 
+  /// The flow-control subsystem; null when params.flow.enabled is false.
+  flow::FlowControl* flowControl() { return flow_.get(); }
+
   /// Every ground-truth spike window across all load generators, merged.
   std::vector<std::pair<SimTime, SimTime>> allFailureWindows() const;
 
@@ -247,6 +286,8 @@ class Scenario {
   std::unique_ptr<Runtime> runtime_;
   std::vector<std::unique_ptr<HaCoordinator>> coordinators_;
   std::vector<std::unique_ptr<LoadGenerator>> load_generators_;
+  /// References the runtime; reset before runtime_ in ~Scenario.
+  std::unique_ptr<flow::FlowControl> flow_;
   std::vector<MachineId> loaded_machines_;
   std::vector<MachineId> standby_of_;  ///< Indexed by subjob id; kNoMachine if none.
   std::vector<MachineId> spare_of_;

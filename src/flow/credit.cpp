@@ -1,0 +1,119 @@
+#include "flow/credit.hpp"
+
+#include <algorithm>
+
+namespace streamha::flow {
+
+CreditManager::Admission CreditManager::admit(std::uint64_t link,
+                                              std::uint64_t id,
+                                              std::uint64_t supersedeKey) {
+  Admission out;
+  Link& l = links_[link];
+
+  if (supersedeKey != 0) {
+    const auto key = std::make_pair(link, supersedeKey);
+    auto it = latest_.find(key);
+    if (it != latest_.end()) {
+      const std::uint64_t old = it->second;
+      forget(l, old);
+      out.superseded.push_back(old);
+    }
+    latest_[key] = id;
+    key_of_[id] = key;
+  }
+
+  // A supersede eviction may have freed an in-flight slot; parked entries
+  // admitted earlier go first (FIFO fairness), before the new message.
+  fillWindow(l, out.unparked);
+
+  if (params_.sendWindow == 0 || l.inFlight.size() < params_.sendWindow) {
+    l.inFlight.push_back(id);
+    out.grant = true;
+  } else {
+    if (params_.parkedCap != 0 && l.parked.size() >= params_.parkedCap) {
+      const std::uint64_t oldest = l.parked.front();
+      forget(l, oldest);
+      out.overflowed.push_back(oldest);
+    }
+    l.parked.push_back(id);
+    ++parked_total_;
+  }
+  ++tracked_total_;
+  noteTracked();
+  return out;
+}
+
+std::vector<std::uint64_t> CreditManager::release(std::uint64_t link,
+                                                  std::uint64_t id) {
+  std::vector<std::uint64_t> unparked;
+  auto it = links_.find(link);
+  if (it == links_.end()) return unparked;
+  forget(it->second, id);
+  fillWindow(it->second, unparked);
+  if (it->second.inFlight.empty() && it->second.parked.empty()) {
+    links_.erase(it);
+  }
+  return unparked;
+}
+
+std::uint64_t CreditManager::evictOldestIfAtCap(std::uint64_t link) {
+  if (params_.parkedCap == 0) return 0;
+  auto it = links_.find(link);
+  if (it == links_.end()) return 0;
+  Link& l = it->second;
+  if (l.inFlight.size() + l.parked.size() < params_.parkedCap) return 0;
+  // Oldest tracked entry: the in-flight list is admission-ordered and always
+  // predates anything parked behind it.
+  const std::uint64_t oldest =
+      !l.inFlight.empty() ? l.inFlight.front() : l.parked.front();
+  forget(l, oldest);
+  return oldest;
+}
+
+std::size_t CreditManager::inFlight(std::uint64_t link) const {
+  auto it = links_.find(link);
+  return it == links_.end() ? 0 : it->second.inFlight.size();
+}
+
+std::size_t CreditManager::parked(std::uint64_t link) const {
+  auto it = links_.find(link);
+  return it == links_.end() ? 0 : it->second.parked.size();
+}
+
+void CreditManager::forget(Link& link, std::uint64_t id) {
+  auto fit = std::find(link.inFlight.begin(), link.inFlight.end(), id);
+  if (fit != link.inFlight.end()) {
+    link.inFlight.erase(fit);
+    --tracked_total_;
+  } else {
+    auto pit = std::find(link.parked.begin(), link.parked.end(), id);
+    if (pit == link.parked.end()) return;  // Unknown id: nothing tracked.
+    link.parked.erase(pit);
+    --parked_total_;
+    --tracked_total_;
+  }
+  auto kit = key_of_.find(id);
+  if (kit != key_of_.end()) {
+    auto lit = latest_.find(kit->second);
+    if (lit != latest_.end() && lit->second == id) latest_.erase(lit);
+    key_of_.erase(kit);
+  }
+}
+
+void CreditManager::fillWindow(Link& link,
+                               std::vector<std::uint64_t>& unparked) {
+  if (params_.sendWindow == 0) return;
+  while (link.inFlight.size() < params_.sendWindow && !link.parked.empty()) {
+    const std::uint64_t id = link.parked.front();
+    link.parked.pop_front();
+    --parked_total_;
+    link.inFlight.push_back(id);
+    unparked.push_back(id);
+  }
+}
+
+void CreditManager::noteTracked() {
+  peak_tracked_ = std::max(peak_tracked_, tracked_total_);
+}
+
+}  // namespace streamha::flow

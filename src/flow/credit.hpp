@@ -1,0 +1,103 @@
+// Per-link credit accounting for the reliable-delivery (ARQ) layer.
+//
+// The ARQ layer (net/reliable.hpp) used to retransmit every in-flight message
+// independently: under a long partition or a dead receiver the unacked backlog
+// grew without bound, and superseded control messages -- an older gap request
+// for a stream that a newer one already covers -- kept burning retries. The
+// CreditManager bounds both:
+//
+//  * a per-link *send window* caps how many messages may be on the wire
+//    (transmitted, unacked) at once; excess admissions are *parked* FIFO and
+//    granted as acks free credits;
+//  * a per-link *parked cap* bounds the parked backlog (window-full parking
+//    and the receiver-death backlog alike); beyond it the oldest tracked
+//    entry is evicted;
+//  * an optional *supersede key* marks a message as replacing any earlier
+//    unacked message with the same key on the same link -- the older one is
+//    evicted from the retransmit queue, whether parked or already in flight.
+//
+// The manager is pure bookkeeping over opaque message ids: it decides
+// grant/park/evict/unpark and the caller (ReliableDelivery) owns the actual
+// payloads, timers and counters. Everything is deterministic -- plain FIFO
+// ordering, no randomness, no time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+namespace streamha::flow {
+
+class CreditManager {
+ public:
+  struct Params {
+    /// Per-link cap on transmitted-but-unacked messages. 0 = unlimited
+    /// (admissions always grant; only the supersede index and the
+    /// receiver-death cap below remain active).
+    std::size_t sendWindow = 0;
+    /// Per-link cap on the tracked backlog beyond the window (parked sends
+    /// while the window is full, and -- via evictOldestIfAtCap -- the
+    /// receiver-death backlog when the window is unlimited). 0 = unbounded.
+    std::size_t parkedCap = 0;
+  };
+
+  /// Outcome of one admission. Every id in `superseded` and `overflowed`
+  /// must be dropped by the caller (erased from its retransmit queue); every
+  /// id in `unparked` -- and the new id itself when `grant` -- must be
+  /// transmitted now.
+  struct Admission {
+    bool grant = false;
+    std::vector<std::uint64_t> superseded;   ///< Evicted: same supersede key.
+    std::vector<std::uint64_t> overflowed;   ///< Evicted: parked cap reached.
+    std::vector<std::uint64_t> unparked;     ///< Granted a freed credit.
+  };
+
+  explicit CreditManager(Params params) : params_(params) {}
+
+  /// Admit message `id` on `link`. `supersedeKey` != 0 evicts any earlier
+  /// unacked message admitted with the same key on the same link.
+  Admission admit(std::uint64_t link, std::uint64_t id,
+                  std::uint64_t supersedeKey = 0);
+
+  /// Release `id`'s credit (acked, abandoned or evicted by the caller).
+  /// Returns the parked ids granted the freed credit -- transmit them now.
+  std::vector<std::uint64_t> release(std::uint64_t link, std::uint64_t id);
+
+  /// Receiver-death cap for the unlimited-window mode: if `link` tracks at
+  /// least `parkedCap` entries, evict the oldest and return its id (the
+  /// caller drops it); returns 0 when below the cap or the cap is unset.
+  std::uint64_t evictOldestIfAtCap(std::uint64_t link);
+
+  std::size_t inFlight(std::uint64_t link) const;
+  std::size_t parked(std::uint64_t link) const;
+  std::size_t parkedTotal() const { return parked_total_; }
+  std::size_t trackedTotal() const { return tracked_total_; }
+  /// High-water mark of tracked (in-flight + parked) entries across all
+  /// links -- the "peak ARQ memory" the acceptance test bounds.
+  std::size_t peakTracked() const { return peak_tracked_; }
+  const Params& params() const { return params_; }
+
+ private:
+  struct Link {
+    std::vector<std::uint64_t> inFlight;  ///< Admission order (FIFO evict).
+    std::deque<std::uint64_t> parked;     ///< FIFO; front is next to grant.
+  };
+
+  void forget(Link& link, std::uint64_t id);
+  void fillWindow(Link& link, std::vector<std::uint64_t>& unparked);
+  void noteTracked();
+
+  Params params_;
+  std::map<std::uint64_t, Link> links_;
+  /// Supersede index: (link, key) -> latest admitted id, plus the reverse so
+  /// release() can clean up without knowing the key.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> latest_;
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> key_of_;
+  std::size_t parked_total_ = 0;
+  std::size_t tracked_total_ = 0;
+  std::size_t peak_tracked_ = 0;
+};
+
+}  // namespace streamha::flow

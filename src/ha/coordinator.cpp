@@ -116,6 +116,11 @@ void HaCoordinator::activateRestoredInstance(Subjob& copy,
     rt_.setWireActive(*wire, true);
     wire->oq->setConnectionGating(wire->connId, true);
   }
+  // The activated copy inherits whatever backlog its input queues hold
+  // (standby queues keep receiving while dormant); re-evaluate the overload
+  // flags so the source is throttled if that backlog is already past the
+  // threshold (flow/).
+  copy.pokeFlowPressure();
 }
 
 void HaCoordinator::deactivateInstanceWires(Subjob& copy) {
@@ -126,6 +131,8 @@ void HaCoordinator::deactivateInstanceWires(Subjob& copy) {
   for (Runtime::Wire* wire : rt_.wiresOutOf(copy)) {
     rt_.setWireActive(*wire, false);
   }
+  // Dormant again: its backlog must not keep the source paused (flow/).
+  copy.releaseFlowPressure();
 }
 
 void HaCoordinator::isolateInstance(Subjob& copy) {
@@ -133,6 +140,7 @@ void HaCoordinator::isolateInstance(Subjob& copy) {
     rt_.releaseTrimGate(*wire);
     rt_.setWireActive(*wire, false);
   }
+  copy.releaseFlowPressure();
 }
 
 void HaCoordinator::watchFirstOutput(Subjob& copy, std::size_t timelineIdx,

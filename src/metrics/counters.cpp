@@ -17,4 +17,17 @@ std::string TrafficWindow::summary() const {
   return out.str();
 }
 
+std::string FlowTelemetry::summary() const {
+  std::ostringstream out;
+  out << "pauses=" << pauses << " resumes=" << resumes
+      << " shedIntervals=" << shedIntervals
+      << " shed=" << elementsShedAccounted << " arqParked=" << arqParked
+      << " arqUnparked=" << arqUnparked
+      << " arqParkedEvicted=" << arqParkedEvicted
+      << " arqSuperseded=" << arqSuperseded
+      << " arqPeakTracked=" << arqPeakTracked
+      << " sourcePausedAtEnd=" << (sourcePausedAtEnd ? 1 : 0);
+  return out.str();
+}
+
 }  // namespace streamha

@@ -50,4 +50,21 @@ class TrafficWindow {
   bool closed_ = false;
 };
 
+/// End-of-run flow-control/ARQ telemetry collected by the scenario harness
+/// (flow/ + net/reliable.hpp). All zero when flow control is disabled.
+struct FlowTelemetry {
+  std::uint64_t pauses = 0;        ///< Pause credits sent to the source.
+  std::uint64_t resumes = 0;       ///< Resume credits sent.
+  std::uint64_t shedIntervals = 0; ///< Closed contiguous drop spans.
+  std::uint64_t elementsShedAccounted = 0;  ///< Elements inside them.
+  std::uint64_t arqParked = 0;        ///< Sends parked by a full window.
+  std::uint64_t arqUnparked = 0;      ///< Parked sends later transmitted.
+  std::uint64_t arqParkedEvicted = 0; ///< Backlog-cap evictions.
+  std::uint64_t arqSuperseded = 0;    ///< Keyed sends evicted by newer ones.
+  std::uint64_t arqPeakTracked = 0;   ///< Peak in-flight + parked (memory bound).
+  bool sourcePausedAtEnd = false;     ///< Source still paused at collection.
+
+  std::string summary() const;
+};
+
 }  // namespace streamha

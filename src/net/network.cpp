@@ -57,6 +57,18 @@ void Network::sendReliable(MachineId src, MachineId dst, MsgKind kind,
   }
 }
 
+void Network::sendReliableKeyed(MachineId src, MachineId dst, MsgKind kind,
+                                std::size_t bytes, std::uint64_t elements,
+                                std::uint64_t supersedeKey,
+                                std::function<void()> deliver) {
+  if (reliable_) {
+    reliable_->send(src, dst, kind, bytes, elements, std::move(deliver),
+                    supersedeKey);
+  } else {
+    send(src, dst, kind, bytes, elements, std::move(deliver));
+  }
+}
+
 void Network::send(MachineId src, MachineId dst, MsgKind kind,
                    std::size_t bytes, std::uint64_t elements,
                    std::function<void()> deliver) {

@@ -27,6 +27,14 @@ struct ReliableParams {
   int maxBackoffShift = 4;                        ///< Cap retries at 16x base.
   std::size_t headerBytes = 16;  ///< Sequence-id header per reliable message.
   std::size_t ackBytes = 24;     ///< ARQ-ack wire size (rides kControl).
+  /// Per-link send window (flow/credit.hpp): cap on transmitted-but-unacked
+  /// reliable messages; excess sends are parked FIFO until a credit frees.
+  /// 0 = unlimited (the pre-flow-control behavior).
+  std::size_t sendWindow = 0;
+  /// Cap on a link's tracked backlog beyond the window -- window-full parking
+  /// and the receiver-death backlog alike. Beyond it the oldest entry is
+  /// evicted and counted in stats().parkedEvicted. 0 = unbounded.
+  std::size_t parkedCap = 4096;
 };
 
 /// Classification of every message the protocols exchange.
@@ -118,6 +126,17 @@ class Network {
   void sendReliable(MachineId src, MachineId dst, MsgKind kind,
                     std::size_t bytes, std::uint64_t elements,
                     std::function<void()> deliver);
+
+  /// sendReliable with a supersede key: a nonzero key evicts any earlier
+  /// unacked same-key message on the same link from the retransmit queue
+  /// (the evicted message downgrades to at-most-once -- use only for
+  /// idempotent control traffic a newer message subsumes, e.g. an older gap
+  /// request for the same wire). Falls through to plain send() when unarmed,
+  /// exactly like sendReliable.
+  void sendReliableKeyed(MachineId src, MachineId dst, MsgKind kind,
+                         std::size_t bytes, std::uint64_t elements,
+                         std::uint64_t supersedeKey,
+                         std::function<void()> deliver);
 
   /// Arm the control-plane ARQ layer. Scenario::build() calls this whenever a
   /// fault schedule is present; idempotent (re-arming replaces the params but

@@ -13,15 +13,32 @@ std::uint64_t linkKey(MachineId src, MachineId dst) {
 
 ReliableDelivery::ReliableDelivery(Simulator& sim, Network& net,
                                    ReliableParams params)
-    : sim_(sim), net_(net), params_(params) {}
+    : sim_(sim),
+      net_(net),
+      params_(params),
+      credit_(flow::CreditManager::Params{params.sendWindow,
+                                          params.parkedCap}) {}
 
 void ReliableDelivery::send(MachineId src, MachineId dst, MsgKind kind,
                             std::size_t bytes, std::uint64_t elements,
-                            std::function<void()> deliver) {
+                            std::function<void()> deliver,
+                            std::uint64_t supersedeKey) {
   if (src == dst) {
     // Loopback is lossless in the network model; no ARQ needed.
     net_.send(src, dst, kind, bytes, elements, std::move(deliver));
     return;
+  }
+  const std::uint64_t link = linkKey(src, dst);
+  if (params_.sendWindow == 0 && params_.parkedCap != 0 &&
+      !net_.machineUp(dst)) {
+    // Unlimited window, dead receiver: the parked backlog is all this link
+    // holds, so the cap applies to it directly (the satellite fix for the
+    // unbounded receiver-death backlog).
+    const std::uint64_t oldest = credit_.evictOldestIfAtCap(link);
+    if (oldest != 0) {
+      ++stats_.parkedEvicted;
+      evict(oldest);
+    }
   }
   const std::uint64_t id = next_id_++;
   Pending p;
@@ -33,17 +50,38 @@ void ReliableDelivery::send(MachineId src, MachineId dst, MsgKind kind,
   p.deliver = std::move(deliver);
   pending_.emplace(id, std::move(p));
   ++stats_.accepted;
-  transmit(id);
+
+  const flow::CreditManager::Admission adm =
+      credit_.admit(link, id, supersedeKey);
+  for (std::uint64_t old : adm.superseded) {
+    ++stats_.superseded;
+    evict(old);
+  }
+  for (std::uint64_t old : adm.overflowed) {
+    ++stats_.parkedEvicted;
+    evict(old);
+  }
+  for (std::uint64_t next : adm.unparked) {
+    ++stats_.unparked;
+    transmit(next);
+  }
+  if (adm.grant) {
+    transmit(id);
+  } else {
+    ++stats_.parked;
+  }
 }
 
 void ReliableDelivery::transmit(std::uint64_t id) {
   auto it = pending_.find(id);
-  if (it == pending_.end()) return;  // Acked while the timer was armed.
+  if (it == pending_.end()) return;  // Acked or evicted while timer armed.
   Pending& p = it->second;
   if (!net_.machineUp(p.src)) {
     // The sending process died with its machine; nothing left to retry.
     ++stats_.abandoned;
+    const std::uint64_t link = linkKey(p.src, p.dst);
     pending_.erase(it);
+    releaseAndRefill(link, id);
     return;
   }
   ++p.attempts;
@@ -86,6 +124,25 @@ void ReliableDelivery::onDelivered(std::uint64_t id, MachineId src,
             [this, id] { onAcked(id); });
 }
 
-void ReliableDelivery::onAcked(std::uint64_t id) { pending_.erase(id); }
+void ReliableDelivery::onAcked(std::uint64_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;  // Already evicted or a duplicate ack.
+  const std::uint64_t link = linkKey(it->second.src, it->second.dst);
+  pending_.erase(it);
+  releaseAndRefill(link, id);
+}
+
+void ReliableDelivery::evict(std::uint64_t id) {
+  // The credit manager already forgot the id; dropping the payload is all
+  // that is left. A timer still armed for it finds nothing and no-ops.
+  pending_.erase(id);
+}
+
+void ReliableDelivery::releaseAndRefill(std::uint64_t link, std::uint64_t id) {
+  for (std::uint64_t next : credit_.release(link, id)) {
+    ++stats_.unparked;
+    transmit(next);
+  }
+}
 
 }  // namespace streamha

@@ -16,6 +16,15 @@
 //  * receiver machine down -> skip the wasted transmission but keep the
 //    timer armed, so delivery resumes when the machine restarts.
 //
+// Admission rides the per-link CreditManager (flow/credit.hpp): a finite
+// send window caps transmitted-but-unacked messages per link (excess sends
+// are parked, granted FIFO as acks free credits), the parked backlog -- and
+// the receiver-death backlog when the window is unlimited -- is capped with
+// oldest-first eviction, and a send carrying a supersede key evicts any
+// earlier unacked message with the same key from the retransmit queue (an
+// evicted message downgrades to at-most-once: safe only for idempotent
+// control traffic that a newer message subsumes, e.g. gap requests).
+//
 // The layer is off by default (Network::sendReliable falls through to plain
 // send()), so fault-free runs carry zero ARQ traffic and stay bit-identical
 // to pre-ARQ builds. Scenario::build() arms it whenever a fault schedule is
@@ -28,6 +37,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "flow/credit.hpp"
 #include "net/network.hpp"
 
 namespace streamha {
@@ -40,6 +50,10 @@ class ReliableDelivery {
     std::uint64_t acksSent = 0;     ///< ARQ acks emitted by receivers.
     std::uint64_t duplicatesSuppressed = 0;  ///< Copies dropped at receivers.
     std::uint64_t abandoned = 0;    ///< Given up because the sender died.
+    std::uint64_t parked = 0;       ///< Sends parked on a full window.
+    std::uint64_t unparked = 0;     ///< Parked sends later granted a credit.
+    std::uint64_t parkedEvicted = 0;  ///< Evicted by the backlog cap.
+    std::uint64_t superseded = 0;     ///< Evicted by a same-key newer send.
   };
 
   ReliableDelivery(Simulator& sim, Network& net, ReliableParams params);
@@ -48,13 +62,21 @@ class ReliableDelivery {
   /// until the receiver's ack lands, duplicate copies suppressed. `deliver`
   /// runs at most once, at `dst`, the first time any copy arrives while the
   /// machine is up. Loopback falls through to plain send (it is lossless).
+  /// `supersedeKey` != 0 evicts any earlier unacked same-key message on this
+  /// link (see the header comment for when that downgrade is safe).
   void send(MachineId src, MachineId dst, MsgKind kind, std::size_t bytes,
-            std::uint64_t elements, std::function<void()> deliver);
+            std::uint64_t elements, std::function<void()> deliver,
+            std::uint64_t supersedeKey = 0);
 
   const Stats& stats() const { return stats_; }
   const ReliableParams& params() const { return params_; }
-  /// Messages currently awaiting an ack (for tests / leak checks).
+  /// Messages currently tracked -- in flight or parked awaiting a credit
+  /// (for tests / leak checks).
   std::size_t inFlight() const { return pending_.size(); }
+  /// Messages parked on a full send window (never yet transmitted).
+  std::size_t parkedCount() const { return credit_.parkedTotal(); }
+  /// High-water mark of tracked (in-flight + parked) messages.
+  std::size_t peakTracked() const { return credit_.peakTracked(); }
 
  private:
   struct Pending {
@@ -71,11 +93,14 @@ class ReliableDelivery {
   void armTimer(std::uint64_t id);
   void onDelivered(std::uint64_t id, MachineId src, MachineId dst);
   void onAcked(std::uint64_t id);
+  void evict(std::uint64_t id);
+  void releaseAndRefill(std::uint64_t link, std::uint64_t id);
 
   Simulator& sim_;
   Network& net_;
   ReliableParams params_;
   Stats stats_;
+  flow::CreditManager credit_;
   std::uint64_t next_id_ = 1;
   /// Unacked messages, by id. std::map: deterministic iteration not needed
   /// (lookups only), but keeps debugging output ordered.

@@ -133,6 +133,7 @@ MachineId LoadBalancer::coolestSpare() const {
 
 void LoadBalancer::poll() {
   if (migrating_) return;
+  if (veto_ && veto_()) return;
   const SimTime now = rt_.cluster().sim().now();
   for (const auto& inst : rt_.allInstances()) {
     if (!inst->alive() || inst->suspended()) continue;

@@ -71,6 +71,14 @@ class LoadBalancer {
   std::uint64_t migrations() const { return migrations_; }
   bool migrationInProgress() const { return migrating_; }
 
+  /// flow/ interplay: while the predicate returns true (source paused or
+  /// input queues overloaded), polls neither accumulate hot streaks nor start
+  /// migrations. Load sampled mid-congestion misattributes transient
+  /// backpressure stalls to the machine, and a stop-and-copy migration in the
+  /// middle of a congestion episode only deepens it -- backpressure is the
+  /// fast reaction, migration stays the slow one.
+  void setMigrationVeto(std::function<bool()> veto) { veto_ = std::move(veto); }
+
   /// Stop-and-copy migration of `instance` to `target`: quiesce, capture the
   /// full state (including input queues), transfer, apply, rewire, terminate
   /// the old copy. `done` runs when the moved subjob is processing again.
@@ -86,6 +94,7 @@ class LoadBalancer {
   Runtime& rt_;
   std::vector<MachineId> spares_;
   Params params_;
+  std::function<bool()> veto_;
   PeriodicTimer timer_;
   bool migrating_ = false;
   std::uint64_t migrations_ = 0;

@@ -84,6 +84,13 @@ PeInstance::PeInstance(Simulator& sim, Machine& machine, Network& net,
   machine_.addRestartListener([this] { maybeSchedule(); });
 }
 
+bool PeInstance::outputsBlocked() const {
+  for (const auto& out : outputs_) {
+    if (out->flowBlocked()) return true;
+  }
+  return false;
+}
+
 void PeInstance::maybeSchedule() {
   if (terminated_ || suspended_ || paused_ || in_flight_ || !machine_.isUp()) {
     return;
@@ -92,7 +99,7 @@ void PeInstance::maybeSchedule() {
     enterPaused();
     return;
   }
-  if (input_.empty()) return;
+  if (input_.empty() || outputsBlocked()) return;
   in_flight_ = true;
   const std::uint64_t epoch = epoch_;
   machine_.submitData(params_.workPerElementUs,
@@ -257,6 +264,8 @@ void PeInstance::terminate() {
   terminated_ = true;
   ++epoch_;
   in_flight_ = false;
+  // A terminated copy's backlog must not keep the source throttled.
+  input_.releasePressure();
 }
 
 void PeInstance::flushAcks(const std::map<StreamId, ElementSeq>& watermarks) {

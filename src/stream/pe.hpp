@@ -185,6 +185,13 @@ class PeInstance {
   /// Poke the processing loop (wired as the input queue arrival listener).
   void maybeSchedule();
 
+  /// flow/: whether any output port's backpressure gate is closed. The
+  /// processing loop checks this before pulling the next element, so
+  /// downstream congestion (an unacked backlog past the gate's threshold)
+  /// stalls this PE and, through its own input queue filling up, propagates
+  /// toward the source. Always false while flow control is off.
+  bool outputsBlocked() const;
+
  private:
   void onProcessed(std::uint64_t epoch);
   void enterPaused();

@@ -34,7 +34,39 @@ ElementSeq OutputQueue::produce(SimTime sourceTs, std::uint64_t value,
     }
   }
   if (produce_listener_) produce_listener_(e.seq);
+  if (bp_pause_at_ != 0) updateFlowBlocked();
   return e.seq;
+}
+
+std::uint64_t OutputQueue::unackedBacklog() const {
+  std::uint64_t worst = 0;
+  for (const auto& conn : connections_) {
+    if (!conn.active || !conn.gatesTrim) continue;
+    if (!net_.machineUp(conn.dst)) continue;
+    const ElementSeq covered = std::max(conn.ackedUpTo, trimmed_up_to_);
+    const ElementSeq produced = next_seq_ - 1;
+    if (produced > covered) worst = std::max(worst, produced - covered);
+  }
+  return worst;
+}
+
+void OutputQueue::setBackpressure(std::size_t pauseAt, std::size_t resumeAt,
+                                  std::function<void(bool)> listener) {
+  bp_pause_at_ = pauseAt;
+  bp_resume_at_ = resumeAt;
+  bp_listener_ = std::move(listener);
+  if (bp_pause_at_ != 0) updateFlowBlocked();
+}
+
+void OutputQueue::updateFlowBlocked() {
+  const std::uint64_t backlog = unackedBacklog();
+  if (!flow_blocked_ && backlog >= bp_pause_at_) {
+    flow_blocked_ = true;
+    if (bp_listener_) bp_listener_(true);
+  } else if (flow_blocked_ && backlog <= bp_resume_at_) {
+    flow_blocked_ = false;
+    if (bp_listener_) bp_listener_(false);
+  }
 }
 
 int OutputQueue::addConnection(MachineId dstMachine, bool active,
@@ -59,6 +91,7 @@ void OutputQueue::removeConnection(int connId) {
                      [connId](const Connection& c) { return c.id == connId; }),
       connections_.end());
   maybeTrim();
+  if (bp_pause_at_ != 0) updateFlowBlocked();
 }
 
 OutputQueue::Connection* OutputQueue::find(int connId) {
@@ -80,6 +113,7 @@ void OutputQueue::setConnectionActive(int connId, bool active) {
   if (conn == nullptr || conn->active == active) return;
   conn->active = active;
   if (active) push(*conn);
+  if (bp_pause_at_ != 0) updateFlowBlocked();
 }
 
 bool OutputQueue::connectionActive(int connId) const {
@@ -97,6 +131,7 @@ void OutputQueue::setConnectionGating(int connId, bool gatesTrim) {
   if (conn == nullptr || conn->gatesTrim == gatesTrim) return;
   conn->gatesTrim = gatesTrim;
   maybeTrim();
+  if (bp_pause_at_ != 0) updateFlowBlocked();
 }
 
 void OutputQueue::retransmitFrom(int connId, ElementSeq fromSeq) {
@@ -180,6 +215,7 @@ void OutputQueue::onAck(int connId, ElementSeq upTo) {
     conn->backoffLevel = 0;
   }
   maybeTrim();
+  if (bp_pause_at_ != 0) updateFlowBlocked();
 }
 
 void OutputQueue::maybeTrim() {
@@ -226,6 +262,7 @@ void OutputQueue::restore(ElementSeq nextSeq, std::vector<Element> buffered) {
                                              trimmed_up_to_ + 1, next_seq_);
     conn.ackedUpTo = std::min(conn.ackedUpTo, next_seq_ - 1);
   }
+  if (bp_pause_at_ != 0) updateFlowBlocked();
 }
 
 void InputQueue::subscribe(StreamId stream, ElementSeq expected) {
@@ -276,6 +313,7 @@ void InputQueue::receive(const std::vector<Element>& batch) {
       // Shed: the watermark advanced, so the element is gone for good (a
       // retransmission would be treated as a duplicate).
       ++elements_shed_;
+      if (shed_listener_) shed_listener_(e.stream, e.seq);
       continue;
     }
     pending_.push_back(e);
@@ -287,7 +325,36 @@ void InputQueue::receive(const std::vector<Element>& batch) {
     for (auto it = lo; it != hi; ++it) it->second(stream, firstMissing);
   }
   for (StreamId stream : duplicated) duplicate_listener_(stream);
+  if (delivered && pressure_pause_at_ != 0) updatePressure();
   if (delivered && on_arrival_) on_arrival_();
+}
+
+void InputQueue::setPressure(std::size_t pauseAt, std::size_t resumeAt,
+                             PressureListener fn) {
+  pressure_pause_at_ = pauseAt;
+  pressure_resume_at_ = resumeAt;
+  pressure_listener_ = std::move(fn);
+  if (pressure_pause_at_ != 0) updatePressure();
+}
+
+void InputQueue::releasePressure() {
+  if (!overloaded_) return;
+  overloaded_ = false;
+  if (pressure_listener_) pressure_listener_(false);
+}
+
+void InputQueue::pokePressure() {
+  if (pressure_pause_at_ != 0) updatePressure();
+}
+
+void InputQueue::updatePressure() {
+  if (!overloaded_ && pending_.size() >= pressure_pause_at_) {
+    overloaded_ = true;
+    if (pressure_listener_) pressure_listener_(true);
+  } else if (overloaded_ && pending_.size() <= pressure_resume_at_) {
+    overloaded_ = false;
+    if (pressure_listener_) pressure_listener_(false);
+  }
 }
 
 void InputQueue::sendAcks(const std::map<StreamId, ElementSeq>& watermarks) {
@@ -323,17 +390,23 @@ void InputQueue::resetStream(StreamId stream, ElementSeq watermark) {
   // drop the stream's backlog and rewind the dedup point to re-accept the
   // retransmission of the whole span -- keeping it would dedup the resent
   // elements into a permanent gap.
+  bool rewound = true;
   for (const auto& e : pending_) {
     if (e.stream != stream) continue;
-    if (e.seq == watermark + 1) return;  // Contiguous: nothing rewound.
+    if (e.seq == watermark + 1) rewound = false;  // Contiguous: kept.
     break;
   }
-  if (watermark + 1 == it->second) return;  // Empty span, nothing rewound.
+  if (watermark + 1 == it->second) rewound = false;  // Empty span.
+  if (!rewound) {
+    if (pressure_pause_at_ != 0) updatePressure();
+    return;
+  }
   it->second = watermark + 1;
   pending_.erase(std::remove_if(
                      pending_.begin(), pending_.end(),
                      [&](const Element& e) { return e.stream == stream; }),
                  pending_.end());
+  if (pressure_pause_at_ != 0) updatePressure();
 }
 
 void InputQueue::fastForward(StreamId stream, ElementSeq watermark) {
@@ -346,6 +419,7 @@ void InputQueue::fastForward(StreamId stream, ElementSeq watermark) {
                                          e.seq <= watermark;
                                 }),
                  pending_.end());
+  if (pressure_pause_at_ != 0) updatePressure();
 }
 
 void InputQueue::loadPending(const std::vector<Element>& elements) {
@@ -361,6 +435,7 @@ void InputQueue::loadPending(const std::vector<Element>& elements) {
     pending_.push_back(e);
     loaded = true;
   }
+  if (loaded && pressure_pause_at_ != 0) updatePressure();
   if (loaded && on_arrival_) on_arrival_();
 }
 

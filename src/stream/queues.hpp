@@ -112,6 +112,24 @@ class OutputQueue {
     produce_listener_ = std::move(listener);
   }
 
+  // -- Backpressure (flow/) ---------------------------------------------------
+
+  /// Largest unacked backlog over the active trim-gating connections whose
+  /// peer machine is up: elements produced but not yet covered by that
+  /// consumer's accumulative ack (or the trim point). Dead peers are
+  /// excluded -- their backlog is recovery's problem, not flow control's.
+  std::uint64_t unackedBacklog() const;
+
+  /// Arm the producer-side backpressure gate: the queue reports
+  /// flowBlocked() while unackedBacklog() exceeds `pauseAt`, until it drains
+  /// back to `resumeAt`. The listener fires on each transition; the PE emit
+  /// path consults flowBlocked() before scheduling more processing, which is
+  /// what propagates downstream congestion up the chain. `pauseAt` 0
+  /// disarms (default: zero cost, never blocked).
+  void setBackpressure(std::size_t pauseAt, std::size_t resumeAt,
+                       std::function<void(bool)> listener);
+  bool flowBlocked() const { return flow_blocked_; }
+
   // -- Checkpoint support -----------------------------------------------------
 
   /// The retained (un-trimmed) elements, oldest first.
@@ -141,6 +159,7 @@ class OutputQueue {
   const Connection* find(int connId) const;
   void push(Connection& conn);  ///< Send retained elements from the cursor.
   void maybeTrim();
+  void updateFlowBlocked();
 
   Network& net_;
   StreamId stream_;
@@ -152,6 +171,10 @@ class OutputQueue {
   int next_conn_id_ = 1;
   TrimListener trim_listener_;
   ProduceListener produce_listener_;
+  std::size_t bp_pause_at_ = 0;   ///< 0 = backpressure gate disarmed.
+  std::size_t bp_resume_at_ = 0;
+  bool flow_blocked_ = false;
+  std::function<void(bool)> bp_listener_;
 };
 
 class InputQueue {
@@ -202,10 +225,39 @@ class InputQueue {
   void setShedThreshold(std::size_t maxPending) { shed_threshold_ = maxPending; }
   std::uint64_t elementsShed() const { return elements_shed_; }
 
+  /// Invoked with (stream, seq) for every element shed. The flow subsystem's
+  /// accountant folds these into per-stream drop intervals and trace events,
+  /// which is what makes the bounded-loss contract assertable.
+  using ShedListener = std::function<void(StreamId, ElementSeq)>;
+  void setShedListener(ShedListener fn) { shed_listener_ = std::move(fn); }
+
+  // -- Backpressure (flow/) ---------------------------------------------------
+
+  /// Arm consumer-side pressure thresholds: when the pending depth reaches
+  /// `pauseAt` the queue turns overloaded (listener fires true); when it
+  /// drains back to `resumeAt` it clears (listener fires false). The flow
+  /// subsystem routes these edges to the source as pause/resume credits.
+  /// `pauseAt` 0 disarms (default: zero cost on the pop path).
+  using PressureListener = std::function<void(bool /*overloaded*/)>;
+  void setPressure(std::size_t pauseAt, std::size_t resumeAt,
+                   PressureListener fn);
+  bool overloaded() const { return overloaded_; }
+  /// Drop the overload flag without waiting for a drain. HA transitions call
+  /// this when the instance goes dormant (suspension, rollback, termination):
+  /// a dormant copy's backlog must not keep the source throttled.
+  void releasePressure();
+  /// Re-evaluate the flag from the current depth. HA transitions call this
+  /// when an instance activates (switchover): the standby inherits whatever
+  /// backlog it accumulated, and the source must learn about it.
+  void pokePressure();
+
   bool empty() const { return pending_.empty(); }
   std::size_t size() const { return pending_.size(); }
   const Element& front() const { return pending_.front(); }
-  void pop() { pending_.pop_front(); }
+  void pop() {
+    pending_.pop_front();
+    if (pressure_pause_at_ != 0) updatePressure();
+  }
 
   void setArrivalListener(ArrivalListener fn) { on_arrival_ = std::move(fn); }
 
@@ -231,7 +283,10 @@ class InputQueue {
   void resetStream(StreamId stream, ElementSeq watermark);
 
   /// Drop everything buffered (fresh restore from checkpoint).
-  void clearPending() { pending_.clear(); }
+  void clearPending() {
+    pending_.clear();
+    if (pressure_pause_at_ != 0) updatePressure();
+  }
 
   /// Snapshot the pending (received, unprocessed) elements, oldest first.
   std::vector<Element> snapshotPending() const {
@@ -255,6 +310,8 @@ class InputQueue {
   std::vector<StreamId> streams() const;
 
  private:
+  void updatePressure();
+
   std::map<StreamId, ElementSeq> expected_;  ///< Next acceptable seq per stream.
   std::deque<Element> pending_;
   std::multimap<StreamId, AckFn> upstreams_;
@@ -266,6 +323,11 @@ class InputQueue {
   std::uint64_t out_of_order_dropped_ = 0;
   std::size_t shed_threshold_ = 0;
   std::uint64_t elements_shed_ = 0;
+  ShedListener shed_listener_;
+  std::size_t pressure_pause_at_ = 0;  ///< 0 = pressure tracking disarmed.
+  std::size_t pressure_resume_at_ = 0;
+  bool overloaded_ = false;
+  PressureListener pressure_listener_;
 };
 
 }  // namespace streamha

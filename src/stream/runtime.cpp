@@ -64,6 +64,7 @@ Subjob& Runtime::instantiate(SubjobId subjob, MachineId machine,
   LOG_DEBUG(cluster_.sim().now(), "runtime")
       << "instantiated subjob " << subjob << " (" << toString(replica)
       << ") on machine " << machine;
+  if (instance_listener_) instance_listener_(*instances_.back());
   return *instances_.back();
 }
 
@@ -286,16 +287,26 @@ void Runtime::createSingleWire(const WirePlan& plan, WireOpts opts) {
     auto lastNack = std::make_shared<SimTime>(-1);
     const SimDuration minGap = costs_.nackMinGap;
     const std::size_t nackBytes = costs_.nackBytes;
+    // Supersede key per wire: a newer gap request subsumes an older unacked
+    // one (the rewind is accumulative-backward), so the ARQ layer may evict
+    // the stale NACK instead of retrying both. The high bit keeps the key
+    // nonzero; (stream, connId) makes it unique per wire on the link.
+    const std::uint64_t nackKey =
+        (1ULL << 63) |
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(plan.stream))
+         << 32) |
+        static_cast<std::uint32_t>(connId);
     iq->addGapRequester(
         plan.stream,
-        [net, srcMachine, dstMachine, oq, connId, nackBytes, minGap, lastNack](
-            StreamId, ElementSeq fromSeq) {
+        [net, srcMachine, dstMachine, oq, connId, nackBytes, minGap, lastNack,
+         nackKey](StreamId, ElementSeq fromSeq) {
           const SimTime now = net->now();
           if (*lastNack >= 0 && now - *lastNack < minGap) return;
           *lastNack = now;
-          net->sendReliable(dstMachine, srcMachine, MsgKind::kControl,
-                            nackBytes, 0,
-                            [oq, connId, fromSeq] { oq->nack(connId, fromSeq); });
+          net->sendReliableKeyed(dstMachine, srcMachine, MsgKind::kControl,
+                                 nackBytes, 0, nackKey, [oq, connId, fromSeq] {
+                                   oq->nack(connId, fromSeq);
+                                 });
         });
   }
   auto wire = std::make_unique<Wire>();

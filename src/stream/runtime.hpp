@@ -139,6 +139,14 @@ class Runtime {
   /// Start source, sink and the ack timers of kOnProcess instances.
   void start();
 
+  /// Invoked at the end of every instantiate(). The flow subsystem installs
+  /// one to adopt mid-run copies (spares deployed by the scheduler, PS
+  /// redeployments) into backpressure/shedding the moment they exist.
+  using InstanceListener = std::function<void(Subjob&)>;
+  void setInstanceListener(InstanceListener fn) {
+    instance_listener_ = std::move(fn);
+  }
+
  private:
   struct WirePlan {
     OutputQueue* oq;
@@ -163,6 +171,7 @@ class Runtime {
   std::vector<std::unique_ptr<Subjob>> instances_;
   std::vector<std::unique_ptr<Wire>> wires_;
   std::unique_ptr<PeriodicTimer> retransmit_timer_;
+  InstanceListener instance_listener_;
 };
 
 }  // namespace streamha

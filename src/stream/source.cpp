@@ -26,6 +26,19 @@ void Source::stop() {
   next_.cancel();
 }
 
+void Source::flowCredit(std::uint64_t creditSeq, bool pause) {
+  if (creditSeq <= last_credit_seq_) return;  // Stale or reordered credit.
+  last_credit_seq_ = creditSeq;
+  if (pause == flow_paused_) return;
+  flow_paused_ = pause;
+  if (pause) {
+    ++flow_pauses_;
+    next_.cancel();
+  } else if (running_) {
+    scheduleNext();
+  }
+}
+
 double Source::currentRatePerSec() const {
   if (params_.pattern != Pattern::kBursty) return params_.ratePerSec;
   if (!burst_on_) return 0.0;
@@ -37,7 +50,7 @@ double Source::currentRatePerSec() const {
 }
 
 void Source::scheduleNext() {
-  if (!running_) return;
+  if (!running_ || flow_paused_) return;
   // Advance on/off phases for the bursty pattern.
   if (params_.pattern == Pattern::kBursty) {
     while (sim_.now() >= phase_until_) {

@@ -48,6 +48,15 @@ class Source {
   void start();
   void stop();
 
+  /// Flow-control credit from the backpressure router (flow/). Credits carry
+  /// a monotonically increasing sequence number so a stale pause arriving
+  /// after a newer resume (reordered or retried in flight) cannot wedge the
+  /// source; out-of-date credits are ignored. Pausing stops generation
+  /// entirely -- overload throttles the feed instead of shedding it.
+  void flowCredit(std::uint64_t creditSeq, bool pause);
+  bool flowPaused() const { return flow_paused_; }
+  std::uint64_t flowPauses() const { return flow_pauses_; }
+
   OutputQueue& output() { return output_; }
   MachineId machineId() const { return machine_.id(); }
   std::uint64_t generatedCount() const { return generated_; }
@@ -67,6 +76,9 @@ class Source {
   Rng rng_;
   OutputQueue output_;
   bool running_ = false;
+  bool flow_paused_ = false;
+  std::uint64_t last_credit_seq_ = 0;
+  std::uint64_t flow_pauses_ = 0;
   bool burst_on_ = true;
   SimTime phase_until_ = 0;
   EventHandle next_;

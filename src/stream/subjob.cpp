@@ -25,11 +25,13 @@ PeInstance* Subjob::peByLogicalId(LogicalPeId id) {
 void Subjob::suspendAll() {
   suspended_ = true;
   for (auto& pe : pes_) pe->suspend();
+  releaseFlowPressure();
 }
 
 void Subjob::unsuspendAll() {
   suspended_ = false;
   for (auto& pe : pes_) pe->unsuspend();
+  pokeFlowPressure();
 }
 
 void Subjob::terminateAll() {
@@ -71,6 +73,14 @@ void Subjob::applyState(const SubjobState& state) {
     const auto it = state.pes.find(pe->logicalId());
     if (it != state.pes.end()) pe->storeJobState(it->second);
   }
+}
+
+void Subjob::releaseFlowPressure() {
+  for (auto& pe : pes_) pe->input().releasePressure();
+}
+
+void Subjob::pokeFlowPressure() {
+  for (auto& pe : pes_) pe->input().pokePressure();
 }
 
 std::uint64_t Subjob::processedCount() const {

@@ -53,6 +53,17 @@ class Subjob {
   void startAckTimer(SimDuration interval);
   void stopAckTimer();
 
+  // -- Flow control (flow/) ----------------------------------------------------
+
+  /// Drop every PE input queue's overload flag. Called when the instance
+  /// goes dormant (suspension on rollback, termination on promotion or
+  /// migration): a dormant copy's backlog must not keep the source paused.
+  void releaseFlowPressure();
+  /// Re-evaluate every PE input queue's overload flag from its current
+  /// depth. Called on activation (switchover): the copy inherits whatever
+  /// backlog the standby queue accumulated, and the source must learn of it.
+  void pokeFlowPressure();
+
   // -- State -----------------------------------------------------------------
 
   /// Capture the states of all PEs (queue inclusion per checkpoint variant).

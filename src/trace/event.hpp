@@ -52,6 +52,11 @@ enum class TraceEventType : std::uint8_t {
   kMessageDelayed,    ///< Injector added delay jitter (value = extra micros).
   kPartitionBegin,    ///< A scheduled network partition opened.
   kPartitionEnd,      ///< The partition healed.
+  // -- Flow control (flow/) -----------------------------------------------------
+  kFlowPause,         ///< Backpressure paused a source (value = overloaded queues).
+  kFlowResume,        ///< Backpressure resumed a source.
+  kShedBegin,         ///< First element of a contiguous shed span (value = seq).
+  kShedEnd,           ///< Shed span closed (value = last seq, aux = count).
   kCount
 };
 
@@ -86,6 +91,10 @@ constexpr const char* toString(TraceEventType type) {
     case TraceEventType::kMessageDelayed: return "MessageDelayed";
     case TraceEventType::kPartitionBegin: return "PartitionBegin";
     case TraceEventType::kPartitionEnd: return "PartitionEnd";
+    case TraceEventType::kFlowPause: return "FlowPause";
+    case TraceEventType::kFlowResume: return "FlowResume";
+    case TraceEventType::kShedBegin: return "ShedBegin";
+    case TraceEventType::kShedEnd: return "ShedEnd";
     case TraceEventType::kCount: break;
   }
   return "?";

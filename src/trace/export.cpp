@@ -160,6 +160,7 @@ enum PerfettoTrack : int {
   kTrackRecovery = 4,    // switchover / rollback incident spans
   kTrackQueues = 5,      // output-queue trims
   kTrackNet = 6,         // per-message instants
+  kTrackFlow = 7,        // backpressure credits + shed spans
 };
 
 const char* trackName(int tid) {
@@ -171,6 +172,7 @@ const char* trackName(int tid) {
     case kTrackRecovery: return "recovery";
     case kTrackQueues: return "queue trim";
     case kTrackNet: return "messages";
+    case kTrackFlow: return "flow";
   }
   return "?";
 }
@@ -206,6 +208,11 @@ int trackOf(const TraceEvent& ev) {
     case TraceEventType::kMessageDuplicated:
     case TraceEventType::kMessageDelayed:
       return kTrackNet;
+    case TraceEventType::kFlowPause:
+    case TraceEventType::kFlowResume:
+    case TraceEventType::kShedBegin:
+    case TraceEventType::kShedEnd:
+      return kTrackFlow;
     default:
       return kTrackEvents;
   }

@@ -1,8 +1,47 @@
 #include "trace/timeline.hpp"
 
 #include <algorithm>
+#include <map>
+#include <tuple>
 
 namespace streamha {
+
+std::vector<ShedSpan> extractShedSpans(const std::vector<TraceEvent>& events) {
+  std::vector<ShedSpan> spans;
+  // Index of the still-open span per (machine, subjob, stream); the accountant
+  // closes a span before reopening one on the same queue/stream, so at most
+  // one can be open per key at any point in the trace.
+  std::map<std::tuple<MachineId, SubjobId, StreamId>, std::size_t> open;
+  for (const auto& ev : events) {
+    const auto key = std::make_tuple(ev.machine, ev.subjob, ev.stream);
+    if (ev.type == TraceEventType::kShedBegin) {
+      ShedSpan span;
+      span.machine = ev.machine;
+      span.subjob = ev.subjob;
+      span.stream = ev.stream;
+      span.first = ev.value;
+      span.beginAt = ev.at;
+      span.endAt = kTimeNever;
+      open[key] = spans.size();
+      spans.push_back(span);
+    } else if (ev.type == TraceEventType::kShedEnd) {
+      const auto it = open.find(key);
+      if (it == open.end()) continue;  // End without begin: malformed, skip.
+      ShedSpan& span = spans[it->second];
+      span.last = ev.value;
+      span.count = ev.aux;
+      span.endAt = ev.at;
+      open.erase(it);
+    }
+  }
+  return spans;
+}
+
+std::uint64_t totalShed(const std::vector<ShedSpan>& spans) {
+  std::uint64_t total = 0;
+  for (const auto& span : spans) total += span.count;
+  return total;
+}
 
 RecoveryTimelineAnalyzer::RecoveryTimelineAnalyzer(
     const std::vector<TraceEvent>& events) {

@@ -47,6 +47,30 @@ struct IncidentTimeline {
   std::uint64_t abortReason = 0;
 };
 
+/// One contiguous span of shed (accepted-and-dropped) elements, reassembled
+/// from a kShedBegin/kShedEnd event pair (flow/). `count == last - first + 1`
+/// for a well-formed pair; the bounded-loss oracle checks the sum of counts
+/// against the queues' elementsShed counters, making the trace the audit
+/// trail for every element the system chose to lose.
+struct ShedSpan {
+  MachineId machine = kNoMachine;
+  SubjobId subjob = -1;
+  StreamId stream = kNoStream;
+  ElementSeq first = 0;
+  ElementSeq last = 0;
+  std::uint64_t count = 0;
+  SimTime beginAt = 0;
+  SimTime endAt = 0;
+};
+
+/// Pair up kShedBegin/kShedEnd events into spans, in trace order. A begin
+/// without a matching end (the run stopped mid-span and nobody flushed) is
+/// returned with endAt = kTimeNever and count = 0.
+std::vector<ShedSpan> extractShedSpans(const std::vector<TraceEvent>& events);
+
+/// Total elements inside the given spans.
+std::uint64_t totalShed(const std::vector<ShedSpan>& spans);
+
 class RecoveryTimelineAnalyzer {
  public:
   explicit RecoveryTimelineAnalyzer(const std::vector<TraceEvent>& events);

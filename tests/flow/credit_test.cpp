@@ -1,0 +1,139 @@
+#include "flow/credit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace streamha::flow {
+namespace {
+
+CreditManager make(std::size_t window, std::size_t cap = 0) {
+  return CreditManager(CreditManager::Params{window, cap});
+}
+
+TEST(CreditManagerTest, UnlimitedWindowAlwaysGrants) {
+  CreditManager cm = make(0);
+  for (std::uint64_t id = 1; id <= 100; ++id) {
+    const auto adm = cm.admit(/*link=*/7, id);
+    EXPECT_TRUE(adm.grant);
+    EXPECT_TRUE(adm.superseded.empty());
+    EXPECT_TRUE(adm.overflowed.empty());
+  }
+  EXPECT_EQ(cm.inFlight(7), 100u);
+  EXPECT_EQ(cm.parked(7), 0u);
+  EXPECT_EQ(cm.peakTracked(), 100u);
+}
+
+TEST(CreditManagerTest, WindowFullParksFifoAndUnparksOnRelease) {
+  CreditManager cm = make(2);
+  EXPECT_TRUE(cm.admit(1, 10).grant);
+  EXPECT_TRUE(cm.admit(1, 11).grant);
+  EXPECT_FALSE(cm.admit(1, 12).grant);  // Window full: parked.
+  EXPECT_FALSE(cm.admit(1, 13).grant);
+  EXPECT_EQ(cm.inFlight(1), 2u);
+  EXPECT_EQ(cm.parked(1), 2u);
+  EXPECT_EQ(cm.trackedTotal(), 4u);
+
+  // Releasing one credit grants the OLDEST parked id (FIFO fairness).
+  const auto unparked = cm.release(1, 10);
+  ASSERT_EQ(unparked.size(), 1u);
+  EXPECT_EQ(unparked[0], 12u);
+  EXPECT_EQ(cm.inFlight(1), 2u);
+  EXPECT_EQ(cm.parked(1), 1u);
+
+  const auto unparked2 = cm.release(1, 11);
+  ASSERT_EQ(unparked2.size(), 1u);
+  EXPECT_EQ(unparked2[0], 13u);
+  EXPECT_EQ(cm.parked(1), 0u);
+}
+
+TEST(CreditManagerTest, LinksAreIndependent) {
+  CreditManager cm = make(1);
+  EXPECT_TRUE(cm.admit(1, 10).grant);
+  EXPECT_TRUE(cm.admit(2, 20).grant);  // Different link, own window.
+  EXPECT_FALSE(cm.admit(1, 11).grant);
+  EXPECT_EQ(cm.inFlight(1), 1u);
+  EXPECT_EQ(cm.inFlight(2), 1u);
+  EXPECT_EQ(cm.parked(1), 1u);
+  EXPECT_EQ(cm.parked(2), 0u);
+}
+
+TEST(CreditManagerTest, ParkedCapEvictsOldestParked) {
+  CreditManager cm = make(1, /*cap=*/2);
+  EXPECT_TRUE(cm.admit(1, 10).grant);
+  EXPECT_FALSE(cm.admit(1, 11).grant);  // parked: [11]
+  EXPECT_FALSE(cm.admit(1, 12).grant);  // parked: [11, 12]
+  const auto adm = cm.admit(1, 13);     // Cap reached: 11 evicted.
+  EXPECT_FALSE(adm.grant);
+  ASSERT_EQ(adm.overflowed.size(), 1u);
+  EXPECT_EQ(adm.overflowed[0], 11u);
+  EXPECT_EQ(cm.parked(1), 2u);  // [12, 13]
+}
+
+TEST(CreditManagerTest, SupersedeEvictsOlderSameKey) {
+  CreditManager cm = make(0);
+  EXPECT_TRUE(cm.admit(1, 10, /*key=*/5).grant);
+  const auto adm = cm.admit(1, 11, /*key=*/5);
+  EXPECT_TRUE(adm.grant);
+  ASSERT_EQ(adm.superseded.size(), 1u);
+  EXPECT_EQ(adm.superseded[0], 10u);
+  EXPECT_EQ(cm.inFlight(1), 1u);  // Only the newer one remains tracked.
+
+  // Different key, different link: no eviction.
+  EXPECT_TRUE(cm.admit(1, 12, /*key=*/6).grant);
+  EXPECT_TRUE(cm.admit(2, 13, /*key=*/5).grant);
+  EXPECT_EQ(cm.admit(2, 14, /*key=*/6).superseded.size(), 0u);
+}
+
+TEST(CreditManagerTest, SupersededParkedEntryNeverTransmits) {
+  CreditManager cm = make(1);
+  EXPECT_TRUE(cm.admit(1, 10).grant);          // Fills the window.
+  EXPECT_FALSE(cm.admit(1, 11, /*key=*/5).grant);  // Parked.
+  const auto adm = cm.admit(1, 12, /*key=*/5);     // Supersedes parked 11.
+  EXPECT_FALSE(adm.grant);
+  ASSERT_EQ(adm.superseded.size(), 1u);
+  EXPECT_EQ(adm.superseded[0], 11u);
+  // Release the window: the grant must go to 12, not the evicted 11.
+  const auto unparked = cm.release(1, 10);
+  ASSERT_EQ(unparked.size(), 1u);
+  EXPECT_EQ(unparked[0], 12u);
+}
+
+TEST(CreditManagerTest, ReleaseOfUnknownIdIsHarmless) {
+  CreditManager cm = make(2);
+  EXPECT_TRUE(cm.admit(1, 10).grant);
+  EXPECT_TRUE(cm.release(1, 999).empty());
+  EXPECT_EQ(cm.inFlight(1), 1u);
+}
+
+TEST(CreditManagerTest, EvictOldestIfAtCapBoundsReceiverDeathBacklog) {
+  // Unlimited window + cap 3: the dead-receiver path calls
+  // evictOldestIfAtCap before each admit.
+  CreditManager cm = make(0, 3);
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    EXPECT_EQ(cm.evictOldestIfAtCap(1), 0u);
+    cm.admit(1, id);
+  }
+  // At the cap: the next admit must first evict the oldest (id 1).
+  EXPECT_EQ(cm.evictOldestIfAtCap(1), 1u);
+  cm.admit(1, 4);
+  EXPECT_EQ(cm.inFlight(1), 3u);  // {2, 3, 4}
+  EXPECT_EQ(cm.evictOldestIfAtCap(1), 2u);
+  cm.admit(1, 5);
+  EXPECT_EQ(cm.inFlight(1), 3u);  // {3, 4, 5}
+  EXPECT_EQ(cm.peakTracked(), 3u);
+}
+
+TEST(CreditManagerTest, PeakTrackedIsHighWaterMark) {
+  CreditManager cm = make(2);
+  cm.admit(1, 1);
+  cm.admit(1, 2);
+  cm.admit(1, 3);  // parked
+  EXPECT_EQ(cm.peakTracked(), 3u);
+  cm.release(1, 1);  // 3 unparked; tracked drops to 2.
+  cm.release(1, 2);
+  cm.release(1, 3);
+  EXPECT_EQ(cm.trackedTotal(), 0u);
+  EXPECT_EQ(cm.peakTracked(), 3u);  // The peak stands.
+}
+
+}  // namespace
+}  // namespace streamha::flow

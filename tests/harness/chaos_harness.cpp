@@ -64,6 +64,64 @@ OracleReport checkExactlyOnceInOrder(Scenario& s, const ScenarioResult& r) {
   return rep;
 }
 
+OracleReport checkPrefixInOrderBoundedLoss(Scenario& s,
+                                           const ScenarioResult& r,
+                                           const BoundedLossParams& loss) {
+  OracleReport rep;
+  rep.generated = s.source().generatedCount();
+  rep.delivered = s.sink().receivedCount();
+  auto fail = [&rep](std::string msg) {
+    rep.ok = false;
+    rep.violations.push_back(std::move(msg));
+  };
+
+  // In-order acceptance everywhere still holds under shedding: a shed element
+  // advances the watermark *then* drops, so no queue ever accepts a jump.
+  if (r.gapsObserved != 0) {
+    fail("an input queue accepted a sequence jump (gapsObserved=" +
+         std::to_string(r.gapsObserved) + ")");
+  }
+  // Each PE renumbers its output (selectivity-1 chain), so whatever reaches
+  // the sink must still be a gapless duplicate-free prefix-per-stream: the
+  // accepted count and the contiguous watermark must agree exactly.
+  std::uint64_t contiguous = 0;
+  for (StreamId stream : s.runtime().spec().sinkStreams) {
+    contiguous += s.sink().highestSeq(stream);
+  }
+  if (contiguous != rep.delivered) {
+    fail("sink in-order watermark " + std::to_string(contiguous) +
+         " != accepted " + std::to_string(rep.delivered) +
+         " (out-of-prefix acceptance)");
+  }
+  if (rep.delivered > rep.generated) {
+    fail("sink accepted " + std::to_string(rep.delivered) +
+         " > generated " + std::to_string(rep.generated) +
+         " (phantom elements)");
+  }
+  const std::uint64_t lost =
+      rep.generated > rep.delivered ? rep.generated - rep.delivered : 0;
+  // Every lost element must be accounted for by a shed counter somewhere.
+  // Inequality, not equality: a rollback can re-deliver elements that were
+  // shed on the failed path, so the realized loss may be *smaller* than the
+  // shed count -- but never larger.
+  if (loss.requireAccountedLoss && lost > r.elementsShed) {
+    fail("lost " + std::to_string(lost) + " elements but only " +
+         std::to_string(r.elementsShed) +
+         " were shed (unaccounted loss)");
+  }
+  if (rep.generated > 0) {
+    const double fraction =
+        static_cast<double>(lost) / static_cast<double>(rep.generated);
+    if (fraction > loss.maxLossFraction) {
+      std::ostringstream msg;
+      msg << "loss fraction " << fraction << " (" << lost << "/"
+          << rep.generated << ") exceeds bound " << loss.maxLossFraction;
+      fail(msg.str());
+    }
+  }
+  return rep;
+}
+
 // ---------------------------------------------------------------------------
 // Schedule generation
 // ---------------------------------------------------------------------------
@@ -188,6 +246,27 @@ ChaosOutcome runChaosScenario(ScenarioParams params, SimDuration drainGrace) {
   ChaosOutcome out;
   out.result = s.collect();
   out.oracle = checkExactlyOnceInOrder(s, out.result);
+  if (s.faultInjector() != nullptr) out.faults = s.faultInjector()->stats();
+  return out;
+}
+
+ChaosOutcome runChaosScenario(ScenarioParams params, const ChaosRunOpts& opts) {
+  Scenario s(std::move(params));
+  s.build();
+  s.start();
+  if (s.params().failureFraction > 0) s.startFailures();
+  s.run(s.params().duration);
+  ChaosOutcome out;
+  if (opts.quiescentDrain) {
+    out.quiescence =
+        s.drainQuiescent(opts.maxDrain, opts.drainTick, opts.stableTicks);
+  } else {
+    s.drain(opts.maxDrain);
+  }
+  out.result = s.collect();
+  out.oracle = opts.oracle == OracleMode::kBoundedLoss
+                   ? checkPrefixInOrderBoundedLoss(s, out.result, opts.loss)
+                   : checkExactlyOnceInOrder(s, out.result);
   if (s.faultInjector() != nullptr) out.faults = s.faultInjector()->stats();
   return out;
 }

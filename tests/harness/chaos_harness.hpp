@@ -50,6 +50,25 @@ struct OracleReport {
 /// Call after drain(); an undrained run trivially fails.
 OracleReport checkExactlyOnceInOrder(Scenario& s, const ScenarioResult& r);
 
+/// Contract parameters for the shedding-enabled oracle.
+struct BoundedLossParams {
+  /// Largest tolerated end-to-end loss fraction (lost / generated).
+  double maxLossFraction = 0.05;
+  /// Require every lost element to be accounted for by the shed counters
+  /// (loss <= elementsShed). Disable for runs that lose data some other
+  /// sanctioned way (e.g. a never-healing partition isolating the sink).
+  bool requireAccountedLoss = true;
+};
+
+/// The shedding-enabled relaxation of the oracle: what arrives at the sink is
+/// still a duplicate-free in-order stream with no accepted sequence jumps
+/// anywhere, but elements may be missing -- bounded by `maxLossFraction` and
+/// (by default) fully accounted for by the shed counters. Exactly-once runs
+/// pass it trivially (zero loss satisfies every bound).
+OracleReport checkPrefixInOrderBoundedLoss(Scenario& s,
+                                           const ScenarioResult& r,
+                                           const BoundedLossParams& loss);
+
 // -- Schedule generation ------------------------------------------------------
 
 /// Bounds for the random schedule generator.
@@ -105,12 +124,37 @@ struct ChaosOutcome {
   ScenarioResult result;
   OracleReport oracle;
   FaultInjector::Stats faults;
+  /// Filled by the quiescence-aware driver (default-false otherwise).
+  QuiescenceReport quiescence;
+};
+
+/// Which invariant family a chaos run is checked against.
+enum class OracleMode {
+  kExactlyOnce,   ///< checkExactlyOnceInOrder (shedding forbidden).
+  kBoundedLoss,   ///< checkPrefixInOrderBoundedLoss (accounted shedding ok).
+};
+
+/// Options for the quiescence-aware driver below.
+struct ChaosRunOpts {
+  OracleMode oracle = OracleMode::kExactlyOnce;
+  BoundedLossParams loss;  ///< Used by kBoundedLoss only.
+  /// Drain by quiescence predicate instead of fixed grace: run until the
+  /// pipeline is observably done (or residually stable) rather than hoping a
+  /// fixed headroom was enough. See Scenario::drainQuiescent.
+  bool quiescentDrain = true;
+  SimDuration maxDrain = 30 * kSecond;
+  SimDuration drainTick = 500 * kMillisecond;
+  int stableTicks = 8;
 };
 
 /// build + start (+failures) + run + drain + collect + oracle, one call.
 /// `params.faults` must already hold the schedule (see makeChaosPlan).
 ChaosOutcome runChaosScenario(ScenarioParams params,
                               SimDuration drainGrace = 12 * kSecond);
+
+/// Same pipeline with a configurable oracle and a quiescence-aware drain.
+ChaosOutcome runChaosScenario(ScenarioParams params,
+                              const ChaosRunOpts& opts);
 
 // -- Trace reproducibility ----------------------------------------------------
 

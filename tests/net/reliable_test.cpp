@@ -180,5 +180,131 @@ TEST_F(ReliableFixture, LoopbackBypassesArq) {
   EXPECT_EQ(net.reliable()->stats().acksSent, 0u);
 }
 
+// -- Credit-based send windows (flow/credit.hpp) -------------------------------
+
+TEST_F(ReliableFixture, WindowFullParksThenResumes) {
+  ReliableParams p;
+  p.retryTimeout = 1000;
+  p.sendWindow = 1;
+  net.enableReliable(p);
+  // Three sends in the same instant: one transmits, two park. Each ack frees
+  // a credit and the next parked send goes out -- all three deliver, in order.
+  std::vector<int> delivered;
+  for (int i = 0; i < 3; ++i) {
+    net.sendReliable(0, 1, MsgKind::kStateRead, 100, 0,
+                     [&delivered, i] { delivered.push_back(i); });
+  }
+  EXPECT_EQ(net.reliable()->parkedCount(), 2u);
+  sim.runAll();
+  EXPECT_EQ(delivered, (std::vector<int>{0, 1, 2}));
+  const auto& s = net.reliable()->stats();
+  EXPECT_EQ(s.parked, 2u);
+  EXPECT_EQ(s.unparked, 2u);
+  EXPECT_EQ(s.parkedEvicted, 0u);
+  EXPECT_EQ(net.reliable()->inFlight(), 0u);
+  EXPECT_EQ(net.reliable()->peakTracked(), 3u);
+}
+
+TEST_F(ReliableFixture, SupersededControlMessageNeverDelivers) {
+  ReliableParams p;
+  p.retryTimeout = 1000;
+  p.sendWindow = 1;
+  net.enableReliable(p);
+  int filler = 0, older = 0, newer = 0;
+  // Filler occupies the window, so both keyed sends park; the newer one
+  // evicts the older from the parked queue (same key, same link).
+  net.sendReliable(0, 1, MsgKind::kStateRead, 100, 0, [&] { ++filler; });
+  net.sendReliableKeyed(0, 1, MsgKind::kControl, 64, 0, /*key=*/42,
+                        [&] { ++older; });
+  net.sendReliableKeyed(0, 1, MsgKind::kControl, 64, 0, /*key=*/42,
+                        [&] { ++newer; });
+  sim.runAll();
+  EXPECT_EQ(filler, 1);
+  EXPECT_EQ(older, 0);  // Evicted before ever reaching the wire.
+  EXPECT_EQ(newer, 1);
+  EXPECT_EQ(net.reliable()->stats().superseded, 1u);
+  EXPECT_EQ(net.reliable()->inFlight(), 0u);
+}
+
+TEST_F(ReliableFixture, SupersededInFlightMessageStopsRetrying) {
+  arm(100);
+  // Drop every kControl payload so the first keyed send keeps retrying, then
+  // supersede it: its retries must stop even though it was never acked.
+  net.setFault([](MachineId, MachineId, MsgKind kind, std::size_t) {
+    Network::FaultDecision d;
+    d.drop = (kind == MsgKind::kControl);
+    return d;
+  });
+  int older = 0, newer = 0;
+  net.sendReliableKeyed(0, 1, MsgKind::kControl, 64, 0, /*key=*/7,
+                        [&] { ++older; });
+  sim.runUntil(250);  // A couple of doomed transmissions.
+  net.sendReliableKeyed(0, 1, MsgKind::kControl, 64, 0, /*key=*/7,
+                        [&] { ++newer; });
+  EXPECT_EQ(net.reliable()->stats().superseded, 1u);
+  EXPECT_EQ(net.reliable()->inFlight(), 1u);  // Only the newer remains.
+  net.setFault(nullptr);
+  sim.runAll();
+  EXPECT_EQ(older, 0);
+  EXPECT_EQ(newer, 1);
+  EXPECT_EQ(net.reliable()->inFlight(), 0u);
+}
+
+TEST_F(ReliableFixture, ReceiverDeathBacklogCapped) {
+  ReliableParams p;
+  p.retryTimeout = 100;
+  p.sendWindow = 0;  // Unlimited window: the receiver-death cap governs.
+  p.parkedCap = 5;
+  net.enableReliable(p);
+  machine1_up = false;
+  int delivered = 0;
+  for (int i = 0; i < 10; ++i) {
+    net.sendReliable(0, 1, MsgKind::kStateRead, 100, 0, [&] { ++delivered; });
+  }
+  // The tracked backlog to the dead machine is capped: oldest evicted.
+  EXPECT_EQ(net.reliable()->inFlight(), 5u);
+  EXPECT_EQ(net.reliable()->stats().parkedEvicted, 5u);
+  sim.runUntil(500);
+  EXPECT_EQ(net.reliable()->inFlight(), 5u);  // No growth while down.
+  machine1_up = true;
+  sim.runAll();
+  EXPECT_EQ(delivered, 5);  // The surviving (newest) five arrive.
+  EXPECT_EQ(net.reliable()->inFlight(), 0u);
+}
+
+// Acceptance: a finite send window bounds peak parked+in-flight ARQ memory
+// under a long partition, no matter how many sends pile up behind it.
+TEST_F(ReliableFixture, WindowBoundsTrackedUnderPartition) {
+  ReliableParams p;
+  p.retryTimeout = 100;
+  p.maxBackoffShift = 2;
+  p.sendWindow = 4;
+  p.parkedCap = 8;
+  net.enableReliable(p);
+  // "Partition": every payload transmission is dropped (acks never happen).
+  net.setFault([](MachineId, MachineId, MsgKind kind, std::size_t) {
+    Network::FaultDecision d;
+    d.drop = (kind == MsgKind::kStateRead);
+    return d;
+  });
+  int delivered = 0;
+  for (int i = 0; i < 50; ++i) {
+    net.sendReliable(0, 1, MsgKind::kStateRead, 100, 0, [&] { ++delivered; });
+    sim.runUntil(sim.now() + 20);
+  }
+  sim.runUntil(sim.now() + 2000);  // Long partition: retries keep failing.
+  // The memory bound: tracked never exceeded window + parked cap.
+  EXPECT_LE(net.reliable()->peakTracked(), p.sendWindow + p.parkedCap);
+  EXPECT_EQ(net.reliable()->inFlight(), p.sendWindow + p.parkedCap);
+  EXPECT_EQ(net.reliable()->stats().parkedEvicted,
+            50u - (p.sendWindow + p.parkedCap));
+  // Heal: the surviving tracked messages all deliver, nothing leaks.
+  net.setFault(nullptr);
+  sim.runAll();
+  EXPECT_EQ(delivered, static_cast<int>(p.sendWindow + p.parkedCap));
+  EXPECT_EQ(net.reliable()->inFlight(), 0u);
+  EXPECT_EQ(net.reliable()->parkedCount(), 0u);
+}
+
 }  // namespace
 }  // namespace streamha
