@@ -16,13 +16,17 @@ Machine::Machine(Simulator& sim, MachineId id, Rng rng, Params params)
 Machine::Machine(Simulator& sim, MachineId id, Rng rng)
     : Machine(sim, id, rng, Params{}) {}
 
+double Machine::effectiveBackground() const {
+  return std::min(1.0, background_ + dilation_);
+}
+
 double Machine::appShare() const {
-  return std::max(params_.minShare, params_.capacity - background_);
+  return std::max(params_.minShare, params_.capacity - effectiveBackground());
 }
 
 double Machine::instantaneousLoad() const {
   if (!up_) return 0.0;
-  const double load = background_ + (data_active_ ? appShare() : 0.0);
+  const double load = effectiveBackground() + (data_active_ ? appShare() : 0.0);
   return std::min(params_.capacity, load);
 }
 
@@ -144,8 +148,8 @@ void Machine::finishActiveData() {
 }
 
 double Machine::controlRho() const {
-  const double rho =
-      background_ + params_.ctlAppWeight * recentBusyFraction() * appShare();
+  const double rho = effectiveBackground() +
+                     params_.ctlAppWeight * recentBusyFraction() * appShare();
   return std::clamp(rho, 0.0, 1.0);
 }
 
@@ -181,6 +185,14 @@ void Machine::setBackgroundLoad(double fraction) {
   accrueIntegrals();
   settleActiveWork();
   background_ = std::clamp(fraction, 0.0, 1.0);
+  retimeActiveData();
+  releaseParked();
+}
+
+void Machine::setCpuDilation(double fraction) {
+  accrueIntegrals();
+  settleActiveWork();
+  dilation_ = std::clamp(fraction, 0.0, 1.0);
   retimeActiveData();
   releaseParked();
 }

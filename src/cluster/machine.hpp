@@ -84,6 +84,13 @@ class Machine {
   void setBackgroundLoad(double fraction);
   double backgroundLoad() const { return background_; }
 
+  /// Injected CPU dilation (gray-failure slowdowns, fault/): an *additive*
+  /// load channel kept separate from setBackgroundLoad so a scheduled
+  /// slowdown composes with the load generator's spikes instead of stomping
+  /// them. Effective load is min(1, background + dilation). 0 = healthy.
+  void setCpuDilation(double fraction);
+  double cpuDilation() const { return dilation_; }
+
   /// CPU share available to application work right now.
   double appShare() const;
 
@@ -130,6 +137,7 @@ class Machine {
   };
 
   void accrueIntegrals();
+  double effectiveBackground() const;
   void startNextData();
   void settleActiveWork();
   void retimeActiveData();
@@ -146,6 +154,7 @@ class Machine {
 
   bool up_ = true;
   double background_ = 0.0;
+  double dilation_ = 0.0;  ///< Injected slowdown load (fault/), additive.
 
   std::deque<DataTask> queue_;
   bool data_active_ = false;

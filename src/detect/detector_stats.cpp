@@ -1,41 +1,23 @@
 #include "detect/detector_stats.hpp"
 
+#include <algorithm>
+
 namespace streamha {
 
-DetectionScore DetectorScorer::score(
-    const std::vector<std::pair<SimTime, SimTime>>& spikes, SimTime from,
-    SimTime to) const {
-  DetectionScore out;
-  std::vector<std::pair<SimTime, SimTime>> windows;
-  for (const auto& [start, end] : spikes) {
-    if (start >= from && start < to) windows.emplace_back(start, end);
-  }
+namespace {
+
+struct Window {
+  SimTime start = 0;
+  SimTime end = 0;
+  MachineId machine = kNoMachine;
+  bool detected = false;
+};
+
+void finalize(DetectionScore& out, const std::vector<Window>& windows,
+              double delayTotalMs, std::size_t delayCount) {
   out.spikesTotal = windows.size();
-
-  double delay_total_ms = 0.0;
-  std::size_t delay_count = 0;
-  std::vector<bool> detected(windows.size(), false);
-
-  for (SimTime when : declarations_) {
-    if (when < from || when >= to) continue;
-    ++out.declarations;
-    bool matched = false;
-    for (std::size_t i = 0; i < windows.size(); ++i) {
-      if (when >= windows[i].first && when < windows[i].second + grace_) {
-        matched = true;
-        if (!detected[i]) {
-          detected[i] = true;
-          delay_total_ms += toMillis(when - windows[i].first);
-          ++delay_count;
-        }
-        break;
-      }
-    }
-    if (!matched) ++out.falseAlarms;
-  }
-
-  for (bool d : detected) {
-    if (d) ++out.spikesDetected;
+  for (const Window& w : windows) {
+    if (w.detected) ++out.spikesDetected;
   }
   out.detectionRatio =
       out.spikesTotal == 0
@@ -48,7 +30,102 @@ DetectionScore DetectorScorer::score(
           : static_cast<double>(out.falseAlarms) /
                 static_cast<double>(out.declarations);
   out.avgDetectionDelayMs =
-      delay_count == 0 ? 0.0 : delay_total_ms / static_cast<double>(delay_count);
+      delayCount == 0 ? 0.0
+                      : delayTotalMs / static_cast<double>(delayCount);
+}
+
+}  // namespace
+
+void DetectorScorer::addSuspicionAccounting(DetectionScore& out, SimTime from,
+                                            SimTime to) const {
+  double confidenceTotal = 0.0;
+  std::size_t confidenceCount = 0;
+  for (const Declaration& d : declarations_) {
+    if (d.at < from || d.at >= to) continue;
+    confidenceTotal += d.confidence;
+    ++confidenceCount;
+  }
+  out.meanConfidence =
+      confidenceCount == 0
+          ? 0.0
+          : confidenceTotal / static_cast<double>(confidenceCount);
+  for (const SuspicionSample& s : suspicion_) {
+    if (s.at < from || s.at >= to) continue;
+    ++out.suspicionSamples;
+    out.peakSuspicion = std::max(out.peakSuspicion, s.phi);
+  }
+}
+
+DetectionScore DetectorScorer::score(const SpikeWindows& spikes, SimTime from,
+                                     SimTime to) const {
+  DetectionScore out;
+  std::vector<Window> windows;
+  for (const auto& [start, end] : spikes) {
+    if (start >= from && start < to) windows.push_back({start, end});
+  }
+
+  double delayTotalMs = 0.0;
+  std::size_t delayCount = 0;
+  for (const Declaration& d : declarations_) {
+    if (d.at < from || d.at >= to) continue;
+    ++out.declarations;
+    bool matched = false;
+    for (Window& w : windows) {
+      if (d.at >= w.start && d.at < w.end + grace_) {
+        matched = true;
+        if (!w.detected) {
+          w.detected = true;
+          delayTotalMs += toMillis(d.at - w.start);
+          ++delayCount;
+        }
+        break;
+      }
+    }
+    if (!matched) ++out.falseAlarms;
+  }
+  finalize(out, windows, delayTotalMs, delayCount);
+  addSuspicionAccounting(out, from, to);
+  return out;
+}
+
+DetectionScore DetectorScorer::score(
+    const std::map<MachineId, SpikeWindows>& spikesByMachine, SimTime from,
+    SimTime to) const {
+  DetectionScore out;
+  std::vector<Window> windows;
+  for (const auto& [machine, spikes] : spikesByMachine) {
+    for (const auto& [start, end] : spikes) {
+      if (start >= from && start < to) {
+        windows.push_back({start, end, machine});
+      }
+    }
+  }
+
+  double delayTotalMs = 0.0;
+  std::size_t delayCount = 0;
+  for (const Declaration& d : declarations_) {
+    if (d.at < from || d.at >= to) continue;
+    ++out.declarations;
+    bool matched = false;
+    for (Window& w : windows) {
+      // The attribution fix: a declaration against machine M can only be
+      // justified by M's own incidents. Unattributed declarations keep the
+      // legacy any-window matching.
+      if (d.machine != kNoMachine && d.machine != w.machine) continue;
+      if (d.at >= w.start && d.at < w.end + grace_) {
+        matched = true;
+        if (!w.detected) {
+          w.detected = true;
+          delayTotalMs += toMillis(d.at - w.start);
+          ++delayCount;
+        }
+        break;
+      }
+    }
+    if (!matched) ++out.falseAlarms;
+  }
+  finalize(out, windows, delayTotalMs, delayCount);
+  addSuspicionAccounting(out, from, to);
   return out;
 }
 

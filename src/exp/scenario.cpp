@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "detect/accrual.hpp"
 #include "net/reliable.hpp"
 #include "stream/job.hpp"
 
@@ -191,6 +192,21 @@ void Scenario::createCoordinators() {
     ha.checkpointKind = params_.checkpointKind;
     ha.failStopAfter = params_.failStopAfter;
     ha.detectorFactory = params_.detectorFactory;
+    if (!ha.detectorFactory && params_.accrual.enabled) {
+      AccrualDetector::Params ad;
+      ad.interval = params_.heartbeatInterval;
+      ad.failPhi = params_.accrual.failPhi;
+      ad.recoverPhi = params_.accrual.recoverPhi;
+      ad.recoverStreak = params_.accrual.recoverStreak;
+      ad.historySize = params_.accrual.historySize;
+      ha.detectorFactory = [ad](Simulator& sim, Network& net, Machine& monitor,
+                                Machine& target,
+                                FailureDetector::Callbacks callbacks) {
+        return std::make_unique<AccrualDetector>(sim, net, monitor, target, ad,
+                                                 std::move(callbacks));
+      };
+    }
+    ha.damping = params_.damping;
     ha.store = params_.store;
     ha.predeploySecondary = params_.predeploySecondary;
     ha.earlyConnections = params_.earlyConnections;
@@ -432,9 +448,23 @@ ScenarioResult Scenario::collect() {
     result.switchovers += c->switchovers();
     result.rollbacks += c->rollbacks();
     result.promotions += c->promotions();
+    result.gray.flapsDetected += c->flapsDetected();
+    result.gray.quarantines += c->quarantines();
+    result.gray.readmissions += c->readmissions();
     if (auto* hybrid = dynamic_cast<HybridCoordinator*>(c.get())) {
       result.elementsToStalledPrimary += hybrid->elementsToStalledPrimary();
       result.stateReadElements += hybrid->stateReadElements();
+    }
+  }
+  if (injector_ != nullptr) {
+    result.gray.slowdownsApplied = injector_->stats().slowdownsApplied;
+    result.gray.slowdownDelays = injector_->stats().slowdownDelays;
+  }
+  if (recorder_ != nullptr) {
+    for (const TraceEvent& ev : recorder_->events()) {
+      if (ev.type == TraceEventType::kSuspicionCrossed) {
+        ++result.gray.suspicionCrossings;
+      }
     }
   }
 

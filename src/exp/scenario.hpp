@@ -85,6 +85,21 @@ struct ScenarioParams {
   bool earlyConnections = true;
   bool readStateOnRollback = true;
 
+  // -- Gray-failure resilience (detect/accrual.hpp, ha/ FlapDamping) ----------
+  /// Phi-accrual detection instead of miss counting. Ignored when an explicit
+  /// `detectorFactory` is set. Off by default (bit-identical runs).
+  struct AccrualConfig {
+    bool enabled = false;
+    double failPhi = 2.0;
+    double recoverPhi = 0.5;
+    int recoverStreak = 2;
+    std::size_t historySize = 32;
+  };
+  AccrualConfig accrual;
+  /// Switchover hysteresis + flap damping + quarantine (Hybrid only). Off by
+  /// default.
+  FlapDamping damping;
+
   // -- Transient failure load --------------------------------------------------
   /// Fraction of time each loaded machine spends in spikes; 0 disables.
   double failureFraction = 0.0;
@@ -168,6 +183,9 @@ struct ScenarioResult {
   std::uint64_t elementsShed = 0;
   /// Flow-control / ARQ-window telemetry (all zero with flow control off).
   FlowTelemetry flow;
+  /// Gray-failure / flap-damping telemetry (all zero with damping and
+  /// slowdown faults off).
+  GrayFailureTelemetry gray;
 };
 
 /// Result of Scenario::drainQuiescent(): how the run wound down.

@@ -54,6 +54,48 @@ void FaultInjector::arm() {
       });
     }
   }
+
+  armSlowdowns();
+}
+
+void FaultInjector::armSlowdowns() {
+  Simulator& sim = cluster_.sim();
+  const auto at = [&sim](SimTime t) { return std::max(sim.now(), t); };
+
+  for (const SlowdownSpec& slow : schedule_.slowdowns) {
+    if (slow.machine == kNoMachine) continue;
+    const SlowdownSpec spec = slow;  // Stable copy for the closures.
+    const auto auxOf = [&spec] {
+      return spec.kind == SlowdownKind::kCpuDilation
+                 ? static_cast<std::uint64_t>(spec.severity * 1000.0)
+                 : static_cast<std::uint64_t>(spec.maxExtraDelay);
+    };
+    sim.scheduleAt(at(spec.beginAt), [this, spec, auxOf] {
+      ++stats_.slowdownsApplied;
+      if (spec.kind == SlowdownKind::kCpuDilation) {
+        applyDilation(spec.machine, spec.severity);
+      }
+      record(TraceEventType::kSlowdownBegin, spec.machine, spec.peer,
+             MsgKind::kControl, static_cast<std::uint64_t>(spec.kind),
+             auxOf());
+    });
+    if (spec.endAt != kTimeNever) {
+      sim.scheduleAt(at(spec.endAt), [this, spec, auxOf] {
+        if (spec.kind == SlowdownKind::kCpuDilation) {
+          applyDilation(spec.machine, -spec.severity);
+        }
+        record(TraceEventType::kSlowdownEnd, spec.machine, spec.peer,
+               MsgKind::kControl, static_cast<std::uint64_t>(spec.kind),
+               auxOf());
+      });
+    }
+  }
+}
+
+void FaultInjector::applyDilation(MachineId machine, double delta) {
+  double& sum = dilation_[machine];
+  sum = std::max(0.0, sum + delta);
+  cluster_.machine(machine).setCpuDilation(sum);
 }
 
 bool FaultInjector::partitioned(MachineId a, MachineId b) const {
@@ -101,6 +143,21 @@ Network::FaultDecision FaultInjector::onSend(MachineId src, MachineId dst,
       record(TraceEventType::kMessageDelayed, src, dst, kind,
              static_cast<std::uint64_t>(extra), bytes);
     }
+  }
+
+  // Slowdown jitter/degrade rules. RNG is consumed only for a matching spec,
+  // so schedules without slowdowns keep their exact pre-slowdown RNG stream
+  // (and therefore their bit-identical traces).
+  for (const SlowdownSpec& slow : schedule_.slowdowns) {
+    if (!slow.matches(src, dst, kind, now)) continue;
+    if (slow.maxExtraDelay <= 0 || slow.delayProb <= 0) continue;
+    if (!rng_.chance(slow.delayProb)) continue;
+    const SimDuration extra =
+        static_cast<SimDuration>(rng_.uniformInt(1, slow.maxExtraDelay));
+    decision.extraDelay += extra;
+    ++stats_.slowdownDelays;
+    record(TraceEventType::kMessageDelayed, src, dst, kind,
+           static_cast<std::uint64_t>(extra), bytes);
   }
   return decision;
 }

@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 
 #include "cluster/cluster.hpp"
 #include "fault/schedule.hpp"
@@ -30,6 +31,8 @@ class FaultInjector {
     std::uint64_t delayed = 0;
     std::uint64_t crashes = 0;
     std::uint64_t restarts = 0;
+    std::uint64_t slowdownsApplied = 0;  ///< Slowdown windows opened.
+    std::uint64_t slowdownDelays = 0;    ///< Messages delayed by slowdowns.
     std::array<std::uint64_t, kMsgKindCount> droppedByKind{};
 
     std::uint64_t totalDrops() const { return randomDrops + partitionDrops; }
@@ -51,6 +54,8 @@ class FaultInjector {
 
  private:
   void arm();
+  void armSlowdowns();
+  void applyDilation(MachineId machine, double delta);
   Network::FaultDecision onSend(MachineId src, MachineId dst, MsgKind kind,
                                 std::size_t bytes);
   void record(TraceEventType type, MachineId src, MachineId dst, MsgKind kind,
@@ -60,6 +65,9 @@ class FaultInjector {
   FaultSchedule schedule_;
   Rng rng_;
   Stats stats_;
+  /// Sum of active dilation severities per machine (overlapping windows
+  /// compose additively; Machine::setCpuDilation gets the running sum).
+  std::map<MachineId, double> dilation_;
 };
 
 }  // namespace streamha

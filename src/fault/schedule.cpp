@@ -41,6 +41,31 @@ bool LinkFaultRule::matches(MachineId s, MachineId d, MsgKind kind,
   return (src == kNoMachine || src == d) && (dst == kNoMachine || dst == s);
 }
 
+std::uint32_t SlowdownSpec::effectiveKinds() const {
+  if (kinds != 0) return kinds;
+  if (kind == SlowdownKind::kHeartbeatJitter) {
+    return maskOf(MsgKind::kHeartbeatPing) | maskOf(MsgKind::kHeartbeatReply);
+  }
+  return kAllKinds;
+}
+
+bool SlowdownSpec::matches(MachineId s, MachineId d, MsgKind msgKind,
+                           SimTime now) const {
+  if (kind == SlowdownKind::kCpuDilation) return false;
+  if (now < beginAt || now >= endAt) return false;
+  if ((effectiveKinds() & maskOf(msgKind)) == 0) return false;
+  if (kind == SlowdownKind::kHeartbeatJitter) {
+    // A jittery node answers late and hears late: both directions wobble.
+    return s == machine || d == machine;
+  }
+  // Link degrade: asymmetric by default.
+  const bool forward =
+      s == machine && (peer == kNoMachine || d == peer);
+  if (forward) return true;
+  if (!bidirectional) return false;
+  return d == machine && (peer == kNoMachine || s == peer);
+}
+
 bool PartitionSpec::separates(MachineId a, MachineId b, SimTime now) const {
   if (now < beginAt || now >= healAt) return false;
   const auto inA = [this](MachineId m) {
@@ -121,6 +146,25 @@ std::string FaultSchedule::describe() const {
     if (burst.downFor != kTimeNever) {
       out << " downFor " << toSeconds(burst.downFor) << "s";
     }
+    out << "\n";
+  }
+  for (const SlowdownSpec& slow : slowdowns) {
+    out << "slowdown " << toString(slow.kind) << " machine " << slow.machine;
+    if (slow.kind == SlowdownKind::kCpuDilation) {
+      out << " severity=" << slow.severity;
+    } else {
+      if (slow.kind == SlowdownKind::kLinkDegrade) {
+        out << (slow.bidirectional ? " <-> " : " -> ");
+        if (slow.peer == kNoMachine) {
+          out << "*";
+        } else {
+          out << slow.peer;
+        }
+      }
+      out << " delay=" << slow.delayProb << "(max " << slow.maxExtraDelay
+          << "us) kinds=0x" << std::hex << slow.effectiveKinds() << std::dec;
+    }
+    appendWindow(out, slow.beginAt, slow.endAt);
     out << "\n";
   }
   return out.str();

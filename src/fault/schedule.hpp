@@ -75,15 +75,63 @@ struct CorrelatedBurstSpec {
   SimDuration downFor = kTimeNever;
 };
 
+/// Gray-failure slowdown kinds: the node is degraded, not dead.
+enum class SlowdownKind : std::uint8_t {
+  /// Extra CPU load on `machine` for the window (additive with the load
+  /// generator's spikes; see Machine::setCpuDilation). severity = fraction.
+  kCpuDilation,
+  /// Heartbeat delay/jitter: messages to and from `machine` on the heartbeat
+  /// kinds are delayed with `delayProb`, uniform in [1, maxExtraDelay].
+  kHeartbeatJitter,
+  /// Asymmetric link degradation: messages from `machine` toward `peer`
+  /// (kNoMachine = any destination) are delayed; the reverse direction is
+  /// untouched unless `bidirectional`.
+  kLinkDegrade,
+};
+
+constexpr const char* toString(SlowdownKind kind) {
+  switch (kind) {
+    case SlowdownKind::kCpuDilation: return "cpu-dilation";
+    case SlowdownKind::kHeartbeatJitter: return "heartbeat-jitter";
+    case SlowdownKind::kLinkDegrade: return "link-degrade";
+  }
+  return "?";
+}
+
+/// One scheduled gray failure, active inside [beginAt, endAt). Schedulable
+/// like a crash, interpreted deterministically by the injector, recorded as
+/// kSlowdownBegin/kSlowdownEnd trace events, and shrinkable as one atom.
+struct SlowdownSpec {
+  SlowdownKind kind = SlowdownKind::kCpuDilation;
+  MachineId machine = kNoMachine;  ///< The degraded machine.
+  MachineId peer = kNoMachine;     ///< Link-degrade destination (kNoMachine = any).
+  bool bidirectional = false;      ///< Link degrade only; off = asymmetric.
+  double severity = 0.0;           ///< CPU-dilation load fraction.
+  double delayProb = 1.0;          ///< Jitter/degrade per-message probability.
+  SimDuration maxExtraDelay = 0;   ///< Uniform jitter in [1, maxExtraDelay].
+  /// Message kinds the jitter/degrade applies to; 0 = kind-appropriate
+  /// default (heartbeat kinds for kHeartbeatJitter, every kind for
+  /// kLinkDegrade).
+  std::uint32_t kinds = 0;
+  SimTime beginAt = 0;
+  SimTime endAt = kTimeNever;
+
+  std::uint32_t effectiveKinds() const;
+  /// True when a (src, dst, kind) message at `now` should see this slowdown's
+  /// delay jitter. Always false for kCpuDilation (not a message fault).
+  bool matches(MachineId s, MachineId d, MsgKind kind, SimTime now) const;
+};
+
 struct FaultSchedule {
   std::vector<LinkFaultRule> links;
   std::vector<PartitionSpec> partitions;
   std::vector<CrashSpec> crashes;
   std::vector<CorrelatedBurstSpec> bursts;
+  std::vector<SlowdownSpec> slowdowns;
 
   bool empty() const {
     return links.empty() && partitions.empty() && crashes.empty() &&
-           bursts.empty();
+           bursts.empty() && slowdowns.empty();
   }
 
   /// Flatten bursts into their equivalent crash events (plus the explicit

@@ -16,6 +16,7 @@
 //              recovers, promotion on fail-stop, secondary multiplexing.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -44,6 +45,37 @@ constexpr const char* toString(HaMode mode) {
 
 enum class CheckpointKind : std::uint8_t { kSweeping, kSynchronous, kIndividual };
 
+/// Switchover hysteresis and flap damping (gray-failure resilience, Hybrid
+/// only). A gray primary -- slow, jittery, but not dead -- makes first-miss
+/// detection oscillate: switchover -> primary limps back -> rollback ->
+/// switchover again, paying retransmission and state-read cost every cycle.
+/// With damping enabled the coordinator tracks completed
+/// switchover<->rollback cycles per primary; once `maxCycles` complete
+/// within `cycleWindow`, the next recovery verdict *quarantines* the
+/// degraded node instead of rolling back into the flap: the secondary is
+/// promoted permanently, a fresh standby is deployed on the spare, and the
+/// node only re-joins the pool after `quarantineFor` plus `readmitStreak`
+/// healthy probe replies. Everything off by default: a default-constructed
+/// FlapDamping changes no behavior.
+struct FlapDamping {
+  bool enabled = false;
+  /// Completed switchover<->rollback cycles tolerated inside `cycleWindow`
+  /// before the next recovery quarantines instead of rolling back.
+  int maxCycles = 1;
+  SimDuration cycleWindow = 15 * kSecond;
+  /// Quarantine length before re-admission probing starts.
+  SimDuration quarantineFor = 60 * kSecond;
+  /// Consecutive healthy probe replies required to re-admit.
+  int readmitStreak = 3;
+  /// Probe period during re-admission (0 = the heartbeat interval).
+  SimDuration probeInterval = 0;
+  /// Optional switchover hysteresis: when a cycle already happened inside
+  /// `cycleWindow`, delay acting on a new failure declaration by this much
+  /// and re-confirm the detector still says failed. 0 = act immediately
+  /// (the paper's first-miss policy).
+  SimDuration switchoverHoldoff = 0;
+};
+
 struct HaParams {
   MachineId standbyMachine = kNoMachine;
   /// Replacement standby used after a fail-stop promotion/replacement.
@@ -63,6 +95,12 @@ struct HaParams {
   bool predeploySecondary = true;   ///< Off: deploy on demand at switchover.
   bool earlyConnections = true;     ///< Off: establish connections on demand.
   bool readStateOnRollback = true;  ///< Off: primary grinds through backlog.
+  // -- Gray-failure resilience ----------------------------------------------
+  FlapDamping damping;
+  /// Notified when a machine enters (true) or leaves (false) quarantine; the
+  /// scenario wires this to LoadBalancer::setQuarantined so the scheduler
+  /// stops treating the degraded node as a migration/spare target.
+  std::function<void(MachineId, bool)> quarantineListener;
 };
 
 class HaCoordinator {
@@ -90,6 +128,13 @@ class HaCoordinator {
   std::uint64_t switchovers() const { return switchovers_; }
   std::uint64_t rollbacks() const { return rollbacks_; }
   std::uint64_t promotions() const { return promotions_; }
+  // -- Gray-failure telemetry (non-zero only with flap damping enabled) -------
+  std::uint64_t flapsDetected() const { return flaps_detected_; }
+  std::uint64_t quarantines() const { return quarantines_; }
+  std::uint64_t readmissions() const { return readmissions_; }
+  /// The machine currently quarantined by this coordinator (kNoMachine when
+  /// none).
+  MachineId quarantinedMachine() const { return quarantined_machine_; }
 
  protected:
   Simulator& sim();
@@ -167,6 +212,10 @@ class HaCoordinator {
   std::uint64_t switchovers_ = 0;
   std::uint64_t rollbacks_ = 0;
   std::uint64_t promotions_ = 0;
+  std::uint64_t flaps_detected_ = 0;
+  std::uint64_t quarantines_ = 0;
+  std::uint64_t readmissions_ = 0;
+  MachineId quarantined_machine_ = kNoMachine;
 
  private:
   std::vector<std::unique_ptr<CheckpointManager>> retired_cms_;

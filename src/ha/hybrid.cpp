@@ -1,6 +1,8 @@
 #include "ha/hybrid.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <memory>
 
 #include "common/logging.hpp"
 
@@ -49,7 +51,27 @@ void HybridCoordinator::installDetector(MachineId monitor, Machine& target) {
 }
 
 void HybridCoordinator::onFailure(SimTime detectedAt) {
-  if (switched_ || promoting_ || resume_in_flight_) return;
+  if (switched_ || promoting_ || resume_in_flight_ || holdoff_pending_) return;
+  const FlapDamping& damping = params_.damping;
+  if (damping.enabled && damping.switchoverHoldoff > 0 &&
+      cyclesInWindow(detectedAt) > 0) {
+    // Hysteresis: this primary already flapped inside the window. Instead of
+    // honoring the first-miss policy immediately, wait a beat and only switch
+    // over if the detector still says failed.
+    holdoff_pending_ = true;
+    sim().schedule(damping.switchoverHoldoff, [this] {
+      holdoff_pending_ = false;
+      if (switched_ || promoting_ || resume_in_flight_) return;
+      if (detector_ != nullptr && detector_->failed()) {
+        beginSwitchover(sim().now());
+      }
+    });
+    return;
+  }
+  beginSwitchover(detectedAt);
+}
+
+void HybridCoordinator::beginSwitchover(SimTime detectedAt) {
   switched_ = true;
   ++switchovers_;
   RecoveryTimeline timeline;
@@ -134,10 +156,16 @@ void HybridCoordinator::completeSwitchover(std::size_t timelineIdx) {
   recordIncidentEvent(TraceEventType::kConnectionsReady,
                       recoveries_[timelineIdx].incidentId,
                       secondary_->machine().id(), kNoMachine);
-  // Trim gating stays anchored to the primary's checkpointed acks: the
-  // activated secondary never gates upstream queues, so a secondary failure
-  // during switchover cannot lose data.
-  activateRestoredInstance(*secondary_, state, /*gateInbound=*/false);
+  // The activated secondary's connections gate upstream trimming alongside
+  // the primary's checkpointed acks (trim advances to the *minimum* over
+  // gating connections, so adding the secondary only retains more). This
+  // matters when the primary is degraded rather than dead: a gray primary
+  // keeps processing and checkpointing while switched over, and its acks
+  // alone would let upstream trim past the snapshot the secondary adopted --
+  // a later promotion (fail-stop or flap quarantine) would then discard the
+  // only copy that covers the trimmed range. finishRollback() and
+  // deactivateInstanceWires() drop the gate when the secondary re-suspends.
+  activateRestoredInstance(*secondary_, state, /*gateInbound=*/true);
 }
 
 void HybridCoordinator::onRecovery(SimTime recoveredAt) {
@@ -169,7 +197,17 @@ void HybridCoordinator::onRecovery(SimTime recoveredAt) {
                           recoveries_[current_timeline_].incidentId,
                           primary_->machine().id(), kNoMachine, 1);
     }
+    // An aborted switchover is still one oscillation against this primary.
+    noteCycleCompleted(recoveredAt);
     switched_ = false;
+    return;
+  }
+  // Flap damping: if this primary has already completed maxCycles
+  // switchover<->rollback cycles inside the window, this recovery verdict is
+  // just the next oscillation of a gray node. Quarantine it -- promote the
+  // secondary permanently -- instead of rolling back into the flap.
+  if (shouldQuarantine(recoveredAt) && secondary_->alive()) {
+    quarantineAndPromote(recoveredAt);
     return;
   }
   ++rollbacks_;
@@ -234,6 +272,7 @@ void HybridCoordinator::onRecovery(SimTime recoveredAt) {
                             primary_->machine().id(),
                             secondary_->machine().id(), state_read_elements_);
       }
+      noteCycleCompleted(sim().now());
       switched_ = false;
     };
     if (useState) {
@@ -347,6 +386,150 @@ void HybridCoordinator::promote() {
     promoting_ = false;
     switched_ = false;
   }
+}
+
+int HybridCoordinator::cyclesInWindow(SimTime now) const {
+  if (cycle_machine_ == kNoMachine ||
+      cycle_machine_ != primary_->machine().id()) {
+    return 0;
+  }
+  const SimTime horizon =
+      now > params_.damping.cycleWindow ? now - params_.damping.cycleWindow : 0;
+  int count = 0;
+  for (const SimTime at : cycle_times_) {
+    if (at >= horizon) ++count;
+  }
+  return count;
+}
+
+void HybridCoordinator::noteCycleCompleted(SimTime at) {
+  if (!params_.damping.enabled) return;
+  const MachineId machine = primary_->machine().id();
+  if (cycle_machine_ != machine) {
+    cycle_times_.clear();
+    cycle_machine_ = machine;
+  }
+  cycle_times_.push_back(at);
+  const SimTime horizon =
+      at > params_.damping.cycleWindow ? at - params_.damping.cycleWindow : 0;
+  cycle_times_.erase(
+      std::remove_if(cycle_times_.begin(), cycle_times_.end(),
+                     [horizon](SimTime t) { return t < horizon; }),
+      cycle_times_.end());
+}
+
+bool HybridCoordinator::shouldQuarantine(SimTime now) const {
+  if (!params_.damping.enabled) return false;
+  // One quarantine at a time: while a node sits in quarantine the promoted
+  // primary's own troubles follow the normal switchover/rollback path.
+  if (quarantined_machine_ != kNoMachine) return false;
+  return cyclesInWindow(now) >= params_.damping.maxCycles;
+}
+
+void HybridCoordinator::quarantineAndPromote(SimTime now) {
+  const MachineId victim = primary_->machine().id();
+  const std::uint64_t incident = current_timeline_ < recoveries_.size()
+                                     ? recoveries_[current_timeline_].incidentId
+                                     : 0;
+  const auto cycles = static_cast<std::uint64_t>(cyclesInWindow(now));
+  ++flaps_detected_;
+  ++quarantines_;
+  recordIncidentEvent(TraceEventType::kFlapDetected, incident, victim,
+                      secondary_->machine().id(), cycles);
+  recordIncidentEvent(
+      TraceEventType::kQuarantineBegin, incident, victim,
+      secondary_->machine().id(), cycles,
+      static_cast<std::uint64_t>(params_.damping.quarantineFor));
+  LOG_INFO(sim().now(), "hybrid")
+      << "flap detected on machine " << victim << " (" << cycles
+      << " cycles in window); quarantining and promoting secondary of subjob "
+      << subjob_;
+  quarantined_machine_ = victim;
+  if (params_.quarantineListener) params_.quarantineListener(victim, true);
+  failstop_timer_.cancel();
+  // Permanent promotion: the secondary becomes primary and a fresh standby is
+  // deployed on the spare (or the job runs degraded if there is none).
+  promote();
+  cycle_times_.clear();
+  cycle_machine_ = kNoMachine;
+  probe_streak_ = 0;
+  ++probe_epoch_;  // Kill any probe chain from a previous quarantine.
+  scheduleReadmitProbe(params_.damping.quarantineFor);
+}
+
+void HybridCoordinator::scheduleReadmitProbe(SimDuration delay) {
+  const std::uint64_t epoch = probe_epoch_;
+  sim().schedule(delay, [this, epoch] {
+    if (epoch != probe_epoch_) return;
+    probeQuarantined();
+  });
+}
+
+void HybridCoordinator::probeQuarantined() {
+  if (quarantined_machine_ == kNoMachine) return;
+  const SimDuration interval = params_.damping.probeInterval > 0
+                                   ? params_.damping.probeInterval
+                                   : params_.heartbeat.interval;
+  Machine& machine = cluster().machine(quarantined_machine_);
+  if (!machine.isUp()) {
+    // Crashed while quarantined: keep waiting -- re-admission requires the
+    // node to come back and then answer a full healthy streak.
+    probe_streak_ = 0;
+    scheduleReadmitProbe(interval);
+    return;
+  }
+  // One probe ping, same path as a heartbeat: deliver, control work on the
+  // quarantined node, reply. Timeliness is judged against the probe interval.
+  const MachineId monitorM = primary_->machine().id();
+  const MachineId targetM = quarantined_machine_;
+  Machine* target = &machine;
+  const std::uint64_t epoch = probe_epoch_;
+  auto answered = std::make_shared<bool>(false);
+  net().send(monitorM, targetM, MsgKind::kHeartbeatPing,
+             params_.heartbeat.pingBytes, 0,
+             [this, target, answered, monitorM, targetM, epoch] {
+               if (epoch != probe_epoch_) return;
+               target->submitControl(
+                   params_.heartbeat.replyWorkUs,
+                   [this, answered, monitorM, targetM, epoch] {
+                     if (epoch != probe_epoch_) return;
+                     net().send(targetM, monitorM, MsgKind::kHeartbeatReply,
+                                params_.heartbeat.replyBytes, 0,
+                                [answered] { *answered = true; });
+                   });
+             });
+  sim().schedule(interval, [this, answered, epoch] {
+    if (epoch != probe_epoch_) return;
+    if (quarantined_machine_ == kNoMachine) return;
+    if (*answered) {
+      ++probe_streak_;
+      if (probe_streak_ >= params_.damping.readmitStreak) {
+        readmitQuarantined();
+        return;
+      }
+    } else {
+      probe_streak_ = 0;
+    }
+    probeQuarantined();
+  });
+}
+
+void HybridCoordinator::readmitQuarantined() {
+  const MachineId machine = quarantined_machine_;
+  quarantined_machine_ = kNoMachine;
+  ++readmissions_;
+  recordIncidentEvent(TraceEventType::kQuarantineEnd, 0, machine,
+                      primary_->machine().id(),
+                      static_cast<std::uint64_t>(probe_streak_));
+  LOG_INFO(sim().now(), "hybrid")
+      << "re-admitting machine " << machine << " after " << probe_streak_
+      << " healthy probe replies (subjob " << subjob_ << ")";
+  if (params_.quarantineListener) params_.quarantineListener(machine, false);
+  // The node re-joins the pool: if no spare is provisioned it becomes the
+  // spare used by the next fail-stop promotion.
+  if (params_.spareMachine == kNoMachine) params_.spareMachine = machine;
+  probe_streak_ = 0;
+  ++probe_epoch_;
 }
 
 }  // namespace streamha

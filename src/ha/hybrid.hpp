@@ -47,13 +47,30 @@ class HybridCoordinator : public HaCoordinator {
   void predeploySecondary(MachineId machine);
   void installDetector(MachineId monitor, Machine& target);
   void onFailure(SimTime detectedAt);
+  void beginSwitchover(SimTime detectedAt);
   void completeSwitchover(std::size_t timelineIdx);
   void onRecovery(SimTime recoveredAt);
   void promote();
+  // -- Flap damping (gray-failure resilience; see HaParams::FlapDamping) ------
+  /// Completed switchover<->rollback cycles against the current primary
+  /// inside the damping window ending at `now`.
+  int cyclesInWindow(SimTime now) const;
+  /// Record one completed (or aborted) switchover<->rollback cycle.
+  void noteCycleCompleted(SimTime at);
+  /// True when the next recovery verdict should quarantine instead of
+  /// rolling back into the flap.
+  bool shouldQuarantine(SimTime now) const;
+  /// Quarantine the degraded primary: promote the secondary permanently and
+  /// begin the re-admission clock.
+  void quarantineAndPromote(SimTime now);
+  void scheduleReadmitProbe(SimDuration delay);
+  void probeQuarantined();
+  void readmitQuarantined();
 
   bool switched_ = false;
   bool promoting_ = false;
   bool resume_in_flight_ = false;
+  bool holdoff_pending_ = false;  ///< A hysteresis re-check is scheduled.
   EventHandle failstop_timer_;
   SubjobQuiescer quiescer_;
   std::size_t current_timeline_ = 0;
@@ -62,6 +79,12 @@ class HybridCoordinator : public HaCoordinator {
   std::uint64_t cursor_sum_at_switchover_ = 0;
   std::uint64_t elements_to_stalled_primary_ = 0;
   std::uint64_t state_read_elements_ = 0;
+  /// Completion times of recent switchover<->rollback cycles against the
+  /// current primary machine (pruned to the damping window).
+  std::vector<SimTime> cycle_times_;
+  MachineId cycle_machine_ = kNoMachine;  ///< The machine cycle_times_ is about.
+  int probe_streak_ = 0;
+  std::uint64_t probe_epoch_ = 0;  ///< Invalidates stale probe replies.
 };
 
 }  // namespace streamha

@@ -30,4 +30,14 @@ std::string FlowTelemetry::summary() const {
   return out.str();
 }
 
+std::string GrayFailureTelemetry::summary() const {
+  std::ostringstream out;
+  out << "flaps=" << flapsDetected << " quarantines=" << quarantines
+      << " readmissions=" << readmissions
+      << " suspicionCrossings=" << suspicionCrossings
+      << " slowdowns=" << slowdownsApplied
+      << " slowdownDelays=" << slowdownDelays;
+  return out.str();
+}
+
 }  // namespace streamha

@@ -67,4 +67,17 @@ struct FlowTelemetry {
   std::string summary() const;
 };
 
+/// End-of-run gray-failure/flap-damping telemetry aggregated over the HA
+/// coordinators (ha/ FlapDamping). All zero when damping is disabled.
+struct GrayFailureTelemetry {
+  std::uint64_t flapsDetected = 0;  ///< Flap verdicts (cycle budget exceeded).
+  std::uint64_t quarantines = 0;    ///< Nodes quarantined.
+  std::uint64_t readmissions = 0;   ///< Nodes re-admitted after probing.
+  std::uint64_t suspicionCrossings = 0;  ///< Accrual threshold crossings.
+  std::uint64_t slowdownsApplied = 0;    ///< Injected slowdown faults.
+  std::uint64_t slowdownDelays = 0;      ///< Messages jittered by slowdowns.
+
+  std::string summary() const;
+};
+
 }  // namespace streamha

@@ -115,10 +115,21 @@ double LoadBalancer::windowedLoad(MachineId machine) {
   return load;
 }
 
+void LoadBalancer::setQuarantined(MachineId machine, bool quarantined) {
+  if (quarantined) {
+    quarantined_.insert(machine);
+    // Forget any accumulated hot streak: the HA layer owns this node now.
+    hot_streak_.erase(machine);
+  } else {
+    quarantined_.erase(machine);
+  }
+}
+
 MachineId LoadBalancer::coolestSpare() const {
   MachineId best = kNoMachine;
   double best_load = 2.0;
   for (MachineId spare : spares_) {
+    if (quarantined_.count(spare) != 0) continue;
     const Machine& m =
         const_cast<Runtime&>(rt_).cluster().machine(spare);
     if (!m.isUp()) continue;
@@ -138,6 +149,9 @@ void LoadBalancer::poll() {
   for (const auto& inst : rt_.allInstances()) {
     if (!inst->alive() || inst->suspended()) continue;
     const MachineId machine = inst->machine().id();
+    // The HA layer owns quarantined nodes; migrating off one mid-quarantine
+    // would race the promotion that already evacuated it.
+    if (quarantined_.count(machine) != 0) continue;
     const double load = windowedLoad(machine);
     if (load >= params_.overloadThreshold) {
       ++hot_streak_[machine];

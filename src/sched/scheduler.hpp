@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "sim/timer.hpp"
@@ -79,6 +80,15 @@ class LoadBalancer {
   /// fast reaction, migration stays the slow one.
   void setMigrationVeto(std::function<bool()> veto) { veto_ = std::move(veto); }
 
+  /// ha/ interplay: a quarantined machine (gray failure, see
+  /// HaParams::FlapDamping) is excluded from spare selection and never used
+  /// as a migration target until re-admitted. Wired to
+  /// HaParams::quarantineListener by the scenario driver.
+  void setQuarantined(MachineId machine, bool quarantined);
+  bool isQuarantined(MachineId machine) const {
+    return quarantined_.count(machine) != 0;
+  }
+
   /// Stop-and-copy migration of `instance` to `target`: quiesce, capture the
   /// full state (including input queues), transfer, apply, rewire, terminate
   /// the old copy. `done` runs when the moved subjob is processing again.
@@ -98,6 +108,7 @@ class LoadBalancer {
   PeriodicTimer timer_;
   bool migrating_ = false;
   std::uint64_t migrations_ = 0;
+  std::set<MachineId> quarantined_;
   std::map<MachineId, int> hot_streak_;
   std::map<MachineId, double> last_integral_;
   std::map<MachineId, SimTime> last_sample_at_;

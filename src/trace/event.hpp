@@ -57,6 +57,18 @@ enum class TraceEventType : std::uint8_t {
   kFlowResume,        ///< Backpressure resumed a source.
   kShedBegin,         ///< First element of a contiguous shed span (value = seq).
   kShedEnd,           ///< Shed span closed (value = last seq, aux = count).
+  // -- Gray failures (fault/ slowdowns, detect/ accrual, ha/ damping) ----------
+  kSlowdownBegin,     ///< Injected slowdown opened (value = SlowdownKind,
+                      ///< aux = severity or max extra delay).
+  kSlowdownEnd,       ///< The slowdown window closed.
+  kSuspicionCrossed,  ///< Accrual suspicion crossed a threshold (value =
+                      ///< phi x 1000, aux = 0 upward / 1 downward).
+  kFlapDetected,      ///< Switchover<->rollback cycle budget exhausted against
+                      ///< one primary (value = cycles in window).
+  kQuarantineBegin,   ///< Degraded node quarantined (value = cycles,
+                      ///< aux = quarantine duration in micros).
+  kQuarantineEnd,     ///< Quarantined node re-admitted after sustained
+                      ///< healthy probes (value = healthy streak).
   kCount
 };
 
@@ -95,6 +107,12 @@ constexpr const char* toString(TraceEventType type) {
     case TraceEventType::kFlowResume: return "FlowResume";
     case TraceEventType::kShedBegin: return "ShedBegin";
     case TraceEventType::kShedEnd: return "ShedEnd";
+    case TraceEventType::kSlowdownBegin: return "SlowdownBegin";
+    case TraceEventType::kSlowdownEnd: return "SlowdownEnd";
+    case TraceEventType::kSuspicionCrossed: return "SuspicionCrossed";
+    case TraceEventType::kFlapDetected: return "FlapDetected";
+    case TraceEventType::kQuarantineBegin: return "QuarantineBegin";
+    case TraceEventType::kQuarantineEnd: return "QuarantineEnd";
     case TraceEventType::kCount: break;
   }
   return "?";

@@ -43,6 +43,30 @@ std::uint64_t totalShed(const std::vector<ShedSpan>& spans) {
   return total;
 }
 
+std::vector<QuarantineSpan> extractQuarantineSpans(
+    const std::vector<TraceEvent>& events) {
+  std::vector<QuarantineSpan> spans;
+  // At most one quarantine can be open per machine at any point in the trace
+  // (the coordinator re-admits before quarantining the same node again).
+  std::map<MachineId, std::size_t> open;
+  for (const auto& ev : events) {
+    if (ev.type == TraceEventType::kQuarantineBegin) {
+      QuarantineSpan span;
+      span.machine = ev.machine;
+      span.beginAt = ev.at;
+      span.cycles = ev.value;
+      open[ev.machine] = spans.size();
+      spans.push_back(span);
+    } else if (ev.type == TraceEventType::kQuarantineEnd) {
+      const auto it = open.find(ev.machine);
+      if (it == open.end()) continue;  // End without begin: malformed, skip.
+      spans[it->second].endAt = ev.at;
+      open.erase(it);
+    }
+  }
+  return spans;
+}
+
 RecoveryTimelineAnalyzer::RecoveryTimelineAnalyzer(
     const std::vector<TraceEvent>& events) {
   auto incidentOf = [this](const TraceEvent& ev) -> IncidentTimeline& {
@@ -90,6 +114,12 @@ RecoveryTimelineAnalyzer::RecoveryTimelineAnalyzer(
       case TraceEventType::kIncidentAborted:
         inc.aborted = true;
         inc.abortReason = ev.value;
+        break;
+      case TraceEventType::kFlapDetected:
+        inc.flapped = true;
+        break;
+      case TraceEventType::kQuarantineBegin:
+        inc.quarantined = true;
         break;
       default:
         break;
@@ -155,6 +185,41 @@ std::vector<double> RecoveryTimelineAnalyzer::detectionLatenciesMs() const {
     out.push_back(inc.phases.detectionMs());
   }
   return out;
+}
+
+std::vector<FlapEpisode> RecoveryTimelineAnalyzer::flapEpisodes(
+    SimDuration window) const {
+  // Incidents with a detection time, grouped by failed machine, in detection
+  // order (incidents_ is already in first-appearance order, which matches
+  // detection order per machine, but sort to be safe).
+  std::map<MachineId, std::vector<const IncidentTimeline*>> byMachine;
+  for (const auto& inc : incidents_) {
+    if (inc.phases.detectedAt == kTimeNever) continue;
+    if (inc.failedMachine == kNoMachine) continue;
+    byMachine[inc.failedMachine].push_back(&inc);
+  }
+  std::vector<FlapEpisode> episodes;
+  for (auto& [machine, incs] : byMachine) {
+    std::sort(incs.begin(), incs.end(),
+              [](const IncidentTimeline* a, const IncidentTimeline* b) {
+                return a->phases.detectedAt < b->phases.detectedAt;
+              });
+    for (const IncidentTimeline* inc : incs) {
+      const bool startNew =
+          episodes.empty() || episodes.back().machine != machine ||
+          inc->phases.detectedAt > episodes.back().endAt + window;
+      if (startNew) {
+        FlapEpisode ep;
+        ep.machine = machine;
+        ep.beginAt = inc->phases.detectedAt;
+        episodes.push_back(ep);
+      }
+      episodes.back().incidents.push_back(inc->incident);
+      episodes.back().endAt = inc->phases.detectedAt;
+      if (inc->quarantined) episodes.back().quarantined = true;
+    }
+  }
+  return episodes;
 }
 
 }  // namespace streamha

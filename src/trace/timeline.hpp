@@ -45,6 +45,39 @@ struct IncidentTimeline {
   /// 2 = rollback aborted because the primary died mid-quiesce.
   bool aborted = false;
   std::uint64_t abortReason = 0;
+  // -- Gray-failure classification (flap damping, ha/) -----------------------
+  /// The coordinator classified this incident as part of a flap (a
+  /// kFlapDetected event carries its correlation id).
+  bool flapped = false;
+  /// The incident ended with the failed machine quarantined rather than a
+  /// rollback or an ordinary fail-stop promotion.
+  bool quarantined = false;
+};
+
+/// One quarantine of a degraded machine, reassembled from a
+/// kQuarantineBegin/kQuarantineEnd pair. A begin without a matching end (the
+/// run stopped with the node still quarantined) has endAt = kTimeNever.
+struct QuarantineSpan {
+  MachineId machine = kNoMachine;
+  SimTime beginAt = 0;
+  SimTime endAt = kTimeNever;
+  std::uint64_t cycles = 0;  ///< Flap cycles that triggered the quarantine.
+};
+
+/// Pair up kQuarantineBegin/kQuarantineEnd events per machine, in trace order.
+std::vector<QuarantineSpan> extractQuarantineSpans(
+    const std::vector<TraceEvent>& events);
+
+/// One flap episode: a run of incidents against the same machine whose
+/// detections are each within `window` of the previous one. A degradation
+/// that oscillates produces one episode with several incidents; the damped
+/// coordinator's goal is one cycle then quarantine.
+struct FlapEpisode {
+  MachineId machine = kNoMachine;
+  std::vector<std::uint64_t> incidents;  ///< Correlation ids, in order.
+  SimTime beginAt = 0;  ///< First detection in the episode.
+  SimTime endAt = 0;    ///< Last detection in the episode.
+  bool quarantined = false;  ///< The episode ended in a quarantine.
 };
 
 /// One contiguous span of shed (accepted-and-dropped) elements, reassembled
@@ -91,6 +124,12 @@ class RecoveryTimelineAnalyzer {
   /// incident with known ground truth. The paper's first-miss vs 3-miss
   /// comparison reads directly off this.
   std::vector<double> detectionLatenciesMs() const;
+
+  /// Group incidents into flap episodes: consecutive incidents against the
+  /// same machine whose detections are each within `window` of the previous
+  /// one form one episode. The gray-failure acceptance metric -- cycles per
+  /// degradation episode -- reads directly off the episode sizes.
+  std::vector<FlapEpisode> flapEpisodes(SimDuration window) const;
 
  private:
   std::vector<IncidentTimeline> incidents_;

@@ -239,6 +239,120 @@ TEST_F(InjectorFixture, DuplicatesAndDelaysAreInjected) {
   EXPECT_EQ(injector.stats().delayed, 1u);
 }
 
+TEST_F(InjectorFixture, CpuDilationSlowdownAppliesAndReverts) {
+  Cluster cluster(clusterParams());
+  FaultSchedule schedule;
+  SlowdownSpec slow;
+  slow.kind = SlowdownKind::kCpuDilation;
+  slow.machine = 1;
+  slow.severity = 0.4;
+  slow.beginAt = 1 * kSecond;
+  slow.endAt = 2 * kSecond;
+  schedule.slowdowns.push_back(slow);
+  FaultInjector injector(cluster, schedule);
+
+  EXPECT_DOUBLE_EQ(cluster.machine(1).cpuDilation(), 0.0);
+  cluster.sim().runUntil(1500 * kMillisecond);
+  EXPECT_DOUBLE_EQ(cluster.machine(1).cpuDilation(), 0.4);
+  // Dilation composes with background load through the same CPU share model.
+  cluster.machine(1).setBackgroundLoad(0.3);
+  EXPECT_NEAR(cluster.machine(1).appShare(), 1.0 - 0.7, 1e-9);
+  cluster.machine(1).setBackgroundLoad(0.0);
+  cluster.sim().runUntil(2500 * kMillisecond);
+  EXPECT_DOUBLE_EQ(cluster.machine(1).cpuDilation(), 0.0);
+  EXPECT_EQ(injector.stats().slowdownsApplied, 1u);
+  // A pure dilation slowdown never perturbs messages.
+  EXPECT_EQ(injector.stats().slowdownDelays, 0u);
+}
+
+TEST_F(InjectorFixture, HeartbeatJitterSlowdownDelaysOnlyHeartbeats) {
+  Cluster cluster(clusterParams());
+  FaultSchedule schedule;
+  SlowdownSpec slow;
+  slow.kind = SlowdownKind::kHeartbeatJitter;
+  slow.machine = 1;
+  slow.delayProb = 1.0;
+  slow.maxExtraDelay = 50 * kMillisecond;
+  schedule.slowdowns.push_back(slow);
+  FaultInjector injector(cluster, schedule);
+
+  SimTime pingAt = -1;
+  SimTime dataAt = -1;
+  SimTime controlAt = -1;  // Same-size data send on an undegraded pair.
+  // Data first: the 0->1 link serializes sends, so the ping goes afterwards.
+  cluster.network().send(0, 1, MsgKind::kData, 100, 1,
+                         [&] { dataAt = cluster.sim().now(); });
+  cluster.network().send(0, 2, MsgKind::kData, 100, 1,
+                         [&] { controlAt = cluster.sim().now(); });
+  cluster.network().send(0, 1, MsgKind::kHeartbeatPing, 64, 0,
+                         [&] { pingAt = cluster.sim().now(); });
+  cluster.sim().runAll();
+  EXPECT_GT(pingAt, controlAt);   // Jittered.
+  EXPECT_EQ(dataAt, controlAt);   // Data plane untouched.
+  EXPECT_EQ(injector.stats().slowdownDelays, 1u);
+
+  // Replies *from* the degraded machine are jittered too (the spec matches
+  // either endpoint).
+  SimTime replyAt = -1;
+  const SimTime sentAt = cluster.sim().now();
+  cluster.network().send(1, 0, MsgKind::kHeartbeatReply, 64, 0,
+                         [&] { replyAt = cluster.sim().now(); });
+  cluster.sim().runAll();
+  EXPECT_GT(replyAt - sentAt, controlAt);
+  EXPECT_EQ(injector.stats().slowdownDelays, 2u);
+}
+
+TEST_F(InjectorFixture, LinkDegradeSlowdownRespectsDirectionAndWindow) {
+  Cluster cluster(clusterParams());
+  FaultSchedule schedule;
+  SlowdownSpec slow;
+  slow.kind = SlowdownKind::kLinkDegrade;
+  slow.machine = 0;
+  slow.peer = 1;
+  slow.bidirectional = false;  // Asymmetric: only 0 -> 1 degrades.
+  slow.delayProb = 1.0;
+  slow.maxExtraDelay = 10 * kMillisecond;
+  schedule.slowdowns.push_back(slow);
+  FaultInjector injector(cluster, schedule);
+
+  SimTime fwdAt = -1;
+  SimTime revAt = -1;
+  SimTime otherAt = -1;
+  cluster.network().send(0, 1, MsgKind::kData, 10, 1,
+                         [&] { fwdAt = cluster.sim().now(); });
+  cluster.network().send(1, 0, MsgKind::kData, 10, 1,
+                         [&] { revAt = cluster.sim().now(); });
+  cluster.network().send(0, 2, MsgKind::kData, 10, 1,
+                         [&] { otherAt = cluster.sim().now(); });
+  cluster.sim().runAll();
+  EXPECT_GT(fwdAt, otherAt);   // Degraded direction.
+  EXPECT_EQ(revAt, otherAt);   // Reverse untouched (asymmetric).
+  EXPECT_EQ(injector.stats().slowdownDelays, 1u);
+}
+
+TEST_F(InjectorFixture, SlowdownsAreSeedDeterministic) {
+  const auto runOnce = [this] {
+    Cluster cluster(clusterParams());
+    FaultSchedule schedule;
+    SlowdownSpec slow;
+    slow.kind = SlowdownKind::kHeartbeatJitter;
+    slow.machine = 1;
+    slow.delayProb = 0.5;
+    slow.maxExtraDelay = 20 * kMillisecond;
+    schedule.slowdowns.push_back(slow);
+    FaultInjector injector(cluster, schedule);
+    std::vector<SimTime> deliveries;
+    for (int i = 0; i < 32; ++i) {
+      cluster.network().send(0, 1, MsgKind::kHeartbeatPing, 64, 0, [&] {
+        deliveries.push_back(cluster.sim().now());
+      });
+      cluster.sim().runAll();
+    }
+    return deliveries;
+  };
+  EXPECT_EQ(runOnce(), runOnce());
+}
+
 TEST_F(InjectorFixture, DetachOnDestructionRestoresCleanNetwork) {
   Cluster cluster(clusterParams());
   {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "exp/scenario.hpp"
+#include "trace/timeline.hpp"
 
 namespace streamha {
 namespace {
@@ -194,6 +195,222 @@ TEST(Hybrid, FalseAlarmCostsOnlyACheapRollback) {
   const StreamId sinkStream = s.runtime().spec().sinkStreams[0];
   EXPECT_EQ(s.sink().highestSeq(sinkStream), s.source().generatedCount());
   EXPECT_LT(s.sink().delays().quantile(0.999), 1000.0);
+}
+
+// -- Flap damping / quarantine ------------------------------------------------
+
+/// Runs a hybrid scenario replaying explicit spike windows (relative to the
+/// end of warmup) on the protected subjob's primary machine.
+struct FlapRun {
+  FlapRun(ScenarioParams p,
+          const std::vector<std::pair<SimTime, SimTime>>& windows)
+      : scenario(p) {
+    scenario.build();
+    scenario.warmup();
+    SpikeSpec spec;
+    spec.magnitude = 0.97;
+    gen = std::make_unique<LoadGenerator>(
+        scenario.cluster().sim(),
+        scenario.cluster().machine(scenario.primaryMachineOf(2)), spec,
+        scenario.cluster().forkRng(1234));
+    gen->replayWindows(windows);
+    scenario.run(p.duration);
+    coordinator = dynamic_cast<HybridCoordinator*>(scenario.coordinatorFor(2));
+  }
+
+  Scenario scenario;
+  std::unique_ptr<LoadGenerator> gen;
+  HybridCoordinator* coordinator = nullptr;
+};
+
+ScenarioParams dampedParams() {
+  ScenarioParams p = hybridParams();
+  p.duration = 20 * kSecond;
+  p.provisionSpares = true;
+  p.trace.enabled = true;
+  p.damping.enabled = true;
+  p.damping.maxCycles = 1;
+  p.damping.cycleWindow = 20 * kSecond;
+  p.damping.quarantineFor = 60 * kSecond;  // Longer than the run: no readmit.
+  return p;
+}
+
+const std::vector<std::pair<SimTime, SimTime>> kTwoSpikes = {
+    {1 * kSecond, 3 * kSecond}, {5 * kSecond, 7 * kSecond}};
+
+TEST(HybridFlap, UndampedBaselineCyclesOncePerOscillation) {
+  ScenarioParams p = dampedParams();
+  p.damping = FlapDamping{};  // Off: every oscillation is a full cycle.
+  FlapRun run(p, kTwoSpikes);
+  EXPECT_EQ(run.coordinator->switchovers(), 2u);
+  EXPECT_EQ(run.coordinator->rollbacks(), 2u);
+  EXPECT_EQ(run.coordinator->quarantines(), 0u);
+  EXPECT_EQ(run.coordinator->promotions(), 0u);
+}
+
+TEST(HybridFlap, SecondCycleQuarantinesAndPromotesPermanently) {
+  FlapRun run(dampedParams(), kTwoSpikes);
+  const MachineId victim = run.scenario.primaryMachineOf(2);
+  const MachineId standby = run.scenario.standbyMachineOf(2);
+  // Cycle 1 rolls back normally; the second oscillation's recovery verdict
+  // trips the damper instead of rolling back into the flap.
+  EXPECT_EQ(run.coordinator->switchovers(), 2u);
+  EXPECT_EQ(run.coordinator->rollbacks(), 1u);
+  EXPECT_EQ(run.coordinator->flapsDetected(), 1u);
+  EXPECT_EQ(run.coordinator->quarantines(), 1u);
+  EXPECT_EQ(run.coordinator->promotions(), 1u);
+  EXPECT_EQ(run.coordinator->readmissions(), 0u);
+  EXPECT_EQ(run.coordinator->quarantinedMachine(), victim);
+  // Single consistent owner: the old secondary is primary now, and the spare
+  // hosts a fresh standby.
+  EXPECT_EQ(run.coordinator->primary()->machine().id(), standby);
+  ASSERT_NE(run.coordinator->secondary(), nullptr);
+  EXPECT_TRUE(run.coordinator->secondary()->suspended());
+  EXPECT_FALSE(run.coordinator->switchedOver());
+  // No data loss across the quarantine promotion.
+  run.scenario.drain();
+  const StreamId sinkStream = run.scenario.runtime().spec().sinkStreams[0];
+  EXPECT_EQ(run.scenario.sink().highestSeq(sinkStream),
+            run.scenario.source().generatedCount());
+  // Telemetry flows through collect().
+  const auto r = run.scenario.collect();
+  EXPECT_EQ(r.gray.flapsDetected, 1u);
+  EXPECT_EQ(r.gray.quarantines, 1u);
+}
+
+TEST(HybridFlap, TraceClassifiesFlapEpisodeAndOpenQuarantine) {
+  FlapRun run(dampedParams(), kTwoSpikes);
+  const MachineId victim = run.scenario.primaryMachineOf(2);
+  ASSERT_NE(run.scenario.trace(), nullptr);
+  const auto& events = run.scenario.trace()->events();
+
+  const auto spans = extractQuarantineSpans(events);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].machine, victim);
+  EXPECT_EQ(spans[0].cycles, 1u);
+  EXPECT_EQ(spans[0].endAt, kTimeNever);  // Still quarantined at run end.
+
+  RecoveryTimelineAnalyzer analyzer(events);
+  ASSERT_EQ(analyzer.incidents().size(), 2u);
+  EXPECT_TRUE(analyzer.incidents()[0].rolledBack);
+  EXPECT_FALSE(analyzer.incidents()[0].flapped);
+  EXPECT_TRUE(analyzer.incidents()[1].flapped);
+  EXPECT_TRUE(analyzer.incidents()[1].quarantined);
+  EXPECT_TRUE(analyzer.incidents()[1].promoted);
+
+  const auto episodes = analyzer.flapEpisodes(10 * kSecond);
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_EQ(episodes[0].machine, victim);
+  EXPECT_EQ(episodes[0].incidents.size(), 2u);
+  EXPECT_TRUE(episodes[0].quarantined);
+}
+
+TEST(HybridFlap, QuarantineExpiryReadmitsAfterHealthyProbeStreak) {
+  ScenarioParams p = dampedParams();
+  p.damping.quarantineFor = 2 * kSecond;
+  p.damping.readmitStreak = 3;
+  FlapRun run(p, kTwoSpikes);
+  const MachineId victim = run.scenario.primaryMachineOf(2);
+  EXPECT_EQ(run.coordinator->quarantines(), 1u);
+  // The spike ended long before expiry, so three probe replies in a row
+  // re-admit the node shortly after the 2 s quarantine lapses.
+  EXPECT_EQ(run.coordinator->readmissions(), 1u);
+  EXPECT_EQ(run.coordinator->quarantinedMachine(), kNoMachine);
+  const auto spans = extractQuarantineSpans(run.scenario.trace()->events());
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].machine, victim);
+  ASSERT_NE(spans[0].endAt, kTimeNever);
+  EXPECT_GE(spans[0].endAt - spans[0].beginAt, 2 * kSecond);
+  const auto r = run.scenario.collect();
+  EXPECT_EQ(r.gray.readmissions, 1u);
+}
+
+TEST(HybridFlap, SwitchoverHoldoffAbsorbsShortBlipAfterOneCycle) {
+  ScenarioParams p = dampedParams();
+  p.damping.maxCycles = 5;  // Keep the damper from quarantining.
+  p.damping.switchoverHoldoff = 600 * kMillisecond;
+  // One real cycle, then a 250 ms blip -- long enough to trip the first-miss
+  // policy (see FalseAlarmCostsOnlyACheapRollback) but gone by the time the
+  // holdoff re-checks the detector.
+  FlapRun run(p, {{1 * kSecond, 3 * kSecond},
+                  {5 * kSecond, 5250 * kMillisecond}});
+  EXPECT_EQ(run.coordinator->switchovers(), 1u);
+  EXPECT_EQ(run.coordinator->rollbacks(), 1u);
+  EXPECT_EQ(run.coordinator->quarantines(), 0u);
+
+  // The same blip without damping costs a second switchover/rollback cycle.
+  ScenarioParams undamped = p;
+  undamped.damping = FlapDamping{};
+  FlapRun baseline(undamped, {{1 * kSecond, 3 * kSecond},
+                              {5 * kSecond, 5250 * kMillisecond}});
+  EXPECT_EQ(baseline.coordinator->switchovers(), 2u);
+}
+
+TEST(HybridFlap, RedegradationDuringReadStateRollbackKeepsSingleOwner) {
+  // The switchover-during-rollback race: the primary degrades *again* while
+  // the rollback's state read is still in flight. The coordinator must ignore
+  // the re-declaration (switched_ is still true), finish the rollback, and
+  // leave exactly one active owner and no orphaned incident behind.
+  ScenarioParams p = hybridParams();
+  p.duration = 12 * kSecond;
+  p.trace.enabled = true;
+  // An asymmetric link degradation delays only the standby->primary
+  // state-read transfer, stretching the rollback window to a few hundred
+  // milliseconds so the second spike's heartbeat miss lands inside it.
+  const ScenarioLayout layout = Scenario::layoutFor(p);
+  SlowdownSpec degrade;
+  degrade.kind = SlowdownKind::kLinkDegrade;
+  degrade.machine = layout.standbyOf[2];
+  degrade.peer = layout.primaryOf(2);
+  degrade.kinds = maskOf(MsgKind::kStateRead);
+  degrade.delayProb = 1.0;
+  degrade.maxExtraDelay = 400 * kMillisecond;
+  degrade.beginAt = 5 * kSecond;
+  degrade.endAt = 11 * kSecond;
+  p.faults.slowdowns.push_back(degrade);
+  // Spike windows are relative to the end of the 2 s warmup: the rollback
+  // for spike 1 starts ~6.2 s absolute, the second spike begins right then.
+  FlapRun run(p, {{1 * kSecond, 4 * kSecond},
+                  {4200 * kMillisecond, 6 * kSecond}});
+  ASSERT_NE(run.coordinator, nullptr);
+
+  // The second degradation must not have spawned a second incident: its
+  // failure declaration landed while the first incident was still winding
+  // down and was absorbed.
+  EXPECT_EQ(run.coordinator->switchovers(), 1u);
+  EXPECT_EQ(run.coordinator->rollbacks(), 1u);
+  EXPECT_FALSE(run.coordinator->switchedOver());
+  ASSERT_NE(run.coordinator->secondary(), nullptr);
+  EXPECT_TRUE(run.coordinator->secondary()->suspended());
+  EXPECT_TRUE(run.coordinator->primary()->alive());
+
+  // The race actually happened: a failure was (re)confirmed inside the
+  // rollback span.
+  const auto& events = run.scenario.trace()->events();
+  RecoveryTimelineAnalyzer analyzer(events);
+  ASSERT_EQ(analyzer.incidents().size(), 1u);
+  const auto& inc = analyzer.incidents()[0];
+  ASSERT_NE(inc.phases.rollbackDoneAt, kTimeNever);
+  bool confirmedMidRollback = false;
+  for (const TraceEvent& ev : events) {
+    if (ev.type == TraceEventType::kFailureConfirmed &&
+        ev.at >= inc.phases.rollbackStartAt &&
+        ev.at <= inc.phases.rollbackDoneAt) {
+      confirmedMidRollback = true;
+    }
+  }
+  EXPECT_TRUE(confirmedMidRollback);
+
+  // No orphaned incident: everything recorded is rolled back, promoted or
+  // explicitly aborted.
+  for (const auto& i : analyzer.incidents()) {
+    EXPECT_TRUE(i.rolledBack || i.promoted || i.aborted);
+  }
+
+  run.scenario.drain();
+  const StreamId sinkStream = run.scenario.runtime().spec().sinkStreams[0];
+  EXPECT_EQ(run.scenario.sink().highestSeq(sinkStream),
+            run.scenario.source().generatedCount());
 }
 
 TEST(Hybrid, RepeatedSpikesProduceMatchingSwitchoverRollbackCounts) {

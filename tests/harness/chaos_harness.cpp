@@ -229,6 +229,54 @@ ChaosPlan makeChaosPlan(const ScenarioParams& params,
       plan.schedule.bursts.push_back(burst);
     }
   }
+
+  // Slowdown mix (gray failures): degrade one protected primary with CPU
+  // dilation plus heartbeat delay jitter over one window. RNG draws are gated
+  // behind the flag so profiles without slowdowns generate byte-identical
+  // plans to pre-slowdown builds.
+  if (profile.withSlowdown && !params.protectedSubjobs.empty()) {
+    std::vector<MachineId> candidates;
+    for (SubjobId sj : params.protectedSubjobs) {
+      const MachineId m = layout.primaryOf(sj);
+      if (m != 0) candidates.push_back(m);
+    }
+    if (!candidates.empty()) {
+      const MachineId victim =
+          candidates[static_cast<std::size_t>(seed % candidates.size())];
+      const SimDuration length =
+          rng.uniformInt(profile.minSlowdown, profile.maxSlowdown);
+      const SimTime latestBegin = profile.faultsUntil > length
+                                      ? profile.faultsUntil - length
+                                      : profile.faultsFrom + 1;
+      const SimTime begin = rng.uniformInt(
+          profile.faultsFrom,
+          std::max<SimTime>(profile.faultsFrom + 1, latestBegin));
+
+      SlowdownSpec dilate;
+      dilate.kind = SlowdownKind::kCpuDilation;
+      dilate.machine = victim;
+      dilate.severity =
+          rng.uniformReal(profile.minDilation, profile.maxDilation);
+      dilate.beginAt = begin;
+      dilate.endAt = begin + length;
+      plan.schedule.slowdowns.push_back(dilate);
+
+      SlowdownSpec jitter;
+      jitter.kind = SlowdownKind::kHeartbeatJitter;
+      jitter.machine = victim;
+      jitter.delayProb =
+          rng.uniformReal(profile.minJitterProb, profile.maxJitterProb);
+      jitter.maxExtraDelay =
+          rng.uniformInt(profile.minJitterDelay, profile.maxJitterDelay);
+      jitter.beginAt = begin;
+      jitter.endAt = begin + length;
+      plan.schedule.slowdowns.push_back(jitter);
+
+      plan.slowdownTarget = victim;
+      plan.slowdownFrom = begin;
+      plan.slowdownUntil = begin + length;
+    }
+  }
   return plan;
 }
 
@@ -286,11 +334,11 @@ namespace {
 
 std::size_t componentCount(const FaultSchedule& s) {
   return s.links.size() + s.partitions.size() + s.crashes.size() +
-         s.bursts.size();
+         s.bursts.size() + s.slowdowns.size();
 }
 
-/// The schedule with component `index` (in links/partitions/crashes/bursts
-/// order) removed.
+/// The schedule with component `index` (in
+/// links/partitions/crashes/bursts/slowdowns order) removed.
 FaultSchedule without(const FaultSchedule& s, std::size_t index) {
   FaultSchedule out = s;
   if (index < out.links.size()) {
@@ -310,7 +358,13 @@ FaultSchedule without(const FaultSchedule& s, std::size_t index) {
     return out;
   }
   index -= out.crashes.size();
-  out.bursts.erase(out.bursts.begin() + static_cast<std::ptrdiff_t>(index));
+  if (index < out.bursts.size()) {
+    out.bursts.erase(out.bursts.begin() + static_cast<std::ptrdiff_t>(index));
+    return out;
+  }
+  index -= out.bursts.size();
+  out.slowdowns.erase(out.slowdowns.begin() +
+                      static_cast<std::ptrdiff_t>(index));
   return out;
 }
 

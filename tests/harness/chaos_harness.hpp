@@ -101,6 +101,22 @@ struct ChaosProfile {
   SimDuration faultsUntil = 25 * kSecond;
   SimDuration minPartition = 500 * kMillisecond;
   SimDuration maxPartition = 2 * kSecond;
+  /// Slowdown mix (gray failures, fault/schedule.hpp SlowdownSpec): when
+  /// enabled the plan additionally degrades one protected primary with CPU
+  /// dilation plus heartbeat delay jitter for a window inside
+  /// [faultsFrom, faultsUntil]. Off by default, so existing profiles consume
+  /// the same RNG stream and generate byte-identical plans.
+  bool withSlowdown = false;
+  double minDilation = 0.2;   ///< CPU dilation severity range.
+  double maxDilation = 0.6;
+  double minJitterProb = 0.2;  ///< Heartbeat delay probability range.
+  double maxJitterProb = 0.6;
+  /// Max extra heartbeat delay range (should straddle the heartbeat
+  /// interval: flapping needs replies that are late, not lost).
+  SimDuration minJitterDelay = 100 * kMillisecond;
+  SimDuration maxJitterDelay = 400 * kMillisecond;
+  SimDuration minSlowdown = 3 * kSecond;  ///< Degradation window length range.
+  SimDuration maxSlowdown = 10 * kSecond;
 };
 
 /// One generated chaos schedule plus what it targets.
@@ -110,6 +126,11 @@ struct ChaosPlan {
   /// True when the crash hits a protected subjob's primary (a permanent such
   /// crash must eventually produce a fail-stop promotion).
   bool crashedProtectedPrimary = false;
+  /// The machine degraded by the slowdown mix (kNoMachine when disabled).
+  MachineId slowdownTarget = kNoMachine;
+  /// The degradation window (valid when slowdownTarget is set).
+  SimTime slowdownFrom = 0;
+  SimTime slowdownUntil = 0;
 };
 
 /// Derive the plan for (params, seed). Deterministic: same inputs, same plan.

@@ -1,0 +1,166 @@
+// Gray-failure chaos: seed-swept slowdown-mix schedules (CPU dilation plus
+// heartbeat delay jitter on one protected primary -- the node is degraded,
+// not dead). The undamped hybrid coordinator honors its first-miss policy
+// every oscillation and flaps; the flap-damped configuration completes at
+// most one switchover<->rollback cycle per degradation episode and then
+// quarantines the node behind a permanent promotion. The CI job
+// `chaos-gray-failure` runs exactly these via `ctest -R GrayFailure`.
+#include <gtest/gtest.h>
+
+#include "harness/chaos_harness.hpp"
+#include "trace/timeline.hpp"
+
+namespace streamha {
+namespace {
+
+std::string seedName(const ::testing::TestParamInfo<std::uint64_t>& i) {
+  return "seed" + std::to_string(i.param);
+}
+
+ScenarioParams grayParams(std::uint64_t seed, bool damped) {
+  ScenarioParams p;
+  p.mode = HaMode::kHybrid;
+  p.provisionSpares = true;
+  p.duration = 30 * kSecond;
+  p.seed = seed;
+  if (damped) {
+    p.damping.enabled = true;
+    p.damping.maxCycles = 1;
+    p.damping.cycleWindow = 15 * kSecond;
+    p.damping.quarantineFor = 60 * kSecond;  // Longer than the run.
+  }
+  return p;
+}
+
+harness::ChaosProfile grayProfile() {
+  harness::ChaosProfile profile;
+  // A focused slowdown sweep: background loss stays tiny, never touches the
+  // heartbeat kinds (a dropped ping is an instant first-miss cycle, which
+  // would pollute the flap counts), and the crash / partition dimensions are
+  // off -- so every cycle is attributable to the gray failure alone.
+  profile.maxLossProb = 0.01;
+  profile.lossyKinds = kAllKinds & ~(maskOf(MsgKind::kHeartbeatPing) |
+                                     maskOf(MsgKind::kHeartbeatReply));
+  profile.maxDuplicateProb = 0.0;
+  profile.maxDelayProb = 0.0;
+  profile.partitionCount = 0;
+  profile.withCrash = false;
+  profile.withSlowdown = true;
+  return profile;
+}
+
+harness::ChaosOutcome runGray(std::uint64_t seed, bool damped,
+                              harness::ChaosPlan* planOut = nullptr) {
+  ScenarioParams p = grayParams(seed, damped);
+  const harness::ChaosPlan plan =
+      harness::makeChaosPlan(p, grayProfile(), seed);
+  if (planOut != nullptr) *planOut = plan;
+  p.faults = plan.schedule;
+  p.faultSeedSalt = seed;
+  return harness::runChaosScenario(p);
+}
+
+// ---------------------------------------------------------------------------
+// Per-seed sweep: both variants stay exactly-once; the damped variant never
+// cycles more than once against the degraded node, and on every seed where
+// the undamped baseline visibly flaps (>= 3 cycles) the damped one
+// quarantines it.
+// ---------------------------------------------------------------------------
+
+class GrayFailureChaosSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(GrayFailureChaosSweep, DampedQuarantinesWhereUndampedFlaps) {
+  const std::uint64_t seed = GetParam();
+  harness::ChaosPlan plan;
+  const harness::ChaosOutcome undamped = runGray(seed, false, &plan);
+  const harness::ChaosOutcome damped = runGray(seed, true);
+  ASSERT_NE(plan.slowdownTarget, kNoMachine);
+
+  EXPECT_TRUE(undamped.oracle.ok)
+      << "seed " << seed << " (undamped): " << undamped.oracle.summary()
+      << "\nschedule:\n" << plan.schedule.describe();
+  EXPECT_TRUE(damped.oracle.ok)
+      << "seed " << seed << " (damped): " << damped.oracle.summary()
+      << "\nschedule:\n" << plan.schedule.describe();
+
+  // The schedule was not a no-op: the slowdown actually degraded something.
+  EXPECT_GT(damped.faults.slowdownsApplied, 0u) << "seed " << seed;
+
+  // One degradation episode per seed: the damped coordinator completes at
+  // most one full cycle against it (then quarantines or stays switched).
+  EXPECT_LE(damped.result.rollbacks, 1u) << "seed " << seed;
+  EXPECT_LE(damped.result.rollbacks, undamped.result.rollbacks)
+      << "seed " << seed;
+
+  if (undamped.result.rollbacks >= 3) {
+    // A visibly flapping baseline: the damped variant must have pulled the
+    // trigger -- one flap classified, the node quarantined.
+    EXPECT_GE(damped.result.gray.flapsDetected, 1u) << "seed " << seed;
+    EXPECT_GE(damped.result.gray.quarantines, 1u) << "seed " << seed;
+    EXPECT_GE(damped.result.promotions, 1u) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GrayFailureChaosSweep,
+                         ::testing::Range<std::uint64_t>(1, 31), seedName);
+
+// ---------------------------------------------------------------------------
+// Aggregate acceptance: over a seed subset, the undamped baseline flaps >= 3x
+// on a meaningful share of seeds while the damped variant averages <= 1 cycle
+// per degradation episode.
+// ---------------------------------------------------------------------------
+
+TEST(GrayFailureChaos, DampedAveragesAtMostOneCyclePerEpisode) {
+  int flappySeeds = 0;
+  int quarantinedOnFlappySeeds = 0;
+  std::uint64_t dampedCycles = 0;
+  int episodes = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const harness::ChaosOutcome undamped = runGray(seed, false);
+    const harness::ChaosOutcome damped = runGray(seed, true);
+    ASSERT_TRUE(undamped.oracle.ok) << "seed " << seed;
+    ASSERT_TRUE(damped.oracle.ok) << "seed " << seed;
+    ++episodes;
+    dampedCycles += damped.result.rollbacks;
+    if (undamped.result.rollbacks >= 3) {
+      ++flappySeeds;
+      if (damped.result.gray.quarantines >= 1) ++quarantinedOnFlappySeeds;
+    }
+  }
+  // The slowdown mix must actually provoke flapping on a meaningful share of
+  // seeds, or the comparison is vacuous.
+  EXPECT_GE(flappySeeds, 3);
+  EXPECT_EQ(quarantinedOnFlappySeeds, flappySeeds);
+  EXPECT_LE(static_cast<double>(dampedCycles) / episodes, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: a slowdown-bearing schedule replayed with the same seed
+// produces a bit-identical trace (the repro contract that makes failing gray
+// seeds shrinkable and debuggable).
+// ---------------------------------------------------------------------------
+
+TEST(GrayFailureChaos, SlowdownRunsAreBitIdenticalAcrossReplays) {
+  auto runOnce = [] {
+    ScenarioParams p = grayParams(7, true);
+    p.trace.enabled = true;
+    const harness::ChaosPlan plan =
+        harness::makeChaosPlan(p, grayProfile(), 7);
+    p.faults = plan.schedule;
+    p.faultSeedSalt = 7;
+    Scenario s(p);
+    s.build();
+    s.warmup();
+    s.run(p.duration);
+    s.drain();
+    return harness::traceJsonl(s);
+  };
+  const std::string first = runOnce();
+  const std::string second = runOnce();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace streamha

@@ -117,6 +117,102 @@ TEST(RecoveryTimelineAnalyzer, IgnoresNonIncidentEvents) {
   EXPECT_EQ(analyzer.breakdown().count, 0u);
 }
 
+// -- Gray-failure classification ----------------------------------------------
+
+std::vector<TraceEvent> syntheticFlap() {
+  std::vector<TraceEvent> events;
+  auto add = [&events](TraceEventType type, SimTime at, MachineId machine,
+                       MachineId peer, std::uint64_t incident,
+                       std::uint64_t value = 0) {
+    TraceEvent ev;
+    ev.type = type;
+    ev.at = at;
+    ev.machine = machine;
+    ev.peer = peer;
+    ev.subjob = 2;
+    ev.incident = incident;
+    ev.value = value;
+    events.push_back(ev);
+  };
+  // Cycle 1 against machine 2: switchover + rollback.
+  add(TraceEventType::kSwitchoverBegin, 1000, 2, 5, 1);
+  add(TraceEventType::kSwitchoverEnd, 1200, 5, kNoMachine, 1);
+  add(TraceEventType::kRollbackBegin, 3000, 2, 5, 1);
+  add(TraceEventType::kRollbackEnd, 3100, 2, 5, 1);
+  // Cycle 2: the recovery verdict trips the damper -- flap + quarantine +
+  // permanent promotion.
+  add(TraceEventType::kSwitchoverBegin, 5000, 2, 5, 2);
+  add(TraceEventType::kSwitchoverEnd, 5200, 5, kNoMachine, 2);
+  add(TraceEventType::kFlapDetected, 7000, 2, 5, 2, 1);
+  add(TraceEventType::kQuarantineBegin, 7000, 2, 5, 2, 1);
+  add(TraceEventType::kPromotion, 7000, 5, 2, 2);
+  // Much later an unrelated incident hits machine 9.
+  add(TraceEventType::kSwitchoverBegin, 60000000, 9, 6, 3);
+  add(TraceEventType::kRollbackBegin, 62000000, 9, 6, 3);
+  add(TraceEventType::kRollbackEnd, 62100000, 9, 6, 3);
+  // The quarantined node is re-admitted (no incident id: the quarantine ended
+  // outside any single incident's lifetime).
+  add(TraceEventType::kQuarantineEnd, 67000000, 2, 5, 0, 3);
+  return events;
+}
+
+TEST(RecoveryTimelineAnalyzer, FlagsFlappedAndQuarantinedIncidents) {
+  RecoveryTimelineAnalyzer analyzer(syntheticFlap());
+  ASSERT_EQ(analyzer.incidents().size(), 3u);
+  EXPECT_FALSE(analyzer.incidents()[0].flapped);
+  EXPECT_FALSE(analyzer.incidents()[0].quarantined);
+  EXPECT_TRUE(analyzer.incidents()[1].flapped);
+  EXPECT_TRUE(analyzer.incidents()[1].quarantined);
+  EXPECT_TRUE(analyzer.incidents()[1].promoted);
+  EXPECT_FALSE(analyzer.incidents()[2].flapped);
+}
+
+TEST(RecoveryTimelineAnalyzer, GroupsIncidentsIntoFlapEpisodes) {
+  RecoveryTimelineAnalyzer analyzer(syntheticFlap());
+  // Window 10 ms: detections at 1 ms and 5 ms against machine 2 fuse into one
+  // episode; the machine-9 incident at 60 s stands alone.
+  const auto episodes = analyzer.flapEpisodes(10000);
+  ASSERT_EQ(episodes.size(), 2u);
+  EXPECT_EQ(episodes[0].machine, 2);
+  ASSERT_EQ(episodes[0].incidents.size(), 2u);
+  EXPECT_EQ(episodes[0].incidents[0], 1u);
+  EXPECT_EQ(episodes[0].incidents[1], 2u);
+  EXPECT_EQ(episodes[0].beginAt, 1000);
+  EXPECT_EQ(episodes[0].endAt, 5000);
+  EXPECT_TRUE(episodes[0].quarantined);
+  EXPECT_EQ(episodes[1].machine, 9);
+  EXPECT_EQ(episodes[1].incidents.size(), 1u);
+  EXPECT_FALSE(episodes[1].quarantined);
+
+  // A window wide enough to span the gap fuses same-machine incidents only:
+  // machine 9 still gets its own episode.
+  const auto wide = analyzer.flapEpisodes(100000000);
+  ASSERT_EQ(wide.size(), 2u);
+}
+
+TEST(QuarantineSpans, PairsBeginEndAndLeavesOpenSpans) {
+  const auto spans = extractQuarantineSpans(syntheticFlap());
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].machine, 2);
+  EXPECT_EQ(spans[0].beginAt, 7000);
+  EXPECT_EQ(spans[0].endAt, 67000000);
+  EXPECT_EQ(spans[0].cycles, 1u);
+
+  // A begin with no end stays open (endAt = kTimeNever).
+  std::vector<TraceEvent> open;
+  TraceEvent ev;
+  ev.type = TraceEventType::kQuarantineBegin;
+  ev.at = 500;
+  ev.machine = 4;
+  ev.value = 3;
+  open.push_back(ev);
+  const auto openSpans = extractQuarantineSpans(open);
+  ASSERT_EQ(openSpans.size(), 1u);
+  EXPECT_EQ(openSpans[0].machine, 4);
+  EXPECT_EQ(openSpans[0].endAt, kTimeNever);
+  EXPECT_EQ(openSpans[0].cycles, 3u);
+}
+
 // -- Against a real traced run ------------------------------------------------
 
 struct TracedScenario {
