@@ -10,7 +10,7 @@ using namespace streamha::bench;
 
 namespace {
 
-struct Config {
+struct PolicyConfig {
   const char* name;
   bool predeploy;
   bool earlyConnections;
@@ -27,7 +27,7 @@ int main() {
       "read-state-on-rollback spares the primary from grinding through the "
       "backlog that accumulated during the failure.");
 
-  const Config configs[] = {
+  const PolicyConfig configs[] = {
       {"full hybrid", true, true, true},
       {"no pre-deployment", false, true, true},
       {"no early connection", true, false, true},
@@ -38,7 +38,7 @@ int main() {
   printSeedsNote(seeds);
   Table table({"configuration", "detection (ms)", "redeploy/resume (ms)",
                "retrans/reproc (ms)", "total (ms)", "post-failure delay (ms)"});
-  for (const Config& cfg : configs) {
+  for (const PolicyConfig& cfg : configs) {
     RecoveryBreakdown agg;
     RunningStats postDelay;
     for (std::uint64_t seed : seeds) {

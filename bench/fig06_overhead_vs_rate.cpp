@@ -8,7 +8,7 @@ using namespace streamha::bench;
 
 namespace {
 
-struct Config {
+struct PolicyConfig {
   const char* name;
   HaMode mode;
   SimDuration checkpointInterval;
@@ -23,7 +23,7 @@ int main() {
       "downstream copies); PS and Hybrid add only the sweeping-checkpoint "
       "margin over NONE, and Hybrid matches PS exactly.");
 
-  const Config configs[] = {
+  const PolicyConfig configs[] = {
       {"NONE", HaMode::kNone, 100 * kMillisecond},
       {"AS", HaMode::kActiveStandby, 100 * kMillisecond},
       {"PS-100ms", HaMode::kPassiveStandby, 100 * kMillisecond},
@@ -35,7 +35,7 @@ int main() {
   Table table({"policy", "1K el/s", "5K el/s", "10K el/s", "25K el/s",
                "vs NONE @25K"});
   std::vector<std::uint64_t> none_totals;
-  for (const Config& cfg : configs) {
+  for (const PolicyConfig& cfg : configs) {
     std::vector<std::string> row{cfg.name};
     std::uint64_t last_total = 0;
     std::size_t idx = 0;

@@ -101,6 +101,10 @@ void CheckpointManager::checkpointPe(PeInstance& pe,
 void CheckpointManager::shipState(PeInstance* pe, PeState state,
                                   SimTime startedAt, std::uint64_t token,
                                   std::function<void()> done) {
+  if (store_.deltaEnabled()) {
+    shipDelta(pe, std::move(state), startedAt, token, std::move(done));
+    return;
+  }
   const std::uint64_t bytes = state.sizeBytes();
   const std::uint64_t elements = state.sizeElements(params_.bytesPerElement);
   const double serializeWork =
@@ -159,6 +163,101 @@ void CheckpointManager::shipState(PeInstance* pe, PeState state,
                       // A fenced (stopped) manager must not
                       // advance upstream trim points anymore.
                       if (!stopped_ && !pe->terminated()) {
+                        pe->flushAcks(acks);
+                      }
+                      if (done) done();
+                    });
+              });
+        });
+  });
+}
+
+void CheckpointManager::shipDelta(PeInstance* pe, PeState state,
+                                  SimTime startedAt, std::uint64_t token,
+                                  std::function<void()> done) {
+  const PeState* base = nullptr;
+  const auto baseIt = delta_base_.find(pe->logicalId());
+  if (baseIt != delta_base_.end()) base = &baseIt->second;
+  PeStateDelta delta =
+      encodeDelta(base, state, store_.deltaParams().chunkBytes);
+  const std::uint64_t fullBytes = state.sizeBytes();
+  const std::uint64_t bytes = delta.sizeBytes();
+  const std::uint64_t elements = delta.sizeElements(params_.bytesPerElement);
+  // Dirty chunks are known from the keyed runtime's write tracking, so the
+  // serialization CPU cost scales with the delta, not the full state.
+  const double serializeWork =
+      params_.serializeWorkUsPerKb * static_cast<double>(bytes) / 1024.0;
+  Machine& machine = subjob_.machine();
+  const MachineId srcMachine = machine.id();
+  const MachineId storeMachine = store_.machine().id();
+  const SubjobId subjobId = subjob_.logicalId();
+  const std::map<StreamId, ElementSeq> acks =
+      includesInputQueues() ? state.receivedWatermark
+                            : state.processedWatermark;
+  StateTelemetry& telemetry = store_.telemetry();
+  telemetry.deltaShips += 1;
+  telemetry.deltaShipBytes += bytes;
+  telemetry.deltaFullBytes += fullBytes;
+  telemetry.deltaChunksShipped += delta.chunks.size();
+  if (net_.trace() != nullptr) {
+    TraceEvent ev;
+    ev.type = TraceEventType::kDeltaShip;
+    ev.at = sim_.now();
+    ev.machine = srcMachine;
+    ev.peer = storeMachine;
+    ev.subjob = subjobId;
+    ev.value = bytes;
+    ev.aux = fullBytes;
+    net_.trace()->record(ev);
+  }
+  machine.submitData(serializeWork, [this, pe, state = std::move(state),
+                                     delta = std::move(delta), bytes, elements,
+                                     srcMachine, storeMachine, subjobId, acks,
+                                     startedAt, token,
+                                     done = std::move(done)]() mutable {
+    net_.sendReliable(
+        srcMachine, storeMachine, MsgKind::kCheckpoint, bytes, elements,
+        [this, pe, state = std::move(state), delta = std::move(delta), bytes,
+         elements, srcMachine, storeMachine, subjobId, acks, startedAt, token,
+         done = std::move(done)]() mutable {
+          store_.storePeDelta(
+              subjobId, delta,
+              [this, pe, state = std::move(state), bytes, elements, srcMachine,
+               storeMachine, acks, startedAt, token,
+               done = std::move(done)](bool covered) mutable {
+                // Covered (applied or stale-but-newer-held): confirm back to
+                // the primary, then release the accumulative acks. A base
+                // miss never reaches here -- no confirm, no acks; the
+                // confirm-timeout retires the attempt.
+                net_.sendReliable(
+                    storeMachine, srcMachine, MsgKind::kControl,
+                    params_.confirmBytes, 0,
+                    [this, pe, state = std::move(state), bytes, elements,
+                     srcMachine, acks, startedAt, token, covered,
+                     done = std::move(done)] {
+                      stats_.checkpoints += 1;
+                      stats_.bytes += bytes;
+                      stats_.elements += elements;
+                      stats_.latencyMs.add(toMillis(sim_.now() - startedAt));
+                      recordCheckpointEvent(
+                          net_.trace(), TraceEventType::kCheckpointEnd,
+                          sim_.now(), srcMachine, subjob_.logicalId(),
+                          static_cast<std::uint64_t>(pe->logicalId()) + 1,
+                          bytes);
+                      // The confirmed state becomes the base the next delta
+                      // is encoded against. Advance even on a stale attempt
+                      // token: a late confirm still proves the store holds
+                      // this version, which is what un-sticks a shadow that
+                      // fell behind after a timeout abandonment.
+                      PeState& shadow = delta_base_[state.pe];
+                      if (shadow.version < state.version) shadow = state;
+                      auto it = in_progress_.find(pe);
+                      if (it != in_progress_.end() && it->second == token) {
+                        in_progress_.erase(it);
+                      } else {
+                        stats_.staleConfirms += 1;
+                      }
+                      if (covered && !stopped_ && !pe->terminated()) {
                         pe->flushAcks(acks);
                       }
                       if (done) done();

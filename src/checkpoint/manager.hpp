@@ -83,6 +83,13 @@ class CheckpointManager : public CheckpointController {
   /// adopted from the secondary). `done` runs when all are durable.
   void checkpointAllNow(std::function<void()> done);
 
+  /// Delta mode: forget the per-PE confirmed bases, so the next ship of each
+  /// PE is a full-coverage (base 0) delta. Called after rollback adopts
+  /// state from the secondary -- the store's applied versions and the
+  /// manager's shadow may disagree there, and a base-0 ship is always
+  /// applicable under the store's freshness guard.
+  void resetDeltaBase() { delta_base_.clear(); }
+
   const Stats& stats() const { return stats_; }
   Subjob& subjob() { return subjob_; }
   const Params& params() const { return params_; }
@@ -109,8 +116,16 @@ class CheckpointManager : public CheckpointController {
  private:
   void shipState(PeInstance* pe, PeState state, SimTime startedAt,
                  std::uint64_t token, std::function<void()> done);
+  /// Delta-mode per-PE pipeline: diff against the last confirmed base, ship
+  /// only changed chunks, advance the base when the store confirms coverage.
+  void shipDelta(PeInstance* pe, PeState state, SimTime startedAt,
+                 std::uint64_t token, std::function<void()> done);
 
   std::map<PeInstance*, std::function<void()>> pause_waiters_;
+  /// Delta mode: the last state per PE whose ship the store confirmed as
+  /// covered -- the base the next delta is encoded against. Absent = ship a
+  /// full-coverage (base 0) delta.
+  std::map<LogicalPeId, PeState> delta_base_;
   /// In-flight pipeline per PE, tagged with its attempt token. A confirm (or
   /// confirm-timeout) may only erase the entry whose token it carries, so a
   /// late confirm from an abandoned attempt can never cancel a newer one.

@@ -2,18 +2,71 @@
 
 #include <cmath>
 
+#include "trace/recorder.hpp"
+
 namespace streamha {
 
+namespace {
+
+void recordStoreEvent(TraceRecorder* trace, TraceEventType type, SimTime at,
+                      MachineId machine, SubjobId subjob, std::uint64_t value,
+                      std::uint64_t aux) {
+  if (trace == nullptr) return;
+  TraceEvent ev;
+  ev.type = type;
+  ev.at = at;
+  ev.machine = machine;
+  ev.subjob = subjob;
+  ev.value = value;
+  ev.aux = aux;
+  trace->record(ev);
+}
+
+}  // namespace
+
 StateStore::StateStore(Simulator& sim, Machine& machine, Params params)
-    : sim_(sim), machine_(machine), params_(params) {}
+    : sim_(sim), machine_(machine), params_(params) {
+  if (params_.tiered) {
+    backend_ = std::make_unique<TieredBackend>(sim_, params_.tiers,
+                                               machine_.id(), nullptr);
+  }
+}
 
 StateStore::StateStore(Simulator& sim, Machine& machine)
     : StateStore(sim, machine, Params{}) {}
 
-void StateStore::completeWrite(std::uint64_t bytes,
+void StateStore::setTrace(TraceRecorder* trace) {
+  trace_ = trace;
+  if (backend_ != nullptr) {
+    // Recreate with the sink attached: setTrace is called right after
+    // construction, before any write.
+    backend_ = std::make_unique<TieredBackend>(sim_, params_.tiers,
+                                               machine_.id(), trace);
+  }
+}
+
+std::uint64_t StateStore::allocationKey(SubjobId subjob, LogicalPeId pe,
+                                        std::uint64_t runId) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(subjob)) << 44) ^
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(pe)) << 24) ^
+         runId;
+}
+
+void StateStore::completeWrite(std::uint64_t allocation, std::uint64_t bytes,
                                std::function<void()> onDurable) {
   ++writes_;
   bytes_written_ += bytes;
+  if (backend_ != nullptr) {
+    const TierWriteResult placed = backend_->write(allocation, bytes);
+    switch (placed.tier) {
+      case StorageTier::kDram: telemetry_.bytesWrittenDram += bytes; break;
+      case StorageTier::kSsd: telemetry_.bytesWrittenSsd += bytes; break;
+      case StorageTier::kHdd: telemetry_.bytesWrittenHdd += bytes; break;
+    }
+    if (placed.spilled) ++telemetry_.tierSpills;
+    sim_.schedule(std::max<SimDuration>(1, placed.cost), std::move(onDurable));
+    return;
+  }
   if (!params_.persistToDisk) {
     if (onDurable) onDurable();
     return;
@@ -39,13 +92,108 @@ void StateStore::storePeState(SubjobId subjob, const PeState& state,
   // versions are monotonic per PE (PeInstance::checkpoint).
   if (!freshFor(slot, state)) {
     ++stale_writes_;
-    completeWrite(state.sizeBytes(), std::move(onDurable));
+    completeWrite(allocationKey(subjob, state.pe, 0), state.sizeBytes(),
+                  std::move(onDurable));
     return;
   }
   ++slot.version;
   slot.pes[state.pe] = state;
   applyToReplica(subjob, state);
-  completeWrite(state.sizeBytes(), std::move(onDurable));
+  if (params_.delta.enabled) {
+    // Keep the delta log consistent under full-copy ships too (grouped
+    // checkpoints, rollback re-persists): a full state is a full-coverage
+    // run, so later restores can still plan from the log.
+    logApply(subjob, encodeDelta(nullptr, state, params_.delta.chunkBytes));
+    completeWrite(allocationKey(subjob, state.pe, 0), state.sizeBytes(),
+                  std::move(onDurable));
+    return;
+  }
+  completeWrite(allocationKey(subjob, state.pe, 0), state.sizeBytes(),
+                std::move(onDurable));
+}
+
+void StateStore::storePeDelta(SubjobId subjob, const PeStateDelta& delta,
+                              std::function<void(bool)> onConfirm) {
+  if (!machine_.isUp()) return;
+  SubjobState& slot = latest_[subjob];
+  slot.subjob = subjob;
+  auto it = slot.pes.find(delta.pe);
+  const std::uint64_t storedVersion =
+      it == slot.pes.end() ? 0 : it->second.version;
+  if (delta.version <= storedVersion) {
+    // ARQ-reordered stale ship: the store already holds newer state, so the
+    // delta's acks are safe to release -- confirm without applying.
+    ++stale_writes_;
+    ++telemetry_.staleDeltaDrops;
+    auto wrapped = [onConfirm = std::move(onConfirm)] {
+      if (onConfirm) onConfirm(true);
+    };
+    completeWrite(allocationKey(subjob, delta.pe, 0), delta.sizeBytes(),
+                  std::move(wrapped));
+    return;
+  }
+  if (delta.baseVersion != 0 && delta.baseVersion != storedVersion) {
+    // Base miss: the store cannot reconstruct delta.version from what it
+    // holds. Drop WITHOUT confirming -- a confirm would let the sender trim
+    // upstream queues past state this store never materialized. The sender's
+    // confirm-timeout (or a late confirm for the base version) resolves the
+    // pipeline.
+    ++telemetry_.baseMisses;
+    return;
+  }
+  PeState next = delta.baseVersion == 0
+                     ? applyDelta(PeState{}, delta)
+                     : applyDelta(it->second, delta);
+  ++slot.version;
+  slot.pes[delta.pe] = next;
+  ++telemetry_.deltaApplies;
+  applyToReplica(subjob, next);
+  logApply(subjob, delta);
+  auto wrapped = [onConfirm = std::move(onConfirm)] {
+    if (onConfirm) onConfirm(true);
+  };
+  completeWrite(allocationKey(subjob, delta.pe, 0), delta.sizeBytes(),
+                std::move(wrapped));
+}
+
+void StateStore::logApply(SubjobId subjob, const PeStateDelta& delta) {
+  auto [it, inserted] = logs_.try_emplace(
+      std::make_pair(subjob, delta.pe), params_.delta.compactEveryRuns);
+  DeltaLog& log = it->second;
+  const std::uint64_t runId = log.append(delta);
+  ++telemetry_.runsAppended;
+  if (backend_ != nullptr) {
+    // The run itself occupies tier capacity until compaction frees it. The
+    // placement cost of the live-state write is paid in completeWrite; run
+    // retention only accounts capacity.
+    backend_->write(allocationKey(subjob, delta.pe, runId),
+                    log.runs().back().bytes());
+  }
+  maybeCompact(subjob, delta.pe, log);
+}
+
+void StateStore::maybeCompact(SubjobId subjob, LogicalPeId pe, DeltaLog& log) {
+  if (!log.shouldCompact()) return;
+  recordStoreEvent(trace_, TraceEventType::kCompactionBegin, sim_.now(),
+                   machine_.id(), subjob, log.runs().size(), 0);
+  std::vector<std::uint64_t> freed;
+  const CompactionResult result = log.compact(&freed);
+  ++telemetry_.compactions;
+  telemetry_.runsCompacted += result.runsMerged;
+  telemetry_.compactionBytesIn += result.bytesIn;
+  telemetry_.compactionBytesOut += result.bytesOut;
+  telemetry_.chunksDiscarded += result.chunksDropped;
+  if (backend_ != nullptr) {
+    for (const std::uint64_t runId : freed) {
+      backend_->free(allocationKey(subjob, pe, runId));
+    }
+    if (!log.runs().empty()) {
+      backend_->write(allocationKey(subjob, pe, log.runs().front().id),
+                      log.runs().front().bytes());
+    }
+  }
+  recordStoreEvent(trace_, TraceEventType::kCompactionEnd, sim_.now(),
+                   machine_.id(), subjob, result.bytesIn, result.bytesOut);
 }
 
 void StateStore::storeSubjobState(const SubjobState& state,
@@ -61,8 +209,13 @@ void StateStore::storeSubjobState(const SubjobState& state,
     }
     slot.pes[peId] = peState;
     applyToReplica(state.subjob, peState);
+    if (params_.delta.enabled) {
+      logApply(state.subjob,
+               encodeDelta(nullptr, peState, params_.delta.chunkBytes));
+    }
   }
-  completeWrite(state.sizeBytes(), std::move(onDurable));
+  completeWrite(allocationKey(state.subjob, -1, 0), state.sizeBytes(),
+                std::move(onDurable));
 }
 
 SubjobState StateStore::latest(SubjobId subjob) const {
@@ -73,6 +226,58 @@ SubjobState StateStore::latest(SubjobId subjob) const {
     return empty;
   }
   return it->second;
+}
+
+const DeltaLog* StateStore::deltaLog(SubjobId subjob, LogicalPeId pe) const {
+  const auto it = logs_.find(std::make_pair(subjob, pe));
+  return it == logs_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t StateStore::restoreBytes(
+    SubjobId subjob, const std::map<LogicalPeId, std::uint64_t>& have,
+    const SubjobState& state) {
+  std::uint64_t total = 0;
+  for (const auto& [peId, peState] : state.pes) {
+    const std::uint64_t fullBytes = peState.sizeBytes();
+    const auto haveIt = have.find(peId);
+    const std::uint64_t haveVersion = haveIt == have.end() ? 0 : haveIt->second;
+    const DeltaLog* log = deltaLog(subjob, peId);
+    bool covered = false;
+    std::uint64_t deltaBytes = 0;
+    if (params_.delta.enabled && log != nullptr && !log->runs().empty()) {
+      // The runs newer than what the primary holds must chain from it: the
+      // first needed run's base must be at or below haveVersion (runs are
+      // self-contained against their base; a full-coverage run has base 0).
+      std::uint64_t chain = haveVersion;
+      covered = true;
+      bool any = false;
+      for (const DeltaLog::Run& run : log->runs()) {
+        if (run.version <= haveVersion) continue;
+        any = true;
+        if (run.baseVersion > chain) {
+          covered = false;
+          break;
+        }
+        chain = run.version;
+        deltaBytes += run.bytes();
+      }
+      if (!any) covered = haveVersion >= peState.version;
+      if (covered && chain < peState.version && haveVersion < peState.version) {
+        // The log ends before the state being restored; the tail is missing.
+        covered = false;
+      }
+    }
+    if (covered && deltaBytes < fullBytes) {
+      ++telemetry_.deltaRestores;
+      telemetry_.restoreDeltaBytes += deltaBytes;
+      total += deltaBytes;
+    } else {
+      ++telemetry_.fullRestores;
+      telemetry_.restoreFullBytes += fullBytes;
+      total += fullBytes;
+    }
+  }
+  return total;
 }
 
 void StateStore::attachReplica(SubjobId subjob, Subjob* replica) {

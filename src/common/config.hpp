@@ -13,6 +13,31 @@
 
 namespace streamha {
 
+/// Named storage-tier presets (DRAM / SSD / HDD), modeled after the
+/// external-merge-sort exemplar's Config: each tier has an access latency, a
+/// sequential bandwidth, an *effective* bandwidth for the small random writes
+/// a checkpoint stream produces, and a capacity. These are the single source
+/// for every magic storage constant in the tree: the tiered state backend
+/// (state/tier.hpp) builds its tier specs from them, and the disk-store
+/// bench's penalty knobs reference them by name instead of repeating the
+/// numbers.
+struct TierPreset {
+  const char* name;
+  double latencyUs;                 ///< Per-access latency.
+  double bytesPerMicro;             ///< Sequential bandwidth (~MB/s).
+  double checkpointBytesPerMicro;   ///< Effective small-random-write bandwidth.
+  std::uint64_t capacityBytes;      ///< Default capacity budget for the tier.
+};
+
+inline constexpr TierPreset kTierDram{
+    "dram", 0.1, 10000.0, 10000.0, 512ull * 1024 * 1024};   // ~10 GB/s, 512 MB
+inline constexpr TierPreset kTierSsd{
+    "ssd", 100.0, 500.0, 250.0, 10ull * 1024 * 1024 * 1024};  // ~500 MB/s, 10 GB
+inline constexpr TierPreset kTierHdd{
+    "hdd", 10000.0, 100.0, 5.0,
+    ~std::uint64_t{0}};  // ~100 MB/s sequential, ~5 MB/s checkpoint-effective,
+                         // unbounded capacity.
+
 class Config {
  public:
   Config() = default;

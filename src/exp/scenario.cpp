@@ -126,9 +126,22 @@ void Scenario::build() {
     cluster_->network().enableReliable(arq);
   }
 
-  const JobSpec spec = JobBuilder::chain(
+  JobSpec spec = JobBuilder::chain(
       params_.numPes, params_.pesPerSubjob, params_.peWorkUs,
       params_.selectivity, params_.stateBytes, params_.payloadBytes);
+  if (params_.stateKeyBytes > 0) {
+    // Keyed state: each element dirties one key region, the workload shape
+    // delta checkpointing is built for (see ScenarioParams::stateKeyBytes).
+    const double selectivity = params_.selectivity;
+    const std::size_t stateBytes = params_.stateBytes;
+    const std::size_t keyBytes = params_.stateKeyBytes;
+    for (auto& pe : spec.pes) {
+      pe.logicFactory = [selectivity, stateBytes, keyBytes] {
+        return std::make_unique<KeyedStateLogic>(selectivity, stateBytes,
+                                                 keyBytes);
+      };
+    }
+  }
   runtime_ = std::make_unique<Runtime>(*cluster_, spec, params_.costs);
 
   Source::Params sourceParams;
@@ -451,6 +464,7 @@ ScenarioResult Scenario::collect() {
     result.gray.flapsDetected += c->flapsDetected();
     result.gray.quarantines += c->quarantines();
     result.gray.readmissions += c->readmissions();
+    result.state += c->stateTelemetry();
     if (auto* hybrid = dynamic_cast<HybridCoordinator*>(c.get())) {
       result.elementsToStalledPrimary += hybrid->elementsToStalledPrimary();
       result.stateReadElements += hybrid->stateReadElements();

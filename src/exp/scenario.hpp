@@ -29,6 +29,7 @@
 #include "ha/passive_standby.hpp"
 #include "metrics/counters.hpp"
 #include "metrics/latency.hpp"
+#include "state/telemetry.hpp"
 #include "metrics/recovery.hpp"
 #include "stream/runtime.hpp"
 #include "trace/recorder.hpp"
@@ -43,6 +44,11 @@ struct ScenarioParams {
   double selectivity = 1.0;
   /// "The PE's internal state is set to have a size of 20 data elements."
   std::size_t stateBytes = 20 * 132;
+  /// When > 0, PEs run KeyedStateLogic with this per-key region size instead
+  /// of SyntheticLogic: each element dirties one key region, which is the
+  /// workload shape delta checkpointing (store.delta) exploits. 0 (default)
+  /// keeps SyntheticLogic and bit-identical baseline runs.
+  std::size_t stateKeyBytes = 0;
   std::uint32_t payloadBytes = 100;
 
   // -- Workload ---------------------------------------------------------------
@@ -186,6 +192,8 @@ struct ScenarioResult {
   /// Gray-failure / flap-damping telemetry (all zero with damping and
   /// slowdown faults off).
   GrayFailureTelemetry gray;
+  /// State-store telemetry (all zero with the delta/tiered backend off).
+  StateTelemetry state;
 };
 
 /// Result of Scenario::drainQuiescent(): how the run wound down.

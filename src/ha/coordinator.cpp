@@ -179,4 +179,11 @@ void HaCoordinator::retire(std::unique_ptr<StateStore> store) {
   retired_stores_.push_back(std::move(store));
 }
 
+StateTelemetry HaCoordinator::stateTelemetry() const {
+  StateTelemetry total;
+  if (store_ != nullptr) total += store_->telemetry();
+  for (const auto& store : retired_stores_) total += store->telemetry();
+  return total;
+}
+
 }  // namespace streamha

@@ -125,6 +125,11 @@ class HaCoordinator {
   const std::vector<RecoveryTimeline>& recoveries() const { return recoveries_; }
   std::vector<RecoveryTimeline>& mutableRecoveries() { return recoveries_; }
 
+  /// Aggregated state-store telemetry over the live store and every store
+  /// retired by promotions/migrations. All zero when the delta/tiered
+  /// backend is disabled.
+  StateTelemetry stateTelemetry() const;
+
   std::uint64_t switchovers() const { return switchovers_; }
   std::uint64_t rollbacks() const { return rollbacks_; }
   std::uint64_t promotions() const { return promotions_; }

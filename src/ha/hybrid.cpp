@@ -16,6 +16,7 @@ void HybridCoordinator::setup() {
   primary_->setAckPolicy(AckPolicy::kOnCheckpoint);
   store_ = std::make_unique<StateStore>(
       sim(), cluster().machine(params_.standbyMachine), params_.store);
+  store_->setTrace(trace());
   if (params_.predeploySecondary) {
     predeploySecondary(params_.standbyMachine);
   }
@@ -283,6 +284,19 @@ void HybridCoordinator::onRecovery(SimTime recoveredAt) {
       state_read_elements_ += elements;
       const MachineId standbyM = secondary_->machine().id();
       const MachineId primaryM = primary_->machine().id();
+      // Delta-aware transfer: when delta shipping is on, the recovering
+      // primary already holds its own last-checkpointed state, and the
+      // store's delta log knows which runs it is missing -- only those bytes
+      // cross the wire. Full-copy mode transfers the whole snapshot.
+      std::uint64_t transferBytes = state.sizeBytes();
+      if (store_->deltaEnabled()) {
+        std::map<LogicalPeId, std::uint64_t> have;
+        const SubjobState held = primary_->peekState(false, false);
+        for (const auto& [peId, peState] : held.pes) {
+          have[peId] = peState.version;
+        }
+        transferBytes = store_->restoreBytes(subjob_, have, state);
+      }
       // The transfer rides the reliable path, so a lost copy is retried
       // instead of silently falling back; the timeout below only remains for
       // the case where the primary dies while the state is in flight (the
@@ -294,7 +308,7 @@ void HybridCoordinator::onRecovery(SimTime recoveredAt) {
             finishRollback();
           });
       net().sendReliable(standbyM, primaryM, MsgKind::kStateRead,
-                         state.sizeBytes(), elements,
+                         transferBytes, elements,
                          [this, state, finishOnce] {
                    // Re-check at application time: the recovered primary has
                    // been processing during the transfer and may have moved
@@ -309,7 +323,10 @@ void HybridCoordinator::onRecovery(SimTime recoveredAt) {
                        rt_.retransmitWire(*wire, wm + 1);
                      }
                      // Re-persist the adopted state so upstream acks (and
-                     // trimming) resume from it.
+                     // trimming) resume from it. In delta mode the adopted
+                     // versions and the manager's confirmed bases can
+                     // disagree, so restart from full-coverage ships.
+                     cm_->resetDeltaBase();
                      cm_->checkpointAllNow(nullptr);
                    }
                    (*finishOnce)();
@@ -365,6 +382,7 @@ void HybridCoordinator::promote() {
       retire(std::move(store_));
       store_ = std::make_unique<StateStore>(sim(), cluster().machine(spare),
                                             params_.store);
+      store_->setTrace(trace());
       params_.standbyMachine = spare;
       params_.spareMachine = kNoMachine;
       predeploySecondary(spare);
@@ -380,6 +398,7 @@ void HybridCoordinator::promote() {
     retire(std::move(store_));
     store_ = std::make_unique<StateStore>(sim(), primary_->machine(),
                                           params_.store);
+    store_->setTrace(trace());
     cm_ = makeCheckpointManager(*primary_, *store_);
     cm_->start();
     retire(std::move(detector_));

@@ -15,6 +15,7 @@ void PassiveStandbyCoordinator::setup() {
   primary_->setAckPolicy(AckPolicy::kOnCheckpoint);
   store_ = std::make_unique<StateStore>(
       sim(), cluster().machine(standby_machine_), params_.store);
+  store_->setTrace(trace());
   cm_ = makeCheckpointManager(*primary_, *store_);
   cm_->start();
   installDetector(standby_machine_, primary_->machine());
@@ -115,6 +116,7 @@ void PassiveStandbyCoordinator::finishMigration(Subjob& copy,
   retire(std::move(cm_));
   auto newStore = std::make_unique<StateStore>(
       sim(), cluster().machine(standby_machine_), params_.store);
+  newStore->setTrace(trace());
   retire(std::move(store_));
   store_ = std::move(newStore);
   cm_ = makeCheckpointManager(*primary_, *store_);

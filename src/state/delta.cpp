@@ -1,0 +1,201 @@
+#include "state/delta.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace streamha {
+
+namespace {
+// Mirrors the PeState header: version/base/chunk bookkeeping plus the
+// watermark maps' fixed footprint.
+constexpr std::uint64_t kDeltaHeaderBytes = 64;
+constexpr std::uint64_t kChunkHeaderBytes = 8;  // index + length on the wire.
+}  // namespace
+
+std::uint64_t PeStateDelta::sizeBytes() const {
+  std::uint64_t total = kDeltaHeaderBytes;
+  for (const auto& chunk : chunks) total += kChunkHeaderBytes + chunk.bytes.size();
+  total += processedWatermark.size() * 12;
+  for (const auto& port : ports) {
+    total += 16;
+    total += wireBytes(port.buffered);
+  }
+  total += wireBytes(inputBacklog);
+  return total;
+}
+
+std::uint64_t PeStateDelta::sizeElements(std::uint32_t bytesPerElement) const {
+  std::uint64_t chunkBytesTotal = 0;
+  for (const auto& chunk : chunks) chunkBytesTotal += chunk.bytes.size();
+  std::uint64_t total =
+      (chunkBytesTotal + bytesPerElement - 1) / bytesPerElement;
+  for (const auto& port : ports) total += port.buffered.size();
+  total += inputBacklog.size();
+  return total;
+}
+
+PeStateDelta encodeDelta(const PeState* base, const PeState& next,
+                         std::uint32_t chunkBytes) {
+  assert(chunkBytes > 0);
+  PeStateDelta delta;
+  delta.pe = next.pe;
+  delta.version = next.version;
+  delta.baseVersion = base != nullptr ? base->version : 0;
+  delta.chunkBytes = chunkBytes;
+  delta.internalSize = next.internal.size();
+  delta.processedWatermark = next.processedWatermark;
+  delta.ports = next.ports;
+  delta.inputBacklog = next.inputBacklog;
+  delta.receivedWatermark = next.receivedWatermark;
+
+  const std::size_t chunkCount =
+      (next.internal.size() + chunkBytes - 1) / chunkBytes;
+  for (std::size_t i = 0; i < chunkCount; ++i) {
+    const std::size_t begin = i * chunkBytes;
+    const std::size_t end = std::min(next.internal.size(),
+                                     begin + static_cast<std::size_t>(chunkBytes));
+    bool changed = true;
+    if (base != nullptr) {
+      // A chunk is unchanged when the base covers the same byte range with
+      // identical contents.
+      if (base->internal.size() >= end) {
+        changed = !std::equal(next.internal.begin() + begin,
+                              next.internal.begin() + end,
+                              base->internal.begin() + begin);
+      }
+    }
+    if (!changed) continue;
+    DeltaChunk chunk;
+    chunk.index = static_cast<std::uint32_t>(i);
+    chunk.bytes.assign(next.internal.begin() + begin,
+                       next.internal.begin() + end);
+    delta.chunks.push_back(std::move(chunk));
+  }
+  return delta;
+}
+
+PeState applyDelta(const PeState& base, const PeStateDelta& delta) {
+  PeState next = base;
+  next.pe = delta.pe;
+  next.version = delta.version;
+  next.internal.resize(delta.internalSize);
+  for (const auto& chunk : delta.chunks) {
+    const std::size_t begin =
+        static_cast<std::size_t>(chunk.index) * delta.chunkBytes;
+    assert(begin + chunk.bytes.size() <= next.internal.size());
+    std::copy(chunk.bytes.begin(), chunk.bytes.end(),
+              next.internal.begin() + begin);
+  }
+  next.processedWatermark = delta.processedWatermark;
+  next.ports = delta.ports;
+  next.inputBacklog = delta.inputBacklog;
+  next.receivedWatermark = delta.receivedWatermark;
+  return next;
+}
+
+// ---------------------------------------------------------------------------
+// DeltaLog
+// ---------------------------------------------------------------------------
+
+std::uint64_t DeltaLog::Run::bytes() const {
+  std::uint64_t total = kDeltaHeaderBytes;
+  for (const auto& chunk : chunks) total += kChunkHeaderBytes + chunk.bytes.size();
+  return total;
+}
+
+std::uint64_t DeltaLog::append(const PeStateDelta& delta) {
+  Run run;
+  run.id = next_run_id_++;
+  run.baseVersion = delta.baseVersion;
+  run.version = delta.version;
+  run.chunkBytes = delta.chunkBytes;
+  run.internalSize = delta.internalSize;
+  run.chunks = delta.chunks;
+  std::sort(run.chunks.begin(), run.chunks.end(),
+            [](const DeltaChunk& a, const DeltaChunk& b) {
+              return a.index < b.index;
+            });
+  runs_.push_back(std::move(run));
+  return runs_.back().id;
+}
+
+CompactionResult DeltaLog::compact(std::vector<std::uint64_t>* freed) {
+  CompactionResult result;
+  if (runs_.size() < 2) return result;
+  result.runsMerged = runs_.size();
+  for (const auto& run : runs_) result.bytesIn += run.bytes();
+
+  // K-way merge, newest version wins per chunk index. Runs are kept in
+  // ascending version order, so a later run's chunk supersedes an earlier
+  // run's chunk at the same index. std::map iteration gives ascending chunk
+  // index, keeping the merged run deterministic.
+  std::map<std::uint32_t, const DeltaChunk*> newest;
+  for (const auto& run : runs_) {
+    for (const auto& chunk : run.chunks) {
+      auto [it, inserted] = newest.try_emplace(chunk.index, &chunk);
+      if (!inserted) {
+        ++result.chunksDropped;
+        it->second = &chunk;
+      }
+    }
+  }
+
+  Run merged;
+  merged.id = runs_.front().id;  // Oldest id survives; the rest are freed.
+  merged.baseVersion = runs_.front().baseVersion;
+  merged.version = runs_.back().version;
+  merged.chunkBytes = runs_.back().chunkBytes;
+  merged.internalSize = runs_.back().internalSize;
+  merged.chunks.reserve(newest.size());
+  for (const auto& [index, chunk] : newest) merged.chunks.push_back(*chunk);
+
+  if (freed != nullptr) {
+    for (std::size_t i = 1; i < runs_.size(); ++i) freed->push_back(runs_[i].id);
+  }
+  result.bytesOut = merged.bytes();
+  runs_.clear();
+  runs_.push_back(std::move(merged));
+  return result;
+}
+
+std::uint64_t DeltaLog::bytesSince(std::uint64_t sinceVersion) const {
+  std::uint64_t total = 0;
+  for (const auto& run : runs_) {
+    if (run.version > sinceVersion) total += run.bytes();
+  }
+  return total;
+}
+
+std::uint64_t DeltaLog::totalBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& run : runs_) total += run.bytes();
+  return total;
+}
+
+std::uint64_t DeltaLog::fingerprint() const {
+  std::uint64_t hash = 14695981039346656037ull;
+  auto mix = [&hash](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (i * 8)) & 0xff;
+      hash *= 1099511628211ull;
+    }
+  };
+  mix(runs_.size());
+  for (const auto& run : runs_) {
+    mix(run.baseVersion);
+    mix(run.version);
+    mix(run.internalSize);
+    mix(run.chunks.size());
+    for (const auto& chunk : run.chunks) {
+      mix(chunk.index);
+      mix(chunk.bytes.size());
+      for (const std::uint8_t b : chunk.bytes) {
+        hash ^= b;
+        hash *= 1099511628211ull;
+      }
+    }
+  }
+  return hash;
+}
+
+}  // namespace streamha

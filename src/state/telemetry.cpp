@@ -1,0 +1,47 @@
+#include "state/telemetry.hpp"
+
+#include <sstream>
+
+namespace streamha {
+
+StateTelemetry& StateTelemetry::operator+=(const StateTelemetry& other) {
+  deltaShips += other.deltaShips;
+  deltaShipBytes += other.deltaShipBytes;
+  deltaFullBytes += other.deltaFullBytes;
+  deltaChunksShipped += other.deltaChunksShipped;
+  deltaApplies += other.deltaApplies;
+  staleDeltaDrops += other.staleDeltaDrops;
+  baseMisses += other.baseMisses;
+  runsAppended += other.runsAppended;
+  compactions += other.compactions;
+  runsCompacted += other.runsCompacted;
+  compactionBytesIn += other.compactionBytesIn;
+  compactionBytesOut += other.compactionBytesOut;
+  chunksDiscarded += other.chunksDiscarded;
+  tierSpills += other.tierSpills;
+  bytesWrittenDram += other.bytesWrittenDram;
+  bytesWrittenSsd += other.bytesWrittenSsd;
+  bytesWrittenHdd += other.bytesWrittenHdd;
+  fullRestores += other.fullRestores;
+  deltaRestores += other.deltaRestores;
+  restoreFullBytes += other.restoreFullBytes;
+  restoreDeltaBytes += other.restoreDeltaBytes;
+  return *this;
+}
+
+std::string StateTelemetry::summary() const {
+  std::ostringstream out;
+  out << "delta ships=" << deltaShips << " (" << deltaShipBytes << "B vs "
+      << deltaFullBytes << "B full), applies=" << deltaApplies
+      << " stale=" << staleDeltaDrops << " baseMiss=" << baseMisses
+      << "; log runs=" << runsAppended << " compactions=" << compactions
+      << " (" << compactionBytesIn << "B -> " << compactionBytesOut
+      << "B, dropped " << chunksDiscarded << " chunks)"
+      << "; tier spills=" << tierSpills << " written dram=" << bytesWrittenDram
+      << "B ssd=" << bytesWrittenSsd << "B hdd=" << bytesWrittenHdd << "B"
+      << "; restores full=" << fullRestores << " delta=" << deltaRestores
+      << " (" << restoreDeltaBytes << "B vs " << restoreFullBytes << "B)";
+  return out.str();
+}
+
+}  // namespace streamha

@@ -1,0 +1,102 @@
+#include "state/tier.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/simulator.hpp"
+#include "trace/recorder.hpp"
+
+namespace streamha {
+
+TieredBackendParams TieredBackendParams::fromConfig(const Config& config) {
+  TieredBackendParams params;
+  const char* names[kStorageTierCount] = {"dram", "ssd", "hdd"};
+  for (std::size_t i = 0; i < kStorageTierCount; ++i) {
+    const std::string prefix = std::string("state.") + names[i] + ".";
+    TierSpec& spec = params.tiers[i];
+    spec.latencyUs = config.getDouble(prefix + "latency_us", spec.latencyUs);
+    spec.bytesPerMicro =
+        config.getDouble(prefix + "bytes_per_micro", spec.bytesPerMicro);
+    spec.capacityBytes = static_cast<std::uint64_t>(config.getInt(
+        prefix + "capacity", static_cast<std::int64_t>(spec.capacityBytes)));
+  }
+  return params;
+}
+
+TieredBackend::TieredBackend(const Simulator& sim, TieredBackendParams params,
+                             MachineId machine, TraceRecorder* trace)
+    : sim_(sim), params_(params), machine_(machine), trace_(trace) {}
+
+TierWriteResult TieredBackend::write(std::uint64_t allocation,
+                                     std::uint64_t bytes) {
+  free(allocation);
+  TierWriteResult result;
+  // Fastest tier with room wins; the last tier takes anything (HDD capacity
+  // defaults to unbounded, and even a configured bound must not lose state --
+  // an overfull slowest tier just models an over-budget store).
+  std::size_t chosen = kStorageTierCount - 1;
+  for (std::size_t i = 0; i < kStorageTierCount; ++i) {
+    if (used_[i] + bytes <= params_.tiers[i].capacityBytes) {
+      chosen = i;
+      break;
+    }
+    result.spilled = true;
+  }
+  if (chosen == kStorageTierCount - 1 &&
+      used_[chosen] + bytes > params_.tiers[chosen].capacityBytes) {
+    result.spilled = true;
+  }
+  result.tier = static_cast<StorageTier>(chosen);
+  const TierSpec& s = params_.tiers[chosen];
+  const double micros =
+      s.latencyUs + (s.bytesPerMicro > 0.0
+                         ? static_cast<double>(bytes) / s.bytesPerMicro
+                         : 0.0);
+  result.cost = static_cast<SimDuration>(std::ceil(micros));
+  used_[chosen] += bytes;
+  written_[chosen] += bytes;
+  allocations_[allocation] = Allocation{result.tier, bytes};
+  if (result.spilled) {
+    ++spills_;
+    if (trace_ != nullptr) {
+      TraceEvent ev;
+      ev.type = TraceEventType::kTierSpill;
+      ev.at = sim_.now();
+      ev.machine = machine_;
+      ev.value = static_cast<std::uint64_t>(chosen);
+      ev.aux = bytes;
+      trace_->record(ev);
+    }
+  }
+  return result;
+}
+
+void TieredBackend::free(std::uint64_t allocation) {
+  auto it = allocations_.find(allocation);
+  if (it == allocations_.end()) return;
+  const std::size_t tier = static_cast<std::size_t>(it->second.tier);
+  used_[tier] -= std::min(used_[tier], it->second.bytes);
+  allocations_.erase(it);
+}
+
+SimDuration TieredBackend::readCost(StorageTier tier,
+                                    std::uint64_t bytes) const {
+  const TierSpec& s = spec(tier);
+  const double micros =
+      s.latencyUs + (s.bytesPerMicro > 0.0
+                         ? static_cast<double>(bytes) / s.bytesPerMicro
+                         : 0.0);
+  return static_cast<SimDuration>(std::ceil(micros));
+}
+
+std::string TieredBackend::summary() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < kStorageTierCount; ++i) {
+    if (i > 0) out << " ";
+    out << toString(static_cast<StorageTier>(i)) << "=" << used_[i] << "B";
+  }
+  out << " spills=" << spills_;
+  return out.str();
+}
+
+}  // namespace streamha

@@ -1,0 +1,124 @@
+// Tiered storage backend for checkpoint state.
+//
+// Models a DRAM / SSD / HDD hierarchy the way the external-merge-sort
+// exemplar models its device stack: each tier has an access latency, an
+// effective bandwidth for checkpoint-sized writes, and a capacity budget.
+// Writes land in the fastest tier with room; when a tier is full the write
+// spills to the next slower one (emitting a kTierSpill trace event). Frees
+// return capacity so compaction makes room for future fast-tier writes.
+//
+// The backend is a *cost and placement* model, not a byte store: the
+// StateStore keeps the actual state objects and asks the backend what each
+// write costs and where it landed. That keeps the default in-memory mode
+// bit-identical (the backend is simply not consulted).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace streamha {
+
+class Simulator;
+class TraceRecorder;
+
+enum class StorageTier : std::uint8_t { kDram = 0, kSsd = 1, kHdd = 2 };
+
+inline constexpr std::size_t kStorageTierCount = 3;
+
+constexpr const char* toString(StorageTier tier) {
+  switch (tier) {
+    case StorageTier::kDram: return "dram";
+    case StorageTier::kSsd: return "ssd";
+    case StorageTier::kHdd: return "hdd";
+  }
+  return "?";
+}
+
+/// One tier's simulated characteristics. Defaults come from the named presets
+/// in common/config.hpp so the bench, the store and the backend agree on what
+/// "SSD" means.
+struct TierSpec {
+  double latencyUs = 0.0;
+  double bytesPerMicro = 0.0;      ///< Effective checkpoint-write bandwidth.
+  std::uint64_t capacityBytes = 0;
+
+  static TierSpec fromPreset(const TierPreset& preset) {
+    return TierSpec{preset.latencyUs, preset.checkpointBytesPerMicro,
+                    preset.capacityBytes};
+  }
+};
+
+struct TieredBackendParams {
+  TierSpec tiers[kStorageTierCount] = {
+      TierSpec::fromPreset(kTierDram),
+      TierSpec::fromPreset(kTierSsd),
+      TierSpec::fromPreset(kTierHdd),
+  };
+
+  /// Build params from a Config, honoring keys like "state.dram.capacity",
+  /// "state.ssd.bytes_per_micro", "state.hdd.latency_us".
+  static TieredBackendParams fromConfig(const Config& config);
+};
+
+/// Placement + cost decision for one write.
+struct TierWriteResult {
+  StorageTier tier = StorageTier::kDram;
+  /// Simulated write completion delay (latency + bytes / bandwidth).
+  SimDuration cost = 0;
+  /// True when the fastest tier with room was not the first choice.
+  bool spilled = false;
+};
+
+class TieredBackend {
+ public:
+  TieredBackend(const Simulator& sim, TieredBackendParams params,
+                MachineId machine, TraceRecorder* trace);
+
+  /// Account `bytes` for `allocation` (a stable caller-chosen id, e.g. a
+  /// delta-log run id). Re-writing an allocation frees its old bytes first.
+  TierWriteResult write(std::uint64_t allocation, std::uint64_t bytes);
+
+  /// Release an allocation's bytes back to its tier.
+  void free(std::uint64_t allocation);
+
+  /// Read cost for `bytes` resident on `tier`.
+  SimDuration readCost(StorageTier tier, std::uint64_t bytes) const;
+
+  std::uint64_t usedBytes(StorageTier tier) const {
+    return used_[static_cast<std::size_t>(tier)];
+  }
+  std::uint64_t bytesWritten(StorageTier tier) const {
+    return written_[static_cast<std::size_t>(tier)];
+  }
+  std::uint64_t spillCount() const { return spills_; }
+
+  const TieredBackendParams& params() const { return params_; }
+
+  std::string summary() const;
+
+ private:
+  struct Allocation {
+    StorageTier tier = StorageTier::kDram;
+    std::uint64_t bytes = 0;
+  };
+
+  const TierSpec& spec(StorageTier tier) const {
+    return params_.tiers[static_cast<std::size_t>(tier)];
+  }
+
+  const Simulator& sim_;
+  TieredBackendParams params_;
+  MachineId machine_ = kNoMachine;
+  TraceRecorder* trace_ = nullptr;
+  std::array<std::uint64_t, kStorageTierCount> used_{};
+  std::array<std::uint64_t, kStorageTierCount> written_{};
+  std::uint64_t spills_ = 0;
+  std::map<std::uint64_t, Allocation> allocations_;
+};
+
+}  // namespace streamha

@@ -54,6 +54,63 @@ void SyntheticLogic::reset() {
 }
 
 // ---------------------------------------------------------------------------
+// KeyedStateLogic
+// ---------------------------------------------------------------------------
+
+KeyedStateLogic::KeyedStateLogic(double selectivity, std::size_t stateBytes,
+                                 std::size_t keyBytes)
+    : selectivity_(selectivity),
+      key_bytes_(std::max<std::size_t>(1, keyBytes)),
+      key_count_(std::max<std::size_t>(1, stateBytes / key_bytes_)),
+      state_(key_count_ * key_bytes_, 0) {}
+
+void KeyedStateLogic::process(const Element& in, std::vector<Emit>& out) {
+  ++count_;
+  checksum_ = checksum_ * 1099511628211ULL + in.value + in.seq;
+  // Touch exactly one key's region; everything else stays byte-identical
+  // until its own key comes around again.
+  const std::size_t key = static_cast<std::size_t>(in.seq % key_count_);
+  const std::size_t offset = key * key_bytes_;
+  for (std::size_t i = 0; i < key_bytes_; ++i) {
+    state_[offset + i] =
+        static_cast<std::uint8_t>(((checksum_ >> (8 * (i % 8))) ^ i) & 0xFF);
+  }
+  carry_ += selectivity_;
+  while (carry_ >= 1.0) {
+    carry_ -= 1.0;
+    Emit e;
+    e.port = 0;
+    e.value = checksum_;
+    out.push_back(e);
+  }
+}
+
+std::vector<std::uint8_t> KeyedStateLogic::serialize() const {
+  std::vector<std::uint8_t> bytes(24 + state_.size(), 0);
+  std::memcpy(bytes.data(), &count_, 8);
+  std::memcpy(bytes.data() + 8, &checksum_, 8);
+  std::memcpy(bytes.data() + 16, &carry_, 8);
+  std::memcpy(bytes.data() + 24, state_.data(), state_.size());
+  return bytes;
+}
+
+void KeyedStateLogic::deserialize(const std::vector<std::uint8_t>& bytes) {
+  assert(bytes.size() >= 24);
+  std::memcpy(&count_, bytes.data(), 8);
+  std::memcpy(&checksum_, bytes.data() + 8, 8);
+  std::memcpy(&carry_, bytes.data() + 16, 8);
+  const std::size_t body = std::min(bytes.size() - 24, state_.size());
+  std::memcpy(state_.data(), bytes.data() + 24, body);
+}
+
+void KeyedStateLogic::reset() {
+  count_ = 0;
+  checksum_ = 0;
+  carry_ = 0.0;
+  std::fill(state_.begin(), state_.end(), 0);
+}
+
+// ---------------------------------------------------------------------------
 // PeInstance
 // ---------------------------------------------------------------------------
 
@@ -164,9 +221,16 @@ void PeInstance::resume() {
 
 PeState PeInstance::checkpoint(bool includeOutputQueues,
                                bool includeInputQueue) const {
+  PeState state = peekState(includeOutputQueues, includeInputQueue);
+  state.version = ++const_cast<PeInstance*>(this)->checkpoint_version_;
+  return state;
+}
+
+PeState PeInstance::peekState(bool includeOutputQueues,
+                              bool includeInputQueue) const {
   PeState state;
   state.pe = params_.logicalId;
-  state.version = ++const_cast<PeInstance*>(this)->checkpoint_version_;
+  state.version = checkpoint_version_;
   state.internal = logic_->serialize();
   state.processedWatermark = watermarks_;
   if (includeOutputQueues) {

@@ -82,6 +82,36 @@ class SyntheticLogic : public PeLogic {
   double carry_ = 0.0;  ///< Fractional-selectivity accumulator.
 };
 
+/// Keyed aggregation logic: the state is a table of fixed-size key regions
+/// and each processed element updates exactly one region (key = seq mod key
+/// count). Between two checkpoints only the touched regions differ, so the
+/// serialized blob is chunk-diff friendly -- the workload delta checkpointing
+/// (state/delta.hpp) is built for. SyntheticLogic, by contrast, derives its
+/// whole body from the running checksum, so every checkpoint rewrites every
+/// byte and deltas degenerate to full copies.
+class KeyedStateLogic : public PeLogic {
+ public:
+  KeyedStateLogic(double selectivity, std::size_t stateBytes,
+                  std::size_t keyBytes);
+
+  void process(const Element& in, std::vector<Emit>& out) override;
+  std::vector<std::uint8_t> serialize() const override;
+  void deserialize(const std::vector<std::uint8_t>& bytes) override;
+  void reset() override;
+
+  std::uint64_t processedCount() const { return count_; }
+  std::size_t keyCount() const { return key_count_; }
+
+ private:
+  double selectivity_;
+  std::size_t key_bytes_;
+  std::size_t key_count_;
+  std::vector<std::uint8_t> state_;  ///< key_count_ regions of key_bytes_.
+  std::uint64_t count_ = 0;
+  std::uint64_t checksum_ = 0;
+  double carry_ = 0.0;
+};
+
 /// Callback interface handed to PeInstance::pause(); the paper's Checkpoint
 /// Manager implements it ("When the PE has suspended, it calls the
 /// ackPePause() method of the CM.").
@@ -139,6 +169,12 @@ class PeInstance {
   /// Capture checkpoint state. Output/input queue inclusion depends on the
   /// checkpointing variant (sweeping excludes input queues).
   PeState checkpoint(bool includeOutputQueues, bool includeInputQueue) const;
+
+  /// Like checkpoint(), but read-only: the version is NOT bumped (the state
+  /// carries the current checkpoint version). Used by the delta-aware
+  /// rollback restore to learn what the recovering primary already holds
+  /// without perturbing the version sequence.
+  PeState peekState(bool includeOutputQueues, bool includeInputQueue) const;
 
   /// Overwrite state from a checkpoint or state-read ("Our PE implementation
   /// has an interface named storeJobState(jobState) to overwrite the old

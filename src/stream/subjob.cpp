@@ -68,6 +68,18 @@ SubjobState Subjob::captureState(bool includeOutputQueues,
   return state;
 }
 
+SubjobState Subjob::peekState(bool includeOutputQueues,
+                              bool includeInputQueues) const {
+  SubjobState state;
+  state.subjob = logical_id_;
+  state.version = state_version_;
+  for (const auto& pe : pes_) {
+    state.pes[pe->logicalId()] =
+        pe->peekState(includeOutputQueues, includeInputQueues);
+  }
+  return state;
+}
+
 void Subjob::applyState(const SubjobState& state) {
   for (auto& pe : pes_) {
     const auto it = state.pes.find(pe->logicalId());

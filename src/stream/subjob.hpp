@@ -70,6 +70,11 @@ class Subjob {
   SubjobState captureState(bool includeOutputQueues,
                            bool includeInputQueues) const;
 
+  /// Read-only capture: no checkpoint-version bump on any PE (see
+  /// PeInstance::peekState). Used by the delta-aware restore planner.
+  SubjobState peekState(bool includeOutputQueues,
+                        bool includeInputQueues) const;
+
   /// Apply a full subjob state (storeJobState on every PE).
   void applyState(const SubjobState& state);
 

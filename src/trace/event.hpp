@@ -69,6 +69,13 @@ enum class TraceEventType : std::uint8_t {
                       ///< aux = quarantine duration in micros).
   kQuarantineEnd,     ///< Quarantined node re-admitted after sustained
                       ///< healthy probes (value = healthy streak).
+  // -- State store (state/) -----------------------------------------------------
+  kDeltaShip,         ///< A delta checkpoint shipped instead of a full copy
+                      ///< (value = delta bytes, aux = full-copy bytes avoided).
+  kCompactionBegin,   ///< DeltaLog k-way merge started (value = runs merged).
+  kCompactionEnd,     ///< Compaction finished (value = bytes in, aux = bytes out).
+  kTierSpill,         ///< A write overflowed a tier and spilled to a slower one
+                      ///< (value = destination tier index, aux = bytes).
   kCount
 };
 
@@ -113,6 +120,10 @@ constexpr const char* toString(TraceEventType type) {
     case TraceEventType::kFlapDetected: return "FlapDetected";
     case TraceEventType::kQuarantineBegin: return "QuarantineBegin";
     case TraceEventType::kQuarantineEnd: return "QuarantineEnd";
+    case TraceEventType::kDeltaShip: return "DeltaShip";
+    case TraceEventType::kCompactionBegin: return "CompactionBegin";
+    case TraceEventType::kCompactionEnd: return "CompactionEnd";
+    case TraceEventType::kTierSpill: return "TierSpill";
     case TraceEventType::kCount: break;
   }
   return "?";

@@ -191,6 +191,10 @@ int trackOf(const TraceEvent& ev) {
       return kTrackDetect;
     case TraceEventType::kCheckpointBegin:
     case TraceEventType::kCheckpointEnd:
+    case TraceEventType::kDeltaShip:
+    case TraceEventType::kCompactionBegin:
+    case TraceEventType::kCompactionEnd:
+    case TraceEventType::kTierSpill:
       return kTrackCheckpoint;
     case TraceEventType::kSwitchoverBegin:
     case TraceEventType::kRedeployDone:

@@ -122,5 +122,151 @@ TEST_F(StoreFixture, AttachedReplicaIsRefreshedWhileSuspended) {
   EXPECT_EQ(pe.watermarks().at(10), 6u);
 }
 
+// ---- Delta-mode store (state/delta.hpp) ------------------------------------
+
+struct DeltaStoreFixture : StoreFixture {
+  StateStore::Params deltaParams(std::uint32_t compactEveryRuns) {
+    StateStore::Params params;
+    params.delta.enabled = true;
+    params.delta.chunkBytes = 64;
+    params.delta.compactEveryRuns = compactEveryRuns;
+    return params;
+  }
+
+  // Consecutive versions differ in at most two 64-byte chunks, so deltas are
+  // genuinely smaller than the 1 KB full state.
+  PeState keyedState(std::uint64_t version) {
+    PeState state;
+    state.pe = 0;
+    state.version = version;
+    state.internal.assign(1024, 0x7);
+    state.internal[(version * 64) % 1024] =
+        static_cast<std::uint8_t>(version);
+    state.processedWatermark[10] = version * 10;
+    return state;
+  }
+
+  // Ship versions 1..upTo as the manager would: v1 against the empty base,
+  // each later one against its predecessor.
+  void shipChain(StateStore& store, SubjobId subjob, std::uint64_t upTo) {
+    PeState prev;
+    for (std::uint64_t v = 1; v <= upTo; ++v) {
+      const PeState next = keyedState(v);
+      store.storePeDelta(
+          subjob, encodeDelta(v == 1 ? nullptr : &prev, next, 64), nullptr);
+      prev = next;
+    }
+  }
+};
+
+TEST_F(DeltaStoreFixture, StaleDeltaAfterCompactionIsConfirmedNotApplied) {
+  // Regression: an ARQ retry can deliver an old delta ship after a
+  // compaction cycle has already folded newer versions into one run. The
+  // stale version must bump staleWrites(), leave the stored state alone, and
+  // still confirm (covered=true) so the sender's ack flow resolves.
+  StateStore store(sim, *machine, deltaParams(/*compactEveryRuns=*/2));
+  shipChain(store, 3, 3);  // Versions 1..3; compaction fired at 2 runs.
+  ASSERT_NE(store.deltaLog(3, 0), nullptr);
+  EXPECT_GE(store.telemetry().compactions, 1u);
+  const std::vector<std::uint8_t> before = store.latest(3).pes.at(0).internal;
+
+  const PeState base1 = keyedState(1);
+  const PeState v2 = keyedState(2);
+  bool confirmed = false;
+  bool covered = false;
+  store.storePeDelta(3, encodeDelta(&base1, v2, 64), [&](bool c) {
+    confirmed = true;
+    covered = c;
+  });
+  EXPECT_TRUE(confirmed);
+  EXPECT_TRUE(covered);
+  EXPECT_EQ(store.staleWrites(), 1u);
+  EXPECT_EQ(store.telemetry().staleDeltaDrops, 1u);
+  EXPECT_EQ(store.latest(3).pes.at(0).version, 3u);
+  EXPECT_EQ(store.latest(3).pes.at(0).internal, before);
+}
+
+TEST_F(DeltaStoreFixture, BaseMissDropsWithoutConfirming) {
+  // A delta whose base the store never materialized cannot be applied, and
+  // confirming it would let the sender trim upstream queues past state the
+  // store cannot reconstruct. No confirm may flow; the sender's
+  // confirm-timeout handles liveness.
+  StateStore store(sim, *machine, deltaParams(0));
+  shipChain(store, 3, 1);
+  const PeState base2 = keyedState(2);  // Never shipped.
+  const PeState v3 = keyedState(3);
+  bool confirmed = false;
+  store.storePeDelta(3, encodeDelta(&base2, v3, 64),
+                     [&](bool) { confirmed = true; });
+  EXPECT_FALSE(confirmed);
+  EXPECT_EQ(store.telemetry().baseMisses, 1u);
+  EXPECT_EQ(store.latest(3).pes.at(0).version, 1u);
+  // The chain repairs once the missing base arrives in order.
+  const PeState base1 = keyedState(1);
+  store.storePeDelta(3, encodeDelta(&base1, base2, 64), nullptr);
+  store.storePeDelta(3, encodeDelta(&base2, v3, 64), nullptr);
+  EXPECT_EQ(store.latest(3).pes.at(0).version, 3u);
+  EXPECT_EQ(store.latest(3).pes.at(0).internal, v3.internal);
+}
+
+TEST_F(DeltaStoreFixture, DeltaShipsRefreshAttachedReplica) {
+  StateStore store(sim, *machine, deltaParams(0));
+  Network net{sim, Network::Params{}, [](MachineId) { return true; }};
+  Subjob replica(sim, *machine, 1, Replica::kSecondary);
+  PeParams params;
+  params.logicalId = 0;
+  params.outputStreams = {20};
+  auto& pe = replica.addPe(std::make_unique<PeInstance>(
+      sim, *machine, net, params, std::make_unique<SyntheticLogic>(1.0, 64)));
+  pe.input().subscribe(10);
+  replica.suspendAll();
+  store.attachReplica(1, &replica);
+
+  shipChain(store, 1, 2);
+  EXPECT_EQ(pe.watermarks().at(10), 20u);  // keyedState(2)'s watermark.
+  EXPECT_EQ(store.telemetry().deltaApplies, 2u);
+}
+
+TEST_F(DeltaStoreFixture, RestoreBytesPlansDeltaWhenTheLogChainsFromHave) {
+  StateStore store(sim, *machine, deltaParams(0));
+  shipChain(store, 3, 3);
+  const SubjobState state = store.latest(3);
+
+  // The primary already holds v1: only the v2 and v3 runs need to move, and
+  // together they are far smaller than the 1 KB full state.
+  std::map<LogicalPeId, std::uint64_t> have{{0, 1}};
+  const std::uint64_t viaDelta = store.restoreBytes(3, have, state);
+  EXPECT_LT(viaDelta, state.pes.at(0).sizeBytes());
+  EXPECT_EQ(store.telemetry().deltaRestores, 1u);
+
+  // A primary with nothing would need every run including the full-coverage
+  // v1 run -- costlier than shipping the state wholesale, so the planner
+  // falls back to the full copy.
+  const std::uint64_t viaFull = store.restoreBytes(3, {}, state);
+  EXPECT_EQ(viaFull, state.pes.at(0).sizeBytes());
+  EXPECT_EQ(store.telemetry().fullRestores, 1u);
+
+  // Already up to date: nothing to move.
+  std::map<LogicalPeId, std::uint64_t> current{{0, 3}};
+  EXPECT_EQ(store.restoreBytes(3, current, state), 0u);
+}
+
+TEST_F(DeltaStoreFixture, FullCopyShipKeepsTheLogRestorable) {
+  // Grouped/synchronous checkpoints ship full states even in delta mode; the
+  // store must fold them into the log as full-coverage runs so a later
+  // restore can still plan from it.
+  StateStore store(sim, *machine, deltaParams(0));
+  store.storePeState(3, keyedState(1), nullptr);
+  const PeState base1 = keyedState(1);
+  const PeState v2 = keyedState(2);
+  store.storePeDelta(3, encodeDelta(&base1, v2, 64), nullptr);
+  const DeltaLog* log = store.deltaLog(3, 0);
+  ASSERT_NE(log, nullptr);
+  ASSERT_EQ(log->runs().size(), 2u);
+  EXPECT_EQ(log->runs()[0].baseVersion, 0u);  // Full coverage.
+  EXPECT_EQ(log->runs()[1].version, 2u);
+  EXPECT_EQ(store.latest(3).pes.at(0).internal, v2.internal);
+}
+
 }  // namespace
 }  // namespace streamha

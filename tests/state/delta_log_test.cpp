@@ -1,0 +1,152 @@
+#include "state/delta.hpp"
+
+#include <gtest/gtest.h>
+
+namespace streamha {
+namespace {
+
+PeState makeState(std::uint64_t version, std::size_t bytes,
+                  std::uint8_t fill) {
+  PeState state;
+  state.pe = 0;
+  state.version = version;
+  state.internal.assign(bytes, fill);
+  state.processedWatermark[10] = version * 10;
+  return state;
+}
+
+TEST(DeltaEncode, NullBaseEmitsEveryChunk) {
+  const PeState next = makeState(1, 256, 0xAB);
+  const PeStateDelta delta = encodeDelta(nullptr, next, 64);
+  EXPECT_EQ(delta.baseVersion, 0u);
+  EXPECT_EQ(delta.version, 1u);
+  EXPECT_EQ(delta.chunks.size(), 4u);  // 256 / 64.
+  EXPECT_EQ(delta.internalSize, 256u);
+}
+
+TEST(DeltaEncode, OnlyChangedChunksShip) {
+  PeState base = makeState(1, 256, 0xAB);
+  PeState next = base;
+  next.version = 2;
+  next.internal[70] ^= 0xFF;   // Chunk 1.
+  next.internal[200] ^= 0xFF;  // Chunk 3.
+  const PeStateDelta delta = encodeDelta(&base, next, 64);
+  ASSERT_EQ(delta.chunks.size(), 2u);
+  EXPECT_EQ(delta.chunks[0].index, 1u);  // Ascending index order.
+  EXPECT_EQ(delta.chunks[1].index, 3u);
+  EXPECT_EQ(delta.baseVersion, 1u);
+  EXPECT_LT(delta.sizeBytes(), base.sizeBytes());
+}
+
+TEST(DeltaEncode, ApplyReconstructsNextExactly) {
+  PeState base = makeState(3, 300, 0x11);  // 300: last chunk is partial.
+  PeState next = base;
+  next.version = 4;
+  next.internal[0] = 0x22;
+  next.internal[299] = 0x33;
+  next.internal.resize(340, 0x44);  // State may also grow.
+  next.processedWatermark[10] = 999;
+  const PeStateDelta delta = encodeDelta(&base, next, 64);
+  const PeState rebuilt = applyDelta(base, delta);
+  EXPECT_EQ(rebuilt.version, next.version);
+  EXPECT_EQ(rebuilt.internal, next.internal);
+  EXPECT_EQ(rebuilt.processedWatermark, next.processedWatermark);
+}
+
+TEST(DeltaEncode, ShrinkingStateRoundtrips) {
+  PeState base = makeState(1, 256, 0x55);
+  PeState next = base;
+  next.version = 2;
+  next.internal.resize(100);
+  next.internal[5] = 0x66;
+  const PeState rebuilt = applyDelta(base, encodeDelta(&base, next, 64));
+  EXPECT_EQ(rebuilt.internal, next.internal);
+}
+
+struct DeltaLogFixture : ::testing::Test {
+  // Three versions, each dirtying chunk 0 plus one unique chunk; the merge
+  // must keep the *newest* chunk-0 contents and all unique chunks.
+  PeStateDelta deltaAt(std::uint64_t version) {
+    PeState base = makeState(version - 1, 256, 0x00);
+    PeState next = base;
+    next.version = version;
+    next.internal[0] = static_cast<std::uint8_t>(version);          // Chunk 0.
+    next.internal[64 * (version % 3) + 1] =
+        static_cast<std::uint8_t>(0x80 + version);                  // Unique-ish.
+    if (version > 1) {
+      base.internal[0] = static_cast<std::uint8_t>(version - 1);
+    }
+    return encodeDelta(version == 1 ? nullptr : &base, next, 64);
+  }
+};
+
+TEST_F(DeltaLogFixture, AppendRetainsRunsInVersionOrder) {
+  DeltaLog log(0);
+  const std::uint64_t id1 = log.append(deltaAt(1));
+  const std::uint64_t id2 = log.append(deltaAt(2));
+  EXPECT_NE(id1, id2);
+  ASSERT_EQ(log.runs().size(), 2u);
+  EXPECT_EQ(log.runs()[0].version, 1u);
+  EXPECT_EQ(log.runs()[1].version, 2u);
+  EXPECT_EQ(log.newestVersion(), 2u);
+}
+
+TEST_F(DeltaLogFixture, CompactMergesNewestWinsAndKeepsOldestId) {
+  DeltaLog log(0);
+  const std::uint64_t oldest = log.append(deltaAt(1));
+  const std::uint64_t mid = log.append(deltaAt(2));
+  const std::uint64_t newest = log.append(deltaAt(3));
+  std::vector<std::uint64_t> freed;
+  const CompactionResult res = log.compact(&freed);
+  EXPECT_EQ(res.runsMerged, 3u);
+  EXPECT_GT(res.bytesIn, res.bytesOut);
+  ASSERT_EQ(log.runs().size(), 1u);
+  const DeltaLog::Run& merged = log.runs()[0];
+  EXPECT_EQ(merged.id, oldest);
+  EXPECT_EQ(merged.version, 3u);
+  EXPECT_EQ((std::vector<std::uint64_t>{mid, newest}), freed);
+  // Chunk 0 was written by all three deltas: the newest version's byte wins.
+  ASSERT_FALSE(merged.chunks.empty());
+  EXPECT_EQ(merged.chunks[0].index, 0u);
+  EXPECT_EQ(merged.chunks[0].bytes[0], 3u);
+}
+
+TEST_F(DeltaLogFixture, CompactionIsDeterministic) {
+  DeltaLog a(0);
+  DeltaLog b(0);
+  for (std::uint64_t v = 1; v <= 6; ++v) {
+    a.append(deltaAt(v));
+    b.append(deltaAt(v));
+  }
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  a.compact(nullptr);
+  b.compact(nullptr);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.totalBytes(), b.totalBytes());
+}
+
+TEST_F(DeltaLogFixture, BytesSinceCountsOnlyNewerRuns) {
+  DeltaLog log(0);
+  log.append(deltaAt(1));
+  log.append(deltaAt(2));
+  log.append(deltaAt(3));
+  EXPECT_EQ(log.bytesSince(3), 0u);
+  EXPECT_EQ(log.bytesSince(2), log.runs()[2].bytes());
+  EXPECT_EQ(log.bytesSince(0), log.totalBytes());
+}
+
+TEST_F(DeltaLogFixture, ShouldCompactHonorsBudget) {
+  DeltaLog log(2);
+  EXPECT_FALSE(log.shouldCompact());
+  log.append(deltaAt(1));
+  EXPECT_FALSE(log.shouldCompact());
+  log.append(deltaAt(2));
+  EXPECT_TRUE(log.shouldCompact());
+  DeltaLog never(0);
+  never.append(deltaAt(1));
+  never.append(deltaAt(2));
+  EXPECT_FALSE(never.shouldCompact());
+}
+
+}  // namespace
+}  // namespace streamha
