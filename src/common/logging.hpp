@@ -1,10 +1,17 @@
 // Minimal leveled logger.
 //
-// The simulator is single-threaded, so no synchronization is needed. Logging
-// is off by default (kWarn) so tests and benches stay quiet; examples turn on
-// kInfo to narrate what the HA machinery is doing.
+// Logging is off by default (kWarn) so tests and benches stay quiet; examples
+// turn on kInfo to narrate what the HA machinery is doing.
+//
+// This is the one process-global object the otherwise share-nothing simulator
+// touches, so it is the one piece the parallel sweep runner (exp/sweep.hpp)
+// can race on: the level is an atomic and each line is a single fprintf
+// (atomic at the stdio level), which keeps concurrent sweep workers
+// TSan-clean. Workers must not *change* the level mid-sweep; set it once
+// before farming seeds out.
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -18,9 +25,11 @@ class Logger {
  public:
   static Logger& instance();
 
-  void setLevel(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
-  bool enabled(LogLevel level) const { return level >= level_; }
+  void setLevel(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  bool enabled(LogLevel level) const { return level >= this->level(); }
 
   /// `simNow` < 0 means "no simulated timestamp".
   void write(LogLevel level, SimTime simNow, const std::string& component,
@@ -28,7 +37,7 @@ class Logger {
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
 };
 
 namespace log_detail {

@@ -80,6 +80,7 @@ void Scenario::build() {
   clusterParams.machineCount = machine_count_;
   clusterParams.seed = params_.seed;
   clusterParams.machine = params_.machineParams;
+  clusterParams.network.batchedDelivery = params_.batchedNetworkDelivery;
   cluster_ = std::make_unique<Cluster>(clusterParams);
 
   if (params_.trace.enabled) {

@@ -1,0 +1,162 @@
+#include "exp/sweep.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/stats.hpp"
+#include "exp/scenario.hpp"
+
+namespace streamha {
+
+int sweepThreadCount(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("STREAMHA_SWEEP_WORKERS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void runSeedSweep(const std::vector<std::uint64_t>& seeds,
+                  const std::function<void(std::uint64_t, std::size_t)>& body,
+                  const SweepOptions& opts) {
+  const int threads =
+      std::min<int>(sweepThreadCount(opts.threads),
+                    static_cast<int>(seeds.empty() ? 1 : seeds.size()));
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < seeds.size(); ++i) body(seeds[i], i);
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= seeds.size()) return;
+      try {
+        body(seeds[i], i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+namespace {
+
+void put(std::string& out, const char* key, std::uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s=%llu;", key,
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void put(std::string& out, const char* key, double v) {
+  char buf[64];
+  // Hexfloat: lossless, so equal fingerprints mean bit-equal doubles.
+  std::snprintf(buf, sizeof(buf), "%s=%a;", key, v);
+  out += buf;
+}
+
+void put(std::string& out, const char* key, const RunningStats& s) {
+  out += key;
+  out += "{";
+  put(out, "n", static_cast<std::uint64_t>(s.count()));
+  put(out, "mean", s.mean());
+  put(out, "var", s.variance());
+  put(out, "min", s.min());
+  put(out, "max", s.max());
+  put(out, "sum", s.sum());
+  out += "}";
+}
+
+}  // namespace
+
+std::string fingerprintResult(const ScenarioResult& r) {
+  std::string out;
+  out.reserve(2048);
+  put(out, "avgDelayMs", r.avgDelayMs);
+  put(out, "p99DelayMs", r.p99DelayMs);
+  put(out, "maxDelayMs", r.maxDelayMs);
+  put(out, "sinkReceived", r.sinkReceived);
+  put(out, "sourceGenerated", r.sourceGenerated);
+  put(out, "split.overall", r.delaySplit.overall);
+  put(out, "split.during", r.delaySplit.duringFailure);
+  put(out, "split.outside", r.delaySplit.outsideFailure);
+  put(out, "avgCpuLoad", r.avgCpuLoad);
+  for (std::size_t k = 0; k < kMsgKindCount; ++k) {
+    put(out, "msgs", r.traffic.messages[k]);
+    put(out, "bytes", r.traffic.bytes[k]);
+    put(out, "elems", r.traffic.elements[k]);
+  }
+  put(out, "measuredSeconds", r.measuredSeconds);
+  put(out, "rec.detection", r.recovery.detectionMs);
+  put(out, "rec.redeploy", r.recovery.redeployMs);
+  put(out, "rec.retransmit", r.recovery.retransmitMs);
+  put(out, "rec.total", r.recovery.totalMs);
+  put(out, "rec.count", static_cast<std::uint64_t>(r.recovery.count));
+  put(out, "switchovers", r.switchovers);
+  put(out, "rollbacks", r.rollbacks);
+  put(out, "promotions", r.promotions);
+  put(out, "toStalled", r.elementsToStalledPrimary);
+  put(out, "stateReadElems", r.stateReadElements);
+  put(out, "gaps", r.gapsObserved);
+  put(out, "dups", r.duplicatesDropped);
+  put(out, "oooDropped", r.outOfOrderDropped);
+  put(out, "shed", r.elementsShed);
+  put(out, "flow.pauses", r.flow.pauses);
+  put(out, "flow.resumes", r.flow.resumes);
+  put(out, "flow.shedIntervals", r.flow.shedIntervals);
+  put(out, "flow.shedAccounted", r.flow.elementsShedAccounted);
+  put(out, "flow.parked", r.flow.arqParked);
+  put(out, "flow.unparked", r.flow.arqUnparked);
+  put(out, "flow.evicted", r.flow.arqParkedEvicted);
+  put(out, "flow.superseded", r.flow.arqSuperseded);
+  put(out, "flow.peak", r.flow.arqPeakTracked);
+  put(out, "flow.pausedAtEnd",
+      static_cast<std::uint64_t>(r.flow.sourcePausedAtEnd ? 1 : 0));
+  put(out, "gray.flaps", r.gray.flapsDetected);
+  put(out, "gray.quarantines", r.gray.quarantines);
+  put(out, "gray.readmissions", r.gray.readmissions);
+  put(out, "gray.crossings", r.gray.suspicionCrossings);
+  put(out, "gray.slowdowns", r.gray.slowdownsApplied);
+  put(out, "gray.delays", r.gray.slowdownDelays);
+  put(out, "state.deltaShips", r.state.deltaShips);
+  put(out, "state.deltaShipBytes", r.state.deltaShipBytes);
+  put(out, "state.deltaFullBytes", r.state.deltaFullBytes);
+  put(out, "state.chunksShipped", r.state.deltaChunksShipped);
+  put(out, "state.applies", r.state.deltaApplies);
+  put(out, "state.staleDrops", r.state.staleDeltaDrops);
+  put(out, "state.baseMisses", r.state.baseMisses);
+  put(out, "state.runsAppended", r.state.runsAppended);
+  put(out, "state.compactions", r.state.compactions);
+  put(out, "state.runsCompacted", r.state.runsCompacted);
+  put(out, "state.compactIn", r.state.compactionBytesIn);
+  put(out, "state.compactOut", r.state.compactionBytesOut);
+  put(out, "state.chunksDiscarded", r.state.chunksDiscarded);
+  put(out, "state.tierSpills", r.state.tierSpills);
+  put(out, "state.dram", r.state.bytesWrittenDram);
+  put(out, "state.ssd", r.state.bytesWrittenSsd);
+  put(out, "state.hdd", r.state.bytesWrittenHdd);
+  put(out, "state.fullRestores", r.state.fullRestores);
+  put(out, "state.deltaRestores", r.state.deltaRestores);
+  put(out, "state.restoreFullBytes", r.state.restoreFullBytes);
+  put(out, "state.restoreDeltaBytes", r.state.restoreDeltaBytes);
+  return out;
+}
+
+}  // namespace streamha

@@ -1,0 +1,61 @@
+// Parallel seed-sweep runner.
+//
+// Seed sweeps are the repo's workhorse: every chaos oracle and every
+// paper-figure ablation is validated over dozens-to-hundreds of seeds, and a
+// whole run is deterministic *per seed* (one Simulator/Rng/TraceRecorder per
+// Scenario, no cross-seed state -- see the static audit notes in
+// common/logging.hpp). That makes the sweep embarrassingly parallel: farm
+// seeds across worker threads, keep each seed's entire run on one thread, and
+// the per-seed traces and results are bit-identical to a serial sweep.
+//
+// The isolation contract a sweep body must honor:
+//   * everything the run touches is constructed inside the body (Scenario
+//     owns the Simulator, Rng, TraceRecorder, Cluster);
+//   * results are written only to the body's own index in a pre-sized
+//     output vector (no shared accumulators, no locks needed);
+//   * the global Logger level is not changed from inside a body.
+//
+// Thread count resolution (sweepThreadCount): explicit option, else the
+// STREAMHA_SWEEP_WORKERS environment variable, else hardware_concurrency.
+// STREAMHA_SWEEP_WORKERS=1 forces the serial path, which is the bisect knob
+// documented in docs/TESTING.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace streamha {
+
+struct ScenarioResult;
+
+struct SweepOptions {
+  /// Worker threads; 0 = resolve via sweepThreadCount(0) (env var, then
+  /// hardware concurrency). 1 runs inline on the calling thread.
+  int threads = 0;
+};
+
+/// Resolve an effective worker count: `requested` if > 0, else the
+/// STREAMHA_SWEEP_WORKERS environment variable if set and positive, else
+/// std::thread::hardware_concurrency() (at least 1).
+int sweepThreadCount(int requested);
+
+/// Run `body(seed, index)` once per seed, farmed over worker threads.
+/// `index` is the seed's position in `seeds`, so bodies can write results
+/// into a caller-owned pre-sized vector without synchronization. Bodies are
+/// claimed from an atomic cursor, so thread assignment is nondeterministic --
+/// but per-seed determinism means output must not depend on it. Blocks until
+/// every seed ran; the first exception thrown by a body (if any) is
+/// rethrown after all workers drain.
+void runSeedSweep(const std::vector<std::uint64_t>& seeds,
+                  const std::function<void(std::uint64_t, std::size_t)>& body,
+                  const SweepOptions& opts = {});
+
+/// Canonical textual digest of a ScenarioResult: every field rendered
+/// losslessly (doubles in hexfloat), so two results compare bit-identical
+/// iff their fingerprints match. Used by the serial-vs-parallel determinism
+/// checks and the sweep cross-check in tests/harness/sweep_runner.hpp.
+std::string fingerprintResult(const ScenarioResult& r);
+
+}  // namespace streamha

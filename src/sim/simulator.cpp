@@ -4,28 +4,46 @@
 
 namespace streamha {
 
-bool EventHandle::pending() const {
-  return cancelled_ != nullptr && !*cancelled_;
+Simulator::~Simulator() {
+  // Closures may capture resources whose lifetime is tied to the cluster
+  // under simulation; destroy them now rather than whenever the last
+  // outstanding EventHandle drops the pool.
+  for (auto& slot : pool_->slots) {
+    ++slot.generation;
+    slot.fn.reset();
+  }
 }
 
-void EventHandle::cancel() {
-  if (cancelled_) *cancelled_ = true;
-}
-
-EventHandle Simulator::schedule(SimDuration delay, std::function<void()> fn) {
+EventHandle Simulator::schedule(SimDuration delay, EventFn fn) {
   assert(delay >= 0);
   return scheduleAt(now_ + delay, std::move(fn));
 }
 
-EventHandle Simulator::scheduleAt(SimTime when, std::function<void()> fn) {
+EventHandle Simulator::scheduleAt(SimTime when, EventFn fn) {
+  return scheduleReserved(when, next_seq_++, std::move(fn));
+}
+
+EventHandle Simulator::scheduleReserved(SimTime when, std::uint64_t seq,
+                                        EventFn fn) {
   assert(when >= now_);
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
-  return EventHandle(std::move(cancelled));
+  assert(seq < next_seq_);
+  std::uint32_t slot = pool_->acquire(std::move(fn));
+  std::uint64_t generation = pool_->slots[slot].generation;
+  queue_.push(Entry{when, seq, slot, generation});
+  return EventHandle(pool_, slot, generation);
+}
+
+void Simulator::dropDeadTop() {
+  while (!queue_.empty() &&
+         !pool_->live(queue_.top().slot, queue_.top().generation)) {
+    queue_.pop();
+  }
 }
 
 void Simulator::runUntil(SimTime until) {
-  while (!queue_.empty() && queue_.top().when <= until) {
+  for (;;) {
+    dropDeadTop();
+    if (queue_.empty() || queue_.top().when > until) break;
     step();
   }
   if (now_ < until) now_ = until;
@@ -37,17 +55,18 @@ void Simulator::runAll() {
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (*ev.cancelled) continue;
-    now_ = ev.when;
-    *ev.cancelled = true;  // Mark fired so handles report !pending().
-    ++fired_;
-    ev.fn();
-    return true;
-  }
-  return false;
+  dropDeadTop();
+  if (queue_.empty()) return false;
+  Entry entry = queue_.top();
+  queue_.pop();
+  now_ = entry.when;
+  // Move the closure out and retire the slot *before* invoking, so handles
+  // report !pending() during the fire and the slot is reusable immediately.
+  EventFn fn = std::move(pool_->slots[entry.slot].fn);
+  pool_->release(entry.slot);
+  ++fired_;
+  fn();
+  return true;
 }
 
 }  // namespace streamha

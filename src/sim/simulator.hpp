@@ -3,17 +3,67 @@
 // Every substrate (machines, network, detectors, checkpoint managers) drives
 // itself by scheduling events here. Events with equal timestamps fire in
 // insertion order, which makes whole-cluster runs bit-reproducible.
+//
+// The event loop is allocation-lean: closures live in a pool of
+// generation-counted slots (reused across events, no per-event heap token),
+// the priority queue holds plain {when, seq, slot, generation} records, and
+// closures up to EventFn::kInlineBytes never touch the heap at all. A
+// steady-state schedule/fire cycle performs zero allocations.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <queue>
 #include <vector>
 
 #include "common/types.hpp"
+#include "sim/event_fn.hpp"
 
 namespace streamha {
+
+namespace sim_detail {
+
+/// Pool of event slots. Shared (not owned) by the Simulator so that
+/// EventHandles outliving the simulator stay safe to query and cancel.
+struct SlotPool {
+  struct Slot {
+    /// Bumped on every release (fire or cancel); a handle or queue entry is
+    /// live iff its recorded generation still matches. 64-bit: never wraps.
+    std::uint64_t generation = 1;
+    EventFn fn;
+  };
+
+  std::vector<Slot> slots;
+  std::vector<std::uint32_t> free_list;
+
+  bool live(std::uint32_t slot, std::uint64_t generation) const {
+    return slot < slots.size() && slots[slot].generation == generation;
+  }
+
+  std::uint32_t acquire(EventFn fn) {
+    std::uint32_t index;
+    if (!free_list.empty()) {
+      index = free_list.back();
+      free_list.pop_back();
+    } else {
+      index = static_cast<std::uint32_t>(slots.size());
+      slots.emplace_back();
+    }
+    slots[index].fn = std::move(fn);
+    return index;
+  }
+
+  /// Invalidate the slot's handles and recycle it. The closure is destroyed
+  /// here, not at fire/cancel *dispatch*, so captured resources release
+  /// promptly even for events cancelled long before their deadline.
+  void release(std::uint32_t index) {
+    ++slots[index].generation;
+    slots[index].fn.reset();
+    free_list.push_back(index);
+  }
+};
+
+}  // namespace sim_detail
 
 /// Handle to a scheduled event; allows cancellation. Default-constructed
 /// handles are inert.
@@ -22,33 +72,53 @@ class EventHandle {
   EventHandle() = default;
 
   /// True if the event is still pending (not fired, not cancelled).
-  bool pending() const;
+  bool pending() const {
+    return pool_ != nullptr && pool_->live(slot_, generation_);
+  }
 
   /// Cancel the event if still pending. Safe to call repeatedly.
-  void cancel();
+  void cancel() {
+    if (pending()) pool_->release(slot_);
+  }
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::shared_ptr<bool> cancelled)
-      : cancelled_(std::move(cancelled)) {}
-  std::shared_ptr<bool> cancelled_;
+  EventHandle(std::shared_ptr<sim_detail::SlotPool> pool, std::uint32_t slot,
+              std::uint64_t generation)
+      : pool_(std::move(pool)), slot_(slot), generation_(generation) {}
+
+  std::shared_ptr<sim_detail::SlotPool> pool_;
+  std::uint32_t slot_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator() : pool_(std::make_shared<sim_detail::SlotPool>()) {}
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime now() const { return now_; }
 
   /// Schedule `fn` to run `delay` microseconds from now (delay >= 0).
-  EventHandle schedule(SimDuration delay, std::function<void()> fn);
+  EventHandle schedule(SimDuration delay, EventFn fn);
 
   /// Schedule `fn` at absolute time `when` (>= now()).
-  EventHandle scheduleAt(SimTime when, std::function<void()> fn);
+  EventHandle scheduleAt(SimTime when, EventFn fn);
 
-  /// Run events until the queue is empty or simulated time would exceed
+  /// Draw the next insertion-order sequence number without scheduling
+  /// anything. Lets a caller that coalesces many logical events behind one
+  /// scheduled event (see Network's batched link delivery) stamp each logical
+  /// event with the tie-break rank it would have had as its own event.
+  std::uint64_t reserveSeq() { return next_seq_++; }
+
+  /// Schedule `fn` at `when` with an explicit tie-break rank previously drawn
+  /// from reserveSeq(). Events with equal timestamps fire in ascending seq
+  /// order, exactly as if `fn` had been scheduled when `seq` was reserved.
+  EventHandle scheduleReserved(SimTime when, std::uint64_t seq, EventFn fn);
+
+  /// Run events until the queue is empty or the next live event would exceed
   /// `until`. Time is advanced to `until` on return.
   void runUntil(SimTime until);
 
@@ -61,24 +131,35 @@ class Simulator {
   std::size_t pendingEvents() const { return queue_.size(); }
   std::uint64_t firedEvents() const { return fired_; }
 
+  /// High-water mark of the slot pool (white-box: a steady-state
+  /// schedule/fire cycle must reuse slots, not grow this).
+  std::size_t slotCapacity() const { return pool_->slots.size(); }
+
  private:
-  struct Event {
+  /// Plain record in the priority queue; the closure stays in its slot. Heap
+  /// sift operations therefore move 32-byte PODs, never closures.
+  struct Entry {
     SimTime when;
     std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;
+    std::uint64_t generation;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
 
+  /// Pop queue entries whose slot generation no longer matches (cancelled
+  /// or superseded); the queue top is live or absent afterwards.
+  void dropDeadTop();
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::shared_ptr<sim_detail::SlotPool> pool_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
 };
 
 }  // namespace streamha

@@ -15,6 +15,17 @@ void TraceRecorder::record(const TraceEvent& ev) {
     ++dropped_;
     return;
   }
+  if (events_.capacity() == events_.size()) {
+    // Arena-style growth for the hot message-delivery path: one up-front
+    // block instead of a cascade of small doublings, capped by maxEvents so
+    // bounded recorders never over-reserve.
+    std::size_t want = events_.capacity() == 0 ? kInitialReserve
+                                               : events_.capacity() * 2;
+    if (params_.maxEvents != 0 && want > params_.maxEvents) {
+      want = params_.maxEvents;
+    }
+    events_.reserve(want);
+  }
   events_.push_back(ev);
 }
 

@@ -34,6 +34,10 @@ class TraceRecorder {
     bool echoLog = true;
   };
 
+  /// First reservation made by record() (see recorder.cpp); public so tests
+  /// can assert the growth policy.
+  static constexpr std::size_t kInitialReserve = 4096;
+
   TraceRecorder() = default;
   explicit TraceRecorder(Params params) : params_(params) {}
   TraceRecorder(const TraceRecorder&) = delete;

@@ -1,0 +1,112 @@
+// Unit tests for the parallel seed-sweep runner (exp/sweep.hpp): thread-count
+// resolution (explicit request, STREAMHA_SWEEP_WORKERS, hardware fallback),
+// full seed coverage with correct index mapping on both the serial and
+// threaded paths, exception propagation, and the lossless ScenarioResult
+// fingerprint the determinism checks compare.
+#include "exp/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exp/scenario.hpp"
+
+namespace streamha {
+namespace {
+
+TEST(SweepThreadCount, ExplicitRequestWins) {
+  EXPECT_EQ(sweepThreadCount(3), 3);
+  EXPECT_EQ(sweepThreadCount(1), 1);
+  // Even against a set environment variable.
+  ::setenv("STREAMHA_SWEEP_WORKERS", "7", 1);
+  EXPECT_EQ(sweepThreadCount(2), 2);
+  ::unsetenv("STREAMHA_SWEEP_WORKERS");
+}
+
+TEST(SweepThreadCount, EnvironmentVariableThenHardwareFallback) {
+  ::setenv("STREAMHA_SWEEP_WORKERS", "2", 1);
+  EXPECT_EQ(sweepThreadCount(0), 2);
+  // Zero / garbage values fall through to the hardware default (>= 1).
+  ::setenv("STREAMHA_SWEEP_WORKERS", "0", 1);
+  EXPECT_GE(sweepThreadCount(0), 1);
+  ::unsetenv("STREAMHA_SWEEP_WORKERS");
+  EXPECT_GE(sweepThreadCount(0), 1);
+}
+
+TEST(SeedSweep, VisitsEverySeedExactlyOnceWithMatchingIndex) {
+  const std::vector<std::uint64_t> seeds = {11, 22, 33, 44, 55, 66, 77};
+  std::vector<std::uint64_t> got(seeds.size(), 0);
+  std::atomic<int> calls{0};
+  SweepOptions opts;
+  opts.threads = 4;
+  runSeedSweep(
+      seeds,
+      [&](std::uint64_t seed, std::size_t i) {
+        got[i] = seed;  // Index-addressed write: the isolation contract.
+        calls.fetch_add(1, std::memory_order_relaxed);
+      },
+      opts);
+  EXPECT_EQ(calls.load(), static_cast<int>(seeds.size()));
+  EXPECT_EQ(got, seeds);
+}
+
+TEST(SeedSweep, SerialPathRunsInOrderOnTheCallingThread) {
+  const std::vector<std::uint64_t> seeds = {1, 2, 3};
+  std::vector<std::uint64_t> order;
+  const std::thread::id caller = std::this_thread::get_id();
+  SweepOptions opts;
+  opts.threads = 1;
+  runSeedSweep(
+      seeds,
+      [&](std::uint64_t seed, std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(seed);
+      },
+      opts);
+  EXPECT_EQ(order, seeds);
+}
+
+TEST(SeedSweep, BodyExceptionPropagatesAfterWorkersDrain) {
+  const std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5, 6};
+  SweepOptions opts;
+  opts.threads = 2;
+  EXPECT_THROW(
+      runSeedSweep(
+          seeds,
+          [&](std::uint64_t seed, std::size_t) {
+            if (seed == 3) throw std::runtime_error("seed 3 failed");
+          },
+          opts),
+      std::runtime_error);
+}
+
+TEST(SeedSweep, EmptySeedListIsANoOp) {
+  runSeedSweep({}, [](std::uint64_t, std::size_t) { FAIL(); });
+}
+
+TEST(ResultFingerprint, EqualResultsMatchAndOneUlpPerturbationsDoNot) {
+  ScenarioResult a;
+  a.avgDelayMs = 0.1;  // Not exactly representable: hexfloat must be lossless.
+  a.sinkReceived = 42;
+  ScenarioResult b = a;
+  EXPECT_EQ(fingerprintResult(a), fingerprintResult(b));
+
+  b.avgDelayMs = std::nextafter(0.1, 1.0);  // A 1-ulp change must be visible.
+  EXPECT_NE(fingerprintResult(a), fingerprintResult(b));
+
+  b = a;
+  b.sinkReceived = 43;
+  EXPECT_NE(fingerprintResult(a), fingerprintResult(b));
+
+  b = a;
+  b.state.deltaShips = 1;  // Telemetry tail is covered too.
+  EXPECT_NE(fingerprintResult(a), fingerprintResult(b));
+}
+
+}  // namespace
+}  // namespace streamha

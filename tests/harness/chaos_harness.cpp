@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "exp/sweep.hpp"
 #include "trace/export.hpp"
 
 namespace streamha {
@@ -316,6 +317,8 @@ ChaosOutcome runChaosScenario(ScenarioParams params, const ChaosRunOpts& opts) {
                    ? checkPrefixInOrderBoundedLoss(s, out.result, opts.loss)
                    : checkExactlyOnceInOrder(s, out.result);
   if (s.faultInjector() != nullptr) out.faults = s.faultInjector()->stats();
+  out.resultFingerprint = fingerprintResult(out.result);
+  if (opts.captureTrace) out.trace = traceJsonl(s);
   return out;
 }
 

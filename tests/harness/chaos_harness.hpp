@@ -147,6 +147,13 @@ struct ChaosOutcome {
   FaultInjector::Stats faults;
   /// Filled by the quiescence-aware driver (default-false otherwise).
   QuiescenceReport quiescence;
+  /// Lossless digest of `result` (exp/sweep.hpp fingerprintResult); two runs
+  /// behaved identically iff these strings match. Always filled by the
+  /// ChaosRunOpts driver.
+  std::string resultFingerprint;
+  /// The run's full trace as JSONL; only captured when
+  /// ChaosRunOpts::captureTrace is set (it can be large).
+  std::string trace;
 };
 
 /// Which invariant family a chaos run is checked against.
@@ -166,6 +173,9 @@ struct ChaosRunOpts {
   SimDuration maxDrain = 30 * kSecond;
   SimDuration drainTick = 500 * kMillisecond;
   int stableTicks = 8;
+  /// Also capture the run's trace as JSONL in ChaosOutcome::trace (for
+  /// bit-identical serial-vs-parallel comparisons).
+  bool captureTrace = false;
 };
 
 /// build + start (+failures) + run + drain + collect + oracle, one call.

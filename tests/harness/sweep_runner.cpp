@@ -1,0 +1,61 @@
+#include "harness/sweep_runner.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace streamha {
+namespace harness {
+
+std::vector<ChaosOutcome> runChaosSweep(const std::vector<std::uint64_t>& seeds,
+                                        const ParamsFn& makeParams,
+                                        const ChaosRunOpts& opts,
+                                        const SweepOptions& sweep) {
+  std::vector<ChaosOutcome> outcomes(seeds.size());
+  runSeedSweep(
+      seeds,
+      [&](std::uint64_t seed, std::size_t index) {
+        outcomes[index] = runChaosScenario(makeParams(seed), opts);
+      },
+      sweep);
+  return outcomes;
+}
+
+std::vector<std::uint64_t> seedRange(std::uint64_t first, std::uint64_t last) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(last >= first ? static_cast<std::size_t>(last - first + 1) : 0);
+  for (std::uint64_t s = first; s <= last; ++s) seeds.push_back(s);
+  return seeds;
+}
+
+std::vector<std::string> serialCrossCheck(
+    const std::vector<std::uint64_t>& seeds,
+    const std::vector<ChaosOutcome>& outcomes, const ParamsFn& makeParams,
+    const ChaosRunOpts& opts, const std::vector<std::uint64_t>& checkSeeds) {
+  std::vector<std::string> mismatches;
+  for (std::uint64_t seed : checkSeeds) {
+    const auto it = std::find(seeds.begin(), seeds.end(), seed);
+    if (it == seeds.end()) {
+      mismatches.push_back("seed " + std::to_string(seed) +
+                           " was not part of the sweep");
+      continue;
+    }
+    const auto index = static_cast<std::size_t>(it - seeds.begin());
+    const ChaosOutcome serial = runChaosScenario(makeParams(seed), opts);
+    const ChaosOutcome& parallel = outcomes[index];
+    if (serial.resultFingerprint != parallel.resultFingerprint) {
+      std::ostringstream msg;
+      msg << "seed " << seed << ": result fingerprint diverged\n  serial:   "
+          << serial.resultFingerprint
+          << "\n  parallel: " << parallel.resultFingerprint;
+      mismatches.push_back(msg.str());
+    }
+    if (opts.captureTrace && serial.trace != parallel.trace) {
+      mismatches.push_back("seed " + std::to_string(seed) +
+                           ": trace JSONL diverged");
+    }
+  }
+  return mismatches;
+}
+
+}  // namespace harness
+}  // namespace streamha

@@ -1,0 +1,50 @@
+// Parallel chaos-sweep driver.
+//
+// Thin wrapper binding the generic parallel seed-sweep runner (exp/sweep.hpp)
+// to the chaos harness: one runChaosScenario per seed, farmed across worker
+// threads, outcomes collected in seed order. Each seed's Scenario owns its
+// whole world (Simulator, Rng, TraceRecorder, Cluster), so a parallel sweep's
+// per-seed outcomes are bit-identical to a serial one's -- which
+// serialCrossCheck verifies mechanically and the integration determinism test
+// asserts end to end.
+//
+// To bisect a failing seed, rerun serially: STREAMHA_SWEEP_WORKERS=1 (or
+// SweepOptions{.threads = 1}) pins every seed to the calling thread without
+// touching the test code. See docs/TESTING.md "Parallel seed sweeps".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/sweep.hpp"
+#include "harness/chaos_harness.hpp"
+
+namespace streamha {
+namespace harness {
+
+/// Builds the per-seed ScenarioParams (fault schedule already installed).
+using ParamsFn = std::function<ScenarioParams(std::uint64_t seed)>;
+
+/// Run `makeParams(seed)` -> runChaosScenario(params, opts) for every seed,
+/// in parallel per SweepOptions. Outcomes are indexed like `seeds`.
+std::vector<ChaosOutcome> runChaosSweep(const std::vector<std::uint64_t>& seeds,
+                                        const ParamsFn& makeParams,
+                                        const ChaosRunOpts& opts,
+                                        const SweepOptions& sweep = {});
+
+/// Seeds {first, first + 1, ..., last} (inclusive).
+std::vector<std::uint64_t> seedRange(std::uint64_t first, std::uint64_t last);
+
+/// Re-run `checkSeeds` serially and compare each outcome's result fingerprint
+/// (and trace, when captured) against the parallel sweep's `outcomes`.
+/// Returns a human-readable mismatch description per divergent seed (empty =
+/// bit-identical). `outcomes` must be indexed like `seeds`.
+std::vector<std::string> serialCrossCheck(
+    const std::vector<std::uint64_t>& seeds,
+    const std::vector<ChaosOutcome>& outcomes, const ParamsFn& makeParams,
+    const ChaosRunOpts& opts, const std::vector<std::uint64_t>& checkSeeds);
+
+}  // namespace harness
+}  // namespace streamha

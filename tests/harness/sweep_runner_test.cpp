@@ -1,0 +1,78 @@
+// Unit tests for the chaos-sweep binding of the parallel runner
+// (tests/harness/sweep_runner.hpp): seedRange construction, parallel
+// runChaosSweep outcomes surviving the mechanical serial cross-check, and the
+// cross-check actually detecting a divergent outcome when handed one.
+#include "harness/sweep_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace streamha {
+namespace {
+
+TEST(SeedRange, IsInclusiveOnBothEnds) {
+  const std::vector<std::uint64_t> r = harness::seedRange(3, 6);
+  EXPECT_EQ(r, (std::vector<std::uint64_t>{3, 4, 5, 6}));
+  EXPECT_EQ(harness::seedRange(9, 9), std::vector<std::uint64_t>{9});
+}
+
+/// A deliberately tiny chaos run (short duration, loss only, no crash) so the
+/// sweep machinery itself -- not scenario behavior -- is under test.
+ScenarioParams tinyChaosParams(std::uint64_t seed) {
+  ScenarioParams p;
+  p.mode = HaMode::kHybrid;
+  p.duration = 4 * kSecond;
+  p.seed = seed;
+  p.trace.enabled = true;
+  harness::ChaosProfile profile;
+  profile.withCrash = false;
+  profile.partitionCount = 0;
+  profile.faultsFrom = 1 * kSecond;
+  profile.faultsUntil = 3 * kSecond;
+  const harness::ChaosPlan plan = harness::makeChaosPlan(p, profile, seed);
+  p.faults = plan.schedule;
+  p.faultSeedSalt = seed;
+  return p;
+}
+
+harness::ChaosRunOpts tinyOpts() {
+  harness::ChaosRunOpts opts;
+  opts.quiescentDrain = false;
+  opts.maxDrain = 4 * kSecond;
+  opts.captureTrace = true;
+  return opts;
+}
+
+TEST(ChaosSweepRunner, ParallelOutcomesPassTheSerialCrossCheck) {
+  const std::vector<std::uint64_t> seeds = harness::seedRange(1, 4);
+  SweepOptions sweep;
+  sweep.threads = 2;
+  const std::vector<harness::ChaosOutcome> outcomes =
+      harness::runChaosSweep(seeds, tinyChaosParams, tinyOpts(), sweep);
+  ASSERT_EQ(outcomes.size(), seeds.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_FALSE(outcomes[i].resultFingerprint.empty()) << "seed " << seeds[i];
+    EXPECT_FALSE(outcomes[i].trace.empty()) << "seed " << seeds[i];
+  }
+  const std::vector<std::string> mismatches = harness::serialCrossCheck(
+      seeds, outcomes, tinyChaosParams, tinyOpts(), seeds);
+  EXPECT_TRUE(mismatches.empty())
+      << "parallel != serial: " << mismatches.front();
+}
+
+TEST(ChaosSweepRunner, CrossCheckDetectsATamperedOutcome) {
+  const std::vector<std::uint64_t> seeds = harness::seedRange(1, 2);
+  SweepOptions sweep;
+  sweep.threads = 1;
+  std::vector<harness::ChaosOutcome> outcomes =
+      harness::runChaosSweep(seeds, tinyChaosParams, tinyOpts(), sweep);
+  outcomes[1].resultFingerprint += "tampered";
+  const std::vector<std::string> mismatches = harness::serialCrossCheck(
+      seeds, outcomes, tinyChaosParams, tinyOpts(), {seeds[1]});
+  ASSERT_EQ(mismatches.size(), 1u);
+  EXPECT_NE(mismatches[0].find("2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace streamha

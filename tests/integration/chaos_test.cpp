@@ -3,16 +3,31 @@
 // healed partition, machine crashes, transient load spikes -- the sink must
 // see every element exactly once, in order. See docs/TESTING.md for how to
 // reproduce and shrink a failing seed.
+//
+// The seed sweeps run through the parallel sweep runner (harness/
+// sweep_runner.hpp): seeds are farmed across worker threads, outcomes
+// asserted in seed order. Set STREAMHA_SWEEP_WORKERS=1 to rerun any sweep
+// serially when bisecting a failing seed (docs/TESTING.md).
 #include <gtest/gtest.h>
 
 #include "cluster/load_generator.hpp"
 #include "harness/chaos_harness.hpp"
+#include "harness/sweep_runner.hpp"
 
 namespace streamha {
 namespace {
 
 std::string seedName(const ::testing::TestParamInfo<std::uint64_t>& i) {
   return "seed" + std::to_string(i.param);
+}
+
+/// Matches the legacy runChaosScenario(params, 12s) drain used by the
+/// pre-parallel sweeps, so raising seed counts changed no per-seed behavior.
+harness::ChaosRunOpts fixedGraceOpts() {
+  harness::ChaosRunOpts opts;
+  opts.quiescentDrain = false;
+  opts.maxDrain = 12 * kSecond;
+  return opts;
 }
 
 /// Hybrid with three protected subjobs and spares: every chaos seed has
@@ -36,32 +51,60 @@ ScenarioParams chaosBaseParams(std::uint64_t seed) {
 // promotion paths).
 // ---------------------------------------------------------------------------
 
-class FaultChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
-
-TEST_P(FaultChaosSweep, ExactlyOnceUnderLossPartitionAndCrash) {
-  const std::uint64_t seed = GetParam();
-  ScenarioParams p = chaosBaseParams(seed);
+harness::ChaosProfile mainSweepProfile(std::uint64_t seed) {
   harness::ChaosProfile profile;
   profile.restartCrashed = (seed % 3 == 0);
-  const harness::ChaosPlan plan = harness::makeChaosPlan(p, profile, seed);
-  p.faults = plan.schedule;
-  p.faultSeedSalt = seed;
-
-  const harness::ChaosOutcome out = harness::runChaosScenario(p);
-  EXPECT_TRUE(out.oracle.ok)
-      << "seed " << seed << ": " << out.oracle.summary() << "\nschedule:\n"
-      << plan.schedule.describe();
-  // A permanently crashed protected primary must end in a promotion.
-  if (plan.crashedProtectedPrimary && !profile.restartCrashed) {
-    EXPECT_GE(out.result.promotions, 1u) << "seed " << seed;
-  }
-  // The schedule was not a no-op.
-  EXPECT_GT(out.faults.totalDrops() + out.faults.crashes, 0u)
-      << "seed " << seed;
+  return profile;
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FaultChaosSweep,
-                         ::testing::Range<std::uint64_t>(1, 51), seedName);
+ScenarioParams mainSweepParams(std::uint64_t seed) {
+  ScenarioParams p = chaosBaseParams(seed);
+  const harness::ChaosPlan plan =
+      harness::makeChaosPlan(p, mainSweepProfile(seed), seed);
+  p.faults = plan.schedule;
+  p.faultSeedSalt = seed;
+  return p;
+}
+
+/// One shard of the main sweep (sharded so each test stays well inside the
+/// per-test timeout even on a single-core serial run).
+void runMainSweepShard(std::uint64_t first, std::uint64_t last) {
+  const std::vector<std::uint64_t> seeds = harness::seedRange(first, last);
+  const std::vector<harness::ChaosOutcome> outcomes =
+      harness::runChaosSweep(seeds, mainSweepParams, fixedGraceOpts());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const std::uint64_t seed = seeds[i];
+    const harness::ChaosOutcome& out = outcomes[i];
+    // Re-derive the plan (deterministic and cheap) for the assertions that
+    // depend on what the schedule targeted.
+    const harness::ChaosProfile profile = mainSweepProfile(seed);
+    const harness::ChaosPlan plan =
+        harness::makeChaosPlan(chaosBaseParams(seed), profile, seed);
+    EXPECT_TRUE(out.oracle.ok)
+        << "seed " << seed << ": " << out.oracle.summary() << "\nschedule:\n"
+        << plan.schedule.describe();
+    // A permanently crashed protected primary must end in a promotion.
+    if (plan.crashedProtectedPrimary && !profile.restartCrashed) {
+      EXPECT_GE(out.result.promotions, 1u) << "seed " << seed;
+    }
+    // The schedule was not a no-op.
+    EXPECT_GT(out.faults.totalDrops() + out.faults.crashes, 0u)
+        << "seed " << seed;
+  }
+}
+
+TEST(FaultChaosSweep, ExactlyOnceUnderLossPartitionAndCrashSeeds1To50) {
+  runMainSweepShard(1, 50);
+}
+TEST(FaultChaosSweep, ExactlyOnceUnderLossPartitionAndCrashSeeds51To100) {
+  runMainSweepShard(51, 100);
+}
+TEST(FaultChaosSweep, ExactlyOnceUnderLossPartitionAndCrashSeeds101To150) {
+  runMainSweepShard(101, 150);
+}
+TEST(FaultChaosSweep, ExactlyOnceUnderLossPartitionAndCrashSeeds151To200) {
+  runMainSweepShard(151, 200);
+}
 
 // ---------------------------------------------------------------------------
 // Control-plane loss sweeps: the ARQ layer (net/reliable.hpp) is the system
@@ -72,12 +115,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FaultChaosSweep,
 // `chaos-control-loss` runs exactly these via `ctest -R ControlLoss`.
 // ---------------------------------------------------------------------------
 
-class ControlLossChaosSweep : public ::testing::TestWithParam<std::uint64_t> {
-};
-
-TEST_P(ControlLossChaosSweep, ExactlyOnceWithOnlyControlKindsLossy) {
-  const std::uint64_t seed = GetParam();
-  ScenarioParams p = chaosBaseParams(seed);
+harness::ChaosProfile controlLossProfile(std::uint64_t seed) {
   harness::ChaosProfile profile;
   // NACKs, checkpoint ship/confirm and state reads drop at up to 20% while
   // the data plane stays clean.
@@ -87,51 +125,70 @@ TEST_P(ControlLossChaosSweep, ExactlyOnceWithOnlyControlKindsLossy) {
   profile.maxLossProb = 0.20;
   profile.maxDuplicateProb = 0.05;
   profile.restartCrashed = (seed % 2 == 0);
-  const harness::ChaosPlan plan = harness::makeChaosPlan(p, profile, seed);
-  p.faults = plan.schedule;
-  p.faultSeedSalt = seed;
+  return profile;
+}
 
-  const harness::ChaosOutcome out = harness::runChaosScenario(p);
-  EXPECT_TRUE(out.oracle.ok)
-      << "seed " << seed << ": " << out.oracle.summary() << "\nschedule:\n"
-      << plan.schedule.describe();
-  if (plan.crashedProtectedPrimary && !profile.restartCrashed) {
-    EXPECT_GE(out.result.promotions, 1u) << "seed " << seed;
+TEST(ControlLossChaosSweep, ExactlyOnceWithOnlyControlKindsLossy) {
+  auto makeParams = [](std::uint64_t seed) {
+    ScenarioParams p = chaosBaseParams(seed);
+    p.faults =
+        harness::makeChaosPlan(p, controlLossProfile(seed), seed).schedule;
+    p.faultSeedSalt = seed;
+    return p;
+  };
+  const std::vector<std::uint64_t> seeds = harness::seedRange(101, 124);
+  const std::vector<harness::ChaosOutcome> outcomes =
+      harness::runChaosSweep(seeds, makeParams, fixedGraceOpts());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const std::uint64_t seed = seeds[i];
+    const harness::ChaosOutcome& out = outcomes[i];
+    const harness::ChaosProfile profile = controlLossProfile(seed);
+    const harness::ChaosPlan plan =
+        harness::makeChaosPlan(chaosBaseParams(seed), profile, seed);
+    EXPECT_TRUE(out.oracle.ok)
+        << "seed " << seed << ": " << out.oracle.summary() << "\nschedule:\n"
+        << plan.schedule.describe();
+    if (plan.crashedProtectedPrimary && !profile.restartCrashed) {
+      EXPECT_GE(out.result.promotions, 1u) << "seed " << seed;
+    }
+    EXPECT_GT(out.faults.totalDrops() + out.faults.crashes, 0u)
+        << "seed " << seed;
   }
-  EXPECT_GT(out.faults.totalDrops() + out.faults.crashes, 0u)
-      << "seed " << seed;
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, ControlLossChaosSweep,
-                         ::testing::Range<std::uint64_t>(101, 113), seedName);
-
-class ControlLossBurstSweep : public ::testing::TestWithParam<std::uint64_t> {
-};
-
-TEST_P(ControlLossBurstSweep, ExactlyOnceUnderMultiPartitionAndBurst) {
-  const std::uint64_t seed = GetParam();
-  ScenarioParams p = chaosBaseParams(seed);
-  harness::ChaosProfile profile;
-  // All kinds lossy, two (possibly overlapping) healed partitions, and a
-  // correlated burst taking down a protected primary plus its standby; the
-  // single-machine crash is disabled so the burst owns the crash dimension.
-  profile.partitionCount = 2;
-  profile.withCrash = false;
-  profile.withBurst = true;
-  const harness::ChaosPlan plan = harness::makeChaosPlan(p, profile, seed);
-  p.faults = plan.schedule;
-  p.faultSeedSalt = seed;
-
-  const harness::ChaosOutcome out = harness::runChaosScenario(p);
-  EXPECT_TRUE(out.oracle.ok)
-      << "seed " << seed << ": " << out.oracle.summary() << "\nschedule:\n"
-      << plan.schedule.describe();
-  // The burst really crashed two machines (primary + standby).
-  EXPECT_EQ(out.faults.crashes, 2u) << "seed " << seed;
+TEST(ControlLossBurstSweep, ExactlyOnceUnderMultiPartitionAndBurst) {
+  auto makeParams = [](std::uint64_t seed) {
+    ScenarioParams p = chaosBaseParams(seed);
+    harness::ChaosProfile profile;
+    // All kinds lossy, two (possibly overlapping) healed partitions, and a
+    // correlated burst taking down a protected primary plus its standby; the
+    // single-machine crash is disabled so the burst owns the crash dimension.
+    profile.partitionCount = 2;
+    profile.withCrash = false;
+    profile.withBurst = true;
+    p.faults = harness::makeChaosPlan(p, profile, seed).schedule;
+    p.faultSeedSalt = seed;
+    return p;
+  };
+  const std::vector<std::uint64_t> seeds = harness::seedRange(201, 216);
+  const std::vector<harness::ChaosOutcome> outcomes =
+      harness::runChaosSweep(seeds, makeParams, fixedGraceOpts());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const std::uint64_t seed = seeds[i];
+    const harness::ChaosOutcome& out = outcomes[i];
+    harness::ChaosProfile profile;
+    profile.partitionCount = 2;
+    profile.withCrash = false;
+    profile.withBurst = true;
+    const harness::ChaosPlan plan =
+        harness::makeChaosPlan(chaosBaseParams(seed), profile, seed);
+    EXPECT_TRUE(out.oracle.ok)
+        << "seed " << seed << ": " << out.oracle.summary() << "\nschedule:\n"
+        << plan.schedule.describe();
+    // The burst really crashed two machines (primary + standby).
+    EXPECT_EQ(out.faults.crashes, 2u) << "seed " << seed;
+  }
 }
-
-INSTANTIATE_TEST_SUITE_P(Seeds, ControlLossBurstSweep,
-                         ::testing::Range<std::uint64_t>(201, 209), seedName);
 
 // ---------------------------------------------------------------------------
 // Shedding sweep: the same fault cocktail as the main sweep, but with the
@@ -143,40 +200,50 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ControlLossBurstSweep,
 // these via `ctest -R 'Shedding|NeverHealing'`.
 // ---------------------------------------------------------------------------
 
-class SheddingChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
-
-TEST_P(SheddingChaosSweep, BoundedAccountedLossUnderLossPartitionAndCrash) {
-  const std::uint64_t seed = GetParam();
-  ScenarioParams p = chaosBaseParams(seed);
-  p.flow.enabled = true;
-  p.flow.sendWindow = 64;
-  p.flow.shedThreshold = 200;
-  harness::ChaosProfile profile;
-  profile.restartCrashed = (seed % 3 == 0);
-  const harness::ChaosPlan plan = harness::makeChaosPlan(p, profile, seed);
-  p.faults = plan.schedule;
-  p.faultSeedSalt = seed;
-
+TEST(SheddingChaosSweep, BoundedAccountedLossUnderLossPartitionAndCrash) {
+  auto makeParams = [](std::uint64_t seed) {
+    ScenarioParams p = chaosBaseParams(seed);
+    p.flow.enabled = true;
+    p.flow.sendWindow = 64;
+    p.flow.shedThreshold = 200;
+    harness::ChaosProfile profile;
+    profile.restartCrashed = (seed % 3 == 0);
+    p.faults = harness::makeChaosPlan(p, profile, seed).schedule;
+    p.faultSeedSalt = seed;
+    return p;
+  };
   harness::ChaosRunOpts opts;
   opts.oracle = harness::OracleMode::kBoundedLoss;
   opts.loss.maxLossFraction = 0.5;
   opts.loss.requireAccountedLoss = true;
-  const harness::ChaosOutcome out = harness::runChaosScenario(p, opts);
-  EXPECT_TRUE(out.oracle.ok)
-      << "seed " << seed << ": " << out.oracle.summary() << "\nschedule:\n"
-      << plan.schedule.describe();
-  EXPECT_TRUE(out.quiescence.quiescent) << "seed " << seed;
-  // The finite send window bounds peak ARQ memory even mid-crash: tracked
-  // never exceeded window + parked cap per link (links = machines^2 upper
-  // bound; in practice only active control links count, so assert the single
-  // global cap the params imply for one link times active links is generous).
-  EXPECT_GT(out.result.flow.arqPeakTracked, 0u) << "seed " << seed;
-  EXPECT_GT(out.faults.totalDrops() + out.faults.crashes, 0u)
-      << "seed " << seed;
+  const std::vector<std::uint64_t> seeds = harness::seedRange(301, 350);
+  const std::vector<harness::ChaosOutcome> outcomes =
+      harness::runChaosSweep(seeds, makeParams, opts);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const std::uint64_t seed = seeds[i];
+    const harness::ChaosOutcome& out = outcomes[i];
+    harness::ChaosProfile profile;
+    profile.restartCrashed = (seed % 3 == 0);
+    ScenarioParams base = chaosBaseParams(seed);
+    base.flow.enabled = true;
+    base.flow.sendWindow = 64;
+    base.flow.shedThreshold = 200;
+    const harness::ChaosPlan plan =
+        harness::makeChaosPlan(base, profile, seed);
+    EXPECT_TRUE(out.oracle.ok)
+        << "seed " << seed << ": " << out.oracle.summary() << "\nschedule:\n"
+        << plan.schedule.describe();
+    EXPECT_TRUE(out.quiescence.quiescent) << "seed " << seed;
+    // The finite send window bounds peak ARQ memory even mid-crash: tracked
+    // never exceeded window + parked cap per link (links = machines^2 upper
+    // bound; in practice only active control links count, so assert the
+    // single global cap the params imply for one link times active links is
+    // generous).
+    EXPECT_GT(out.result.flow.arqPeakTracked, 0u) << "seed " << seed;
+    EXPECT_GT(out.faults.totalDrops() + out.faults.crashes, 0u)
+        << "seed " << seed;
+  }
 }
-
-INSTANTIATE_TEST_SUITE_P(Seeds, SheddingChaosSweep,
-                         ::testing::Range<std::uint64_t>(301, 326), seedName);
 
 // ---------------------------------------------------------------------------
 // Determinism: the same seed + schedule reproduces a bit-identical trace.

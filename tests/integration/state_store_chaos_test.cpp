@@ -9,13 +9,10 @@
 #include <gtest/gtest.h>
 
 #include "harness/chaos_harness.hpp"
+#include "harness/sweep_runner.hpp"
 
 namespace streamha {
 namespace {
-
-std::string seedName(const ::testing::TestParamInfo<std::uint64_t>& i) {
-  return "seed" + std::to_string(i.param);
-}
 
 /// Hybrid with protected subjobs, the delta/tiered store on, and a keyed
 /// workload so deltas are genuinely sparse (SyntheticLogic rewrites its whole
@@ -60,31 +57,32 @@ harness::ChaosOutcome runStateStoreChaos(std::uint64_t seed,
 // checkpoint stream (ships applied, no unresolved base-miss wedge).
 // ---------------------------------------------------------------------------
 
-class StateStoreChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
-
-TEST_P(StateStoreChaosSweep, ExactlyOnceWithDeltaAndTieredStore) {
-  const std::uint64_t seed = GetParam();
-  // Reduced sweep: small and 16x state, alternating by seed.
-  const std::size_t stateBytes = (seed % 2 == 0) ? 32768 : 2048;
-  harness::ChaosPlan plan;
-  const harness::ChaosOutcome out =
-      runStateStoreChaos(seed, stateBytes, &plan);
-  EXPECT_TRUE(out.oracle.ok)
-      << "seed " << seed << ": " << out.oracle.summary() << "\nschedule:\n"
-      << plan.schedule.describe();
-  // The delta pipeline carried real traffic and the store applied it.
-  EXPECT_GT(out.result.state.deltaShips, 0u) << "seed " << seed;
-  EXPECT_GT(out.result.state.deltaApplies, 0u) << "seed " << seed;
-  EXPECT_GT(out.result.state.runsAppended, 0u) << "seed " << seed;
-  // Frequent compaction budget => chaos runs long enough to compact.
-  EXPECT_GT(out.result.state.compactions, 0u) << "seed " << seed;
-  // The schedule was not a no-op.
-  EXPECT_GT(out.faults.totalDrops() + out.faults.crashes, 0u)
-      << "seed " << seed;
+TEST(StateStoreChaosSweep, ExactlyOnceWithDeltaAndTieredStore) {
+  const std::vector<std::uint64_t> seeds = harness::seedRange(1, 25);
+  std::vector<harness::ChaosOutcome> outcomes(seeds.size());
+  std::vector<harness::ChaosPlan> plans(seeds.size());
+  runSeedSweep(seeds, [&](std::uint64_t seed, std::size_t i) {
+    // Reduced sweep: small and 16x state, alternating by seed.
+    const std::size_t stateBytes = (seed % 2 == 0) ? 32768 : 2048;
+    outcomes[i] = runStateStoreChaos(seed, stateBytes, &plans[i]);
+  });
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const std::uint64_t seed = seeds[i];
+    const harness::ChaosOutcome& out = outcomes[i];
+    EXPECT_TRUE(out.oracle.ok)
+        << "seed " << seed << ": " << out.oracle.summary() << "\nschedule:\n"
+        << plans[i].schedule.describe();
+    // The delta pipeline carried real traffic and the store applied it.
+    EXPECT_GT(out.result.state.deltaShips, 0u) << "seed " << seed;
+    EXPECT_GT(out.result.state.deltaApplies, 0u) << "seed " << seed;
+    EXPECT_GT(out.result.state.runsAppended, 0u) << "seed " << seed;
+    // Frequent compaction budget => chaos runs long enough to compact.
+    EXPECT_GT(out.result.state.compactions, 0u) << "seed " << seed;
+    // The schedule was not a no-op.
+    EXPECT_GT(out.faults.totalDrops() + out.faults.crashes, 0u)
+        << "seed " << seed;
+  }
 }
-
-INSTANTIATE_TEST_SUITE_P(Seeds, StateStoreChaosSweep,
-                         ::testing::Range<std::uint64_t>(1, 11), seedName);
 
 // ---------------------------------------------------------------------------
 // Determinism: same seed, same schedule => bit-identical trace AND

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 namespace streamha {
@@ -104,6 +106,109 @@ TEST(Simulator, FiredEventCountSkipsCancelled) {
   h.cancel();
   sim.runAll();
   EXPECT_EQ(sim.firedEvents(), 1u);
+}
+
+TEST(Simulator, SlotReuseDoesNotResurrectOldHandles) {
+  Simulator sim;
+  bool a_fired = false;
+  bool b_fired = false;
+  EventHandle a = sim.schedule(1, [&] { a_fired = true; });
+  sim.runAll();
+  // B reuses A's pooled slot; A's handle must stay dead and must not be able
+  // to cancel B.
+  EventHandle b = sim.schedule(1, [&] { b_fired = true; });
+  EXPECT_FALSE(a.pending());
+  EXPECT_TRUE(b.pending());
+  a.cancel();
+  EXPECT_TRUE(b.pending());
+  sim.runAll();
+  EXPECT_TRUE(a_fired);
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(Simulator, HandleSafeAfterSimulatorDestroyed) {
+  EventHandle handle;
+  {
+    Simulator sim;
+    handle = sim.schedule(10, [] {});
+    EXPECT_TRUE(handle.pending());
+  }
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // Must not crash or touch freed memory.
+}
+
+TEST(Simulator, HandleNotPendingDuringOwnCallback) {
+  Simulator sim;
+  EventHandle handle;
+  bool pending_inside = true;
+  handle = sim.schedule(5, [&] { pending_inside = handle.pending(); });
+  sim.runAll();
+  EXPECT_FALSE(pending_inside);
+}
+
+TEST(Simulator, CancelFromAnotherCallback) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle victim = sim.schedule(20, [&] { fired = true; });
+  sim.schedule(10, [&] { victim.cancel(); });
+  sim.runAll();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.firedEvents(), 1u);
+}
+
+TEST(Simulator, SteadyStateReusesOneSlot) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule(1, [&] { ++fired; });
+    sim.runAll();
+  }
+  EXPECT_EQ(fired, 1000);
+  EXPECT_EQ(sim.slotCapacity(), 1u);
+}
+
+TEST(Simulator, CancelDestroysClosurePromptly) {
+  Simulator sim;
+  auto token = std::make_shared<int>(7);
+  EventHandle handle = sim.schedule(1000, [token] {});
+  EXPECT_EQ(token.use_count(), 2);
+  handle.cancel();
+  // The capture must be released at cancel time, not when the dead queue
+  // entry is eventually popped.
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(Simulator, LargeClosureFiresViaHeapFallback) {
+  Simulator sim;
+  std::array<std::uint64_t, 32> payload{};  // > EventFn::kInlineBytes.
+  payload[0] = 11;
+  payload[31] = 42;
+  std::uint64_t sum = 0;
+  sim.schedule(1, [payload, &sum] { sum = payload[0] + payload[31]; });
+  sim.runAll();
+  EXPECT_EQ(sum, 53u);
+}
+
+TEST(Simulator, ReservedSeqKeepsInsertionRankAtEqualTime) {
+  Simulator sim;
+  std::vector<int> order;
+  std::uint64_t early = sim.reserveSeq();
+  sim.scheduleAt(10, [&] { order.push_back(2); });
+  // Reserved before the event above, so it must fire first at the same time.
+  sim.scheduleReserved(10, early, [&] { order.push_back(1); });
+  sim.runAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, RunUntilDoesNotFirePastHorizonAcrossCancelled) {
+  Simulator sim;
+  bool far_fired = false;
+  EventHandle near = sim.schedule(10, [] {});
+  sim.schedule(100, [&] { far_fired = true; });
+  near.cancel();
+  sim.runUntil(50);
+  EXPECT_FALSE(far_fired);
+  EXPECT_EQ(sim.now(), 50);
 }
 
 TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
