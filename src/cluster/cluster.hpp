@@ -11,6 +11,7 @@
 #include "cluster/machine.hpp"
 #include "common/rng.hpp"
 #include "net/network.hpp"
+#include "place/domain.hpp"
 #include "sim/simulator.hpp"
 
 namespace streamha {
@@ -22,6 +23,10 @@ class Cluster {
     std::uint64_t seed = 1;
     Machine::Params machine;
     Network::Params network;
+    /// Failure-domain nesting (rack/power/zone). Disabled by default; when
+    /// enabled every machine gets a DomainLabel at construction (pure
+    /// arithmetic, no RNG -- existing runs stay bit-identical).
+    DomainTopology topology;
   };
 
   explicit Cluster(Params params);
@@ -36,6 +41,12 @@ class Cluster {
   Machine& machine(MachineId id);
   const Machine& machine(MachineId id) const;
   bool machineUp(MachineId id) const;
+
+  const DomainTopology& topology() const { return params_.topology; }
+
+  /// The failure-domain label of a machine (all -1 when the topology is
+  /// disabled or the id is out of range).
+  DomainLabel domainOf(MachineId id) const { return params_.topology.labelOf(id); }
 
   /// Deterministic per-purpose RNG derived from the cluster seed.
   Rng forkRng(std::uint64_t salt) const { return root_rng_.fork(salt); }

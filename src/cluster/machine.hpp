@@ -34,6 +34,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "place/domain.hpp"
 #include "sim/simulator.hpp"
 
 namespace streamha {
@@ -61,6 +62,11 @@ class Machine {
 
   MachineId id() const { return id_; }
   Simulator& sim() { return sim_; }
+
+  /// Failure-domain coordinates (rack/power/zone), set by the Cluster at
+  /// construction. All -1 when the cluster has no topology configured.
+  void setDomainLabel(DomainLabel label) { domain_ = label; }
+  const DomainLabel& domainLabel() const { return domain_; }
 
   // -- Data server ----------------------------------------------------------
 
@@ -151,6 +157,7 @@ class Machine {
   MachineId id_;
   Rng rng_;
   Params params_;
+  DomainLabel domain_;
 
   bool up_ = true;
   double background_ = 0.0;

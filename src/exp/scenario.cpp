@@ -17,6 +17,7 @@ Scenario::~Scenario() {
   // must die before the cluster.
   flow_.reset();
   coordinators_.clear();
+  planner_.reset();
   load_generators_.clear();
   runtime_.reset();
   injector_.reset();
@@ -47,6 +48,28 @@ ScenarioLayout Scenario::layoutFor(const ScenarioParams& params) {
                         kNoMachine);
   layout.sinkMachine = static_cast<MachineId>(layout.numSubjobs);
   MachineId next = layout.sinkMachine + 1;
+  if (params.placement.enabled && params.mode != HaMode::kNone) {
+    // Placement: standbys are *selected* from a shared replacement pool by
+    // the planner instead of occupying dedicated layout slots. Spares stay
+    // kNoMachine -- runtime replacements route through the planner too.
+    for (int i = 0; i < params.placement.poolMachines; ++i) {
+      layout.poolMachines.push_back(next++);
+    }
+    std::vector<MachineId> primaries;
+    for (SubjobId sj : params.protectedSubjobs) {
+      primaries.push_back(layout.primaryOf(sj));
+    }
+    const std::vector<MachineId> standbys =
+        PlacementPlanner::planInitialStandbys(
+            params.placement.topology, params.placement.domainAware,
+            layout.poolMachines, primaries);
+    for (std::size_t i = 0; i < params.protectedSubjobs.size(); ++i) {
+      layout.standbyOf[static_cast<std::size_t>(params.protectedSubjobs[i])] =
+          standbys[i];
+    }
+    layout.machineCount = static_cast<std::size_t>(next);
+    return layout;
+  }
   if (params.mode != HaMode::kNone) {
     if (params.sharedSecondary) {
       const MachineId shared = next++;
@@ -81,7 +104,20 @@ void Scenario::build() {
   clusterParams.seed = params_.seed;
   clusterParams.machine = params_.machineParams;
   clusterParams.network.batchedDelivery = params_.batchedNetworkDelivery;
+  clusterParams.topology = params_.placement.topology;
   cluster_ = std::make_unique<Cluster>(clusterParams);
+
+  if (params_.placement.enabled && params_.mode != HaMode::kNone) {
+    planner_ = std::make_unique<PlacementPlanner>(
+        *cluster_, params_.placement.topology, params_.placement.domainAware,
+        layout.poolMachines);
+    // Layout-time standby assignments count toward occupancy so runtime
+    // choices spread away from them.
+    for (SubjobId sj : params_.protectedSubjobs) {
+      const MachineId standby = standbyMachineOf(sj);
+      if (standby != kNoMachine) planner_->noteAssigned(standby);
+    }
+  }
 
   if (params_.trace.enabled) {
     TraceRecorder::Params traceParams;
@@ -221,6 +257,19 @@ void Scenario::createCoordinators() {
       };
     }
     ha.damping = params_.damping;
+    if (planner_ != nullptr) {
+      ha.planner = planner_.get();
+      ha.reprovisionOnDomainLoss = params_.placement.reprovision;
+      ha.reprovisionConfirm = params_.placement.reprovisionConfirm;
+      ha.reprovisionRetry = params_.placement.reprovisionRetry;
+      // Quarantine verdicts make the machine ineligible for every planner
+      // choice (spares, fresh standbys, re-provision targets) until
+      // re-admission.
+      PlacementPlanner* planner = planner_.get();
+      ha.quarantineListener = [planner](MachineId machine, bool quarantined) {
+        planner->setQuarantined(machine, quarantined);
+      };
+    }
     ha.store = params_.store;
     ha.predeploySecondary = params_.predeploySecondary;
     ha.earlyConnections = params_.earlyConnections;
@@ -469,8 +518,13 @@ ScenarioResult Scenario::collect() {
     if (auto* hybrid = dynamic_cast<HybridCoordinator*>(c.get())) {
       result.elementsToStalledPrimary += hybrid->elementsToStalledPrimary();
       result.stateReadElements += hybrid->stateReadElements();
+      result.placement.domainLosses += hybrid->domainLosses();
+      result.placement.reprovisions += hybrid->reprovisions();
+      result.placement.reprovisionRetries += hybrid->reprovisionRetries();
+      result.placement.standbyRedeploys += hybrid->standbyRedeploys();
     }
   }
+  if (planner_ != nullptr) result.placement += planner_->telemetry();
   if (injector_ != nullptr) {
     result.gray.slowdownsApplied = injector_->stats().slowdownsApplied;
     result.gray.slowdownDelays = injector_->stats().slowdownDelays;

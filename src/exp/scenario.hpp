@@ -29,6 +29,7 @@
 #include "ha/passive_standby.hpp"
 #include "metrics/counters.hpp"
 #include "metrics/latency.hpp"
+#include "place/planner.hpp"
 #include "state/telemetry.hpp"
 #include "metrics/recovery.hpp"
 #include "stream/runtime.hpp"
@@ -105,6 +106,31 @@ struct ScenarioParams {
   /// Switchover hysteresis + flap damping + quarantine (Hybrid only). Off by
   /// default.
   FlapDamping damping;
+
+  // -- Failure-domain-aware placement (place/) --------------------------------
+  /// When enabled, standby machines are not dedicated layout slots but are
+  /// *selected* from a shared replacement pool of `poolMachines` machines
+  /// (ids sink+1 .. sink+poolMachines) by a PlacementPlanner that maximizes
+  /// failure-domain separation from each protected primary (or takes the
+  /// pool in order when `domainAware` is false -- the oblivious baseline).
+  /// Runtime replacement choices (fail-stop spare, fresh standby after a
+  /// standby-only loss, domain-loss re-provision target) route through the
+  /// same planner. Off by default: disabled placement changes no machine
+  /// layout, consumes no RNG and stays bit-identical to pre-placement runs.
+  struct PlacementConfig {
+    bool enabled = false;
+    /// Failure-domain shape; machines map to racks round-robin (id % racks).
+    DomainTopology topology;
+    bool domainAware = true;
+    /// Replacement-pool size (standbys are drawn from this pool).
+    int poolMachines = 0;
+    /// Re-provision from the last confirmed checkpoint when primary and
+    /// secondary are lost together (Hybrid only).
+    bool reprovision = true;
+    SimDuration reprovisionConfirm = 500 * kMillisecond;
+    SimDuration reprovisionRetry = 1 * kSecond;
+  };
+  PlacementConfig placement;
 
   // -- Transient failure load --------------------------------------------------
   /// Fraction of time each loaded machine spends in spikes; 0 disables.
@@ -199,6 +225,8 @@ struct ScenarioResult {
   GrayFailureTelemetry gray;
   /// State-store telemetry (all zero with the delta/tiered backend off).
   StateTelemetry state;
+  /// Placement / domain-loss recovery telemetry (all zero with placement off).
+  PlacementTelemetry placement;
 };
 
 /// Result of Scenario::drainQuiescent(): how the run wound down.
@@ -223,6 +251,9 @@ struct ScenarioLayout {
   MachineId sinkMachine = kNoMachine;
   std::vector<MachineId> standbyOf;  ///< Indexed by subjob; kNoMachine if none.
   std::vector<MachineId> spareOf;
+  /// Replacement-pool machines (placement enabled only); standbys above are
+  /// drawn from this pool rather than occupying dedicated layout slots.
+  std::vector<MachineId> poolMachines;
   std::size_t machineCount = 0;
 
   MachineId primaryOf(SubjobId subjob) const {
@@ -294,6 +325,9 @@ class Scenario {
   /// The trace recorder; null when params.trace.enabled is false.
   TraceRecorder* trace() { return recorder_.get(); }
 
+  /// The placement planner; null when params.placement.enabled is false.
+  PlacementPlanner* planner() { return planner_.get(); }
+
   /// The armed fault injector; null when params.faults is empty.
   FaultInjector* faultInjector() { return injector_.get(); }
 
@@ -315,6 +349,9 @@ class Scenario {
   std::unique_ptr<Cluster> cluster_;
   std::unique_ptr<FaultInjector> injector_;  ///< Detaches before the cluster dies.
   std::unique_ptr<Runtime> runtime_;
+  /// References the cluster; coordinators reference it. Reset after the
+  /// coordinators and before the cluster in ~Scenario.
+  std::unique_ptr<PlacementPlanner> planner_;
   std::vector<std::unique_ptr<HaCoordinator>> coordinators_;
   std::vector<std::unique_ptr<LoadGenerator>> load_generators_;
   /// References the runtime; reset before runtime_ in ~Scenario.

@@ -156,6 +156,14 @@ std::string fingerprintResult(const ScenarioResult& r) {
   put(out, "state.deltaRestores", r.state.deltaRestores);
   put(out, "state.restoreFullBytes", r.state.restoreFullBytes);
   put(out, "state.restoreDeltaBytes", r.state.restoreDeltaBytes);
+  put(out, "place.choices", r.placement.plannerChoices);
+  put(out, "place.exhausted", r.placement.plannerExhausted);
+  put(out, "place.quarantineRejects", r.placement.quarantineRejections);
+  put(out, "place.sameDomain", r.placement.sameDomainFallbacks);
+  put(out, "place.domainLosses", r.placement.domainLosses);
+  put(out, "place.reprovisions", r.placement.reprovisions);
+  put(out, "place.reprovisionRetries", r.placement.reprovisionRetries);
+  put(out, "place.standbyRedeploys", r.placement.standbyRedeploys);
   return out;
 }
 

@@ -65,28 +65,27 @@ void FaultInjector::armSlowdowns() {
   for (const SlowdownSpec& slow : schedule_.slowdowns) {
     if (slow.machine == kNoMachine) continue;
     const SlowdownSpec spec = slow;  // Stable copy for the closures.
-    const auto auxOf = [&spec] {
-      return spec.kind == SlowdownKind::kCpuDilation
-                 ? static_cast<std::uint64_t>(spec.severity * 1000.0)
-                 : static_cast<std::uint64_t>(spec.maxExtraDelay);
-    };
-    sim.scheduleAt(at(spec.beginAt), [this, spec, auxOf] {
+    // Computed eagerly: a lambda capturing the loop-local spec by reference
+    // would dangle by the time the scheduled closures fire.
+    const std::uint64_t aux =
+        spec.kind == SlowdownKind::kCpuDilation
+            ? static_cast<std::uint64_t>(spec.severity * 1000.0)
+            : static_cast<std::uint64_t>(spec.maxExtraDelay);
+    sim.scheduleAt(at(spec.beginAt), [this, spec, aux] {
       ++stats_.slowdownsApplied;
       if (spec.kind == SlowdownKind::kCpuDilation) {
         applyDilation(spec.machine, spec.severity);
       }
       record(TraceEventType::kSlowdownBegin, spec.machine, spec.peer,
-             MsgKind::kControl, static_cast<std::uint64_t>(spec.kind),
-             auxOf());
+             MsgKind::kControl, static_cast<std::uint64_t>(spec.kind), aux);
     });
     if (spec.endAt != kTimeNever) {
-      sim.scheduleAt(at(spec.endAt), [this, spec, auxOf] {
+      sim.scheduleAt(at(spec.endAt), [this, spec, aux] {
         if (spec.kind == SlowdownKind::kCpuDilation) {
           applyDilation(spec.machine, -spec.severity);
         }
         record(TraceEventType::kSlowdownEnd, spec.machine, spec.peer,
-               MsgKind::kControl, static_cast<std::uint64_t>(spec.kind),
-               auxOf());
+               MsgKind::kControl, static_cast<std::uint64_t>(spec.kind), aux);
       });
     }
   }

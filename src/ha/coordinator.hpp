@@ -31,6 +31,8 @@
 
 namespace streamha {
 
+class PlacementPlanner;
+
 enum class HaMode : std::uint8_t { kNone, kActiveStandby, kPassiveStandby, kHybrid };
 
 constexpr const char* toString(HaMode mode) {
@@ -101,6 +103,24 @@ struct HaParams {
   /// scenario wires this to LoadBalancer::setQuarantined so the scheduler
   /// stops treating the degraded node as a migration/spare target.
   std::function<void(MachineId, bool)> quarantineListener;
+  // -- Failure-domain-aware placement (place/) --------------------------------
+  /// Optional placement planner consulted for replacement-machine choices:
+  /// the spare at fail-stop/quarantine promotion, the fresh standby after a
+  /// standby-only loss, and the domain-loss re-provision target. Null =
+  /// legacy behavior (the static `spareMachine` is used as-is, minus a
+  /// liveness check). Not owned.
+  PlacementPlanner* planner = nullptr;
+  /// Domain-loss recovery (Hybrid only, requires `planner`): when primary
+  /// and secondary are lost together -- a correlated domain kill -- the
+  /// coordinator re-provisions a fresh primary from the last confirmed
+  /// checkpoint on a planner-chosen machine and replays the retained
+  /// upstream queues.
+  bool reprovisionOnDomainLoss = false;
+  /// Wait after a watched machine crashes before classifying the loss, so a
+  /// staggered burst is assessed once, in full.
+  SimDuration reprovisionConfirm = 500 * kMillisecond;
+  /// Retry period when the planner pool is exhausted mid-recovery.
+  SimDuration reprovisionRetry = 1 * kSecond;
 };
 
 class HaCoordinator {

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/logging.hpp"
+#include "place/planner.hpp"
 
 namespace streamha {
 
@@ -23,6 +24,10 @@ void HybridCoordinator::setup() {
   cm_ = makeCheckpointManager(*primary_, *store_);
   cm_->start();
   installDetector(params_.standbyMachine, primary_->machine());
+  if (reprovisionEnabled()) {
+    watchMachine(primary_->machine().id());
+    watchMachine(params_.standbyMachine);
+  }
 }
 
 void HybridCoordinator::predeploySecondary(MachineId machine) {
@@ -52,6 +57,12 @@ void HybridCoordinator::installDetector(MachineId monitor, Machine& target) {
 }
 
 void HybridCoordinator::onFailure(SimTime detectedAt) {
+  // The planner must stop offering a machine some detector currently declares
+  // failed, even when this coordinator takes no action of its own.
+  if (params_.planner != nullptr) {
+    params_.planner->setSuspected(primary_->machine().id(), true);
+  }
+  if (reprovisioning_ || rebuild_reason_ != RebuildReason::kNone) return;
   if (switched_ || promoting_ || resume_in_flight_ || holdoff_pending_) return;
   const FlapDamping& damping = params_.damping;
   if (damping.enabled && damping.switchoverHoldoff > 0 &&
@@ -170,6 +181,10 @@ void HybridCoordinator::completeSwitchover(std::size_t timelineIdx) {
 }
 
 void HybridCoordinator::onRecovery(SimTime recoveredAt) {
+  if (params_.planner != nullptr) {
+    params_.planner->setSuspected(primary_->machine().id(), false);
+  }
+  if (reprovisioning_ || rebuild_reason_ != RebuildReason::kNone) return;
   if (!switched_ || promoting_) return;
   // Detector lag: a "recovered" verdict can rest on heartbeat replies that
   // left the primary just before it died. Never start a rollback to a dead
@@ -358,6 +373,12 @@ void HybridCoordinator::promote() {
   isolateInstance(*old);
   old->terminateAll();
   rt_.removeWiresOf(*old);
+  // The old primary is out of the picture; lift its suspicion mark so a
+  // later restart can re-join the pool (quarantine and liveness checks keep
+  // guarding it meanwhile).
+  if (params_.planner != nullptr) {
+    params_.planner->setSuspected(old->machine().id(), false);
+  }
 
   primary_ = secondary_;
   secondary_ = nullptr;
@@ -373,8 +394,31 @@ void HybridCoordinator::promote() {
   }
 
   retire(std::move(cm_));
-  const MachineId spare = params_.spareMachine;
+  MachineId spare = params_.spareMachine;
+  if (params_.planner != nullptr) {
+    // Route the replacement-standby choice through the planner: never a
+    // quarantined, suspected or down machine, and spread away from the new
+    // primary's failure domain.
+    PlacementPlanner::Request request;
+    request.avoidMachines.push_back(primary_->machine().id());
+    if (quarantined_machine_ != kNoMachine) {
+      request.avoidMachines.push_back(quarantined_machine_);
+    }
+    request.preferDisjointFrom.push_back(primary_->machine().id());
+    spare = params_.planner->choose(request);
+  } else if (spare != kNoMachine && !cluster().machineUp(spare)) {
+    // A dead spare would swallow the deployment work -- the completion
+    // callback is lost with the machine and the promotion wedges with
+    // `promoting_` stuck. Degrade to a local store instead.
+    spare = kNoMachine;
+  }
   if (spare != kNoMachine) {
+    if (reprovisionEnabled()) {
+      // Crash coverage for the deployment window: if the spare dies before
+      // the callback runs, assessLoss() re-chooses instead of wedging.
+      rebuild_target_ = spare;
+      watchMachine(spare);
+    }
     // Stand up a fresh standby on the spare machine (full deployment cost),
     // then resume checkpointing against it.
     cluster().machine(spare).submitData(rt_.costs().deployWorkUs, [this,
@@ -389,6 +433,7 @@ void HybridCoordinator::promote() {
       cm_ = makeCheckpointManager(*primary_, *store_);
       cm_->start();
       installDetector(spare, primary_->machine());
+      rebuild_target_ = kNoMachine;
       promoting_ = false;
       switched_ = false;
     });
@@ -549,6 +594,315 @@ void HybridCoordinator::readmitQuarantined() {
   if (params_.spareMachine == kNoMachine) params_.spareMachine = machine;
   probe_streak_ = 0;
   ++probe_epoch_;
+}
+
+// ---------------------------------------------------------------------------
+// Domain-loss recovery (place/): when a correlated burst kills the machines
+// hosting primary AND secondary together, no detector path can help -- the
+// monitor died with the standby. The coordinator instead watches the hosting
+// machines directly, classifies what a crash burst took out, and either
+// re-provisions a fresh primary from the last confirmed checkpoint
+// (both-dead) or stands a fresh standby up (standby-only loss). Safety rests
+// on the queue-trim invariant: removing both dead copies' wires leaves their
+// upstream queues with zero gating connections, and a queue with no gating
+// consumers retains everything -- so the replacement can always replay from
+// its checkpoint watermark.
+// ---------------------------------------------------------------------------
+
+void HybridCoordinator::watchMachine(MachineId machine) {
+  if (!reprovisionEnabled() || machine == kNoMachine) return;
+  if (!watched_machines_.insert(machine).second) return;
+  cluster().machine(machine).addCrashListener([this] {
+    onWatchedMachineCrash();
+  });
+}
+
+void HybridCoordinator::onWatchedMachineCrash() {
+  // Coalesce: a burst staggers its kills, and classifying after the first
+  // crash would mistake a budding domain loss for a plain primary failure.
+  if (assess_pending_) return;
+  assess_pending_ = true;
+  sim().schedule(params_.reprovisionConfirm, [this] { assessLoss(); });
+}
+
+void HybridCoordinator::assessLoss() {
+  assess_pending_ = false;
+  const bool primaryAlive = primary_ != nullptr && primary_->alive();
+  if (reprovisioning_) {
+    if (reprovision_target_ != kNoMachine &&
+        !cluster().machineUp(reprovision_target_)) {
+      // The chosen replacement died mid-flight: invalidate its pending
+      // callbacks, tear down any partial copy and re-choose.
+      ++place_epoch_;
+      ++reprovision_retries_;
+      if (primary_ != nullptr &&
+          primary_->machine().id() == reprovision_target_) {
+        isolateInstance(*primary_);
+        primary_->terminateAll();
+        rt_.removeWiresOf(*primary_);
+      }
+      reprovision_target_ = kNoMachine;
+      deployReplacement();
+    }
+    return;
+  }
+  if (rebuild_reason_ != RebuildReason::kNone) {
+    if (rebuild_target_ != kNoMachine &&
+        !cluster().machineUp(rebuild_target_)) {
+      // The standby rebuild target died before its deployment finished.
+      ++place_epoch_;
+      ++reprovision_retries_;
+      rebuild_target_ = kNoMachine;
+      rebuildStandby();
+    }
+    return;
+  }
+  if (promoting_ && primaryAlive && rebuild_target_ != kNoMachine &&
+      !cluster().machineUp(rebuild_target_)) {
+    // The promotion's spare died during its deployment -- the completion
+    // callback is gone. Un-wedge and rebuild protection from scratch.
+    ++place_epoch_;
+    ++reprovision_retries_;
+    rebuild_target_ = kNoMachine;
+    promoting_ = false;
+    switched_ = false;
+    redeployStandby();
+    return;
+  }
+  const bool secondaryDead = secondary_ != nullptr && !secondary_->alive();
+  const bool standbyHostDown = params_.standbyMachine != kNoMachine &&
+                               !cluster().machineUp(params_.standbyMachine);
+  if (!primaryAlive && (secondary_ == nullptr || secondaryDead)) {
+    beginDomainLossRecovery();
+    return;
+  }
+  if (primaryAlive && !promoting_ &&
+      (secondaryDead || (secondary_ == nullptr && standbyHostDown))) {
+    redeployStandby();
+    return;
+  }
+  // Primary dead, secondary alive: the ordinary detector -> switchover ->
+  // fail-stop promotion path owns this case.
+}
+
+void HybridCoordinator::beginDomainLossRecovery() {
+  ++domain_losses_;
+  ++place_epoch_;
+  reprovisioning_ = true;
+  failstop_timer_.cancel();
+  holdoff_pending_ = false;
+  rebuild_target_ = kNoMachine;
+
+  const MachineId deadPrimaryM =
+      primary_ != nullptr ? primary_->machine().id() : kNoMachine;
+  const MachineId deadStandbyM = params_.standbyMachine;
+
+  // Snapshot the last *confirmed* checkpoint before retiring the store. The
+  // store object models durably replicated checkpoint bytes -- they survive
+  // the standby machine, which is exactly what re-provisioning needs (cf.
+  // the paper's Section VII persist-to-disk discussion).
+  reprovision_state_ = store_ != nullptr ? store_->latest(subjob_)
+                                         : SubjobState{};
+  reprovision_baseline_ = 0;
+  if (primary_ != nullptr) {
+    reprovision_baseline_ = primary_->lastPe().output(0).nextSeq();
+  }
+  if (secondary_ != nullptr) {
+    reprovision_baseline_ = std::max(
+        reprovision_baseline_, secondary_->lastPe().output(0).nextSeq());
+  }
+
+  RecoveryTimeline timeline;
+  timeline.incidentId = beginTraceIncident();
+  timeline.detectedAt = sim().now();
+  recoveries_.push_back(timeline);
+  reprovision_timeline_ = recoveries_.size() - 1;
+  current_timeline_ = reprovision_timeline_;
+  recordIncidentEvent(TraceEventType::kDomainLoss, timeline.incidentId,
+                      deadPrimaryM, deadStandbyM);
+  LOG_INFO(sim().now(), "hybrid")
+      << "domain loss for subjob " << subjob_ << ": primary (machine "
+      << deadPrimaryM << ") and standby (machine " << deadStandbyM
+      << ") down together; re-provisioning from checkpoint";
+
+  // Tear both dead copies down. Their gating connections disappear with the
+  // wires; an upstream queue left with no gating consumers retains
+  // everything (stream/queues.cpp), so nothing can be trimmed before the
+  // replacement re-wires and replays.
+  quiescer_.release();  // Cancels any rollback quiesce pending on the dead copy.
+  if (secondary_ != nullptr) {
+    isolateInstance(*secondary_);
+    secondary_->terminateAll();
+    rt_.removeWiresOf(*secondary_);
+    secondary_ = nullptr;
+  }
+  if (primary_ != nullptr) {
+    isolateInstance(*primary_);
+    primary_->terminateAll();
+    rt_.removeWiresOf(*primary_);
+  }
+  if (store_ != nullptr) store_->detachReplica(subjob_);
+  retire(std::move(cm_));
+  retire(std::move(detector_));
+  retire(std::move(store_));
+  switched_ = false;
+  promoting_ = false;
+  resume_in_flight_ = false;
+
+  deployReplacement();
+}
+
+void HybridCoordinator::deployReplacement() {
+  PlacementPlanner::Request request;
+  for (const MachineId watched : watched_machines_) {
+    if (!cluster().machineUp(watched)) {
+      // Spread away from everything the burst just proved correlated.
+      request.avoidMachines.push_back(watched);
+      request.preferDisjointFrom.push_back(watched);
+    }
+  }
+  const MachineId target = params_.planner->choose(request);
+  const std::uint64_t epoch = place_epoch_;
+  if (target == kNoMachine) {
+    // Pool exhausted; keep the retained upstream queues and retry.
+    ++reprovision_retries_;
+    sim().schedule(params_.reprovisionRetry, [this, epoch] {
+      if (epoch != place_epoch_ || !reprovisioning_) return;
+      deployReplacement();
+    });
+    return;
+  }
+  reprovision_target_ = target;
+  watchMachine(target);
+  recordIncidentEvent(TraceEventType::kReprovisionBegin,
+                      recoveries_[reprovision_timeline_].incidentId,
+                      primary_ != nullptr ? primary_->machine().id()
+                                          : kNoMachine,
+                      target, reprovision_state_.sizeBytes());
+  cluster().machine(target).submitData(
+      rt_.costs().deployWorkUs, [this, epoch, target] {
+        if (epoch != place_epoch_ || !reprovisioning_) return;
+        activateReplacement(target);
+      });
+}
+
+void HybridCoordinator::activateReplacement(MachineId target) {
+  primary_ = &rt_.instantiate(subjob_, target, Replica::kPrimary);
+  primary_->setAckPolicy(AckPolicy::kOnCheckpoint);
+  recoveries_[reprovision_timeline_].redeployDoneAt = sim().now();
+  recordIncidentEvent(TraceEventType::kRedeployDone,
+                      recoveries_[reprovision_timeline_].incidentId, target,
+                      kNoMachine);
+  const std::uint64_t epoch = place_epoch_;
+  rt_.wireInstanceWithCost(
+      *primary_, Runtime::WireOpts{false, false},
+      Runtime::WireOpts{false, false}, [this, epoch] {
+        if (epoch != place_epoch_ || !reprovisioning_) return;
+        primary_->applyState(reprovision_state_);
+        recoveries_[reprovision_timeline_].connectionsReadyAt = sim().now();
+        recordIncidentEvent(TraceEventType::kConnectionsReady,
+                            recoveries_[reprovision_timeline_].incidentId,
+                            primary_->machine().id(), kNoMachine);
+        watchFirstOutput(*primary_, reprovision_timeline_,
+                         reprovision_baseline_);
+        // Inbound wires rewind to the checkpoint watermarks and replay the
+        // retained upstream queues; outbound duplicates below the baseline
+        // are absorbed by downstream dedup.
+        activateRestoredInstance(*primary_, reprovision_state_,
+                                 /*gateInbound=*/true);
+        ++reprovisions_;
+        reprovision_target_ = kNoMachine;
+        rebuild_reason_ = RebuildReason::kAfterReprovision;
+        rebuildStandby();
+      });
+}
+
+void HybridCoordinator::redeployStandby() {
+  if (!reprovisionEnabled() || reprovisioning_ ||
+      rebuild_reason_ != RebuildReason::kNone || promoting_) {
+    return;
+  }
+  if (primary_ == nullptr || !primary_->alive()) return;
+  ++place_epoch_;
+  failstop_timer_.cancel();
+  holdoff_pending_ = false;
+  quiescer_.release();
+  if (secondary_ != nullptr) {
+    isolateInstance(*secondary_);
+    secondary_->terminateAll();
+    rt_.removeWiresOf(*secondary_);
+    secondary_ = nullptr;
+  }
+  if (store_ != nullptr) store_->detachReplica(subjob_);
+  retire(std::move(cm_));
+  retire(std::move(detector_));
+  retire(std::move(store_));
+  switched_ = false;
+  resume_in_flight_ = false;
+  rebuild_reason_ = RebuildReason::kStandbyLoss;
+  rebuildStandby();
+}
+
+void HybridCoordinator::rebuildStandby() {
+  PlacementPlanner::Request request;
+  request.avoidMachines.push_back(primary_->machine().id());
+  if (quarantined_machine_ != kNoMachine) {
+    request.avoidMachines.push_back(quarantined_machine_);
+  }
+  request.preferDisjointFrom.push_back(primary_->machine().id());
+  const MachineId target = params_.planner->choose(request);
+  const std::uint64_t epoch = place_epoch_;
+  if (target == kNoMachine) {
+    // Degraded: checkpoint locally so the job keeps running unprotected.
+    store_ = std::make_unique<StateStore>(sim(), primary_->machine(),
+                                          params_.store);
+    store_->setTrace(trace());
+    params_.standbyMachine = kNoMachine;
+    cm_ = makeCheckpointManager(*primary_, *store_);
+    cm_->start();
+    onStandbyRebuilt(kNoMachine, /*degraded=*/true);
+    return;
+  }
+  rebuild_target_ = target;
+  watchMachine(target);
+  cluster().machine(target).submitData(
+      rt_.costs().deployWorkUs, [this, epoch, target] {
+        if (epoch != place_epoch_ ||
+            rebuild_reason_ == RebuildReason::kNone) {
+          return;
+        }
+        store_ = std::make_unique<StateStore>(
+            sim(), cluster().machine(target), params_.store);
+        store_->setTrace(trace());
+        params_.standbyMachine = target;
+        predeploySecondary(target);
+        cm_ = makeCheckpointManager(*primary_, *store_);
+        cm_->start();
+        installDetector(target, primary_->machine());
+        rebuild_target_ = kNoMachine;
+        onStandbyRebuilt(target, /*degraded=*/false);
+      });
+}
+
+void HybridCoordinator::onStandbyRebuilt(MachineId standby, bool degraded) {
+  const RebuildReason reason = rebuild_reason_;
+  rebuild_reason_ = RebuildReason::kNone;
+  if (reason == RebuildReason::kAfterReprovision) {
+    recordIncidentEvent(TraceEventType::kReprovisionEnd,
+                        recoveries_[reprovision_timeline_].incidentId,
+                        primary_->machine().id(), standby,
+                        degraded ? 1 : 0);
+    reprovisioning_ = false;
+    LOG_INFO(sim().now(), "hybrid")
+        << "re-provisioned subjob " << subjob_ << " on machine "
+        << primary_->machine().id()
+        << (degraded ? " (degraded: no standby)" : "");
+  } else {
+    ++standby_redeploys_;
+    LOG_INFO(sim().now(), "hybrid")
+        << "redeployed standby of subjob " << subjob_ << " on machine "
+        << standby << (degraded ? " (degraded: no standby)" : "");
+  }
 }
 
 }  // namespace streamha

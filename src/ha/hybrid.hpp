@@ -23,6 +23,8 @@
 // secondary is pre-deployed on the spare machine.
 #pragma once
 
+#include <set>
+
 #include "ha/coordinator.hpp"
 
 namespace streamha {
@@ -42,6 +44,16 @@ class HybridCoordinator : public HaCoordinator {
     return elements_to_stalled_primary_;
   }
   std::uint64_t stateReadElements() const { return state_read_elements_; }
+
+  // -- Placement / domain-loss telemetry (place/; planner-side counters are
+  // aggregated separately by the scenario) ----------------------------------
+  std::uint64_t domainLosses() const { return domain_losses_; }
+  std::uint64_t reprovisions() const { return reprovisions_; }
+  std::uint64_t reprovisionRetries() const { return reprovision_retries_; }
+  std::uint64_t standbyRedeploys() const { return standby_redeploys_; }
+  /// The machine currently hosting (or slated to host) the standby; tests
+  /// use this to assert planner-routed replacement choices.
+  MachineId standbyMachine() const { return params_.standbyMachine; }
 
  private:
   void predeploySecondary(MachineId machine);
@@ -66,6 +78,36 @@ class HybridCoordinator : public HaCoordinator {
   void scheduleReadmitProbe(SimDuration delay);
   void probeQuarantined();
   void readmitQuarantined();
+  // -- Domain-loss recovery (place/; active only with a planner and
+  // reprovisionOnDomainLoss) --------------------------------------------------
+  bool reprovisionEnabled() const {
+    return params_.planner != nullptr && params_.reprovisionOnDomainLoss;
+  }
+  /// Register a (permanent, idempotent) crash listener on a machine hosting
+  /// one of this coordinator's copies or replacement targets.
+  void watchMachine(MachineId machine);
+  /// Crash listener body: schedules one coalesced assessLoss() per
+  /// reprovisionConfirm window.
+  void onWatchedMachineCrash();
+  /// Classify what the crash burst actually took out and dispatch to the
+  /// matching recovery path.
+  void assessLoss();
+  /// Primary and secondary are gone together: tear both down, snapshot the
+  /// last confirmed checkpoint and re-provision on a planner-chosen machine.
+  void beginDomainLossRecovery();
+  /// Pick a re-provision target and pay the deployment; retries while the
+  /// pool is exhausted and restarts if the target dies mid-flight.
+  void deployReplacement();
+  /// The replacement is deployed: instantiate, wire, restore, activate.
+  void activateReplacement(MachineId target);
+  /// Secondary/standby lost while the primary survives: tear down the dead
+  /// copy and stand a fresh standby up on a planner-chosen machine.
+  void redeployStandby();
+  /// Shared tail of both recovery paths: fresh store + suspended secondary +
+  /// checkpoint manager + detector on a planner-chosen machine (or a local
+  /// store when the pool is exhausted). Calls onStandbyRebuilt when done.
+  void rebuildStandby();
+  void onStandbyRebuilt(MachineId standby, bool degraded);
 
   bool switched_ = false;
   bool promoting_ = false;
@@ -85,6 +127,22 @@ class HybridCoordinator : public HaCoordinator {
   MachineId cycle_machine_ = kNoMachine;  ///< The machine cycle_times_ is about.
   int probe_streak_ = 0;
   std::uint64_t probe_epoch_ = 0;  ///< Invalidates stale probe replies.
+  // -- Domain-loss recovery state ---------------------------------------------
+  std::set<MachineId> watched_machines_;  ///< Crash listeners registered.
+  bool assess_pending_ = false;      ///< A coalesced assessLoss() is scheduled.
+  bool reprovisioning_ = false;      ///< Domain-loss recovery in flight.
+  enum class RebuildReason : std::uint8_t { kNone, kAfterReprovision, kStandbyLoss };
+  RebuildReason rebuild_reason_ = RebuildReason::kNone;
+  MachineId rebuild_target_ = kNoMachine;      ///< Standby rebuild in flight.
+  MachineId reprovision_target_ = kNoMachine;  ///< Replacement-primary target.
+  std::uint64_t place_epoch_ = 0;  ///< Invalidates stale placement callbacks.
+  SubjobState reprovision_state_;  ///< Checkpoint snapshot being restored.
+  ElementSeq reprovision_baseline_ = 0;
+  std::size_t reprovision_timeline_ = 0;
+  std::uint64_t domain_losses_ = 0;
+  std::uint64_t reprovisions_ = 0;
+  std::uint64_t reprovision_retries_ = 0;
+  std::uint64_t standby_redeploys_ = 0;
 };
 
 }  // namespace streamha

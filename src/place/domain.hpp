@@ -1,0 +1,85 @@
+// Failure-domain topology: rack / power / zone labels for machines.
+//
+// Production clusters lose whole racks and power domains at once, so a
+// standby multiplexed into its primary's failure domain is worthless exactly
+// when it is needed (cf. "Tolerating Correlated Failures in Massively
+// Parallel Stream Processing Engines", PAPERS.md). The topology here is the
+// nesting the placement planner scores against: machines fill racks
+// round-robin, racks aggregate into power domains, power domains into zones.
+//
+// Labels are pure arithmetic over the machine id -- no RNG, no allocation --
+// so a topology adds zero nondeterminism and zero cost to runs that leave it
+// disabled (racks == 0).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace streamha {
+
+/// The (rack, power, zone) coordinates of one machine. All -1 when the
+/// cluster has no topology configured.
+struct DomainLabel {
+  int rack = -1;
+  int power = -1;
+  int zone = -1;
+
+  bool operator==(const DomainLabel&) const = default;
+
+  /// True when both machines share the given nesting level. Disabled labels
+  /// share nothing (a label-less cluster has no correlated failures to
+  /// avoid).
+  bool sameRack(const DomainLabel& o) const { return rack >= 0 && rack == o.rack; }
+  bool samePower(const DomainLabel& o) const { return power >= 0 && power == o.power; }
+  bool sameZone(const DomainLabel& o) const { return zone >= 0 && zone == o.zone; }
+};
+
+/// Declarative topology: `racks` failure domains filled round-robin by
+/// machine id, `racksPerPower` racks per power domain, `powersPerZone` power
+/// domains per zone. racks == 0 disables labeling entirely (the default, so
+/// existing scenarios are untouched).
+struct DomainTopology {
+  int racks = 0;
+  int racksPerPower = 1;
+  int powersPerZone = 1;
+
+  bool enabled() const { return racks > 0; }
+
+  DomainLabel labelOf(MachineId machine) const {
+    DomainLabel label;
+    if (!enabled() || machine < 0) return label;
+    label.rack = static_cast<int>(machine % racks);
+    label.power = label.rack / (racksPerPower > 0 ? racksPerPower : 1);
+    label.zone = label.power / (powersPerZone > 0 ? powersPerZone : 1);
+    return label;
+  }
+
+  /// Every machine id in [0, machineCount) whose rack is `rack`.
+  std::vector<MachineId> rackMembers(int rack, int machineCount) const {
+    std::vector<MachineId> members;
+    if (!enabled()) return members;
+    for (MachineId m = 0; m < machineCount; ++m) {
+      if (labelOf(m).rack == rack) members.push_back(m);
+    }
+    return members;
+  }
+};
+
+/// How much failure-domain separation two machines enjoy. Higher is safer.
+/// Used as the primary sort key when scoring standby/spare candidates.
+enum class DomainSeparation {
+  kSameRack = 0,    ///< One rack kill takes both.
+  kSamePower = 1,   ///< Distinct racks, shared power domain.
+  kSameZone = 2,    ///< Distinct power domains, shared zone.
+  kDisjoint = 3,    ///< Nothing shared (or topology disabled).
+};
+
+inline DomainSeparation separationOf(const DomainLabel& a, const DomainLabel& b) {
+  if (a.sameRack(b)) return DomainSeparation::kSameRack;
+  if (a.samePower(b)) return DomainSeparation::kSamePower;
+  if (a.sameZone(b)) return DomainSeparation::kSameZone;
+  return DomainSeparation::kDisjoint;
+}
+
+}  // namespace streamha

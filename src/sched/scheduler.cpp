@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.hpp"
+#include "place/planner.hpp"
 
 namespace streamha {
 
@@ -125,16 +126,27 @@ void LoadBalancer::setQuarantined(MachineId machine, bool quarantined) {
   }
 }
 
-MachineId LoadBalancer::coolestSpare() const {
+MachineId LoadBalancer::coolestSpare(MachineId awayFrom) const {
+  Cluster& cluster = const_cast<Runtime&>(rt_).cluster();
+  const bool domainScored = planner_ != nullptr && planner_->domainAware() &&
+                            awayFrom != kNoMachine;
+  const DomainLabel awayLabel =
+      domainScored ? cluster.domainOf(awayFrom) : DomainLabel{};
   MachineId best = kNoMachine;
+  int best_sep = -1;
   double best_load = 2.0;
   for (MachineId spare : spares_) {
     if (quarantined_.count(spare) != 0) continue;
-    const Machine& m =
-        const_cast<Runtime&>(rt_).cluster().machine(spare);
+    const Machine& m = cluster.machine(spare);
     if (!m.isUp()) continue;
+    if (planner_ != nullptr && !planner_->eligible(spare)) continue;
+    const int sep =
+        domainScored
+            ? static_cast<int>(separationOf(m.domainLabel(), awayLabel))
+            : 0;
     const double load = m.instantaneousLoad();
-    if (load < best_load) {
+    if (sep > best_sep || (sep == best_sep && load < best_load)) {
+      best_sep = sep;
       best_load = load;
       best = spare;
     }
@@ -162,7 +174,7 @@ void LoadBalancer::poll() {
     const bool cooled =
         coolIt == cooldown_until_.end() || now >= coolIt->second;
     if (hot_streak_[machine] >= params_.sustainedSamples && cooled) {
-      const MachineId target = coolestSpare();
+      const MachineId target = coolestSpare(machine);
       if (target == kNoMachine || target == machine) continue;
       hot_streak_[machine] = 0;
       cooldown_until_[machine] = now + params_.cooldown;

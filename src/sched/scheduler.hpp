@@ -32,6 +32,8 @@
 
 namespace streamha {
 
+class PlacementPlanner;
+
 /// Estimated CPU demand (fraction of one machine) of each subjob of `spec`
 /// at the given source rate: sum over its PEs of workUs x expected element
 /// rate, where each PE's rate is the source rate scaled by the product of
@@ -89,6 +91,14 @@ class LoadBalancer {
     return quarantined_.count(machine) != 0;
   }
 
+  /// place/ interplay: when set, migration targets must also be eligible by
+  /// the planner (not quarantined anywhere, not currently suspected dead by
+  /// a detector) and -- when the planner is domain-aware -- the target with
+  /// the most failure-domain separation from the overloaded machine wins
+  /// before load is compared. Null (the default) keeps the legacy
+  /// coolest-spare behavior bit-identical. Not owned.
+  void setPlanner(PlacementPlanner* planner) { planner_ = planner; }
+
   /// Stop-and-copy migration of `instance` to `target`: quiesce, capture the
   /// full state (including input queues), transfer, apply, rewire, terminate
   /// the old copy. `done` runs when the moved subjob is processing again.
@@ -99,11 +109,14 @@ class LoadBalancer {
  private:
   void poll();
   double windowedLoad(MachineId machine);
-  MachineId coolestSpare() const;
+  /// Least-loaded live spare; with a domain-aware planner, separation from
+  /// `awayFrom` is the primary key (kNoMachine = load only).
+  MachineId coolestSpare(MachineId awayFrom = kNoMachine) const;
 
   Runtime& rt_;
   std::vector<MachineId> spares_;
   Params params_;
+  PlacementPlanner* planner_ = nullptr;
   std::function<bool()> veto_;
   PeriodicTimer timer_;
   bool migrating_ = false;

@@ -76,6 +76,16 @@ enum class TraceEventType : std::uint8_t {
   kCompactionEnd,     ///< Compaction finished (value = bytes in, aux = bytes out).
   kTierSpill,         ///< A write overflowed a tier and spilled to a slower one
                       ///< (value = destination tier index, aux = bytes).
+  // -- Placement / domain-loss recovery (place/) --------------------------------
+  kDomainLoss,        ///< Primary and secondary lost together (value = dead
+                      ///< primary machine, aux = dead standby machine).
+  kReprovisionBegin,  ///< Re-provision from the last confirmed checkpoint
+                      ///< started (peer = planner-chosen target machine,
+                      ///< value = checkpoint watermark sum restored from).
+  kReprovisionEnd,    ///< The re-provisioned copy is wired, active and has a
+                      ///< fresh standby (peer = new standby machine, value =
+                      ///< 1 when the standby rebuild degraded to a local
+                      ///< store because the pool was exhausted).
   kCount
 };
 
@@ -124,6 +134,9 @@ constexpr const char* toString(TraceEventType type) {
     case TraceEventType::kCompactionBegin: return "CompactionBegin";
     case TraceEventType::kCompactionEnd: return "CompactionEnd";
     case TraceEventType::kTierSpill: return "TierSpill";
+    case TraceEventType::kDomainLoss: return "DomainLoss";
+    case TraceEventType::kReprovisionBegin: return "ReprovisionBegin";
+    case TraceEventType::kReprovisionEnd: return "ReprovisionEnd";
     case TraceEventType::kCount: break;
   }
   return "?";

@@ -1,6 +1,7 @@
 #include "harness/chaos_harness.hpp"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 
 #include "exp/sweep.hpp"
@@ -276,6 +277,58 @@ ChaosPlan makeChaosPlan(const ScenarioParams& params,
       plan.slowdownTarget = victim;
       plan.slowdownFrom = begin;
       plan.slowdownUntil = begin + length;
+    }
+  }
+
+  // Domain kill (place/): crash EVERY machine of one sampled rack in one
+  // burst -- the correlated loss that takes a primary and a same-rack standby
+  // together. The target rack cycles over the racks hosting protected
+  // primaries and their standbys (seed-picked, no RNG draw, matching the
+  // crash-target discipline above); racks hosting the source, the sink or an
+  // unprotected primary are never candidates, since no coordinator could
+  // recover their permanent loss. The single RNG draw is gated behind the
+  // flag so existing profiles generate byte-identical plans.
+  if (profile.withDomainKill && params.placement.enabled &&
+      params.placement.topology.enabled() &&
+      !params.protectedSubjobs.empty()) {
+    const DomainTopology& topology = params.placement.topology;
+    std::set<int> excluded;
+    excluded.insert(topology.labelOf(0).rack);
+    excluded.insert(topology.labelOf(layout.sinkMachine).rack);
+    const std::set<SubjobId> prot(params.protectedSubjobs.begin(),
+                                  params.protectedSubjobs.end());
+    for (int sj = 0; sj < layout.numSubjobs; ++sj) {
+      if (prot.count(sj) == 0) {
+        excluded.insert(topology.labelOf(layout.primaryOf(sj)).rack);
+      }
+    }
+    std::vector<int> candidates;
+    const auto addCandidate = [&](MachineId machine) {
+      if (machine == kNoMachine) return;
+      const int rack = topology.labelOf(machine).rack;
+      if (excluded.count(rack) != 0) return;
+      if (std::find(candidates.begin(), candidates.end(), rack) ==
+          candidates.end()) {
+        candidates.push_back(rack);
+      }
+    };
+    for (SubjobId sj : params.protectedSubjobs) {
+      addCandidate(layout.primaryOf(sj));
+      addCandidate(layout.standbyOf[static_cast<std::size_t>(sj)]);
+    }
+    if (!candidates.empty()) {
+      const int rack =
+          candidates[static_cast<std::size_t>(seed % candidates.size())];
+      CorrelatedBurstSpec burst;
+      burst.machines = topology.rackMembers(
+          rack, static_cast<int>(layout.machineCount));
+      burst.beginAt =
+          rng.uniformInt(profile.faultsFrom, profile.faultsUntil);
+      burst.stagger = profile.domainKillStagger;
+      burst.downFor = profile.domainKillDownFor;
+      plan.schedule.bursts.push_back(burst);
+      plan.killedRack = rack;
+      plan.domainKillMachines = burst.machines;
     }
   }
   return plan;

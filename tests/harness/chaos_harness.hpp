@@ -117,6 +117,21 @@ struct ChaosProfile {
   SimDuration maxJitterDelay = 400 * kMillisecond;
   SimDuration minSlowdown = 3 * kSecond;  ///< Degradation window length range.
   SimDuration maxSlowdown = 10 * kSecond;
+  /// Domain kill (place/): crash EVERY machine of one sampled failure domain
+  /// -- the rack of a protected primary or of its assigned standby -- in one
+  /// burst, primary and standby included when they share the rack. Requires
+  /// ScenarioParams::placement with an enabled topology; the target rack is
+  /// picked by `seed % candidates` (no RNG draw) and racks hosting the
+  /// source, the sink or an unprotected primary are never killed. Off by
+  /// default: RNG draws are gated behind the flag so existing profiles
+  /// generate byte-identical plans.
+  bool withDomainKill = false;
+  /// Delay between consecutive kills inside the domain (0 = simultaneous,
+  /// the correlated rack/power loss the placement subsystem defends against).
+  SimDuration domainKillStagger = 0;
+  /// How long killed machines stay down (kTimeNever = permanent loss; the
+  /// checkpoint re-provisioning path is the only way back).
+  SimDuration domainKillDownFor = kTimeNever;
 };
 
 /// One generated chaos schedule plus what it targets.
@@ -131,6 +146,10 @@ struct ChaosPlan {
   /// The degradation window (valid when slowdownTarget is set).
   SimTime slowdownFrom = 0;
   SimTime slowdownUntil = 0;
+  /// The failure domain killed by the domain-kill burst (-1 when disabled).
+  int killedRack = -1;
+  /// Every machine the domain kill takes down (rack members).
+  std::vector<MachineId> domainKillMachines;
 };
 
 /// Derive the plan for (params, seed). Deterministic: same inputs, same plan.

@@ -1,0 +1,162 @@
+// Unit tests for the domain-kill chaos machinery (chaos_harness makeChaosPlan
+// with ChaosProfile::withDomainKill): deterministic rack sampling, RNG gating
+// (flag off => byte-identical plans), exclusion of unrecoverable racks, and
+// ddmin shrinking of a mixed schedule down to the domain-kill burst atom.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exp/scenario.hpp"
+#include "harness/chaos_harness.hpp"
+
+namespace streamha {
+namespace {
+
+using harness::ChaosPlan;
+using harness::ChaosProfile;
+using harness::makeChaosPlan;
+using harness::shrinkFailingSchedule;
+
+/// Hybrid scenario with placement on: 4 subjobs (primaries 0..3), sink on 4,
+/// a 12-machine replacement pool on 5..16, four racks filled round-robin.
+/// Subjob 0 is unprotected (it hosts the source), so rack 0 -- holding
+/// machine 0, the sink (4) and the unprotected primary -- must never be
+/// killed.
+ScenarioParams placementParams() {
+  ScenarioParams params;
+  params.mode = HaMode::kHybrid;
+  params.protectedSubjobs = {1, 2, 3};
+  params.placement.enabled = true;
+  params.placement.topology.racks = 4;
+  params.placement.poolMachines = 12;
+  return params;
+}
+
+ChaosProfile domainKillProfile() {
+  ChaosProfile profile;
+  profile.withDomainKill = true;
+  return profile;
+}
+
+TEST(DomainKillPlan, SameSeedSamePlan) {
+  const ScenarioParams params = placementParams();
+  const ChaosProfile profile = domainKillProfile();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const ChaosPlan a = makeChaosPlan(params, profile, seed);
+    const ChaosPlan b = makeChaosPlan(params, profile, seed);
+    EXPECT_EQ(a.schedule.describe(), b.schedule.describe()) << "seed " << seed;
+    EXPECT_EQ(a.killedRack, b.killedRack);
+    EXPECT_EQ(a.domainKillMachines, b.domainKillMachines);
+  }
+}
+
+TEST(DomainKillPlan, FlagGatedRngKeepsOtherPlansByteIdentical) {
+  // The domain-kill draw must be gated: enabling the flag on a scenario that
+  // cannot host a domain kill (placement disabled) consumes no RNG and the
+  // plan is byte-identical to the flag-off plan.
+  ScenarioParams noPlacement = placementParams();
+  noPlacement.placement.enabled = false;
+  ChaosProfile off = domainKillProfile();
+  off.withDomainKill = false;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const ChaosPlan gated = makeChaosPlan(noPlacement, domainKillProfile(), seed);
+    const ChaosPlan flagOff = makeChaosPlan(noPlacement, off, seed);
+    EXPECT_EQ(gated.schedule.describe(), flagOff.schedule.describe());
+    EXPECT_EQ(gated.killedRack, -1);
+    EXPECT_TRUE(gated.domainKillMachines.empty());
+  }
+
+  // And on a placement scenario the kill is purely additive: strip the
+  // appended burst and the rest of the schedule matches the flag-off plan.
+  const ScenarioParams params = placementParams();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const ChaosPlan with = makeChaosPlan(params, domainKillProfile(), seed);
+    const ChaosPlan without = makeChaosPlan(params, off, seed);
+    ASSERT_EQ(with.schedule.bursts.size(), without.schedule.bursts.size() + 1);
+    FaultSchedule stripped = with.schedule;
+    stripped.bursts.pop_back();
+    EXPECT_EQ(stripped.describe(), without.schedule.describe());
+  }
+}
+
+TEST(DomainKillPlan, NeverKillsSourceSinkOrUnprotectedRacks) {
+  const ScenarioParams params = placementParams();
+  const ScenarioLayout layout = Scenario::layoutFor(params);
+  const DomainTopology& topology = params.placement.topology;
+  const ChaosProfile profile = domainKillProfile();
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    const ChaosPlan plan = makeChaosPlan(params, profile, seed);
+    ASSERT_NE(plan.killedRack, -1) << "seed " << seed;
+    // Rack 0 holds the source (machine 0), the sink (machine 4) and the
+    // unprotected subjob-0 primary: killing it is unrecoverable by design.
+    EXPECT_NE(plan.killedRack, 0);
+    // The kill covers the WHOLE rack, nothing else.
+    EXPECT_EQ(plan.domainKillMachines,
+              topology.rackMembers(plan.killedRack,
+                                   static_cast<int>(layout.machineCount)));
+    EXPECT_EQ(std::count(plan.domainKillMachines.begin(),
+                         plan.domainKillMachines.end(), MachineId{0}),
+              0);
+    EXPECT_EQ(std::count(plan.domainKillMachines.begin(),
+                         plan.domainKillMachines.end(), layout.sinkMachine),
+              0);
+  }
+}
+
+TEST(DomainKillPlan, SeedCyclesOverCandidateRacks) {
+  // Candidate racks are those of the protected primaries and their assigned
+  // standbys (here racks 1..3); the pick is seed % candidates, so three
+  // consecutive seeds cover three distinct racks.
+  const ScenarioParams params = placementParams();
+  const ChaosProfile profile = domainKillProfile();
+  std::vector<int> racks;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    racks.push_back(makeChaosPlan(params, profile, seed).killedRack);
+  }
+  std::sort(racks.begin(), racks.end());
+  EXPECT_EQ(racks, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(DomainKillPlan, BurstCarriesProfileTiming) {
+  ScenarioParams params = placementParams();
+  ChaosProfile profile = domainKillProfile();
+  profile.domainKillStagger = 50 * kMillisecond;
+  profile.domainKillDownFor = 3 * kSecond;
+  const ChaosPlan plan = makeChaosPlan(params, profile, 7);
+  ASSERT_FALSE(plan.schedule.bursts.empty());
+  const CorrelatedBurstSpec& burst = plan.schedule.bursts.back();
+  EXPECT_EQ(burst.machines, plan.domainKillMachines);
+  EXPECT_EQ(burst.stagger, 50 * kMillisecond);
+  EXPECT_EQ(burst.downFor, 3 * kSecond);
+  EXPECT_GE(burst.beginAt, profile.faultsFrom);
+  EXPECT_LE(burst.beginAt, profile.faultsUntil);
+}
+
+TEST(DomainKillPlan, DdminShrinksToTheDomainKillAtom) {
+  // A full chaos plan (loss rules + partition + crash + domain kill). Pretend
+  // the failure only needs the domain-kill burst: ddmin must strip everything
+  // else and keep exactly that one atom.
+  const ScenarioParams params = placementParams();
+  const ChaosPlan plan = makeChaosPlan(params, domainKillProfile(), 3);
+  ASSERT_FALSE(plan.schedule.links.empty());
+  ASSERT_FALSE(plan.schedule.bursts.empty());
+  const std::vector<MachineId> killed = plan.domainKillMachines;
+
+  const auto stillFails = [&](const FaultSchedule& candidate) {
+    for (const CorrelatedBurstSpec& burst : candidate.bursts) {
+      if (burst.machines == killed) return true;
+    }
+    return false;
+  };
+  const FaultSchedule shrunk =
+      shrinkFailingSchedule(plan.schedule, stillFails, /*maxRuns=*/128);
+  EXPECT_TRUE(shrunk.links.empty());
+  EXPECT_TRUE(shrunk.partitions.empty());
+  EXPECT_TRUE(shrunk.crashes.empty());
+  EXPECT_TRUE(shrunk.slowdowns.empty());
+  ASSERT_EQ(shrunk.bursts.size(), 1u);
+  EXPECT_EQ(shrunk.bursts[0].machines, killed);
+}
+
+}  // namespace
+}  // namespace streamha

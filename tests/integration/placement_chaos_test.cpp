@@ -1,0 +1,266 @@
+// Domain-kill chaos sweeps for the placement subsystem (src/place/): a
+// 100+-machine multi-rack cluster where the chaos plan crashes EVERY machine
+// of one sampled failure domain at once, permanently.
+//
+//  * Domain-aware placement keeps each standby out of its primary's rack, so
+//    a whole-rack loss never takes both copies: the sweep asserts zero
+//    domain losses and exactly-once delivery on every seed.
+//  * The oblivious baseline packs standbys next to their primaries (pool in
+//    order), so the same kills DO take primary and secondary together -- and
+//    the checkpoint re-provisioning path (HybridCoordinator domain-loss
+//    recovery) must still converge to exactly-once from the last confirmed
+//    checkpoint plus retained upstream queues. No single-domain loss is
+//    unrecoverable.
+//
+// The CI job `chaos-placement` runs exactly these via `ctest -R Placement`.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ha/hybrid.hpp"
+#include "harness/chaos_harness.hpp"
+#include "harness/sweep_runner.hpp"
+
+namespace streamha {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The big sweep: 104 machines (4 primaries + sink + 99-machine replacement
+// pool) across 4 racks, protected subjobs 1..3, background loss + one healed
+// partition, and a permanent whole-rack kill whose target cycles over the
+// racks hosting protected primaries and their standbys.
+// ---------------------------------------------------------------------------
+
+ScenarioParams bigClusterParams(std::uint64_t seed, bool domainAware) {
+  ScenarioParams p;
+  p.mode = HaMode::kHybrid;
+  p.protectedSubjobs = {1, 2, 3};
+  p.failStopAfter = 3 * kSecond;
+  p.duration = 30 * kSecond;
+  p.seed = seed;
+  p.placement.enabled = true;
+  p.placement.domainAware = domainAware;
+  p.placement.topology.racks = 4;
+  p.placement.poolMachines = 99;  // 4 primaries + sink + 99 = 104 machines.
+  return p;
+}
+
+harness::ChaosProfile domainKillProfile() {
+  harness::ChaosProfile profile;
+  // The single-machine crash dimension is off so the whole-rack kill owns
+  // every crash: an extra independent crash could fabricate a domain loss
+  // even under domain-aware placement and muddy the aware/oblivious split.
+  profile.withCrash = false;
+  profile.withDomainKill = true;
+  // Permanent loss: the re-provisioning path is the only way back.
+  profile.domainKillDownFor = kTimeNever;
+  // Leave recovery headroom inside the run.
+  profile.faultsUntil = 20 * kSecond;
+  return profile;
+}
+
+harness::ChaosRunOpts domainKillOpts(bool captureTrace = false) {
+  harness::ChaosRunOpts opts;
+  // Permanent kills leave dead islands; drain by quiescence predicate.
+  opts.quiescentDrain = true;
+  opts.captureTrace = captureTrace;
+  return opts;
+}
+
+std::vector<harness::ChaosOutcome> runDomainKillSweep(
+    const std::vector<std::uint64_t>& seeds, bool domainAware) {
+  auto makeParams = [domainAware](std::uint64_t seed) {
+    ScenarioParams p = bigClusterParams(seed, domainAware);
+    p.faults = harness::makeChaosPlan(p, domainKillProfile(), seed).schedule;
+    p.faultSeedSalt = seed;
+    return p;
+  };
+  return harness::runChaosSweep(seeds, makeParams, domainKillOpts());
+}
+
+TEST(PlacementChaosSweep, AwarePlacementNeverLosesBothCopies25Seeds) {
+  const std::vector<std::uint64_t> seeds = harness::seedRange(1, 25);
+  const std::vector<harness::ChaosOutcome> outcomes =
+      runDomainKillSweep(seeds, /*domainAware=*/true);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const std::uint64_t seed = seeds[i];
+    const harness::ChaosOutcome& out = outcomes[i];
+    const harness::ChaosPlan plan = harness::makeChaosPlan(
+        bigClusterParams(seed, true), domainKillProfile(), seed);
+    ASSERT_NE(plan.killedRack, -1) << "seed " << seed;
+    EXPECT_TRUE(out.oracle.ok)
+        << "seed " << seed << ": " << out.oracle.summary() << "\nschedule:\n"
+        << plan.schedule.describe();
+    // Domain-aware standbys are rack-disjoint from their primaries: a
+    // whole-rack kill never takes primary and secondary together.
+    EXPECT_EQ(out.result.placement.domainLosses, 0u) << "seed " << seed;
+    EXPECT_EQ(out.result.placement.reprovisions, 0u) << "seed " << seed;
+    // The kill really flattened a rack (104 machines / 4 racks).
+    EXPECT_GE(out.faults.crashes, plan.domainKillMachines.size())
+        << "seed " << seed;
+    EXPECT_TRUE(out.quiescence.quiescent) << "seed " << seed;
+  }
+}
+
+TEST(PlacementChaosSweep, ObliviousPlacementReprovisionsEveryDomainLoss25Seeds) {
+  const std::vector<std::uint64_t> seeds = harness::seedRange(1, 25);
+  const std::vector<harness::ChaosOutcome> outcomes =
+      runDomainKillSweep(seeds, /*domainAware=*/false);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const std::uint64_t seed = seeds[i];
+    const harness::ChaosOutcome& out = outcomes[i];
+    const harness::ChaosPlan plan = harness::makeChaosPlan(
+        bigClusterParams(seed, false), domainKillProfile(), seed);
+    ASSERT_NE(plan.killedRack, -1) << "seed " << seed;
+    // The oblivious layout puts standby k on the k-th pool machine, which
+    // shares its primary's rack (pool ids 5,6,7 over 4 racks): every sampled
+    // rack kill is a genuine both-copies loss...
+    EXPECT_GE(out.result.placement.domainLosses, 1u) << "seed " << seed;
+    // ...and the checkpoint re-provisioning path recovered it to
+    // exactly-once: nothing a single failure domain can take down is
+    // unrecoverable.
+    EXPECT_GE(out.result.placement.reprovisions, 1u) << "seed " << seed;
+    EXPECT_TRUE(out.oracle.ok)
+        << "seed " << seed << ": " << out.oracle.summary() << "\nschedule:\n"
+        << plan.schedule.describe();
+    EXPECT_TRUE(out.quiescence.quiescent) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the big oblivious scenario -- domain kill, domain-loss
+// recovery, re-provisioning and all -- replays bit-identically.
+// ---------------------------------------------------------------------------
+
+TEST(PlacementChaosDeterminism, ReprovisioningRunsAreBitIdentical) {
+  auto runOnce = [] {
+    ScenarioParams p = bigClusterParams(9, /*domainAware=*/false);
+    p.trace.enabled = true;
+    p.faults = harness::makeChaosPlan(p, domainKillProfile(), 9).schedule;
+    p.faultSeedSalt = 9;
+    return harness::runChaosScenario(p, domainKillOpts(/*captureTrace=*/true));
+  };
+  const harness::ChaosOutcome first = runOnce();
+  const harness::ChaosOutcome second = runOnce();
+  ASSERT_FALSE(first.trace.empty());
+  EXPECT_GE(first.result.placement.domainLosses, 1u);
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.resultFingerprint, second.resultFingerprint);
+}
+
+// ---------------------------------------------------------------------------
+// Focused re-provisioning walkthrough: a small 3-rack cluster where the only
+// kill candidate is protected subjob 2's rack, which (obliviously) hosts its
+// standby too. The trace must show the full recovery arc.
+// ---------------------------------------------------------------------------
+
+/// 3 racks, primaries 0..3, sink on 4, pool 5..10; only subjob 2 protected.
+/// Racks of interest: primary 2 -> rack 2, oblivious standby = pool[0] = 5
+/// -> rack 2 as well. Racks 0 (source) and 1 (sink) are excluded, so the
+/// domain kill always flattens rack 2 = {2, 5, 8}: a guaranteed domain loss.
+ScenarioParams focusedParams(std::uint64_t seed) {
+  ScenarioParams p;
+  p.mode = HaMode::kHybrid;
+  p.protectedSubjobs = {2};
+  p.failStopAfter = 3 * kSecond;
+  p.duration = 30 * kSecond;
+  p.seed = seed;
+  p.placement.enabled = true;
+  p.placement.domainAware = false;
+  p.placement.topology.racks = 3;
+  p.placement.poolMachines = 6;
+  return p;
+}
+
+TEST(PlacementReprovision, TraceShowsDomainLossRecoveryArc) {
+  ScenarioParams p = focusedParams(5);
+  p.trace.enabled = true;
+  harness::ChaosProfile profile;
+  // Fault-free except the kill itself: every trace line is attributable.
+  profile.maxLossProb = 0.0;
+  profile.maxDuplicateProb = 0.0;
+  profile.maxDelayProb = 0.0;
+  profile.partitionCount = 0;
+  profile.withCrash = false;
+  profile.withDomainKill = true;
+  profile.domainKillDownFor = kTimeNever;
+  profile.faultsUntil = 15 * kSecond;
+  const harness::ChaosPlan plan = harness::makeChaosPlan(p, profile, 5);
+  ASSERT_EQ(plan.killedRack, 2);
+  ASSERT_EQ(plan.domainKillMachines, (std::vector<MachineId>{2, 5, 8}));
+  p.faults = plan.schedule;
+  p.faultSeedSalt = 5;
+
+  const harness::ChaosOutcome out =
+      harness::runChaosScenario(p, domainKillOpts(/*captureTrace=*/true));
+  EXPECT_TRUE(out.oracle.ok) << out.oracle.summary();
+  EXPECT_EQ(out.oracle.delivered, out.oracle.generated);
+  EXPECT_EQ(out.result.placement.domainLosses, 1u);
+  EXPECT_EQ(out.result.placement.reprovisions, 1u);
+  // The recovery arc is visible in the trace: loss declared, re-provision
+  // started from the last confirmed checkpoint, re-provisioned copy live.
+  EXPECT_NE(out.trace.find("DomainLoss"), std::string::npos);
+  EXPECT_NE(out.trace.find("ReprovisionBegin"), std::string::npos);
+  EXPECT_NE(out.trace.find("ReprovisionEnd"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Fresh-standby spare guard (regression): a fail-stop promotion must never
+// deploy its replacement standby on a quarantined machine -- the planner
+// rejects it and picks the next disjoint candidate.
+// ---------------------------------------------------------------------------
+
+/// 3 racks, only subjob 2 protected, pool {5,6,7,8} with racks {2,0,1,2}.
+/// The aware planner gives subjob 2 (rack 2) standby machine 6 (rack 0).
+/// After primary 2 dies permanently, the promotion on machine 6 requests a
+/// fresh-standby spare disjoint from rack 0: first candidate is 5 (rack 2).
+/// Quarantining 5 up front must push the choice to 7 (rack 1).
+ScenarioParams spareGuardParams(bool quarantineFirstChoice) {
+  ScenarioParams p;
+  p.mode = HaMode::kHybrid;
+  p.protectedSubjobs = {2};
+  p.failStopAfter = 2 * kSecond;
+  p.duration = 25 * kSecond;
+  p.seed = 11;
+  p.placement.enabled = true;
+  p.placement.domainAware = true;
+  p.placement.topology.racks = 3;
+  p.placement.poolMachines = 4;
+  CrashSpec crash;
+  crash.machine = 2;
+  crash.crashAt = 8 * kSecond;  // Permanent: no restartAt.
+  p.faults.crashes.push_back(crash);
+  (void)quarantineFirstChoice;
+  return p;
+}
+
+TEST(PlacementSpareGuard, PromotionSkipsQuarantinedSpare) {
+  auto runWithQuarantine = [](bool quarantine) {
+    ScenarioParams p = spareGuardParams(quarantine);
+    Scenario s(p);
+    s.build();
+    ASSERT_NE(s.planner(), nullptr);
+    EXPECT_EQ(s.standbyMachineOf(2), 6);  // Aware: rack-disjoint standby.
+    if (quarantine) s.planner()->setQuarantined(5, true);
+    s.start();
+    s.run(p.duration);
+    s.drain();
+    const ScenarioResult r = s.collect();
+    EXPECT_GE(r.promotions, 1u);
+    auto* hybrid = dynamic_cast<HybridCoordinator*>(s.coordinatorFor(2));
+    ASSERT_NE(hybrid, nullptr);
+    if (quarantine) {
+      // The planner refused the quarantined first choice (machine 5) and the
+      // fresh standby landed on the next disjoint candidate instead.
+      EXPECT_EQ(hybrid->standbyMachine(), 7);
+      EXPECT_GE(s.planner()->telemetry().quarantineRejections, 1u);
+    } else {
+      EXPECT_EQ(hybrid->standbyMachine(), 5);
+    }
+  };
+  runWithQuarantine(false);
+  runWithQuarantine(true);
+}
+
+}  // namespace
+}  // namespace streamha

@@ -1,0 +1,167 @@
+// Unit tests for the failure-domain topology and the placement planner
+// (src/place/): label arithmetic, separation scoring, eligibility filters
+// (down / quarantined / suspected), occupancy balancing and the layout-time
+// planInitialStandbys in both domain-aware and oblivious modes.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "place/domain.hpp"
+#include "place/planner.hpp"
+
+namespace streamha {
+namespace {
+
+TEST(DomainTopology, DisabledTopologyLabelsNothing) {
+  DomainTopology topology;  // racks == 0.
+  EXPECT_FALSE(topology.enabled());
+  const DomainLabel label = topology.labelOf(7);
+  EXPECT_EQ(label.rack, -1);
+  EXPECT_EQ(label.power, -1);
+  EXPECT_EQ(label.zone, -1);
+  // Disabled labels share nothing and are maximally separated.
+  EXPECT_EQ(separationOf(label, topology.labelOf(7)),
+            DomainSeparation::kDisjoint);
+}
+
+TEST(DomainTopology, RoundRobinRackAndNestedPowerZone) {
+  DomainTopology topology;
+  topology.racks = 4;
+  topology.racksPerPower = 2;
+  topology.powersPerZone = 2;
+  EXPECT_EQ(topology.labelOf(0).rack, 0);
+  EXPECT_EQ(topology.labelOf(5).rack, 1);
+  EXPECT_EQ(topology.labelOf(6).rack, 2);
+  // Racks {0,1} -> power 0, {2,3} -> power 1; both powers -> zone 0.
+  EXPECT_EQ(topology.labelOf(0).power, 0);
+  EXPECT_EQ(topology.labelOf(1).power, 0);
+  EXPECT_EQ(topology.labelOf(2).power, 1);
+  EXPECT_EQ(topology.labelOf(0).zone, 0);
+  EXPECT_EQ(topology.labelOf(2).zone, 0);
+
+  EXPECT_EQ(separationOf(topology.labelOf(0), topology.labelOf(4)),
+            DomainSeparation::kSameRack);
+  EXPECT_EQ(separationOf(topology.labelOf(0), topology.labelOf(1)),
+            DomainSeparation::kSamePower);
+  EXPECT_EQ(separationOf(topology.labelOf(0), topology.labelOf(2)),
+            DomainSeparation::kSameZone);
+}
+
+TEST(DomainTopology, RackMembersEnumeratesRoundRobin) {
+  DomainTopology topology;
+  topology.racks = 3;
+  const std::vector<MachineId> members = topology.rackMembers(1, 8);
+  EXPECT_EQ(members, (std::vector<MachineId>{1, 4, 7}));
+}
+
+Cluster::Params clusterParams(int racks, std::size_t machineCount) {
+  Cluster::Params params;
+  params.machineCount = machineCount;
+  params.topology.racks = racks;
+  return params;
+}
+
+TEST(PlacementPlanner, ChoosesMaxSeparationThenOccupancyThenId) {
+  // 3 racks, 9 machines: pool {3..8} has racks {0,1,2,0,1,2}.
+  Cluster cluster(clusterParams(3, 9));
+  PlacementPlanner planner(cluster, cluster.topology(), /*domainAware=*/true,
+                           {3, 4, 5, 6, 7, 8});
+  PlacementPlanner::Request request;
+  request.preferDisjointFrom.push_back(1);  // rack 1
+  // Disjoint candidates: 3(r0), 5(r2), 6(r0), 8(r2); first eligible wins
+  // ties (equal occupancy, equal load).
+  EXPECT_EQ(planner.choose(request), 3);
+  // 3 now has occupancy 1: the next choice spreads to the next disjoint
+  // machine with occupancy 0.
+  EXPECT_EQ(planner.choose(request), 5);
+  EXPECT_EQ(planner.telemetry().plannerChoices, 2u);
+  EXPECT_EQ(planner.telemetry().sameDomainFallbacks, 0u);
+}
+
+TEST(PlacementPlanner, AvoidsQuarantinedSuspectedDownAndAvoidList) {
+  Cluster cluster(clusterParams(3, 9));
+  PlacementPlanner planner(cluster, cluster.topology(), /*domainAware=*/true,
+                           {3, 4, 5});
+  planner.setQuarantined(3, true);
+  planner.setSuspected(4, true);
+  EXPECT_FALSE(planner.eligible(3));
+  EXPECT_FALSE(planner.eligible(4));
+  EXPECT_TRUE(planner.eligible(5));
+  EXPECT_EQ(planner.choose({}), 5);
+  EXPECT_GE(planner.telemetry().quarantineRejections, 2u);
+
+  // Hard-avoided and down machines are skipped even when nothing else has
+  // better separation.
+  planner.setQuarantined(3, false);
+  planner.setSuspected(4, false);
+  cluster.machine(5).crash();
+  PlacementPlanner::Request request;
+  request.avoidMachines.push_back(3);
+  EXPECT_EQ(planner.choose(request), 4);
+
+  // Everything gone: the pool is exhausted.
+  cluster.machine(3).crash();
+  cluster.machine(4).crash();
+  EXPECT_EQ(planner.choose({}), kNoMachine);
+  EXPECT_EQ(planner.telemetry().plannerExhausted, 1u);
+}
+
+TEST(PlacementPlanner, ObliviousModeIgnoresDomains) {
+  Cluster cluster(clusterParams(3, 9));
+  PlacementPlanner planner(cluster, cluster.topology(), /*domainAware=*/false,
+                           {4, 5, 6});
+  PlacementPlanner::Request request;
+  request.preferDisjointFrom.push_back(1);  // rack 1 == machine 4's rack.
+  // Oblivious: separation is not scored, so the first pool machine wins even
+  // though it shares the rack being protected against.
+  EXPECT_EQ(planner.choose(request), 4);
+}
+
+TEST(PlacementPlanner, SameDomainFallbackIsCounted) {
+  // Pool confined to the protected machine's own rack.
+  Cluster cluster(clusterParams(3, 10));
+  PlacementPlanner planner(cluster, cluster.topology(), /*domainAware=*/true,
+                           {4, 7});  // Both rack 1.
+  PlacementPlanner::Request request;
+  request.preferDisjointFrom.push_back(1);  // rack 1
+  EXPECT_NE(planner.choose(request), kNoMachine);
+  EXPECT_EQ(planner.telemetry().sameDomainFallbacks, 1u);
+}
+
+TEST(PlacementPlanner, PlanInitialStandbysSpreadsAcrossRacks) {
+  DomainTopology topology;
+  topology.racks = 4;
+  // Primaries 1..3 sit in racks 1..3; pool {5..10} has racks {1,2,3,0,1,2}.
+  const std::vector<MachineId> pool = {5, 6, 7, 8, 9, 10};
+  const std::vector<MachineId> aware = PlacementPlanner::planInitialStandbys(
+      topology, /*domainAware=*/true, pool, {1, 2, 3});
+  ASSERT_EQ(aware.size(), 3u);
+  for (std::size_t i = 0; i < aware.size(); ++i) {
+    const MachineId primary = static_cast<MachineId>(i + 1);
+    EXPECT_NE(topology.labelOf(aware[i]).rack, topology.labelOf(primary).rack)
+        << "standby " << aware[i] << " shares primary " << primary
+        << "'s rack";
+  }
+
+  // The oblivious baseline takes the pool in order -- and collides: pool[0]
+  // (machine 5, rack 1) lands in primary 1's rack.
+  const std::vector<MachineId> oblivious =
+      PlacementPlanner::planInitialStandbys(topology, /*domainAware=*/false,
+                                            pool, {1, 2, 3});
+  EXPECT_EQ(oblivious, (std::vector<MachineId>{5, 6, 7}));
+  EXPECT_EQ(topology.labelOf(oblivious[0]).rack, topology.labelOf(1).rack);
+}
+
+TEST(PlacementPlanner, PlanInitialStandbysSharesOnlyWhenExhausted) {
+  DomainTopology topology;
+  topology.racks = 2;
+  const std::vector<MachineId> pool = {4};
+  const std::vector<MachineId> standbys =
+      PlacementPlanner::planInitialStandbys(topology, /*domainAware=*/true,
+                                            pool, {1, 2, 3});
+  // One pool machine, three primaries: everyone shares it rather than going
+  // unprotected.
+  EXPECT_EQ(standbys, (std::vector<MachineId>{4, 4, 4}));
+}
+
+}  // namespace
+}  // namespace streamha
