@@ -37,6 +37,11 @@ CheckpointManager::~CheckpointManager() = default;
 
 void CheckpointManager::stop() {
   stopped_ = true;
+  // Abandoning a waiter is not enough: if the PE is still finishing its
+  // in-flight element, the pause request would complete into enterPaused()
+  // after this manager is retired, and nothing would ever resume the
+  // processing loop. Withdraw the request along with the waiter.
+  for (auto& [pe, waiter] : pause_waiters_) pe->cancelPause(*this);
   pause_waiters_.clear();
   in_progress_.clear();
 }
@@ -49,13 +54,17 @@ void CheckpointManager::ackPePause(PeInstance& pe) {
   fn();
 }
 
-void CheckpointManager::checkpointPe(PeInstance& pe,
-                                     std::function<void()> done) {
+void CheckpointManager::checkpointPe(PeInstance& pe, std::function<void()> done,
+                                     std::shared_ptr<AckBarrier> barrier) {
   if (stopped_ || !subjob_.alive() || pe.terminated() ||
       in_progress_.count(&pe) != 0 || pe.paused()) {
     if (done) done();
     return;
   }
+  // Pin the ack-release epoch this pipeline was started under. If an atomic
+  // re-persist bumps it mid-flight, this pipeline's state predates the
+  // adoption and its confirm must not trim upstream.
+  const std::uint64_t ackEpoch = ack_epoch_;
   const std::uint64_t token = ++attempt_counter_;
   in_progress_[&pe] = token;
   if (params_.confirmTimeout > 0) {
@@ -88,21 +97,25 @@ void CheckpointManager::checkpointPe(PeInstance& pe,
                         subjob_.machine().id(), subjob_.logicalId(),
                         static_cast<std::uint64_t>(pe.logicalId()) + 1, 0);
   PeInstance* pePtr = &pe;
-  pause_waiters_[pePtr] = [this, pePtr, started, token,
+  pause_waiters_[pePtr] = [this, pePtr, started, token, barrier, ackEpoch,
                            done = std::move(done)] {
     PeState state = pePtr->checkpoint(true, includesInputQueues());
     pePtr->resume();
     stats_.pauseMs.add(toMillis(sim_.now() - started));
-    shipState(pePtr, std::move(state), started, token, done);
+    shipState(pePtr, std::move(state), started, token, done, barrier,
+              ackEpoch);
   };
   pe.pause(*this);
 }
 
 void CheckpointManager::shipState(PeInstance* pe, PeState state,
                                   SimTime startedAt, std::uint64_t token,
-                                  std::function<void()> done) {
+                                  std::function<void()> done,
+                                  std::shared_ptr<AckBarrier> barrier,
+                                  std::uint64_t ackEpoch) {
   if (store_.deltaEnabled()) {
-    shipDelta(pe, std::move(state), startedAt, token, std::move(done));
+    shipDelta(pe, std::move(state), startedAt, token, std::move(done),
+              std::move(barrier), ackEpoch);
     return;
   }
   const std::uint64_t bytes = state.sizeBytes();
@@ -121,26 +134,27 @@ void CheckpointManager::shipState(PeInstance* pe, PeState state,
                             : state.processedWatermark;
   machine.submitData(serializeWork, [this, pe, state = std::move(state),
                                      bytes, elements, srcMachine, storeMachine,
-                                     subjobId, acks, startedAt, token,
+                                     subjobId, acks, startedAt, token, barrier,
+                                     ackEpoch,
                                      done = std::move(done)]() mutable {
     // Ship and confirm ride the reliable control-plane path: under a lossy
     // network both legs are retried until acked (plain send when ARQ is off).
     net_.sendReliable(
         srcMachine, storeMachine, MsgKind::kCheckpoint, bytes, elements,
         [this, pe, state = std::move(state), bytes, elements, srcMachine,
-         storeMachine, subjobId, acks, startedAt, token,
+         storeMachine, subjobId, acks, startedAt, token, barrier, ackEpoch,
          done = std::move(done)]() mutable {
           store_.storePeState(
               subjobId, state,
               [this, pe, bytes, elements, srcMachine, storeMachine, acks,
-               startedAt, token, done = std::move(done)] {
+               startedAt, token, barrier, ackEpoch, done = std::move(done)] {
                 // Durable: confirm back to the primary, then release
                 // the accumulative acks upstream.
                 net_.sendReliable(
                     storeMachine, srcMachine, MsgKind::kControl,
                     params_.confirmBytes, 0,
                     [this, pe, bytes, elements, srcMachine, acks, startedAt,
-                     token, done = std::move(done)] {
+                     token, barrier, ackEpoch, done = std::move(done)] {
                       stats_.checkpoints += 1;
                       stats_.bytes += bytes;
                       stats_.elements += elements;
@@ -160,10 +174,16 @@ void CheckpointManager::shipState(PeInstance* pe, PeState state,
                       } else {
                         stats_.staleConfirms += 1;
                       }
-                      // A fenced (stopped) manager must not
-                      // advance upstream trim points anymore.
-                      if (!stopped_ && !pe->terminated()) {
-                        pe->flushAcks(acks);
+                      // A fenced (stopped) manager must not advance upstream
+                      // trim points anymore, and neither may a pipeline whose
+                      // ack epoch a rollback re-persist has since outdated.
+                      if (!stopped_ && !pe->terminated() &&
+                          ackEpoch == ack_epoch_) {
+                        if (barrier == nullptr) {
+                          pe->flushAcks(acks);
+                        } else if (!barrier->resolved) {
+                          barrier->held.emplace_back(pe, acks);
+                        }
                       }
                       if (done) done();
                     });
@@ -174,7 +194,9 @@ void CheckpointManager::shipState(PeInstance* pe, PeState state,
 
 void CheckpointManager::shipDelta(PeInstance* pe, PeState state,
                                   SimTime startedAt, std::uint64_t token,
-                                  std::function<void()> done) {
+                                  std::function<void()> done,
+                                  std::shared_ptr<AckBarrier> barrier,
+                                  std::uint64_t ackEpoch) {
   const PeState* base = nullptr;
   const auto baseIt = delta_base_.find(pe->logicalId());
   if (baseIt != delta_base_.end()) base = &baseIt->second;
@@ -213,17 +235,17 @@ void CheckpointManager::shipDelta(PeInstance* pe, PeState state,
   machine.submitData(serializeWork, [this, pe, state = std::move(state),
                                      delta = std::move(delta), bytes, elements,
                                      srcMachine, storeMachine, subjobId, acks,
-                                     startedAt, token,
+                                     startedAt, token, barrier, ackEpoch,
                                      done = std::move(done)]() mutable {
     net_.sendReliable(
         srcMachine, storeMachine, MsgKind::kCheckpoint, bytes, elements,
         [this, pe, state = std::move(state), delta = std::move(delta), bytes,
          elements, srcMachine, storeMachine, subjobId, acks, startedAt, token,
-         done = std::move(done)]() mutable {
+         barrier, ackEpoch, done = std::move(done)]() mutable {
           store_.storePeDelta(
               subjobId, delta,
               [this, pe, state = std::move(state), bytes, elements, srcMachine,
-               storeMachine, acks, startedAt, token,
+               storeMachine, acks, startedAt, token, barrier, ackEpoch,
                done = std::move(done)](bool covered) mutable {
                 // Covered (applied or stale-but-newer-held): confirm back to
                 // the primary, then release the accumulative acks. A base
@@ -233,8 +255,8 @@ void CheckpointManager::shipDelta(PeInstance* pe, PeState state,
                     storeMachine, srcMachine, MsgKind::kControl,
                     params_.confirmBytes, 0,
                     [this, pe, state = std::move(state), bytes, elements,
-                     srcMachine, acks, startedAt, token, covered,
-                     done = std::move(done)] {
+                     srcMachine, acks, startedAt, token, covered, barrier,
+                     ackEpoch, done = std::move(done)] {
                       stats_.checkpoints += 1;
                       stats_.bytes += bytes;
                       stats_.elements += elements;
@@ -257,8 +279,13 @@ void CheckpointManager::shipDelta(PeInstance* pe, PeState state,
                       } else {
                         stats_.staleConfirms += 1;
                       }
-                      if (covered && !stopped_ && !pe->terminated()) {
-                        pe->flushAcks(acks);
+                      if (covered && !stopped_ && !pe->terminated() &&
+                          ackEpoch == ack_epoch_) {
+                        if (barrier == nullptr) {
+                          pe->flushAcks(acks);
+                        } else if (!barrier->resolved) {
+                          barrier->held.emplace_back(pe, acks);
+                        }
                       }
                       if (done) done();
                     });
@@ -267,19 +294,52 @@ void CheckpointManager::shipDelta(PeInstance* pe, PeState state,
   });
 }
 
-void CheckpointManager::checkpointAllNow(std::function<void()> done) {
+void CheckpointManager::checkpointAllNow(std::function<void()> done,
+                                         bool atomic) {
   const std::size_t count = subjob_.peCount();
   if (count == 0) {
     if (done) done();
     return;
   }
+  std::shared_ptr<AckBarrier> barrier;
+  if (atomic) {
+    // Fence every pipeline already in flight: their state predates this
+    // re-persist, so their late confirms must not release acks.
+    ++ack_epoch_;
+    barrier = std::make_shared<AckBarrier>();
+    barrier->expected = count;
+    barrier->epoch = ack_epoch_;
+  }
   auto remaining = std::make_shared<std::size_t>(count);
   auto doneShared = std::make_shared<std::function<void()>>(std::move(done));
   for (std::size_t i = 0; i < count; ++i) {
-    checkpointPe(subjob_.pe(i), [remaining, doneShared] {
-      if (--*remaining == 0 && *doneShared) (*doneShared)();
-    });
+    checkpointPe(
+        subjob_.pe(i),
+        [this, remaining, doneShared, barrier] {
+          if (--*remaining != 0) return;
+          if (barrier != nullptr) resolveAtomicBarrier(*barrier);
+          if (*doneShared) (*doneShared)();
+        },
+        barrier);
   }
+}
+
+void CheckpointManager::resolveAtomicBarrier(AckBarrier& barrier) {
+  if (barrier.resolved) return;
+  barrier.resolved = true;
+  // All-or-nothing: release the held acks only if every PE's re-persist
+  // confirmed durable (a pipeline that could not start, timed out, or was
+  // fenced leaves `held` short) and nothing outdated the barrier meanwhile.
+  // Withholding is always safe -- trim just waits for the next checkpoint.
+  if (barrier.held.size() != barrier.expected || stopped_ ||
+      barrier.epoch != ack_epoch_) {
+    barrier.held.clear();
+    return;
+  }
+  for (auto& [pe, acks] : barrier.held) {
+    if (!pe->terminated()) pe->flushAcks(acks);
+  }
+  barrier.held.clear();
 }
 
 void CheckpointManager::checkpointSubjobGrouped(std::function<void()> done) {
@@ -293,7 +353,10 @@ void CheckpointManager::checkpointSubjobGrouped(std::function<void()> done) {
   auto awaiting = std::make_shared<std::size_t>(0);
   auto proceed = std::make_shared<std::function<void()>>();
   *proceed = [this, started, done = std::move(done)]() mutable {
-    // All PEs paused: capture one combined state, resume everything.
+    // All PEs paused: capture one combined state, resume everything. Pin the
+    // ack-release epoch at capture time -- an atomic re-persist bumping it
+    // later means this state predates a rollback adoption.
+    const std::uint64_t ackEpoch = ack_epoch_;
     SubjobState state = subjob_.captureState(true, includesInputQueues());
     for (std::size_t i = 0; i < subjob_.peCount(); ++i) {
       subjob_.pe(i).resume();
@@ -308,19 +371,21 @@ void CheckpointManager::checkpointSubjobGrouped(std::function<void()> done) {
     subjob_.machine().submitData(
         serializeWork,
         [this, state = std::move(state), bytes, elements, srcMachine,
-         storeMachine, started, done = std::move(done)]() mutable {
+         storeMachine, started, ackEpoch, done = std::move(done)]() mutable {
           net_.sendReliable(
               srcMachine, storeMachine, MsgKind::kCheckpoint, bytes, elements,
               [this, state = std::move(state), bytes, elements, srcMachine,
-               storeMachine, started, done = std::move(done)]() mutable {
+               storeMachine, started, ackEpoch,
+               done = std::move(done)]() mutable {
                 store_.storeSubjobState(
-                    state, [this, state, bytes, elements, srcMachine,
-                            storeMachine, started, done = std::move(done)] {
+                    state,
+                    [this, state, bytes, elements, srcMachine, storeMachine,
+                     started, ackEpoch, done = std::move(done)] {
                       net_.sendReliable(
                           storeMachine, srcMachine, MsgKind::kControl,
                           params_.confirmBytes, 0,
                           [this, state, bytes, elements, srcMachine, started,
-                           done = std::move(done)] {
+                           ackEpoch, done = std::move(done)] {
                             stats_.checkpoints += 1;
                             stats_.bytes += bytes;
                             stats_.elements += elements;
@@ -331,7 +396,7 @@ void CheckpointManager::checkpointSubjobGrouped(std::function<void()> done) {
                                 sim_.now(), srcMachine, subjob_.logicalId(), 0,
                                 bytes);
                             for (const auto& [peId, peState] : state.pes) {
-                              if (stopped_) break;
+                              if (stopped_ || ackEpoch != ack_epoch_) break;
                               PeInstance* pe = subjob_.peByLogicalId(peId);
                               if (pe != nullptr && !pe->terminated()) {
                                 pe->flushAcks(includesInputQueues()

@@ -81,7 +81,17 @@ class CheckpointManager : public CheckpointController {
 
   /// Checkpoint every PE immediately (Hybrid rollback re-persists the state
   /// adopted from the secondary). `done` runs when all are durable.
-  void checkpointAllNow(std::function<void()> done);
+  ///
+  /// `atomic` makes the upstream ack release all-or-nothing across the
+  /// subjob's PEs: no PE's acks are flushed until *every* PE's re-persist is
+  /// confirmed durable, and if any pipeline is abandoned (confirm timeout,
+  /// stop fence, a PE that could not start) none are released. Atomic mode
+  /// also fences every pipeline already in flight: those captured
+  /// pre-adoption state whose watermarks can run ahead of the state being
+  /// re-persisted, and letting their late confirms trim upstream would strand
+  /// the adopted copy without the elements it still has to reprocess (the
+  /// gray-seed-34 quarantine data loss).
+  void checkpointAllNow(std::function<void()> done, bool atomic = false);
 
   /// Delta mode: forget the per-PE confirmed bases, so the next ship of each
   /// PE is a full-coverage (base 0) delta. Called after rollback adopts
@@ -101,8 +111,23 @@ class CheckpointManager : public CheckpointController {
   }
 
  protected:
-  /// Full checkpoint pipeline for one PE.
-  void checkpointPe(PeInstance& pe, std::function<void()> done);
+  /// All-or-nothing ack release for an atomic checkpointAllNow(): confirms
+  /// park their acks in `held` instead of flushing, and the barrier flushes
+  /// everything at once only if every expected pipeline confirmed durable
+  /// under the epoch it was created in. A torn barrier (timeout, stop fence,
+  /// epoch bump) releases nothing -- withholding acks is always safe, it just
+  /// delays upstream trim until the next periodic checkpoint.
+  struct AckBarrier {
+    std::size_t expected = 0;
+    std::uint64_t epoch = 0;
+    bool resolved = false;
+    std::vector<std::pair<PeInstance*, std::map<StreamId, ElementSeq>>> held;
+  };
+
+  /// Full checkpoint pipeline for one PE. With a barrier, the durable-confirm
+  /// parks its acks there instead of flushing them directly.
+  void checkpointPe(PeInstance& pe, std::function<void()> done,
+                    std::shared_ptr<AckBarrier> barrier = nullptr);
   /// Synchronous variant: suspend-all, one combined state message.
   void checkpointSubjobGrouped(std::function<void()> done);
 
@@ -115,11 +140,15 @@ class CheckpointManager : public CheckpointController {
 
  private:
   void shipState(PeInstance* pe, PeState state, SimTime startedAt,
-                 std::uint64_t token, std::function<void()> done);
+                 std::uint64_t token, std::function<void()> done,
+                 std::shared_ptr<AckBarrier> barrier, std::uint64_t ackEpoch);
   /// Delta-mode per-PE pipeline: diff against the last confirmed base, ship
   /// only changed chunks, advance the base when the store confirms coverage.
   void shipDelta(PeInstance* pe, PeState state, SimTime startedAt,
-                 std::uint64_t token, std::function<void()> done);
+                 std::uint64_t token, std::function<void()> done,
+                 std::shared_ptr<AckBarrier> barrier, std::uint64_t ackEpoch);
+  /// Flush (or discard) a completed barrier's held acks.
+  void resolveAtomicBarrier(AckBarrier& barrier);
 
   std::map<PeInstance*, std::function<void()>> pause_waiters_;
   /// Delta mode: the last state per PE whose ship the store confirmed as
@@ -131,6 +160,11 @@ class CheckpointManager : public CheckpointController {
   /// late confirm from an abandoned attempt can never cancel a newer one.
   std::map<PeInstance*, std::uint64_t> in_progress_;
   std::uint64_t attempt_counter_ = 0;
+  /// Ack-release epoch. An atomic checkpointAllNow() bumps it, fencing every
+  /// pipeline already in flight: their captured state predates the rollback
+  /// adoption, so letting their late confirms flush acks would trim upstream
+  /// past elements the adopted copy still has to reprocess.
+  std::uint64_t ack_epoch_ = 0;
   bool stopped_ = false;
 };
 

@@ -294,7 +294,20 @@ void StateStore::applyToReplica(SubjobId subjob, const PeState& state) {
   // progress); it will re-sync on rollback.
   if (!replica->suspended() || replica->terminated()) return;
   PeInstance* pe = replica->peByLogicalId(state.pe);
-  if (pe != nullptr) pe->storeJobState(state);
+  if (pe == nullptr) return;
+  // Refreshes apply one PE at a time, so only fast-forwards are safe here.
+  // A checkpoint that lags what this replica processed during an active
+  // window (a stale ship confirming after the rollback) would rewind the PE
+  // below its own internal trim point -- and the upstream PE's output queue,
+  // which is not part of this application, no longer retains the rewound
+  // span, so the gap could never be refilled. Legitimate rewinds ride the
+  // whole-subjob adoption on switchover (completeSwitchover), where the
+  // matching upstream queue contents are restored alongside.
+  for (const auto& [stream, wm] : pe->watermarks()) {
+    const auto it2 = state.processedWatermark.find(stream);
+    if (it2 == state.processedWatermark.end() || it2->second < wm) return;
+  }
+  pe->storeJobState(state);
 }
 
 }  // namespace streamha

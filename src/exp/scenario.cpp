@@ -16,6 +16,7 @@ Scenario::~Scenario() {
   // destroy them first. The injector detaches its network hook, so it too
   // must die before the cluster.
   flow_.reset();
+  membership_.reset();  // Listeners reference the planner and coordinators.
   coordinators_.clear();
   planner_.reset();
   load_generators_.clear();
@@ -67,6 +68,11 @@ ScenarioLayout Scenario::layoutFor(const ScenarioParams& params) {
       layout.standbyOf[static_cast<std::size_t>(params.protectedSubjobs[i])] =
           standbys[i];
     }
+    if (params.membership.enabled) {
+      for (int i = 0; i < params.membership.latentMachines; ++i) {
+        layout.latentMachines.push_back(next++);
+      }
+    }
     layout.machineCount = static_cast<std::size_t>(next);
     return layout;
   }
@@ -87,6 +93,12 @@ ScenarioLayout Scenario::layoutFor(const ScenarioParams& params) {
       }
     }
   }
+  if (params.membership.enabled) {
+    // Latent machines: powered up, outside the roster until a churn join.
+    for (int i = 0; i < params.membership.latentMachines; ++i) {
+      layout.latentMachines.push_back(next++);
+    }
+  }
   layout.machineCount = static_cast<std::size_t>(next);
   return layout;
 }
@@ -96,6 +108,7 @@ void Scenario::build() {
   const int numSubjobs = layout.numSubjobs;
   standby_of_ = layout.standbyOf;
   spare_of_ = layout.spareOf;
+  latent_machines_ = layout.latentMachines;
   sink_machine_ = layout.sinkMachine;
   machine_count_ = layout.machineCount;
 
@@ -197,6 +210,73 @@ void Scenario::build() {
 
   createCoordinators();
   createLoadGenerators();
+
+  if (params_.membership.enabled) {
+    MembershipService::Params mp;
+    mp.directory = sink_machine_;
+    mp.beaconInterval = params_.membership.beaconInterval;
+    mp.leaseDuration = params_.membership.leaseDuration;
+    mp.warmUp = params_.membership.warmUp;
+    membership_ = std::make_unique<MembershipService>(*cluster_, mp);
+
+    // Roster wiring. Pool eligibility: any member that is not a primary and
+    // not the sink can host replacement copies -- the original pool machines
+    // re-qualify on re-join, latent machines qualify once warmed up.
+    const MachineId firstNonPrimary = static_cast<MachineId>(numSubjobs);
+    MembershipService::Listener listener;
+    listener.onJoined = [this, firstNonPrimary](MachineId m) {
+      if (planner_ == nullptr) return;
+      if (m < firstNonPrimary || m == sink_machine_) return;
+      planner_->addPoolMachine(m, /*warm=*/false);
+    };
+    listener.onWarmedUp = [this](MachineId m) {
+      if (planner_ != nullptr) planner_->setWarm(m);
+    };
+    listener.onLeft = [this](MachineId m,
+                             MembershipService::LeaveReason reason) {
+      if (planner_ != nullptr) planner_->removePoolMachine(m);
+      for (auto& c : coordinators_) {
+        if (auto* hybrid = dynamic_cast<HybridCoordinator*>(c.get())) {
+          hybrid->noteMemberLeft(
+              m, reason == MembershipService::LeaveReason::kRetired);
+        }
+      }
+    };
+    membership_->setListener(std::move(listener));
+
+    // Every static-layout machine is a founding member (silent registration,
+    // already warm); latent machines wait for a churn join.
+    for (std::size_t m = 0; m < machine_count_; ++m) {
+      const MachineId id = static_cast<MachineId>(m);
+      if (std::find(latent_machines_.begin(), latent_machines_.end(), id) ==
+          latent_machines_.end()) {
+        membership_->addFoundingMember(id);
+      }
+    }
+
+    // Churn schedule: membership actions are interpreted here, not by the
+    // fault injector -- they are roster transitions, not message faults.
+    for (const ChurnSpec& churn : params_.faults.churn) {
+      const MachineId m = churn.machine;
+      const SimDuration delay =
+          churn.at > cluster_->sim().now() ? churn.at - cluster_->sim().now()
+                                           : 0;
+      switch (churn.kind) {
+        case ChurnKind::kJoin:
+          cluster_->sim().schedule(delay,
+                                   [this, m] { membership_->startBeacon(m); });
+          break;
+        case ChurnKind::kRetire:
+          cluster_->sim().schedule(delay,
+                                   [this, m] { membership_->retire(m); });
+          break;
+        case ChurnKind::kSilence:
+          cluster_->sim().schedule(delay,
+                                   [this, m] { membership_->stopBeacon(m); });
+          break;
+      }
+    }
+  }
 
   // Applied after coordinators so pre-deployed standby copies shed too.
   // (Copies a coordinator instantiates mid-run start unshedded.)
@@ -525,6 +605,10 @@ ScenarioResult Scenario::collect() {
     }
   }
   if (planner_ != nullptr) result.placement += planner_->telemetry();
+  if (membership_ != nullptr) {
+    membership_->telemetry().rosterSize = membership_->roster().size();
+    result.membership += membership_->telemetry();
+  }
   if (injector_ != nullptr) {
     result.gray.slowdownsApplied = injector_->stats().slowdownsApplied;
     result.gray.slowdownDelays = injector_->stats().slowdownDelays;

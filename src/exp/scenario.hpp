@@ -27,6 +27,7 @@
 #include "ha/active_standby.hpp"
 #include "ha/hybrid.hpp"
 #include "ha/passive_standby.hpp"
+#include "membership/membership.hpp"
 #include "metrics/counters.hpp"
 #include "metrics/latency.hpp"
 #include "place/planner.hpp"
@@ -132,6 +133,26 @@ struct ScenarioParams {
   };
   PlacementConfig placement;
 
+  // -- Elastic membership (membership/) ---------------------------------------
+  /// Lease-based runtime join/leave. When enabled, every layout machine is a
+  /// founding member beaconing to a directory on the sink machine, and
+  /// `latentMachines` extra machines exist powered-up but outside the roster
+  /// until a churn action (FaultSchedule::churn kJoin) starts their beacon --
+  /// on warm-up they enter the planner pool and balancer spare list, so
+  /// replacements can be drafted onto mid-run-joined capacity. Graceful
+  /// leaves (kRetire) drain standbys via the redeploy path; silenced beacons
+  /// (kSilence, or a crash) evict by lease expiry. Off by default: no
+  /// service, no beacons, no events, no RNG -- bit-identical runs.
+  struct MembershipConfig {
+    bool enabled = false;
+    /// Extra machines appended after the pool/spare slots, latent at start.
+    int latentMachines = 0;
+    SimDuration beaconInterval = 500 * kMillisecond;
+    SimDuration leaseDuration = 2 * kSecond;
+    SimDuration warmUp = kSecond;
+  };
+  MembershipConfig membership;
+
   // -- Transient failure load --------------------------------------------------
   /// Fraction of time each loaded machine spends in spikes; 0 disables.
   double failureFraction = 0.0;
@@ -227,6 +248,8 @@ struct ScenarioResult {
   StateTelemetry state;
   /// Placement / domain-loss recovery telemetry (all zero with placement off).
   PlacementTelemetry placement;
+  /// Elastic-membership telemetry (all zero with membership off).
+  MembershipTelemetry membership;
 };
 
 /// Result of Scenario::drainQuiescent(): how the run wound down.
@@ -254,6 +277,9 @@ struct ScenarioLayout {
   /// Replacement-pool machines (placement enabled only); standbys above are
   /// drawn from this pool rather than occupying dedicated layout slots.
   std::vector<MachineId> poolMachines;
+  /// Latent machines (membership enabled only): powered up but outside the
+  /// roster until a churn join starts their beacon.
+  std::vector<MachineId> latentMachines;
   std::size_t machineCount = 0;
 
   MachineId primaryOf(SubjobId subjob) const {
@@ -328,6 +354,12 @@ class Scenario {
   /// The placement planner; null when params.placement.enabled is false.
   PlacementPlanner* planner() { return planner_.get(); }
 
+  /// The membership service; null when params.membership.enabled is false.
+  MembershipService* membership() { return membership_.get(); }
+
+  /// Latent machines (membership): powered up, outside the roster at start.
+  const std::vector<MachineId>& latentMachines() const { return latent_machines_; }
+
   /// The armed fault injector; null when params.faults is empty.
   FaultInjector* faultInjector() { return injector_.get(); }
 
@@ -352,6 +384,9 @@ class Scenario {
   /// References the cluster; coordinators reference it. Reset after the
   /// coordinators and before the cluster in ~Scenario.
   std::unique_ptr<PlacementPlanner> planner_;
+  /// References the cluster and (via listeners) the planner/coordinators;
+  /// reset before both in ~Scenario.
+  std::unique_ptr<MembershipService> membership_;
   std::vector<std::unique_ptr<HaCoordinator>> coordinators_;
   std::vector<std::unique_ptr<LoadGenerator>> load_generators_;
   /// References the runtime; reset before runtime_ in ~Scenario.
@@ -359,6 +394,7 @@ class Scenario {
   std::vector<MachineId> loaded_machines_;
   std::vector<MachineId> standby_of_;  ///< Indexed by subjob id; kNoMachine if none.
   std::vector<MachineId> spare_of_;
+  std::vector<MachineId> latent_machines_;
   MachineId sink_machine_ = kNoMachine;
   std::size_t machine_count_ = 0;
 

@@ -164,6 +164,13 @@ std::string fingerprintResult(const ScenarioResult& r) {
   put(out, "place.reprovisions", r.placement.reprovisions);
   put(out, "place.reprovisionRetries", r.placement.reprovisionRetries);
   put(out, "place.standbyRedeploys", r.placement.standbyRedeploys);
+  put(out, "member.joins", r.membership.joins);
+  put(out, "member.warmUps", r.membership.warmUps);
+  put(out, "member.leaseExpiries", r.membership.leaseExpiries);
+  put(out, "member.retirements", r.membership.retirements);
+  put(out, "member.beaconsSent", r.membership.beaconsSent);
+  put(out, "member.beaconsDelivered", r.membership.beaconsDelivered);
+  put(out, "member.roster", r.membership.rosterSize);
   return out;
 }
 

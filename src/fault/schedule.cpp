@@ -167,6 +167,10 @@ std::string FaultSchedule::describe() const {
     appendWindow(out, slow.beginAt, slow.endAt);
     out << "\n";
   }
+  for (const ChurnSpec& c : churn) {
+    out << "churn " << toString(c.kind) << " machine " << c.machine << " at "
+        << toSeconds(c.at) << "s\n";
+  }
   return out.str();
 }
 

@@ -122,16 +122,44 @@ struct SlowdownSpec {
   bool matches(MachineId s, MachineId d, MsgKind kind, SimTime now) const;
 };
 
+/// Membership churn actions. Unlike crashes these go through the membership
+/// subsystem: a join starts a latent machine's beacon, a retire announces a
+/// graceful leave (standbys/subjobs drain off first), a silence stops the
+/// beacon without retiring so the lease expires on its own.
+enum class ChurnKind : std::uint8_t {
+  kJoin,    ///< Latent machine starts beaconing at `at`.
+  kRetire,  ///< Member announces a graceful leave at `at`.
+  kSilence, ///< Member's beacon goes quiet at `at` (lease times out).
+};
+
+constexpr const char* toString(ChurnKind kind) {
+  switch (kind) {
+    case ChurnKind::kJoin: return "join";
+    case ChurnKind::kRetire: return "retire";
+    case ChurnKind::kSilence: return "silence";
+  }
+  return "?";
+}
+
+/// One scheduled membership churn action; interpreted by the scenario's
+/// MembershipService wiring (not the injector), shrinkable as one atom.
+struct ChurnSpec {
+  ChurnKind kind = ChurnKind::kJoin;
+  MachineId machine = kNoMachine;
+  SimTime at = 0;
+};
+
 struct FaultSchedule {
   std::vector<LinkFaultRule> links;
   std::vector<PartitionSpec> partitions;
   std::vector<CrashSpec> crashes;
   std::vector<CorrelatedBurstSpec> bursts;
   std::vector<SlowdownSpec> slowdowns;
+  std::vector<ChurnSpec> churn;
 
   bool empty() const {
     return links.empty() && partitions.empty() && crashes.empty() &&
-           bursts.empty() && slowdowns.empty();
+           bursts.empty() && slowdowns.empty() && churn.empty();
   }
 
   /// Flatten bursts into their equivalent crash events (plus the explicit

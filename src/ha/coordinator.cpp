@@ -112,6 +112,18 @@ void HaCoordinator::activateRestoredInstance(Subjob& copy,
     rt_.setWireActive(*wire, true);
     if (gateInbound) wire->oq->setConnectionGating(wire->connId, true);
   }
+  // Local PE-to-PE wires are not in wiresInto, but need the same treatment:
+  // an adoption may rewind a downstream PE below what it acked during an
+  // earlier active window, and the stale ack record would let the next trim
+  // discard the very span the PE has to reprocess -- an unfillable internal
+  // gap, because nothing upstream retains a local wire's elements. Rewind
+  // the ack gate to the restored watermark and replay from there.
+  for (Runtime::Wire* wire : rt_.localWiresInto(copy)) {
+    if (wire->consumerPe == nullptr) continue;
+    const ElementSeq wm = stateWatermark(state, *wire->consumerPe, wire->stream);
+    wire->oq->rewindAck(wire->connId, wm);
+    rt_.retransmitWire(*wire, wm + 1);
+  }
   for (Runtime::Wire* wire : rt_.wiresOutOf(copy)) {
     rt_.setWireActive(*wire, true);
     wire->oq->setConnectionGating(wire->connId, true);

@@ -341,8 +341,12 @@ void HybridCoordinator::onRecovery(SimTime recoveredAt) {
                      // trimming) resume from it. In delta mode the adopted
                      // versions and the manager's confirmed bases can
                      // disagree, so restart from full-coverage ships.
+                     // Atomic: fence pre-adoption pipelines still in flight
+                     // (their confirms must not trim upstream past what the
+                     // rewound copy has to reprocess) and release the
+                     // re-persist's acks all-or-nothing.
                      cm_->resetDeltaBase();
-                     cm_->checkpointAllNow(nullptr);
+                     cm_->checkpointAllNow(nullptr, /*atomic=*/true);
                    }
                    (*finishOnce)();
                  });
@@ -813,8 +817,18 @@ void HybridCoordinator::activateReplacement(MachineId target) {
         ++reprovisions_;
         reprovision_target_ = kNoMachine;
         rebuild_reason_ = RebuildReason::kAfterReprovision;
+        rebuild_carry_ = reprovision_state_;
         rebuildStandby();
       });
+}
+
+void HybridCoordinator::noteMemberLeft(MachineId machine, bool graceful) {
+  (void)graceful;  // Both causes drain the same way; the reason is traced.
+  if (machine != params_.standbyMachine) return;
+  // Mid-incident the secondary is (or is becoming) the live copy -- the
+  // assessLoss/promote machinery owns it; don't tear it down underneath.
+  if (switched_ || promoting_) return;
+  redeployStandby();
 }
 
 void HybridCoordinator::redeployStandby() {
@@ -833,7 +847,10 @@ void HybridCoordinator::redeployStandby() {
     rt_.removeWiresOf(*secondary_);
     secondary_ = nullptr;
   }
-  if (store_ != nullptr) store_->detachReplica(subjob_);
+  if (store_ != nullptr) {
+    store_->detachReplica(subjob_);
+    rebuild_carry_ = store_->latest(subjob_);
+  }
   retire(std::move(cm_));
   retire(std::move(detector_));
   retire(std::move(store_));
@@ -858,6 +875,7 @@ void HybridCoordinator::rebuildStandby() {
                                           params_.store);
     store_->setTrace(trace());
     params_.standbyMachine = kNoMachine;
+    seedRebuiltStore();
     cm_ = makeCheckpointManager(*primary_, *store_);
     cm_->start();
     onStandbyRebuilt(kNoMachine, /*degraded=*/true);
@@ -876,6 +894,7 @@ void HybridCoordinator::rebuildStandby() {
         store_->setTrace(trace());
         params_.standbyMachine = target;
         predeploySecondary(target);
+        seedRebuiltStore();
         cm_ = makeCheckpointManager(*primary_, *store_);
         cm_->start();
         installDetector(target, primary_->machine());
@@ -884,9 +903,21 @@ void HybridCoordinator::rebuildStandby() {
       });
 }
 
+void HybridCoordinator::seedRebuiltStore() {
+  // The swap must not lose durable ground: acks for the carried checkpoint
+  // were already released upstream, so if the primary dies before the fresh
+  // checkpoint manager confirms its first checkpoint, promotion/re-provision
+  // would otherwise restore an *empty* state against already-trimmed queues
+  // -- an unrecoverable gap. Seeding also refreshes the attached suspended
+  // copy's PE memory.
+  if (rebuild_carry_.empty()) return;
+  store_->storeSubjobState(rebuild_carry_, [] {});
+}
+
 void HybridCoordinator::onStandbyRebuilt(MachineId standby, bool degraded) {
   const RebuildReason reason = rebuild_reason_;
   rebuild_reason_ = RebuildReason::kNone;
+  rebuild_carry_ = SubjobState{};
   if (reason == RebuildReason::kAfterReprovision) {
     recordIncidentEvent(TraceEventType::kReprovisionEnd,
                         recoveries_[reprovision_timeline_].incidentId,

@@ -55,6 +55,13 @@ class HybridCoordinator : public HaCoordinator {
   /// use this to assert planner-routed replacement choices.
   MachineId standbyMachine() const { return params_.standbyMachine; }
 
+  /// membership/ interplay: a roster member departed (graceful retirement or
+  /// lease expiry). If it hosted this coordinator's standby, the standby is
+  /// drained onto a planner-chosen machine via the redeploy path; primaries
+  /// are out of scope (graceful leaves never target primary hosts, and a
+  /// crashed primary's lease expiry is already covered by crash detection).
+  void noteMemberLeft(MachineId machine, bool graceful);
+
  private:
   void predeploySecondary(MachineId machine);
   void installDetector(MachineId monitor, Machine& target);
@@ -107,6 +114,9 @@ class HybridCoordinator : public HaCoordinator {
   /// checkpoint manager + detector on a planner-chosen machine (or a local
   /// store when the pool is exhausted). Calls onStandbyRebuilt when done.
   void rebuildStandby();
+  /// Seed a freshly created rebuild store with `rebuild_carry_` so it never
+  /// holds less than the checkpoint whose acks already trimmed upstream.
+  void seedRebuiltStore();
   void onStandbyRebuilt(MachineId standby, bool degraded);
 
   bool switched_ = false;
@@ -137,6 +147,11 @@ class HybridCoordinator : public HaCoordinator {
   MachineId reprovision_target_ = kNoMachine;  ///< Replacement-primary target.
   std::uint64_t place_epoch_ = 0;  ///< Invalidates stale placement callbacks.
   SubjobState reprovision_state_;  ///< Checkpoint snapshot being restored.
+  /// Last confirmed checkpoint carried across a standby rebuild's store swap:
+  /// upstream queues were already trimmed against its acks, so the new store
+  /// must never start emptier than it (the primary can die before the fresh
+  /// checkpoint manager confirms anything).
+  SubjobState rebuild_carry_;
   ElementSeq reprovision_baseline_ = 0;
   std::size_t reprovision_timeline_ = 0;
   std::uint64_t domain_losses_ = 0;

@@ -47,6 +47,7 @@ enum class MsgKind : std::uint8_t {
   kHeartbeatReply,  ///< Detector reply.
   kControl,         ///< Deploy / activate / suspend control messages.
   kStateRead,       ///< Read-state-on-rollback transfers.
+  kBeacon,          ///< Membership announce/lease-refresh beacons.
   kCount
 };
 
@@ -59,6 +60,7 @@ constexpr const char* toString(MsgKind kind) {
     case MsgKind::kHeartbeatReply: return "hb-reply";
     case MsgKind::kControl: return "control";
     case MsgKind::kStateRead: return "state-read";
+    case MsgKind::kBeacon: return "beacon";
     case MsgKind::kCount: break;
   }
   return "?";

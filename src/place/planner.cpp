@@ -68,6 +68,7 @@ bool PlacementPlanner::eligible(MachineId machine) const {
   if (!cluster_.machineUp(machine)) return false;
   if (quarantined_.contains(machine)) return false;
   if (suspected_.contains(machine)) return false;
+  if (warming_.contains(machine)) return false;
   return true;
 }
 
@@ -93,6 +94,9 @@ MachineId PlacementPlanner::choose(const Request& request) {
       ++telemetry_.quarantineRejections;
       continue;
     }
+    // Warm-up gate: a freshly joined member is listed but not draftable
+    // until the membership service declares it warmed up.
+    if (warming_.contains(candidate)) continue;
     const int separation =
         domain_aware_
             ? static_cast<int>(minSeparation(topology_, candidate,
@@ -125,6 +129,31 @@ MachineId PlacementPlanner::choose(const Request& request) {
   noteAssigned(best);
   return best;
 }
+
+void PlacementPlanner::addPoolMachine(MachineId machine, bool warm) {
+  if (!warm) warming_.insert(machine);
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    if (pool_[i] == machine) {
+      occupancy_[i] = 0;  // Re-join: the previous incarnation's copies died.
+      return;
+    }
+  }
+  pool_.push_back(machine);
+  occupancy_.push_back(0);
+}
+
+void PlacementPlanner::removePoolMachine(MachineId machine) {
+  warming_.erase(machine);
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    if (pool_[i] == machine) {
+      pool_.erase(pool_.begin() + static_cast<std::ptrdiff_t>(i));
+      occupancy_.erase(occupancy_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+void PlacementPlanner::setWarm(MachineId machine) { warming_.erase(machine); }
 
 void PlacementPlanner::setQuarantined(MachineId machine, bool quarantined) {
   if (quarantined) {

@@ -65,6 +65,18 @@ class PlacementPlanner {
   void setQuarantined(MachineId machine, bool quarantined);
   void setSuspected(MachineId machine, bool suspected);
 
+  /// Elastic membership: admit `machine` to the replacement pool at runtime.
+  /// With `warm == false` the machine is listed but stays ineligible (the
+  /// membership warm-up gate -- a half-joined node must never be drafted)
+  /// until setWarm() clears it. Idempotent; a re-join resets occupancy.
+  void addPoolMachine(MachineId machine, bool warm = true);
+  /// Membership eviction (lease expiry or graceful retirement): the machine
+  /// leaves the pool entirely. Idempotent.
+  void removePoolMachine(MachineId machine);
+  /// Clears the warm-up gate set by addPoolMachine(machine, false).
+  void setWarm(MachineId machine);
+  bool warming(MachineId machine) const { return warming_.contains(machine); }
+
   /// Records that `machine` hosts one more / one fewer copy, for occupancy
   /// balancing. Layout-time standby assignments call noteAssigned so runtime
   /// choices spread away from them.
@@ -99,6 +111,7 @@ class PlacementPlanner {
   std::vector<int> occupancy_;  // Parallel to pool_.
   std::set<MachineId> quarantined_;
   std::set<MachineId> suspected_;
+  std::set<MachineId> warming_;  // Joined but not yet draftable.
   PlacementTelemetry telemetry_;
 };
 

@@ -116,6 +116,18 @@ double LoadBalancer::windowedLoad(MachineId machine) {
   return load;
 }
 
+void LoadBalancer::addSpare(MachineId machine) {
+  if (std::find(spares_.begin(), spares_.end(), machine) != spares_.end()) {
+    return;
+  }
+  spares_.push_back(machine);
+}
+
+void LoadBalancer::removeSpare(MachineId machine) {
+  spares_.erase(std::remove(spares_.begin(), spares_.end(), machine),
+                spares_.end());
+}
+
 void LoadBalancer::setQuarantined(MachineId machine, bool quarantined) {
   if (quarantined) {
     quarantined_.insert(machine);

@@ -82,6 +82,14 @@ class LoadBalancer {
   /// fast reaction, migration stays the slow one.
   void setMigrationVeto(std::function<bool()> veto) { veto_ = std::move(veto); }
 
+  /// membership/ interplay: elastic roster. A mid-run joined (and warmed-up)
+  /// member becomes a migration candidate; a departed member is withdrawn.
+  /// Both idempotent; withdrawing a machine mid-migration lets the in-flight
+  /// migration finish (stop-and-copy is atomic from the balancer's view).
+  void addSpare(MachineId machine);
+  void removeSpare(MachineId machine);
+  const std::vector<MachineId>& spares() const { return spares_; }
+
   /// ha/ interplay: a quarantined machine (gray failure, see
   /// HaParams::FlapDamping) is excluded from spare selection and never used
   /// as a migration target until re-admitted. Wired to

@@ -219,6 +219,13 @@ void PeInstance::resume() {
   maybeSchedule();
 }
 
+void PeInstance::cancelPause(const CheckpointController& controller) {
+  if (pause_controller_ != &controller) return;
+  pause_requested_ = false;
+  pause_controller_ = nullptr;
+  maybeSchedule();
+}
+
 PeState PeInstance::checkpoint(bool includeOutputQueues,
                                bool includeInputQueue) const {
   PeState state = peekState(includeOutputQueues, includeInputQueue);
@@ -307,6 +314,14 @@ void PeInstance::storeJobState(const PeState& state) {
     // down, or retransmissions of the rewound span are dropped as
     // duplicates and their outputs are lost for good.
     input_.resetStream(stream, wm);
+    // The ack record must follow the state down as well: a rewound PE that
+    // still remembers its old (higher) ack would replay it on the next
+    // duplicate (enableAckResend) and trim the upstream queue past the very
+    // span it has to reprocess -- an unfillable gap.
+    const auto ackIt = last_ack_sent_.find(stream);
+    if (ackIt != last_ack_sent_.end() && ackIt->second > wm) {
+      ackIt->second = wm;
+    }
   }
   if (!state.inputBacklog.empty()) {
     input_.loadPending(state.inputBacklog);

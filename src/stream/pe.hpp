@@ -166,6 +166,12 @@ class PeInstance {
   void resume();
   bool paused() const { return paused_; }
 
+  /// Withdraw a pause() issued by `controller` that has not completed its
+  /// checkpoint. Without this, a checkpoint manager retired mid-handshake
+  /// (standby redeploy under churn) leaves the request to complete into
+  /// enterPaused() with nobody left to resume the processing loop.
+  void cancelPause(const CheckpointController& controller);
+
   /// Capture checkpoint state. Output/input queue inclusion depends on the
   /// checkpointing variant (sweeping excludes input queues).
   PeState checkpoint(bool includeOutputQueues, bool includeInputQueue) const;

@@ -152,6 +152,12 @@ void OutputQueue::nack(int connId, ElementSeq fromSeq) {
   if (conn->active) push(*conn);
 }
 
+void OutputQueue::rewindAck(int connId, ElementSeq upTo) {
+  Connection* conn = find(connId);
+  if (conn == nullptr) return;
+  conn->ackedUpTo = std::min(conn->ackedUpTo, upTo);
+}
+
 void OutputQueue::retransmitStalled(SimDuration baseTimeout) {
   const SimTime now = net_.now();
   for (auto& conn : connections_) {

@@ -89,6 +89,12 @@ class OutputQueue {
   /// duplicated NACK can never make the connection skip elements.
   void nack(int connId, ElementSeq fromSeq);
 
+  /// Rewind a connection's ack record to at most `upTo`. Used when the
+  /// consumer's state is restored below what it previously acked: the trim
+  /// gate must follow the consumer down, or the next trim would discard the
+  /// span the consumer still has to reprocess.
+  void rewindAck(int connId, ElementSeq upTo);
+
   /// Sender-side loss recovery: rewind-and-resend every active connection
   /// whose unacked backlog has made no progress for an exponentially
   /// backed-off multiple of `baseTimeout` (base, 2x, 4x, ... capped at 16x).

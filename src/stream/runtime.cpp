@@ -336,6 +336,14 @@ std::vector<Runtime::Wire*> Runtime::wiresOutOf(Subjob& instance) {
   return out;
 }
 
+std::vector<Runtime::Wire*> Runtime::localWiresInto(Subjob& instance) {
+  std::vector<Wire*> out;
+  for (const auto& wire : wires_) {
+    if (wire->local && wire->consumer == &instance) out.push_back(wire.get());
+  }
+  return out;
+}
+
 void Runtime::setWireActive(Wire& wire, bool active) {
   wire.oq->setConnectionActive(wire.connId, active);
 }

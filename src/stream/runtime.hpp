@@ -120,6 +120,8 @@ class Runtime {
   std::vector<Wire*> wiresInto(Subjob& instance);
   /// Cross-instance wires whose producer is `instance`.
   std::vector<Wire*> wiresOutOf(Subjob& instance);
+  /// Intra-instance (local PE-to-PE) wires inside `instance`.
+  std::vector<Wire*> localWiresInto(Subjob& instance);
 
   void setWireActive(Wire& wire, bool active);
   /// Activate and reposition a wire to resend from `fromSeq`.

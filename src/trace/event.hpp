@@ -86,6 +86,16 @@ enum class TraceEventType : std::uint8_t {
                       ///< fresh standby (peer = new standby machine, value =
                       ///< 1 when the standby rebuild degraded to a local
                       ///< store because the pool was exhausted).
+  // -- Elastic membership (membership/) -----------------------------------------
+  kMachineJoined,     ///< Directory granted a lease to a first-seen (or
+                      ///< previously departed) machine (peer = directory,
+                      ///< value = lease duration in micros).
+  kLeaseExpired,      ///< A member's lease lapsed without a refresh beacon
+                      ///< (value = micros since the last refresh).
+  kMachineRetired,    ///< A member announced a graceful leave (peer =
+                      ///< directory).
+  kMachineLeft,       ///< Roster eviction, any cause (value = LeaveReason:
+                      ///< 0 = lease expiry, 1 = graceful retirement).
   kCount
 };
 
@@ -137,6 +147,10 @@ constexpr const char* toString(TraceEventType type) {
     case TraceEventType::kDomainLoss: return "DomainLoss";
     case TraceEventType::kReprovisionBegin: return "ReprovisionBegin";
     case TraceEventType::kReprovisionEnd: return "ReprovisionEnd";
+    case TraceEventType::kMachineJoined: return "MachineJoined";
+    case TraceEventType::kLeaseExpired: return "LeaseExpired";
+    case TraceEventType::kMachineRetired: return "MachineRetired";
+    case TraceEventType::kMachineLeft: return "MachineLeft";
     case TraceEventType::kCount: break;
   }
   return "?";

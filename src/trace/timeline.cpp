@@ -67,6 +67,62 @@ std::vector<QuarantineSpan> extractQuarantineSpans(
   return spans;
 }
 
+std::vector<MembershipEpisode> extractMembershipEpisodes(
+    const std::vector<TraceEvent>& events) {
+  std::vector<MembershipEpisode> episodes;
+  // Index of the open episode per machine: at most one tenure can be open at
+  // any point in the trace (the directory evicts before re-admitting).
+  std::map<MachineId, std::size_t> open;
+  const auto openEpisode = [&](MachineId machine) -> MembershipEpisode& {
+    const auto it = open.find(machine);
+    if (it != open.end()) return episodes[it->second];
+    MembershipEpisode ep;
+    ep.machine = machine;  // joinedAt stays kTimeNever: a founding member.
+    open[machine] = episodes.size();
+    episodes.push_back(ep);
+    return episodes.back();
+  };
+  for (const auto& ev : events) {
+    switch (ev.type) {
+      case TraceEventType::kMachineJoined: {
+        const auto it = open.find(ev.machine);
+        if (it != open.end()) break;  // Duplicate join: malformed, skip.
+        MembershipEpisode ep;
+        ep.machine = ev.machine;
+        ep.joinedAt = ev.at;
+        open[ev.machine] = episodes.size();
+        episodes.push_back(ep);
+        break;
+      }
+      case TraceEventType::kLeaseExpired: {
+        MembershipEpisode& ep = openEpisode(ev.machine);
+        ep.expired = true;
+        ep.sinceRefresh = static_cast<SimDuration>(ev.value);
+        break;
+      }
+      case TraceEventType::kMachineRetired:
+        openEpisode(ev.machine).retired = true;
+        break;
+      case TraceEventType::kMachineLeft: {
+        MembershipEpisode& ep = openEpisode(ev.machine);
+        ep.leftAt = ev.at;
+        // The value is the LeaveReason; trust it even if the paired
+        // kLeaseExpired/kMachineRetired event was filtered out of the trace.
+        if (ev.value == 0) {
+          ep.expired = true;
+        } else {
+          ep.retired = true;
+        }
+        open.erase(ev.machine);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return episodes;
+}
+
 RecoveryTimelineAnalyzer::RecoveryTimelineAnalyzer(
     const std::vector<TraceEvent>& events) {
   auto incidentOf = [this](const TraceEvent& ev) -> IncidentTimeline& {

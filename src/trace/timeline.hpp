@@ -101,6 +101,30 @@ struct ShedSpan {
 /// returned with endAt = kTimeNever and count = 0.
 std::vector<ShedSpan> extractShedSpans(const std::vector<TraceEvent>& events);
 
+/// One machine's tenure in the elastic-membership roster (membership/),
+/// reassembled from a kMachineJoined .. kMachineLeft pair. Founding members
+/// register silently, so a departure without a prior join opens an episode
+/// with joinedAt = kTimeNever; a member still in the roster when the run
+/// ends has leftAt = kTimeNever. A machine that churns repeatedly (evicted,
+/// then re-admitted by its next beacon) produces one episode per tenure.
+struct MembershipEpisode {
+  MachineId machine = kNoMachine;
+  SimTime joinedAt = kTimeNever;  ///< kTimeNever: founding member.
+  SimTime leftAt = kTimeNever;    ///< kTimeNever: still in the roster.
+  bool retired = false;           ///< Departed gracefully (kMachineRetired).
+  bool expired = false;           ///< Departed by lease lapse (kLeaseExpired).
+  /// Time since the last lease refresh when the expiry was adjudicated
+  /// (the kLeaseExpired value; 0 for graceful or still-open episodes).
+  SimDuration sinceRefresh = 0;
+};
+
+/// Reassemble roster tenures from the membership event vocabulary, in trace
+/// order. Tolerates malformed traces the way the other extractors do: a
+/// duplicate join on an open episode is ignored, a leave without any prior
+/// membership opens a founder episode.
+std::vector<MembershipEpisode> extractMembershipEpisodes(
+    const std::vector<TraceEvent>& events);
+
 /// Total elements inside the given spans.
 std::uint64_t totalShed(const std::vector<ShedSpan>& spans);
 

@@ -175,6 +175,46 @@ TEST(CheckpointManager, SweepingFallbackTimerKeepsCheckpointingWithoutTrims) {
   cm.stop();
 }
 
+TEST(CheckpointManager, StopWithdrawsAPendingPause) {
+  // Regression: retiring a manager (standby redeploys under churn) between
+  // pause() and the PE's ack left the request to complete into enterPaused()
+  // after the waiters were cleared -- nothing ever resumed the processing
+  // loop and the subjob wedged with a full input queue. stop() must withdraw
+  // the pending pause along with the waiter.
+  Simulator sim;
+  Network net{sim, Network::Params{}, [](MachineId) { return true; }};
+  Rng rng(3);
+  Machine machine(sim, 0, rng.fork(0));
+  Machine storeMachine(sim, 1, rng.fork(1));
+  Subjob subjob(sim, machine, 0, Replica::kPrimary);
+  PeParams params;
+  params.logicalId = 0;
+  params.outputStreams = {10};
+  auto& pe = subjob.addPe(std::make_unique<PeInstance>(
+      sim, machine, net, std::move(params),
+      std::make_unique<SyntheticLogic>(1.0, 64)));
+  pe.input().subscribe(9);
+  StateStore store(sim, storeMachine);
+  CheckpointManager::Params cmParams;
+  cmParams.interval = 10 * kSecond;  // No interval checkpoint interferes.
+  SweepingCheckpointManager cm(sim, net, subjob, store, cmParams);
+
+  std::vector<Element> batch;
+  for (ElementSeq seq = 1; seq <= 10; ++seq) {
+    Element e;
+    e.stream = 9;
+    e.seq = seq;
+    batch.push_back(e);
+  }
+  pe.input().receive(batch);     // Arrival listener starts the first element.
+  ASSERT_TRUE(pe.inFlight());
+  cm.checkpointAllNow(nullptr, /*atomic=*/true);  // Pause goes pending.
+  cm.stop();                     // The retire fence, mid-handshake.
+  sim.runUntil(kSecond);
+  EXPECT_FALSE(pe.paused());
+  EXPECT_EQ(pe.output(0).nextSeq(), 11u);  // All ten elements processed.
+}
+
 TEST(CheckpointManager, DiskStoreDelaysAckRelease) {
   // With a slow disk store the ack (which trims upstream) must lag the
   // in-memory configuration.

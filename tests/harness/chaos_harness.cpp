@@ -331,6 +331,52 @@ ChaosPlan makeChaosPlan(const ScenarioParams& params,
       plan.domainKillMachines = burst.machines;
     }
   }
+
+  // Churn storm (membership/): joins start latent machines' beacons mid-run;
+  // retires and silences hit pool machines only -- never primary hosts, the
+  // source or the sink -- so a roster transition can cost at most a standby
+  // copy (absorbed by the redeploy path), while the crashes above keep
+  // covering primary loss. All RNG draws are gated behind the flag so
+  // existing profiles generate byte-identical plans.
+  if (profile.withChurn && params.membership.enabled) {
+    const auto churnAt = [&]() -> SimTime {
+      return rng.uniformInt(profile.faultsFrom, profile.faultsUntil);
+    };
+    const auto pushChurn = [&plan](ChurnKind kind, MachineId machine,
+                                   SimTime at) {
+      ChurnSpec spec;
+      spec.kind = kind;
+      spec.machine = machine;
+      spec.at = at;
+      plan.schedule.churn.push_back(spec);
+    };
+    const int joins =
+        std::min(profile.churnJoins,
+                 static_cast<int>(layout.latentMachines.size()));
+    for (int i = 0; i < joins; ++i) {
+      const MachineId m = layout.latentMachines[static_cast<std::size_t>(i)];
+      pushChurn(ChurnKind::kJoin, m, churnAt());
+      plan.churnJoined.push_back(m);
+    }
+    std::vector<MachineId> leavable = layout.poolMachines;
+    const auto drawLeavable = [&]() -> MachineId {
+      const auto idx = static_cast<std::size_t>(rng.uniformInt(
+          0, static_cast<std::int64_t>(leavable.size()) - 1));
+      const MachineId m = leavable[idx];
+      leavable.erase(leavable.begin() + static_cast<std::ptrdiff_t>(idx));
+      return m;
+    };
+    for (int i = 0; i < profile.churnRetires && !leavable.empty(); ++i) {
+      const MachineId m = drawLeavable();
+      pushChurn(ChurnKind::kRetire, m, churnAt());
+      plan.churnRetired.push_back(m);
+    }
+    for (int i = 0; i < profile.churnSilences && !leavable.empty(); ++i) {
+      const MachineId m = drawLeavable();
+      pushChurn(ChurnKind::kSilence, m, churnAt());
+      plan.churnSilenced.push_back(m);
+    }
+  }
   return plan;
 }
 
@@ -390,11 +436,11 @@ namespace {
 
 std::size_t componentCount(const FaultSchedule& s) {
   return s.links.size() + s.partitions.size() + s.crashes.size() +
-         s.bursts.size() + s.slowdowns.size();
+         s.bursts.size() + s.slowdowns.size() + s.churn.size();
 }
 
 /// The schedule with component `index` (in
-/// links/partitions/crashes/bursts/slowdowns order) removed.
+/// links/partitions/crashes/bursts/slowdowns/churn order) removed.
 FaultSchedule without(const FaultSchedule& s, std::size_t index) {
   FaultSchedule out = s;
   if (index < out.links.size()) {
@@ -419,8 +465,13 @@ FaultSchedule without(const FaultSchedule& s, std::size_t index) {
     return out;
   }
   index -= out.bursts.size();
-  out.slowdowns.erase(out.slowdowns.begin() +
-                      static_cast<std::ptrdiff_t>(index));
+  if (index < out.slowdowns.size()) {
+    out.slowdowns.erase(out.slowdowns.begin() +
+                        static_cast<std::ptrdiff_t>(index));
+    return out;
+  }
+  index -= out.slowdowns.size();
+  out.churn.erase(out.churn.begin() + static_cast<std::ptrdiff_t>(index));
   return out;
 }
 

@@ -132,6 +132,19 @@ struct ChaosProfile {
   /// How long killed machines stay down (kTimeNever = permanent loss; the
   /// checkpoint re-provisioning path is the only way back).
   SimDuration domainKillDownFor = kTimeNever;
+  /// Churn storm (membership/): mass roster transitions racing the faults
+  /// above. Joins start latent machines' beacons; retires gracefully drain
+  /// pool machines; silences stop a member's beacon so its lease expires.
+  /// Requires ScenarioParams::membership.enabled (joins need latent
+  /// machines, leaves need pool machines). Targets are never primary hosts,
+  /// the source or the sink -- pool machines carry at most a standby copy,
+  /// whose departure the redeploy path absorbs. Off by default: RNG draws
+  /// are gated behind the flag so existing profiles generate byte-identical
+  /// plans.
+  bool withChurn = false;
+  int churnJoins = 2;     ///< Latent machines to join mid-run (layout-capped).
+  int churnRetires = 1;   ///< Graceful leaves among pool machines.
+  int churnSilences = 1;  ///< Silenced beacons (lease-expiry evictions).
 };
 
 /// One generated chaos schedule plus what it targets.
@@ -150,6 +163,10 @@ struct ChaosPlan {
   int killedRack = -1;
   /// Every machine the domain kill takes down (rack members).
   std::vector<MachineId> domainKillMachines;
+  /// Machines the churn storm joins / retires / silences (empty when off).
+  std::vector<MachineId> churnJoined;
+  std::vector<MachineId> churnRetired;
+  std::vector<MachineId> churnSilenced;
 };
 
 /// Derive the plan for (params, seed). Deterministic: same inputs, same plan.
@@ -215,7 +232,8 @@ std::string traceJsonl(Scenario& s);
 // -- Shrinking ----------------------------------------------------------------
 
 /// Greedy delta-debugging over the schedule's components (each link rule,
-/// partition, crash and burst is one removable atom). Repeatedly re-runs
+/// partition, crash, burst, slowdown and churn action is one removable
+/// atom). Repeatedly re-runs
 /// `stillFails` on candidate sub-schedules until no single component can be
 /// removed, or `maxRuns` re-executions have been spent. Returns the smallest
 /// still-failing schedule found; print it with FaultSchedule::describe().

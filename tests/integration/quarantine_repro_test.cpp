@@ -1,17 +1,21 @@
-// Dedicated repro for the gray-seed-34 quarantine-path data loss.
+// Regression contract for the (fixed) gray-seed-34 quarantine data loss.
 //
-// GrayFailureChaosSweep.DampedQuarantinesWhereUndampedFlaps (tests/
-// integration/gray_failure_test.cpp) excludes seed 34: with flap damping on,
-// that seed loses the stream mid-run at quarantine time -- the sink's
-// contiguous watermark freezes near t=15.3s while the undamped variant
-// delivers everything. Tracked as the quarantine re-persist item in
-// ROADMAP.md.
+// Before the atomic rollback re-persist, GrayFailureChaosSweep.
+// DampedQuarantinesWhereUndampedFlaps had to exclude seed 34: with flap
+// damping on, the seed lost the stream mid-run at quarantine time -- the
+// sink's contiguous watermark froze near t=15.3s while the undamped variant
+// delivered everything. Root cause: checkpoint pipelines already in flight
+// at rollback captured the gray primary's pre-adoption state; after the
+// primary adopted the secondary's (rewound) copy, their late durable-confirms
+// still flushed upstream acks, trimming output queues past elements the
+// adopted copy had yet to reprocess -- an unrecoverable gap.
 //
-// This suite pins the bug down as a *repro contract*: it asserts the loss
-// still reproduces, captures the frozen-watermark evidence (quarantine event
-// present, delivery short of generation, undamped twin clean), and fails
-// loudly the day the bug is fixed -- at which point DELETE this file and
-// re-admit seed 34 to the sweep in gray_failure_test.cpp.
+// The fix (CheckpointManager ack epochs + the all-or-nothing AckBarrier in
+// checkpointAllNow(done, atomic=true), called from HybridCoordinator::
+// onRecovery's read-state path) fences those stale pipelines and releases the
+// re-persist's acks only once every PE's copy is durable. This suite holds
+// the schedule that used to lose data and asserts it now completes cleanly,
+// in both damped and undamped form, deterministically.
 //
 // The suite name deliberately avoids the CI -R filters (GrayFailure,
 // Placement, ...) so it only runs under the full `-L chaos` sweep.
@@ -69,25 +73,20 @@ harness::ChaosOutcome runRepro(bool damped, bool captureTrace) {
   return harness::runChaosScenario(p, opts);
 }
 
-TEST(QuarantineReproSeed34, DampedRunStillLosesTheStreamAtQuarantine) {
+TEST(QuarantineReproSeed34, DampedQuarantinePathDeliversEverything) {
   const harness::ChaosOutcome damped = runRepro(/*damped=*/true,
                                                 /*captureTrace=*/true);
 
-  // The bug's signature, frozen in place:
-  //  1. The damped run quarantined the degraded node...
+  // The scenario still exercises the once-lossy path: the damped run
+  // quarantines the degraded node mid-stream...
   EXPECT_GE(damped.result.gray.quarantines, 1u);
   EXPECT_NE(damped.trace.find("QuarantineBegin"), std::string::npos);
-  //  2. ...and from that point the sink watermark froze: delivery ends short
-  //     of generation, which the exactly-once oracle reports as a violation.
-  EXPECT_FALSE(damped.oracle.ok)
-      << "seed-34 quarantine data loss no longer reproduces -- the bug is "
-         "fixed! Delete this suite and re-admit seed 34 to "
-         "GrayFailureChaosSweep (gray_failure_test.cpp), and close the "
-         "ROADMAP.md quarantine re-persist item.";
-  EXPECT_LT(damped.oracle.delivered, damped.oracle.generated);
+  // ...and with the atomic rollback re-persist the sink watermark no longer
+  // freezes there: every generated element is delivered exactly once.
+  EXPECT_TRUE(damped.oracle.ok) << damped.oracle.summary();
+  EXPECT_EQ(damped.oracle.delivered, damped.oracle.generated);
 
-  // The loss is attributable to the damped quarantine path alone: the
-  // undamped twin of the very same schedule delivers everything.
+  // The undamped twin of the very same schedule stays clean too.
   const harness::ChaosOutcome undamped = runRepro(/*damped=*/false,
                                                   /*captureTrace=*/false);
   EXPECT_TRUE(undamped.oracle.ok) << undamped.oracle.summary();

@@ -1,0 +1,288 @@
+// Lease-adversity unit tests for the elastic-membership service
+// (src/membership/): isolated beacon loss must never evict, silenced beacons
+// and crashes evict on the lease clock, graceful retirement evicts on
+// delivery of the reliable announce, warm-up gates admission, a directory
+// outage defers expiry adjudication, and a join storm is seed-deterministic.
+#include "membership/membership.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "fault/injector.hpp"
+
+namespace streamha {
+namespace {
+
+/// 8 machines, directory on 7 (mirroring the scenario's sink-machine
+/// choice). Beacons every 500ms, 2s leases, 1s warm-up.
+struct MembershipFixture : ::testing::Test {
+  Cluster::Params clusterParams() {
+    Cluster::Params p;
+    p.machineCount = 8;
+    p.seed = 42;
+    return p;
+  }
+
+  MembershipService::Params serviceParams() {
+    MembershipService::Params p;
+    p.directory = 7;
+    p.beaconInterval = 500 * kMillisecond;
+    p.leaseDuration = 2 * kSecond;
+    p.warmUp = 1 * kSecond;
+    return p;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Beacon loss vs. eviction: the lease spans four beacon intervals, so losing
+// a beacon (or two in a row) must never evict a live member.
+// ---------------------------------------------------------------------------
+
+TEST_F(MembershipFixture, IsolatedBeaconLossDoesNotEvict) {
+  Cluster cluster(clusterParams());
+  // Drop every beacon from machine 1 during [0.9s, 2.0s]: the 1.0s and 1.5s
+  // beacons vanish, the 2.0s one (plus per-machine phase) gets through well
+  // before the lease (last refreshed ~0.5s) lapses at ~2.5s.
+  FaultSchedule schedule;
+  LinkFaultRule rule;
+  rule.src = 1;
+  rule.dst = 7;
+  rule.kinds = maskOf(MsgKind::kBeacon);
+  rule.dropProb = 1.0;
+  rule.from = 900 * kMillisecond;
+  rule.until = 2 * kSecond;
+  schedule.links.push_back(rule);
+  FaultInjector injector(cluster, schedule);
+
+  MembershipService service(cluster, serviceParams());
+  service.addFoundingMember(1);
+  cluster.sim().runUntil(6 * kSecond);
+  EXPECT_TRUE(service.isMember(1));
+  EXPECT_EQ(service.telemetry().leaseExpiries, 0u);
+  EXPECT_GE(injector.stats().randomDrops, 2u);  // The losses were real.
+}
+
+// ---------------------------------------------------------------------------
+// Silence -> lease expiry: a member that stops announcing is evicted on the
+// lease clock -- not one beacon interval earlier.
+// ---------------------------------------------------------------------------
+
+TEST_F(MembershipFixture, SilencedBeaconEvictsExactlyOnLeaseExpiry) {
+  Cluster cluster(clusterParams());
+  MembershipService service(cluster, serviceParams());
+  std::vector<std::pair<MachineId, MembershipService::LeaveReason>> left;
+  MembershipService::Listener listener;
+  listener.onLeft = [&left](MachineId m, MembershipService::LeaveReason r) {
+    left.emplace_back(m, r);
+  };
+  service.setListener(std::move(listener));
+
+  service.addFoundingMember(2);
+  cluster.sim().runUntil(1100 * kMillisecond);  // Last refresh ~1.0s.
+  service.stopBeacon(2);
+  // Still under lease at 2.9s (expiry = last refresh + 2s)...
+  cluster.sim().runUntil(2900 * kMillisecond);
+  EXPECT_TRUE(service.isMember(2));
+  // ...gone shortly after 3.0s.
+  cluster.sim().runUntil(3200 * kMillisecond);
+  EXPECT_FALSE(service.isMember(2));
+  EXPECT_EQ(service.telemetry().leaseExpiries, 1u);
+  ASSERT_EQ(left.size(), 1u);
+  EXPECT_EQ(left[0].first, 2);
+  EXPECT_EQ(left[0].second, MembershipService::LeaveReason::kLeaseExpiry);
+}
+
+// ---------------------------------------------------------------------------
+// Crash vs. lease ordering: a short outage (shorter than the lease slack)
+// never evicts -- the next beacon after restart refreshes in time. A long
+// outage evicts on the lease clock and the restarted machine re-joins on its
+// own, through the ordinary admission (and warm-up) path.
+// ---------------------------------------------------------------------------
+
+TEST_F(MembershipFixture, ShortCrashOutlivedByLeaseNeverEvicts) {
+  Cluster cluster(clusterParams());
+  MembershipService service(cluster, serviceParams());
+  service.addFoundingMember(3);
+  cluster.sim().runUntil(1100 * kMillisecond);
+  cluster.machine(3).crash();
+  cluster.sim().schedule(800 * kMillisecond, [&] { cluster.machine(3).restart(); });
+  // Down 1.1s..1.9s; the ~2.0s beacon refreshes before the ~3.0s expiry.
+  cluster.sim().runUntil(6 * kSecond);
+  EXPECT_TRUE(service.isMember(3));
+  EXPECT_EQ(service.telemetry().leaseExpiries, 0u);
+  EXPECT_EQ(service.telemetry().joins, 0u);  // Never left, never re-admitted.
+}
+
+TEST_F(MembershipFixture, LongCrashEvictsThenRestartRejoins) {
+  Cluster cluster(clusterParams());
+  MembershipService service(cluster, serviceParams());
+  std::vector<MachineId> joined;
+  std::vector<MachineId> warmed;
+  MembershipService::Listener listener;
+  listener.onJoined = [&joined](MachineId m) { joined.push_back(m); };
+  listener.onWarmedUp = [&warmed](MachineId m) { warmed.push_back(m); };
+  service.setListener(std::move(listener));
+
+  service.addFoundingMember(3);
+  cluster.sim().runUntil(1100 * kMillisecond);
+  cluster.machine(3).crash();
+  cluster.sim().schedule(4 * kSecond, [&] { cluster.machine(3).restart(); });
+  // The lease lapses ~3.0s, well before the 5.1s restart.
+  cluster.sim().runUntil(4 * kSecond);
+  EXPECT_FALSE(service.isMember(3));
+  EXPECT_EQ(service.telemetry().leaseExpiries, 1u);
+  // After restart the still-ticking beacon loop re-announces: re-admission
+  // plus a fresh warm-up.
+  cluster.sim().runUntil(8 * kSecond);
+  EXPECT_TRUE(service.isMember(3));
+  EXPECT_TRUE(service.isWarm(3));
+  ASSERT_EQ(joined.size(), 1u);
+  EXPECT_EQ(joined[0], 3);
+  ASSERT_EQ(warmed.size(), 1u);
+  EXPECT_EQ(service.telemetry().joins, 1u);
+  EXPECT_EQ(service.telemetry().warmUps, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful retirement: immediate eviction on delivery of the reliable
+// announce -- no waiting out the lease -- with the kRetired reason.
+// ---------------------------------------------------------------------------
+
+TEST_F(MembershipFixture, RetireEvictsOnAnnounceDeliveryNotLeaseExpiry) {
+  Cluster cluster(clusterParams());
+  MembershipService service(cluster, serviceParams());
+  std::vector<std::pair<MachineId, MembershipService::LeaveReason>> left;
+  MembershipService::Listener listener;
+  listener.onLeft = [&left](MachineId m, MembershipService::LeaveReason r) {
+    left.emplace_back(m, r);
+  };
+  service.setListener(std::move(listener));
+
+  service.addFoundingMember(4);
+  cluster.sim().runUntil(1 * kSecond);
+  service.retire(4);
+  // Delivered within network latency, far inside the lease window.
+  cluster.sim().runUntil(1100 * kMillisecond);
+  EXPECT_FALSE(service.isMember(4));
+  EXPECT_EQ(service.telemetry().retirements, 1u);
+  EXPECT_EQ(service.telemetry().leaseExpiries, 0u);
+  ASSERT_EQ(left.size(), 1u);
+  EXPECT_EQ(left[0].second, MembershipService::LeaveReason::kRetired);
+  // The lapsed lease later must not double-evict or re-admit.
+  cluster.sim().runUntil(6 * kSecond);
+  EXPECT_FALSE(service.isMember(4));
+  EXPECT_EQ(service.telemetry().leaseExpiries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Warm-up gate: a joiner is a member immediately but warm only after the
+// warm-up clock, and the callbacks fire in admission order.
+// ---------------------------------------------------------------------------
+
+TEST_F(MembershipFixture, JoinIsImmediateWarmUpIsDelayed) {
+  Cluster cluster(clusterParams());
+  MembershipService service(cluster, serviceParams());
+  SimTime joinedAt = -1;
+  SimTime warmedAt = -1;
+  MembershipService::Listener listener;
+  listener.onJoined = [&](MachineId) { joinedAt = cluster.sim().now(); };
+  listener.onWarmedUp = [&](MachineId) { warmedAt = cluster.sim().now(); };
+  service.setListener(std::move(listener));
+
+  service.startBeacon(5);
+  cluster.sim().runUntil(3 * kSecond);
+  EXPECT_TRUE(service.isMember(5));
+  EXPECT_TRUE(service.isWarm(5));
+  ASSERT_GE(joinedAt, 0);
+  ASSERT_GE(warmedAt, 0);
+  EXPECT_EQ(warmedAt, joinedAt + 1 * kSecond);
+  // Mid-warm-up the member was listed but not warm.
+  EXPECT_EQ(service.telemetry().joins, 1u);
+  EXPECT_EQ(service.telemetry().warmUps, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Directory outage: expiry cannot be adjudicated while the lease table's
+// host is down; the check defers one lease duration and evicts after.
+// ---------------------------------------------------------------------------
+
+TEST_F(MembershipFixture, DirectoryOutageDefersExpiryAdjudication) {
+  Cluster cluster(clusterParams());
+  MembershipService service(cluster, serviceParams());
+  service.addFoundingMember(6);
+  cluster.sim().runUntil(1100 * kMillisecond);
+  service.stopBeacon(6);
+  cluster.machine(7).crash();  // Directory down across the ~3.0s expiry.
+  cluster.sim().schedule(2500 * kMillisecond,
+                         [&] { cluster.machine(7).restart(); });
+  // At 3.5s the lease has lapsed but nobody could adjudicate it.
+  cluster.sim().runUntil(3500 * kMillisecond);
+  EXPECT_TRUE(service.isMember(6));
+  // One deferred lease duration later the eviction lands.
+  cluster.sim().runUntil(6 * kSecond);
+  EXPECT_FALSE(service.isMember(6));
+  EXPECT_EQ(service.telemetry().leaseExpiries, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Join-storm determinism: identical clusters + identical storms produce the
+// identical admission order, timings and telemetry -- even with lossy
+// beacons in the way.
+// ---------------------------------------------------------------------------
+
+TEST_F(MembershipFixture, JoinStormIsDeterministic) {
+  struct StormLog {
+    std::vector<std::pair<MachineId, SimTime>> joins;
+    std::vector<std::pair<MachineId, SimTime>> warmUps;
+    MembershipTelemetry telemetry;
+  };
+  auto runStorm = [this] {
+    Cluster::Params cp = clusterParams();
+    cp.machineCount = 16;
+    Cluster cluster(cp);
+    FaultSchedule schedule;
+    LinkFaultRule rule;
+    rule.kinds = maskOf(MsgKind::kBeacon);
+    rule.dropProb = 0.3;  // Lossy admission: retries decide the order.
+    schedule.links.push_back(rule);
+    FaultInjector injector(cluster, schedule);
+    MembershipService::Params sp = serviceParams();
+    sp.directory = 15;
+    MembershipService service(cluster, sp);
+    StormLog log;
+    MembershipService::Listener listener;
+    listener.onJoined = [&](MachineId m) {
+      log.joins.emplace_back(m, cluster.sim().now());
+    };
+    listener.onWarmedUp = [&](MachineId m) {
+      log.warmUps.emplace_back(m, cluster.sim().now());
+    };
+    service.setListener(std::move(listener));
+    // All 14 non-directory, non-source machines storm in at t=2s.
+    for (MachineId m = 1; m < 15; ++m) {
+      cluster.sim().schedule(2 * kSecond - cluster.sim().now(),
+                             [&service, m] { service.startBeacon(m); });
+    }
+    cluster.sim().runUntil(10 * kSecond);
+    log.telemetry = service.telemetry();
+    return log;
+  };
+  const StormLog first = runStorm();
+  const StormLog second = runStorm();
+  // At least one join per storming machine; with 30% loss a machine can drop
+  // four straight beacons (~0.8% per lease window), get evicted and re-join,
+  // so the count may legitimately exceed 14 -- determinism is the contract.
+  EXPECT_GE(first.joins.size(), 14u);
+  EXPECT_EQ(first.joins, second.joins);
+  EXPECT_EQ(first.warmUps, second.warmUps);
+  EXPECT_EQ(first.telemetry.joins, second.telemetry.joins);
+  EXPECT_EQ(first.telemetry.beaconsSent, second.telemetry.beaconsSent);
+  EXPECT_EQ(first.telemetry.beaconsDelivered,
+            second.telemetry.beaconsDelivered);
+}
+
+}  // namespace
+}  // namespace streamha

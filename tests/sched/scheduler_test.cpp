@@ -158,6 +158,35 @@ TEST_F(BalancerFixture, IgnoresShortSpikes) {
   EXPECT_EQ(balancer.migrations(), 0u);  // Too slow to react, by design.
 }
 
+TEST_F(BalancerFixture, SpareListTracksMembershipChurn) {
+  deploy();
+  LoadBalancer::Params params;
+  params.sustainedSamples = 3;
+  // Start with NO spares: sustained overload has nowhere to go.
+  LoadBalancer balancer(*rt, {}, params);
+  balancer.start();
+  cluster->sim().runUntil(2 * kSecond);
+  cluster->machine(1).setBackgroundLoad(0.8);
+  cluster->sim().runUntil(8 * kSecond);
+  EXPECT_EQ(balancer.migrations(), 0u);  // Empty spare list: stuck.
+  // A mid-run join (membership/ interplay) hands the balancer capacity.
+  balancer.addSpare(3);
+  balancer.addSpare(3);  // Idempotent.
+  ASSERT_EQ(balancer.spares().size(), 1u);
+  cluster->sim().runUntil(16 * kSecond);
+  EXPECT_GE(balancer.migrations(), 1u);
+  Subjob* moved = rt->instanceOf(1, Replica::kPrimary);
+  ASSERT_NE(moved, nullptr);
+  EXPECT_EQ(moved->machine().id(), 3);
+  // A leave removes the capacity again (and removing a stranger is a no-op).
+  balancer.removeSpare(3);
+  balancer.removeSpare(5);
+  EXPECT_TRUE(balancer.spares().empty());
+  rt->source()->stop();
+  cluster->sim().runUntil(22 * kSecond);
+  expectExact();
+}
+
 TEST_F(BalancerFixture, CooldownLimitsMigrationRate) {
   deploy();
   LoadBalancer::Params params;

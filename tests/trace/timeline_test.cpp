@@ -280,6 +280,69 @@ TEST(RecoveryTimelineAnalyzer, MatchesPassiveStandbyCoordinatorBookkeeping) {
   expectMatchesCoordinator(runTraced(HaMode::kPassiveStandby));
 }
 
+// -- Membership episodes ------------------------------------------------------
+
+TEST(MembershipEpisodes, ReassemblesTenuresFromEventStream) {
+  std::vector<TraceEvent> events;
+  auto add = [&events](TraceEventType type, SimTime at, MachineId machine,
+                       std::uint64_t value = 0) {
+    TraceEvent ev;
+    ev.type = type;
+    ev.at = at;
+    ev.machine = machine;
+    ev.peer = 7;  // The directory.
+    ev.value = value;
+    events.push_back(ev);
+  };
+  // Machine 9: joins, lease lapses (2.1s since last refresh), re-joins and
+  // stays -- two episodes, the second still open.
+  add(TraceEventType::kMachineJoined, 1000, 9, 2000000);
+  add(TraceEventType::kLeaseExpired, 5000, 9, 2100000);
+  add(TraceEventType::kMachineLeft, 5000, 9, 0);
+  // Machine 5: a founding member (no join event) retiring gracefully.
+  add(TraceEventType::kMachineRetired, 6000, 5);
+  add(TraceEventType::kMachineLeft, 6000, 5, 1);
+  add(TraceEventType::kMachineJoined, 8000, 9, 2000000);
+
+  const std::vector<MembershipEpisode> episodes =
+      extractMembershipEpisodes(events);
+  ASSERT_EQ(episodes.size(), 3u);
+
+  EXPECT_EQ(episodes[0].machine, 9);
+  EXPECT_EQ(episodes[0].joinedAt, 1000);
+  EXPECT_EQ(episodes[0].leftAt, 5000);
+  EXPECT_TRUE(episodes[0].expired);
+  EXPECT_FALSE(episodes[0].retired);
+  EXPECT_EQ(episodes[0].sinceRefresh, 2100000);
+
+  EXPECT_EQ(episodes[1].machine, 5);
+  EXPECT_EQ(episodes[1].joinedAt, kTimeNever);  // Founding member.
+  EXPECT_EQ(episodes[1].leftAt, 6000);
+  EXPECT_TRUE(episodes[1].retired);
+  EXPECT_FALSE(episodes[1].expired);
+
+  EXPECT_EQ(episodes[2].machine, 9);
+  EXPECT_EQ(episodes[2].joinedAt, 8000);
+  EXPECT_EQ(episodes[2].leftAt, kTimeNever);  // Still in the roster.
+}
+
+TEST(MembershipEpisodes, LeaveReasonIsTrustedWithoutPairedDetailEvent) {
+  // A filtered trace may carry only the kMachineLeft marker; the reason
+  // encoded in its value still classifies the episode.
+  std::vector<TraceEvent> events;
+  TraceEvent ev;
+  ev.type = TraceEventType::kMachineLeft;
+  ev.at = 4000;
+  ev.machine = 3;
+  ev.value = 1;  // LeaveReason::kRetired.
+  events.push_back(ev);
+  const auto episodes = extractMembershipEpisodes(events);
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_TRUE(episodes[0].retired);
+  EXPECT_FALSE(episodes[0].expired);
+  EXPECT_EQ(episodes[0].joinedAt, kTimeNever);
+}
+
 TEST(RecoveryTimelineAnalyzer, HybridDetectsFasterThanPassiveStandby) {
   const auto hybrid = runTraced(HaMode::kHybrid);
   const auto ps = runTraced(HaMode::kPassiveStandby);
